@@ -1,0 +1,148 @@
+//! Orientation-based LP rounding in the spirit of Bansal–Umboh \[BU17\].
+//!
+//! Given a feasible fractional dominating set `x` (coverage ≥ 1
+//! everywhere) and an orientation with out-degree ≤ `d`, round as follows:
+//!
+//! * `S₁ = {u : x_u ≥ 1/(2(d+1))}` — nodes that are fractionally heavy;
+//! * `S₂ = {v : Σ_{u∈N_in(v)} x_u ≥ 1/2}` — nodes whose *in-neighbors*
+//!   carry half their coverage; they join in person.
+//!
+//! Every node is dominated: if `v ∉ S₂`-eligible, its out-closed
+//! neighborhood (≤ `d+1` nodes) carries ≥ 1/2 coverage, so one member is
+//! in `S₁`. Cost (unweighted): `|S₁| ≤ 2(d+1)·cost(x)` and
+//! `|S₂| ≤ 2d·cost(x)` (each unit of `x_u` is charged by at most `d`
+//! out-neighbors), so the total is `(4d+2)·cost(x)`.
+//!
+//! With an optimal orientation `d = α` this is `2(2α+1)` — a factor 2 off
+//! \[BU17\]'s `2α+1`, whose tighter charging is centralized; the point of
+//! this baseline is the `O(α)` class, and the experiments report measured
+//! ratios. **Unweighted only** (as is \[BU17\]).
+
+use arbodom_core::{CoreError, DsResult};
+use arbodom_graph::orientation::Orientation;
+use arbodom_graph::Graph;
+
+/// Rounds a feasible fractional solution against an orientation.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] when the graph is not
+/// unit-weighted, when `x` has the wrong length, or when `x` is not
+/// feasible (min coverage < 1 − 1e−9).
+pub fn round(g: &Graph, x: &[f64], orientation: &Orientation) -> Result<DsResult, CoreError> {
+    if !g.is_unit_weighted() {
+        return Err(CoreError::InvalidParameter {
+            name: "graph",
+            reason: "BU rounding is for the unweighted problem".into(),
+        });
+    }
+    if x.len() != g.n() {
+        return Err(CoreError::InvalidParameter {
+            name: "x",
+            reason: format!("expected {} values, got {}", g.n(), x.len()),
+        });
+    }
+    let d = orientation.max_out_degree();
+    let heavy = 1.0 / (2.0 * (d as f64 + 1.0));
+    // In-coverage per node.
+    let mut in_cov = vec![0.0f64; g.n()];
+    for u in g.nodes() {
+        for &v in orientation.out_neighbors(u) {
+            in_cov[v.index()] += x[u.index()];
+        }
+    }
+    let mut in_ds = vec![false; g.n()];
+    for v in g.nodes() {
+        let vi = v.index();
+        let coverage: f64 = g.closed_neighbors(v).map(|u| x[u.index()]).sum();
+        if coverage < 1.0 - 1e-9 {
+            return Err(CoreError::InvalidParameter {
+                name: "x",
+                reason: format!("not feasible: coverage {coverage} at node {v}"),
+            });
+        }
+        if x[vi] >= heavy - 1e-12 {
+            in_ds[vi] = true; // S₁
+        }
+        if in_cov[vi] >= 0.5 - 1e-12 {
+            in_ds[vi] = true; // S₂
+        }
+    }
+    Ok(DsResult::from_flags(g, in_ds, 1, None))
+}
+
+/// Convenience: solve the LP by multiplicative weights, orient by
+/// degeneracy, and round.
+///
+/// # Errors
+///
+/// Propagates the validation errors of [`round`].
+pub fn solve(g: &Graph) -> Result<DsResult, CoreError> {
+    let frac = crate::lp::fractional_mwu(g, &crate::lp::MwuConfig::default());
+    let orientation = arbodom_graph::orientation::degeneracy_orientation(g);
+    round(g, &frac.x, &orientation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arbodom_core::verify;
+    use arbodom_graph::{generators, orientation::degeneracy_orientation};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_weighted_and_infeasible() {
+        let g = generators::path(4).with_weights(vec![1, 2, 1, 1]).unwrap();
+        let o = degeneracy_orientation(&g);
+        assert!(round(&g, &[1.0; 4], &o).is_err());
+        let g = generators::path(4);
+        let o = degeneracy_orientation(&g);
+        assert!(round(&g, &[0.0; 4], &o).is_err(), "infeasible x rejected");
+        assert!(round(&g, &[1.0; 3], &o).is_err(), "wrong length rejected");
+    }
+
+    #[test]
+    fn rounding_all_ones_dominates() {
+        let mut rng = StdRng::seed_from_u64(231);
+        let g = generators::gnp(100, 0.05, &mut rng);
+        let o = degeneracy_orientation(&g);
+        let sol = round(&g, &vec![1.0; 100], &o).unwrap();
+        assert!(verify::is_dominating_set(&g, &sol.in_ds));
+    }
+
+    #[test]
+    fn rounding_within_factor_of_fractional_cost() {
+        let mut rng = StdRng::seed_from_u64(232);
+        for alpha in [2usize, 3] {
+            let g = generators::forest_union(300, alpha, &mut rng);
+            let frac = crate::lp::fractional_mwu(&g, &crate::lp::MwuConfig::default());
+            let o = degeneracy_orientation(&g);
+            let d = o.max_out_degree();
+            let sol = round(&g, &frac.x, &o).unwrap();
+            assert!(verify::is_dominating_set(&g, &sol.in_ds));
+            let bound = (4 * d + 2) as f64 * frac.cost;
+            assert!(
+                (sol.weight as f64) <= bound + 1e-6,
+                "α={alpha}: rounded {} above (4d+2)·cost = {bound}",
+                sol.weight
+            );
+        }
+    }
+
+    #[test]
+    fn end_to_end_solve_dominates() {
+        let mut rng = StdRng::seed_from_u64(233);
+        let g = generators::forest_union(150, 2, &mut rng);
+        let sol = solve(&g).unwrap();
+        assert!(verify::is_dominating_set(&g, &sol.in_ds));
+    }
+
+    #[test]
+    fn star_rounds_small() {
+        let g = generators::star(60);
+        let sol = solve(&g).unwrap();
+        assert!(verify::is_dominating_set(&g, &sol.in_ds));
+        assert!(sol.size <= 4, "star should round to a few nodes, got {}", sol.size);
+    }
+}

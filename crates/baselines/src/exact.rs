@@ -1,0 +1,219 @@
+//! Exact minimum weighted dominating set by branch and bound (`n ≤ 64`).
+//!
+//! Ground truth for ratio measurements on small instances. The search
+//! branches on the dominators of an uncovered node with the fewest
+//! candidates, warm-starts from the greedy solution, and prunes with a
+//! disjoint-ball lower bound: uncovered nodes whose closed neighborhoods
+//! are pairwise disjoint each force at least `τ_v` additional weight.
+
+use arbodom_graph::{Graph, NodeId};
+
+/// An exact solution with search statistics.
+#[derive(Clone, Debug)]
+pub struct ExactSolution {
+    /// Membership flags of an optimal dominating set.
+    pub in_ds: Vec<bool>,
+    /// The optimal weight.
+    pub weight: u64,
+    /// Number of nodes in the set.
+    pub size: usize,
+    /// Search-tree nodes explored.
+    pub explored: u64,
+}
+
+struct Searcher<'a> {
+    g: &'a Graph,
+    closed: Vec<u64>,
+    tau: Vec<u64>,
+    full: u64,
+    best_weight: u64,
+    best_set: Vec<NodeId>,
+    explored: u64,
+}
+
+impl Searcher<'_> {
+    fn lower_bound(&self, covered: u64) -> u64 {
+        let mut used = 0u64;
+        let mut lb = 0u64;
+        let mut uncovered = self.full & !covered;
+        while uncovered != 0 {
+            let v = uncovered.trailing_zeros() as usize;
+            uncovered &= uncovered - 1;
+            if self.closed[v] & used == 0 {
+                lb += self.tau[v];
+                used |= self.closed[v];
+            }
+        }
+        lb
+    }
+
+    fn recurse(&mut self, covered: u64, cost: u64, chosen: &mut Vec<NodeId>) {
+        self.explored += 1;
+        if covered == self.full {
+            if cost < self.best_weight {
+                self.best_weight = cost;
+                self.best_set = chosen.clone();
+            }
+            return;
+        }
+        if cost + self.lower_bound(covered) >= self.best_weight {
+            return;
+        }
+        // Branch on the uncovered node with the fewest dominators.
+        let mut pick = usize::MAX;
+        let mut pick_cands = u32::MAX;
+        let mut uncovered = self.full & !covered;
+        while uncovered != 0 {
+            let v = uncovered.trailing_zeros() as usize;
+            uncovered &= uncovered - 1;
+            let cands = self.closed[v].count_ones();
+            if cands < pick_cands {
+                pick_cands = cands;
+                pick = v;
+            }
+        }
+        // Try each dominator, cheapest first.
+        let mut cands: Vec<usize> = {
+            let mut m = self.closed[pick];
+            let mut v = Vec::with_capacity(pick_cands as usize);
+            while m != 0 {
+                v.push(m.trailing_zeros() as usize);
+                m &= m - 1;
+            }
+            v
+        };
+        cands.sort_by_key(|&c| (self.g.weight(NodeId::from_index(c)), c));
+        for c in cands {
+            let w = self.g.weight(NodeId::from_index(c));
+            if cost + w >= self.best_weight {
+                continue;
+            }
+            chosen.push(NodeId::from_index(c));
+            self.recurse(covered | self.closed[c], cost + w, chosen);
+            chosen.pop();
+        }
+    }
+}
+
+/// Solves MDS exactly. Returns `None` when `n > 64`.
+///
+/// Runtime is exponential in the worst case; intended for the test and
+/// experiment instances (`n ≲ 40` comfortably).
+pub fn solve(g: &Graph) -> Option<ExactSolution> {
+    let n = g.n();
+    if n > 64 {
+        return None;
+    }
+    if n == 0 {
+        return Some(ExactSolution {
+            in_ds: Vec::new(),
+            weight: 0,
+            size: 0,
+            explored: 0,
+        });
+    }
+    let closed: Vec<u64> = g
+        .nodes()
+        .map(|v| g.closed_neighbors(v).fold(0u64, |m, u| m | (1u64 << u.index())))
+        .collect();
+    let full = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    // Warm start with greedy for pruning.
+    let greedy = crate::greedy::solve(g);
+    let mut s = Searcher {
+        g,
+        tau: g.nodes().map(|v| g.tau(v)).collect(),
+        closed,
+        full,
+        best_weight: greedy.weight,
+        best_set: greedy.members(),
+        explored: 0,
+    };
+    s.recurse(0, 0, &mut Vec::new());
+    let mut in_ds = vec![false; n];
+    for v in &s.best_set {
+        in_ds[v.index()] = true;
+    }
+    Some(ExactSolution {
+        weight: s.best_weight,
+        size: s.best_set.len(),
+        in_ds,
+        explored: s.explored,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arbodom_core::verify;
+    use arbodom_graph::{generators, weights::WeightModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn known_optima() {
+        // Path P6: OPT = 2 ({1, 4}).
+        assert_eq!(solve(&generators::path(6)).unwrap().weight, 2);
+        // Cycle C9: OPT = 3.
+        assert_eq!(solve(&generators::cycle(9)).unwrap().weight, 3);
+        // Star: OPT = 1.
+        assert_eq!(solve(&generators::star(20)).unwrap().weight, 1);
+        // Complete K7: OPT = 1.
+        assert_eq!(solve(&generators::complete(7)).unwrap().weight, 1);
+        // Grid 3×3: OPT = 3.
+        assert_eq!(solve(&generators::grid2d(3, 3, false)).unwrap().weight, 3);
+    }
+
+    #[test]
+    fn weighted_optimum_prefers_cheap() {
+        // P3 with expensive middle: {0, 2} (weight 2) beats {1} (weight 5).
+        let g = generators::path(3).with_weights(vec![1, 5, 1]).unwrap();
+        let sol = solve(&g).unwrap();
+        assert_eq!(sol.weight, 2);
+        assert!(sol.in_ds[0] && sol.in_ds[2]);
+        // And with cheap middle, {1} wins.
+        let g = generators::path(3).with_weights(vec![5, 1, 5]).unwrap();
+        assert_eq!(solve(&g).unwrap().weight, 1);
+    }
+
+    #[test]
+    fn output_always_dominates() {
+        let mut rng = StdRng::seed_from_u64(241);
+        for _ in 0..10 {
+            let g = generators::gnp(26, 0.12, &mut rng);
+            let g = WeightModel::Uniform { lo: 1, hi: 9 }.assign(&g, &mut rng);
+            let sol = solve(&g).unwrap();
+            assert!(verify::is_dominating_set(&g, &sol.in_ds));
+        }
+    }
+
+    #[test]
+    fn never_beaten_by_any_heuristic() {
+        let mut rng = StdRng::seed_from_u64(242);
+        for _ in 0..10 {
+            let g = generators::gnp(20, 0.2, &mut rng);
+            let exact = solve(&g).unwrap();
+            let greedy = crate::greedy::solve(&g);
+            assert!(exact.weight <= greedy.weight);
+        }
+    }
+
+    #[test]
+    fn too_large_returns_none() {
+        let g = generators::path(65);
+        assert!(solve(&g).is_none());
+    }
+
+    #[test]
+    fn n64_boundary_works() {
+        let g = generators::path(64);
+        let sol = solve(&g).unwrap();
+        assert!(verify::is_dominating_set(&g, &sol.in_ds));
+        assert_eq!(sol.weight, 64u64.div_ceil(3));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = arbodom_graph::Graph::from_edges(0, []).unwrap();
+        assert_eq!(solve(&g).unwrap().weight, 0);
+    }
+}

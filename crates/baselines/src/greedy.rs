@@ -1,0 +1,166 @@
+//! Johnson's greedy: the classic `H(Δ+1) ≈ ln Δ` sequential algorithm.
+//!
+//! Repeatedly pick the node maximizing *newly covered nodes per unit
+//! weight*. Implemented with a lazy priority queue: gains only decrease as
+//! coverage grows, so a popped entry whose recorded gain is stale is
+//! re-scored and re-pushed, giving `O((n + m) log n)` amortized.
+
+use arbodom_core::DsResult;
+use arbodom_graph::{Graph, NodeId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Heap entry ordered by gain/weight (then by id for determinism).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    gain: u64,
+    weight: u64,
+    node: NodeId,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // gain/weight as exact fractions: a.gain/a.weight vs b.gain/b.weight.
+        let left = u128::from(self.gain) * u128::from(other.weight);
+        let right = u128::from(other.gain) * u128::from(self.weight);
+        left.cmp(&right)
+            // Heavier... prefer smaller weight on equal ratio, smaller id last.
+            .then_with(|| other.weight.cmp(&self.weight))
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Runs the sequential greedy.
+///
+/// `iterations` in the returned result counts greedy picks — this is a
+/// *sequential* baseline, not a CONGEST round count.
+pub fn solve(g: &Graph) -> DsResult {
+    let n = g.n();
+    let mut covered = vec![false; n];
+    let mut covered_count = 0usize;
+    let mut in_ds = vec![false; n];
+    let gain_of = |v: NodeId, covered: &[bool]| -> u64 {
+        g.closed_neighbors(v).filter(|u| !covered[u.index()]).count() as u64
+    };
+    let mut heap: BinaryHeap<Entry> = g
+        .nodes()
+        .map(|v| Entry {
+            gain: g.degree(v) as u64 + 1,
+            weight: g.weight(v),
+            node: v,
+        })
+        .collect();
+    let mut picks = 0usize;
+    while covered_count < n {
+        let top = heap.pop().expect("uncovered nodes imply candidates");
+        let fresh = gain_of(top.node, &covered);
+        if fresh == 0 {
+            continue;
+        }
+        if fresh < top.gain {
+            heap.push(Entry {
+                gain: fresh,
+                ..top
+            });
+            continue;
+        }
+        // Entry is current: take it.
+        in_ds[top.node.index()] = true;
+        picks += 1;
+        for u in g.closed_neighbors(top.node) {
+            if !covered[u.index()] {
+                covered[u.index()] = true;
+                covered_count += 1;
+            }
+        }
+    }
+    DsResult::from_flags(g, in_ds, picks, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arbodom_core::verify;
+    use arbodom_graph::{generators, weights::WeightModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn star_picks_hub() {
+        let g = generators::star(50);
+        let sol = solve(&g);
+        assert_eq!(sol.size, 1);
+        assert!(sol.in_ds[0]);
+    }
+
+    #[test]
+    fn dominates_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(201);
+        for _ in 0..5 {
+            let g = generators::gnp(200, 0.04, &mut rng);
+            let g = WeightModel::Uniform { lo: 1, hi: 20 }.assign(&g, &mut rng);
+            let sol = solve(&g);
+            assert!(verify::is_dominating_set(&g, &sol.in_ds));
+        }
+    }
+
+    #[test]
+    fn weighted_greedy_prefers_cheap_cover() {
+        // Hub weight 100 vs two cheap nodes covering everything: greedy
+        // must not buy the hub when two weight-1 nodes cover as much per
+        // unit weight.
+        //   hub 0 connects to 1..=8; node 9 connects to 1..=8 too, weight 1.
+        let mut b = arbodom_graph::Graph::builder(10);
+        for i in 1..=8u32 {
+            b.add_edge_u32(0, i).unwrap();
+            b.add_edge_u32(9, i).unwrap();
+        }
+        b.set_weight(NodeId::new(0), 100).unwrap();
+        let g = b.build();
+        let sol = solve(&g);
+        assert!(verify::is_dominating_set(&g, &sol.in_ds));
+        assert!(!sol.in_ds[0], "expensive hub should be skipped");
+        assert!(sol.in_ds[9]);
+    }
+
+    #[test]
+    fn path_near_optimal() {
+        let n = 30;
+        let g = generators::path(n);
+        let sol = solve(&g);
+        assert!(verify::is_dominating_set(&g, &sol.in_ds));
+        // OPT = ⌈n/3⌉ = 10; greedy is optimal on paths up to boundary slop.
+        assert!(sol.size <= 12, "greedy on a path should be near ⌈n/3⌉, got {}", sol.size);
+    }
+
+    #[test]
+    fn ln_delta_bound_vs_exact_on_small_instances() {
+        let mut rng = StdRng::seed_from_u64(202);
+        for _ in 0..10 {
+            let g = generators::gnp(24, 0.15, &mut rng);
+            let sol = solve(&g);
+            let exact = crate::exact::solve(&g).expect("n ≤ 64");
+            let h_bound: f64 = (1..=(g.max_degree() + 1)).map(|i| 1.0 / i as f64).sum();
+            assert!(
+                sol.weight as f64 <= h_bound * exact.weight as f64 + 1e-9,
+                "greedy {} vs H(Δ+1)·OPT = {}",
+                sol.weight,
+                h_bound * exact.weight as f64
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let g = arbodom_graph::Graph::from_edges(0, []).unwrap();
+        assert_eq!(solve(&g).size, 0);
+        let g = arbodom_graph::Graph::from_edges(1, []).unwrap();
+        assert_eq!(solve(&g).size, 1);
+    }
+}

@@ -1,0 +1,44 @@
+//! Baseline dominating-set algorithms for comparison with the paper.
+//!
+//! The introduction of Dory–Ghaffari–Ilchi (Section 1.1) positions their
+//! result against a line of prior work; this crate implements that
+//! comparison portfolio:
+//!
+//! * [`greedy`] — Johnson's sequential greedy, the `ln(Δ+1)` classic
+//!   \[Joh74\]; the quality yardstick every distributed algorithm is
+//!   measured against.
+//! * [`parallel_greedy`] — the folklore threshold-scale parallel greedy
+//!   (`O(log Δ)` scales, local-maxima selection), the natural "what a
+//!   practitioner would run in CONGEST" baseline.
+//! * [`lp`] — fractional relaxation machinery: a greedy maximal *packing*
+//!   (an OPT lower bound independent of the paper's certificates) and a
+//!   multiplicative-weights solver for the covering LP.
+//! * [`bu_rounding`] — orientation-based LP rounding in the spirit of
+//!   Bansal–Umboh \[BU17\]; with an out-degree-`d` orientation it rounds
+//!   any feasible fractional solution to a `(4d+2)`-approximate integral
+//!   one (our self-contained analysis; BU17's tighter `2α+1` uses a
+//!   centralized argument).
+//! * [`exact`] — branch-and-bound exact solver for `n ≤ 64`, the ground
+//!   truth for ratio measurements on small instances.
+//! * [`tree_dp`] — exact weighted dominating set on forests in `O(n)`,
+//!   ground truth at any scale for the α = 1 experiments.
+//! * [`trivial`] — the all-nodes solution, anchoring the worst case.
+//!
+//! **Fidelity note.** `greedy`, `exact`, `tree_dp`, and the LP machinery
+//! are faithful implementations of standard algorithms. `parallel_greedy`
+//! is labeled folklore, *not* \[LW10\]; the Lenzen–Wattenhofer and
+//! Morgan–Solomon–Wein algorithms have details this repository does not
+//! reproduce, and we do not attach their names to different code. The
+//! paper's own Theorem 1.3 (`arbodom_core::general`) doubles as the
+//! KMW-style general-graph baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bu_rounding;
+pub mod exact;
+pub mod greedy;
+pub mod lp;
+pub mod parallel_greedy;
+pub mod tree_dp;
+pub mod trivial;

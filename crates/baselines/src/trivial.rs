@@ -1,0 +1,27 @@
+//! Trivial solutions anchoring the quality scale.
+
+use arbodom_core::DsResult;
+use arbodom_graph::Graph;
+
+/// The all-nodes dominating set: the worst reasonable answer, `w(V)`.
+pub fn all_nodes(g: &Graph) -> DsResult {
+    DsResult::from_flags(g, vec![true; g.n()], 0, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arbodom_core::verify;
+    use arbodom_graph::generators;
+
+    #[test]
+    fn all_nodes_dominates() {
+        let g = generators::gnp(50, 0.05, &mut {
+            use rand::SeedableRng;
+            rand::rngs::StdRng::seed_from_u64(1)
+        });
+        let sol = all_nodes(&g);
+        assert!(verify::is_dominating_set(&g, &sol.in_ds));
+        assert_eq!(sol.size, 50);
+    }
+}

@@ -1,0 +1,73 @@
+//! Wall-clock benchmarks of the paper's solvers.
+
+use arbodom_core::{general, randomized, trees, unknown_delta, weighted};
+use arbodom_graph::{generators, weights::WeightModel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_weighted(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm11_weighted");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = generators::forest_union(n, 3, &mut rng);
+        let g = WeightModel::Uniform { lo: 1, hi: 50 }.assign(&g, &mut rng);
+        let cfg = weighted::Config::new(3, 0.2).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| weighted::solve(black_box(g), &cfg).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_randomized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm12_randomized");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(2);
+    let g = generators::forest_union(10_000, 4, &mut rng);
+    for &t in &[1usize, 2, 4] {
+        let cfg = randomized::Config::new(4, t, 9).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(t), &g, |b, g| {
+            b.iter(|| randomized::solve(black_box(g), &cfg).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_general(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm13_general");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(3);
+    let g = generators::gnp(5_000, 0.01, &mut rng);
+    for &k in &[1usize, 2, 4] {
+        let cfg = general::Config::new(k, 5).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &g, |b, g| {
+            b.iter(|| general::solve(black_box(g), &cfg).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_trees_and_unknown(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let t = generators::random_tree(100_000, &mut rng);
+    c.bench_function("obsA1_tree_100k", |b| {
+        b.iter(|| trees::solve(black_box(&t)).unwrap())
+    });
+    let g = generators::forest_union(10_000, 2, &mut rng);
+    let cfg = unknown_delta::Config::new(2, 0.25).unwrap();
+    c.bench_function("rem44_unknown_delta_10k", |b| {
+        b.iter(|| unknown_delta::solve(black_box(&g), &cfg).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_weighted,
+    bench_randomized,
+    bench_general,
+    bench_trees_and_unknown
+);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Baseline algorithm benchmarks: what the paper's algorithms are up
+//! against in wall-clock terms.
+
+use arbodom_baselines::{exact, greedy, lp, parallel_greedy, tree_dp};
+use arbodom_graph::generators;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_heuristics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_heuristics");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(21);
+    for &n in &[10_000usize, 100_000] {
+        let g = generators::forest_union(n, 3, &mut rng);
+        group.bench_with_input(BenchmarkId::new("greedy", n), &g, |b, g| {
+            b.iter(|| greedy::solve(black_box(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel_greedy", n), &g, |b, g| {
+            b.iter(|| parallel_greedy::solve(black_box(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("maximal_packing", n), &g, |b, g| {
+            b.iter(|| lp::maximal_packing(black_box(g)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_solvers");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(22);
+    let g = generators::gnp(26, 0.15, &mut rng);
+    group.bench_function("branch_and_bound_n26", |b| {
+        b.iter(|| exact::solve(black_box(&g)).unwrap())
+    });
+    let t = generators::random_tree(100_000, &mut rng);
+    group.bench_function("tree_dp_100k", |b| {
+        b.iter(|| tree_dp::solve(black_box(&t)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_heuristics, bench_exact);
+criterion_main!(benches);

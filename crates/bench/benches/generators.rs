@@ -1,0 +1,57 @@
+//! Generator and graph-substrate benchmarks.
+
+use arbodom_graph::{arboricity, generators, orientation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+    let n = 50_000;
+    group.bench_function("forest_union_a4", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            generators::forest_union(black_box(n), 4, &mut rng)
+        })
+    });
+    group.bench_function("gnp_sparse", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            generators::gnp(black_box(n), 4.0 / n as f64, &mut rng)
+        })
+    });
+    group.bench_function("preferential_attachment", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            generators::preferential_attachment(black_box(n), 3, &mut rng)
+        })
+    });
+    group.bench_function("random_tree", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(4);
+            generators::random_tree(black_box(n), &mut rng)
+        })
+    });
+    group.finish();
+}
+
+fn bench_orientation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("orientation");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(5);
+    for &n in &[10_000usize, 100_000] {
+        let g = generators::forest_union(n, 4, &mut rng);
+        group.bench_with_input(BenchmarkId::new("degeneracy", n), &g, |b, g| {
+            b.iter(|| orientation::degeneracy_order(black_box(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("arboricity_bounds", n), &g, |b, g| {
+            b.iter(|| arboricity::arboricity_bounds(black_box(g)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators, bench_orientation);
+criterion_main!(benches);

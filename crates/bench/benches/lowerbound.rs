@@ -1,0 +1,48 @@
+//! Lower-bound construction benchmarks.
+
+use arbodom_graph::generators;
+use arbodom_lowerbound::construction::build_h;
+use arbodom_lowerbound::hopcroft_karp::{bipartition, hopcroft_karp};
+use arbodom_lowerbound::kmw_like::kmw_like;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("h_construction");
+    group.sample_size(10);
+    let base = generators::complete(4);
+    for &copies in &[9usize, 100, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(copies), &copies, |b, &c| {
+            b.iter(|| build_h(black_box(&base), c))
+        });
+    }
+    group.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hopcroft_karp");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(31);
+    for &(a, p) in &[(500usize, 0.01f64), (2000, 0.005)] {
+        let g = generators::bipartite_random(a, a, p, &mut rng);
+        let side = bipartition(&g).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(a), &g, |b, g| {
+            b.iter(|| hopcroft_karp(black_box(g), &side))
+        });
+    }
+    group.finish();
+}
+
+fn bench_kmw_like(c: &mut Criterion) {
+    c.bench_function("kmw_like_4_3", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(32);
+            kmw_like(black_box(4), 3, &mut rng)
+        })
+    });
+}
+
+criterion_group!(benches, bench_construction, bench_matching, bench_kmw_like);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! CONGEST simulator overhead: message-passing vs centralized, and the
+//! sequential vs parallel runner.
+
+use arbodom_congest::{run_parallel, MeterMode, RunOptions};
+use arbodom_core::{distributed, weighted};
+use arbodom_graph::{generators, weights::WeightModel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_congest_vs_centralized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm11_congest_vs_centralized");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(11);
+    for &n in &[1_000usize, 10_000] {
+        let g = generators::forest_union(n, 3, &mut rng);
+        let g = WeightModel::Uniform { lo: 1, hi: 20 }.assign(&g, &mut rng);
+        let cfg = weighted::Config::new(3, 0.2).unwrap();
+        group.bench_with_input(BenchmarkId::new("centralized", n), &g, |b, g| {
+            b.iter(|| weighted::solve(black_box(g), &cfg).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("congest_measured", n), &g, |b, g| {
+            b.iter(|| {
+                distributed::run_weighted(black_box(g), &cfg, 0, &RunOptions::default()).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("congest_unmetered", n), &g, |b, g| {
+            let opts = RunOptions {
+                meter: MeterMode::Off,
+                ..RunOptions::default()
+            };
+            b.iter(|| distributed::run_weighted(black_box(g), &cfg, 0, &opts).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_runner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_parallelism");
+    group.sample_size(10);
+    let g = generators::grid2d(100, 100, true);
+    let globals = arbodom_congest::Globals::new(&g, 0);
+
+    struct Flood {
+        seen: u64,
+        rounds_left: u32,
+    }
+    impl arbodom_congest::NodeProgram for Flood {
+        type Message = u64;
+        type Output = u64;
+        fn round(
+            &mut self,
+            ctx: &arbodom_congest::NodeCtx<'_>,
+            inbox: &[(usize, u64)],
+        ) -> arbodom_congest::Step<u64> {
+            self.seen += inbox.iter().map(|&(_, m)| m).sum::<u64>();
+            if self.rounds_left == 0 {
+                return arbodom_congest::Step::halt();
+            }
+            self.rounds_left -= 1;
+            arbodom_congest::Step::continue_with(vec![arbodom_congest::Outgoing::broadcast(
+                u64::from(ctx.id.get()),
+            )])
+        }
+        fn output(&self) -> u64 {
+            self.seen
+        }
+    }
+    let make = |_: arbodom_graph::NodeId, _: &arbodom_graph::Graph| Flood {
+        seen: 0,
+        rounds_left: 20,
+    };
+    group.bench_function("sequential", |b| {
+        b.iter(|| arbodom_congest::run(&g, &globals, make, &RunOptions::default()).unwrap())
+    });
+    for &threads in &[2usize, 4] {
+        group.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, &t| {
+            b.iter(|| run_parallel(&g, &globals, make, &RunOptions::default(), t).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_congest_vs_centralized, bench_parallel_runner);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Runs every experiment and prints all tables (EXPERIMENTS.md source).
+fn main() {
+    let scale = arbodom_bench::Scale::from_env();
+    for table in arbodom_bench::experiments::all(scale) {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates experiment tables for `scaling`; see DESIGN.md.
+fn main() {
+    let scale = arbodom_bench::Scale::from_env();
+    for table in arbodom_bench::experiments::scaling::run(scale) {
+        println!("{table}");
+    }
+}

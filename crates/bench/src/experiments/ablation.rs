@@ -1,0 +1,102 @@
+//! E-ABL — design-choice ablations DESIGN.md calls out:
+//!
+//! 1. the ε knob: rounds scale as `1/ε`, the guarantee as `(1+ε)` — the
+//!    trade-off a deployment actually tunes;
+//! 2. footnote 2: feeding the algorithm the exact pseudoarboricity `p`
+//!    (computed by path-reversal orientations) instead of a loose nominal
+//!    α tightens both the bound and the measured solution.
+
+use crate::report::{check, f2, f3, Table};
+use crate::Scale;
+use arbodom_core::{verify, weighted};
+use arbodom_graph::{generators, pseudoarboricity};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let mut rng = StdRng::seed_from_u64(1070);
+
+    // ---- ε sweep ----
+    let n = scale.pick(2_000, 20_000);
+    let alpha = 3usize;
+    let g = generators::preferential_attachment(n, alpha, &mut rng);
+    let mut eps_table = Table::new(
+        "E-ABL-a",
+        format!("ε ablation on preferential attachment, n = {n}, α = {alpha}"),
+        &["ε", "iters", "|DS|", "cert ratio", "bound", "ok"],
+    );
+    for &eps in &[0.05f64, 0.1, 0.2, 0.4, 0.8] {
+        let cfg = weighted::Config::new(alpha, eps).expect("valid");
+        let sol = weighted::solve(&g, &cfg).expect("solves");
+        assert!(verify::is_dominating_set(&g, &sol.in_ds));
+        let ratio = sol.certified_ratio().expect("certificate");
+        eps_table.row(vec![
+            f2(eps),
+            sol.iterations.to_string(),
+            sol.size.to_string(),
+            f3(ratio),
+            f2(cfg.guarantee()),
+            check(ratio <= cfg.guarantee() * (1.0 + 1e-9)),
+        ]);
+    }
+    eps_table.note(
+        "smaller ε: more iterations (∝ 1/ε), tighter guarantee and (mildly) \
+         better measured solutions — the knob Theorem 1.1 exposes.",
+    );
+
+    // ---- α vs pseudoarboricity ----
+    let mut p_table = Table::new(
+        "E-ABL-b",
+        "footnote 2: nominal α vs exact pseudoarboricity p as the parameter",
+        &[
+            "family", "nominal α", "p (exact)", "|DS| @α", "|DS| @p", "bound @α", "bound @p", "ok",
+        ],
+    );
+    let np = scale.pick(800, 5_000);
+    let families: Vec<(String, usize, arbodom_graph::Graph)> = vec![
+        (
+            "forest-union".into(),
+            6,
+            generators::forest_union(np, 6, &mut rng),
+        ),
+        (
+            "sparse forest-union".into(),
+            8,
+            generators::forest_union_partial(np, 8, 0.4, &mut rng),
+        ),
+        (
+            "pref-attach".into(),
+            5,
+            generators::preferential_attachment(np, 5, &mut rng),
+        ),
+    ];
+    for (name, nominal, g) in families {
+        let p = pseudoarboricity::min_outdegree_orientation(&g).value.max(1);
+        let eps = 0.2;
+        let at_alpha = weighted::solve(&g, &weighted::Config::new(nominal, eps).expect("valid"))
+            .expect("solves");
+        let at_p =
+            weighted::solve(&g, &weighted::Config::new(p, eps).expect("valid")).expect("solves");
+        let ok = verify::is_dominating_set(&g, &at_alpha.in_ds)
+            && verify::is_dominating_set(&g, &at_p.in_ds)
+            && p <= nominal;
+        p_table.row(vec![
+            name,
+            nominal.to_string(),
+            p.to_string(),
+            at_alpha.size.to_string(),
+            at_p.size.to_string(),
+            f2((2 * nominal + 1) as f64 * (1.0 + eps)),
+            f2((2 * p + 1) as f64 * (1.0 + eps)),
+            check(ok),
+        ]);
+    }
+    p_table.note(
+        "the paper's algorithms only need an out-degree-α orientation to exist \
+         (footnote 2), so the exact pseudoarboricity p ≤ α is the sharpest legal \
+         parameter: the guarantee (2p+1)(1+ε) is strictly better whenever the \
+         nominal α over-estimates the graph's true density.",
+    );
+    vec![eps_table, p_table]
+}

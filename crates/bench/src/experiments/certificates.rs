@@ -1,0 +1,64 @@
+//! E-CERT — Lemma 2.1 in practice: dual certificates versus exact optima.
+//!
+//! On instances small enough for exact solving, the chain
+//! `Σx_v ≤ OPT ≤ w(DS)` must hold for every run, and the certificate's
+//! tightness (`Σx / OPT`) quantifies how conservative the certified ratios
+//! in the other experiments are.
+
+use crate::report::{check, f3, Table};
+use crate::Scale;
+use arbodom_baselines::{exact, lp};
+use arbodom_core::weighted;
+use arbodom_graph::{generators, weights::WeightModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let mut table = Table::new(
+        "E-CERT",
+        "dual certificates vs exact OPT (n ≤ 40)",
+        &[
+            "instance", "OPT", "w(DS)", "Σx (ours)", "Σy (packing)", "chain ok", "tightness Σx/OPT",
+        ],
+    );
+    let mut rng = StdRng::seed_from_u64(1060);
+    let runs = scale.pick(6, 15);
+    for i in 0..runs {
+        let n = 20 + (i % 3) * 10;
+        let g = match i % 3 {
+            0 => generators::gnp(n, 0.12, &mut rng),
+            1 => generators::forest_union(n, 2, &mut rng),
+            _ => generators::random_tree(n, &mut rng),
+        };
+        let g = if i % 2 == 0 {
+            WeightModel::Uniform { lo: 1, hi: 9 }.assign(&g, &mut rng)
+        } else {
+            g
+        };
+        let opt = exact::solve(&g).expect("small instance").weight;
+        let sol = weighted::solve(&g, &weighted::Config::new(2, 0.2).expect("valid"))
+            .expect("solves");
+        let ours = sol.certificate.as_ref().unwrap().lower_bound();
+        let indep = lp::maximal_packing(&g).lower_bound();
+        let chain_ok = ours <= opt as f64 + 1e-9
+            && indep <= opt as f64 + 1e-9
+            && sol.weight >= opt;
+        table.row(vec![
+            format!("{} n={}", ["gnp", "forest", "tree"][i % 3], g.n()),
+            opt.to_string(),
+            sol.weight.to_string(),
+            f3(ours),
+            f3(indep),
+            check(chain_ok),
+            f3(ours / opt as f64),
+        ]);
+    }
+    table.note(
+        "chain ok ⇔ Σx ≤ OPT ≤ w(DS) and the independent packing bound also \
+         respects OPT — Lemma 2.1 validated against ground truth. Tightness \
+         below 1 means certified ratios elsewhere overstate the true ratio \
+         by exactly that slack.",
+    );
+    vec![table]
+}

@@ -1,0 +1,77 @@
+//! E-FAULT — what the CONGEST model's reliability assumption is worth.
+//!
+//! The paper (like all CONGEST work) assumes perfectly reliable links. The
+//! simulator's fault injection quantifies that assumption: run the
+//! Theorem 1.1 node program under i.i.d. message loss and measure how
+//! often the output is still a dominating set and how far its weight
+//! drifts. Two regimes are expected — and observed:
+//!
+//! * *safe degradation*: lost `Joined`/`Dominated` events only make nodes
+//!   **under**-estimate domination, so extra elections fire and weight
+//!   creeps up while validity survives;
+//! * *failure*: a lost `Elect` (the one message whose delivery is
+//!   load-bearing for coverage) leaves its sender undominated.
+
+use crate::report::{f2, f3, Table};
+use crate::Scale;
+use arbodom_congest::{LossModel, RunOptions};
+use arbodom_core::{distributed, verify, weighted};
+use arbodom_graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let n = scale.pick(400, 2_000);
+    let trials = scale.pick(5, 20) as u64;
+    let mut table = Table::new(
+        "E-FAULT",
+        format!("Theorem 1.1 under message loss (forest union α=3, n={n}, {trials} trials)"),
+        &[
+            "drop prob", "still dominating", "avg undominated", "avg weight vs lossless", "avg dropped msgs",
+        ],
+    );
+    let mut rng = StdRng::seed_from_u64(1080);
+    let g = generators::forest_union(n, 3, &mut rng);
+    let cfg = weighted::Config::new(3, 0.25).expect("valid");
+    let (baseline, _) =
+        distributed::run_weighted(&g, &cfg, 0, &RunOptions::default()).expect("lossless run");
+    for &p in &[0.0f64, 0.001, 0.01, 0.05, 0.2] {
+        let mut dominating = 0usize;
+        let mut undominated_total = 0usize;
+        let mut weight_total = 0u64;
+        let mut dropped_total = 0usize;
+        for seed in 0..trials {
+            let opts = RunOptions {
+                loss: (p > 0.0).then_some(LossModel {
+                    drop_probability: p,
+                    seed,
+                }),
+                ..RunOptions::default()
+            };
+            let (sol, telemetry) =
+                distributed::run_weighted(&g, &cfg, 0, &opts).expect("faulty run completes");
+            if verify::is_dominating_set(&g, &sol.in_ds) {
+                dominating += 1;
+            }
+            undominated_total += verify::undominated_nodes(&g, &sol.in_ds).len();
+            weight_total += sol.weight;
+            dropped_total += telemetry.dropped_messages;
+        }
+        table.row(vec![
+            f3(p),
+            format!("{dominating}/{trials}"),
+            f2(undominated_total as f64 / trials as f64),
+            f3(weight_total as f64 / trials as f64 / baseline.weight as f64),
+            f2(dropped_total as f64 / trials as f64),
+        ]);
+    }
+    table.note(
+        "two-sided degradation: missed events inflate weight only mildly \
+         (over-election is self-correcting), but coverage holes appear as soon \
+         as Elect messages start dropping — a per-mille of nodes at 1% loss, a \
+         handful at 20%. The CONGEST reliable-link assumption is load-bearing \
+         exactly at the election step; a production protocol would ack it.",
+    );
+    vec![table]
+}

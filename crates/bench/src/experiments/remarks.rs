@@ -1,0 +1,80 @@
+//! E-4.4/4.5 — Remarks 4.4 and 4.5: what knowing Δ and α is worth.
+
+use crate::report::{check, f2, f3, Table};
+use crate::Scale;
+use arbodom_core::{unknown_alpha, unknown_delta, verify, weighted};
+use arbodom_graph::{generators, weights::WeightModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let n = scale.pick(1_500, 25_000);
+    let eps = 0.2;
+    let mut table = Table::new(
+        "E-4.4/4.5",
+        format!("knowledge ablation on forest unions, n = {n}, ε = {eps}"),
+        &[
+            "α", "algorithm", "knows", "iters", "w(DS)", "cert ratio", "bound", "ok",
+        ],
+    );
+    let mut rng = StdRng::seed_from_u64(1044);
+    for &alpha in &[2usize, 4] {
+        let g = generators::forest_union(n, alpha, &mut rng);
+        let g = WeightModel::Uniform { lo: 1, hi: 50 }.assign(&g, &mut rng);
+
+        let full = weighted::solve(&g, &weighted::Config::new(alpha, eps).expect("valid"))
+            .expect("solves");
+        let bound_full = (2 * alpha + 1) as f64 * (1.0 + eps);
+        let r_full = full.certified_ratio().unwrap();
+        table.row(vec![
+            alpha.to_string(),
+            "Thm 1.1".into(),
+            "Δ, α".into(),
+            full.iterations.to_string(),
+            full.weight.to_string(),
+            f3(r_full),
+            f2(bound_full),
+            check(
+                verify::is_dominating_set(&g, &full.in_ds) && r_full <= bound_full * (1.0 + 1e-9),
+            ),
+        ]);
+
+        let ud = unknown_delta::solve(&g, &unknown_delta::Config::new(alpha, eps).expect("valid"))
+            .expect("solves");
+        let r_ud = ud.certified_ratio().unwrap();
+        table.row(vec![
+            alpha.to_string(),
+            "Rem 4.4".into(),
+            "α only".into(),
+            ud.iterations.to_string(),
+            ud.weight.to_string(),
+            f3(r_ud),
+            f2(bound_full),
+            check(verify::is_dominating_set(&g, &ud.in_ds) && r_ud <= bound_full * (1.0 + 1e-9)),
+        ]);
+
+        let ua = unknown_alpha::solve(&g, &unknown_alpha::Config::new(eps).expect("valid"))
+            .expect("solves");
+        let r_ua = ua.certified_ratio().unwrap();
+        // Remark 4.5 guarantee with our (2+ε)·2α peeling: see module docs.
+        let bound_ua = (2.0 * (2.0 + eps) * 2.0 * alpha as f64 + 1.0) * (1.0 + eps);
+        table.row(vec![
+            alpha.to_string(),
+            "Rem 4.5".into(),
+            "n only".into(),
+            ua.iterations.to_string(),
+            ua.weight.to_string(),
+            f3(r_ua),
+            f2(bound_ua),
+            check(verify::is_dominating_set(&g, &ua.in_ds) && r_ua <= bound_ua * (1.0 + 1e-9)),
+        ]);
+    }
+    table.note(
+        "Rem 4.4 matches Thm 1.1's guarantee without knowing Δ at comparable \
+         iteration counts; Rem 4.5 (α unknown) pays the (2+ε)-orientation factor in \
+         its bound and the peeling rounds in its iterations, as the paper predicts \
+         (its measured quality stays close in practice).",
+    );
+    vec![table]
+}

@@ -1,0 +1,60 @@
+//! E-1.3 — Theorem 1.3: general graphs, expected `O(k·Δ^{2/k})` in
+//! `O(k²)` rounds (the KMW-class trade-off without the `log Δ` factor).
+
+use crate::report::{check, f2, f3, Table};
+use crate::Scale;
+use arbodom_core::{general, verify};
+use arbodom_graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let n = scale.pick(1_000, 10_000);
+    let seeds = scale.pick(2, 5) as u64;
+    let mut table = Table::new(
+        "E-1.3",
+        format!("Theorem 1.3 k-sweep on G(n,p), n = {n}, avg of {seeds} seeds"),
+        &[
+            "Δ", "k", "iters", "~k²", "avg ratio", "theorem bound", "ok",
+        ],
+    );
+    let mut rng = StdRng::seed_from_u64(1013);
+    for &target_delta in &[32usize, 128] {
+        let p = target_delta as f64 / n as f64;
+        let g = generators::gnp(n, p, &mut rng);
+        let delta = g.max_degree();
+        let k_max = scale.pick(3, 5);
+        for k in 1..=k_max {
+            let mut ratios = Vec::new();
+            let mut iters = 0usize;
+            for seed in 0..seeds {
+                let cfg = general::Config::new(k, seed).expect("valid");
+                let sol = general::solve(&g, &cfg).expect("solves");
+                assert!(verify::is_dominating_set(&g, &sol.in_ds));
+                ratios.push(sol.certified_ratio().expect("certificate"));
+                iters = sol.iterations;
+            }
+            let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+            let cfg = general::Config::new(k, 0).expect("valid");
+            let bound = cfg.guarantee(delta);
+            let ok = avg <= bound * (1.0 + 1e-6);
+            table.row(vec![
+                delta.to_string(),
+                k.to_string(),
+                iters.to_string(),
+                (k * (k + 2)).to_string(),
+                f3(avg),
+                f2(bound),
+                check(ok),
+            ]);
+        }
+    }
+    table.note(
+        "theorem bound = Δ^{1/k}(Δ^{1/k}+1)(k+1). The measured ratio is orders of \
+         magnitude below the worst case but the *shape* matches: iterations grow \
+         quadratically in k while the bound (and the measured ratio's envelope) \
+         improves steeply until k ≈ log Δ.",
+    );
+    vec![table]
+}

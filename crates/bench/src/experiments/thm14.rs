@@ -1,0 +1,124 @@
+//! E-1.4 — Theorem 1.4: the arboricity-2 lower-bound construction and the
+//! locality wall, plus the Figure 1 reproduction.
+
+use crate::report::{check, f2, Table};
+use crate::Scale;
+use arbodom_graph::generators;
+use arbodom_lowerbound::construction::{build_h, build_h_paper};
+use arbodom_lowerbound::hopcroft_karp::{bipartition, hopcroft_karp};
+use arbodom_lowerbound::kmw_like::kmw_like;
+use arbodom_lowerbound::locality::locality_curve;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let mut structure = Table::new(
+        "E-1.4a",
+        "Section 5 construction H(G): structural verification (Fig. 1 = K4 row)",
+        &[
+            "base G", "copies", "n(H)", "m(H)", "Δ(H)", "out-deg ≤ 2", "hub deg = c", "eq(2) size", "Δ²·MVC+n", "ok",
+        ],
+    );
+    let mut rng = StdRng::seed_from_u64(1014);
+
+    let bases: Vec<(String, arbodom_graph::Graph)> = vec![
+        ("K4 (Fig. 1)".into(), generators::complete(4)),
+        ("C8".into(), generators::cycle(8)),
+        (
+            "kmw-like(2,3)".into(),
+            kmw_like(2, 3, &mut rng).graph,
+        ),
+        (
+            "kmw-like(3,2)".into(),
+            kmw_like(3, 2, &mut rng).graph,
+        ),
+    ];
+    for (name, g) in &bases {
+        let h = build_h_paper(g);
+        let verified = h.verify_structure().is_ok();
+        let orientation = h.arboricity2_orientation();
+        // Exact MVC where the base is bipartite; otherwise greedy VC from
+        // exact MDS machinery is unnecessary — K4 is tiny, use brute force
+        // via matching bound only for bipartite bases.
+        let (eq2_size, bound, eq2_ok) = match bipartition(g) {
+            Some(side) => {
+                let mvc = hopcroft_karp(g, &side);
+                let ds = h.hubs_plus_cover(&mvc.min_vertex_cover);
+                let ok = arbodom_core::verify::is_dominating_set(&h.graph, &ds);
+                let size = ds.iter().filter(|&&b| b).count();
+                (size, h.copies * mvc.size + g.n(), ok)
+            }
+            None => {
+                // Non-bipartite base (K4): use the trivial VC = all nodes −
+                // one; for K4 the MVC is 3.
+                let cover: Vec<bool> = (0..g.n()).map(|v| v != 0).collect();
+                let ds = h.hubs_plus_cover(&cover);
+                let ok = arbodom_core::verify::is_dominating_set(&h.graph, &ds);
+                let size = ds.iter().filter(|&&b| b).count();
+                (size, h.copies * (g.n() - 1) + g.n(), ok)
+            }
+        };
+        let hub_ok = (0..g.n())
+            .all(|v| h.graph.degree(h.hub_node(arbodom_graph::NodeId::from_index(v))) == h.copies);
+        structure.row(vec![
+            name.clone(),
+            h.copies.to_string(),
+            h.graph.n().to_string(),
+            h.graph.m().to_string(),
+            h.graph.max_degree().to_string(),
+            check(orientation.max_out_degree() <= 2),
+            check(hub_ok),
+            eq2_size.to_string(),
+            bound.to_string(),
+            check(verified && eq2_ok && eq2_size <= bound),
+        ]);
+    }
+    structure.note(
+        "'out-deg ≤ 2' is the explicit arboricity-2 witness from the proof; \
+         'eq(2)' exhibits the dominating set T ∪ Δ²·(vertex cover) whose size \
+         realizes OPT_H ≤ Δ²·OPT_MVC + n (vertex covers exact via Kőnig on \
+         bipartite bases).",
+    );
+
+    // Locality wall.
+    let mut wall = Table::new(
+        "E-1.4b",
+        "locality wall: certified ratio of r-round algorithms on H",
+        &["r (rounds)", "|DS|", "ratio", "monotone ok"],
+    );
+    let (levels, beta, copies) = match scale {
+        Scale::Quick => (2usize, 3usize, 3usize),
+        Scale::Full => (3, 3, 9),
+    };
+    let base = kmw_like(levels, beta, &mut rng).graph;
+    let h = build_h(&base, copies);
+    let max_r = scale.pick(18, 30);
+    let curve = locality_curve(&h.graph, 0.3, max_r);
+    let converged = curve.last().expect("nonempty").ratio;
+    for p in curve.iter().step_by(3) {
+        wall.row(vec![
+            p.rounds.to_string(),
+            p.size.to_string(),
+            f2(p.ratio),
+            check(p.ratio >= converged * 0.999),
+        ]);
+    }
+    let first = curve.first().expect("nonempty").ratio;
+    wall.note(format!(
+        "H over kmw-like({levels},{beta}) with {copies} copies: n(H) = {}, Δ(H) = {}. \
+         Ratio at r = 0 is {:.1}× the converged ratio — the Ω(log Δ/log log Δ) wall \
+         of Theorem 1.4 in measured form.",
+        h.graph.n(),
+        h.graph.max_degree(),
+        first / converged
+    ));
+    let wall_ok = first > 1.5 * converged;
+    wall.row(vec![
+        "—".into(),
+        "—".into(),
+        format!("wall {:.1}x", first / converged),
+        check(wall_ok),
+    ]);
+    vec![structure, wall]
+}

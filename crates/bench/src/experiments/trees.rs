@@ -1,0 +1,64 @@
+//! E-A.1 — Observation A.1: one-round 3-approximation on trees, measured
+//! against the exact tree DP.
+
+use crate::report::{check, f3, Table};
+use crate::Scale;
+use arbodom_baselines::tree_dp;
+use arbodom_congest::RunOptions;
+use arbodom_core::{distributed, trees, verify};
+use arbodom_graph::{generators, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let mut table = Table::new(
+        "E-A.1",
+        "Observation A.1 on forests: non-leaves vs exact OPT (tree DP)",
+        &[
+            "family", "n", "|DS|", "OPT", "ratio", "≤ 3", "congest rounds",
+        ],
+    );
+    let mut rng = StdRng::seed_from_u64(10_01);
+    let big = scale.pick(5_000, 100_000);
+    let families: Vec<(String, Graph)> = vec![
+        ("path".into(), generators::path(scale.pick(300, 10_000))),
+        ("random tree".into(), generators::random_tree(big, &mut rng)),
+        (
+            "caterpillar".into(),
+            generators::caterpillar(scale.pick(100, 2_000), 4),
+        ),
+        ("spider".into(), generators::spider(30, scale.pick(20, 300))),
+        (
+            "3-ary tree".into(),
+            generators::kary_tree(scale.pick(1_000, 20_000), 3),
+        ),
+        (
+            "star".into(),
+            generators::star(scale.pick(1_000, 50_000)),
+        ),
+    ];
+    for (name, g) in families {
+        let sol = trees::solve(&g).expect("never fails");
+        assert!(verify::is_dominating_set(&g, &sol.in_ds));
+        let opt = tree_dp::solve(&g).expect("forest").weight;
+        let ratio = sol.size as f64 / opt.max(1) as f64;
+        // The CONGEST program: one communication round.
+        let (dist, telemetry) = distributed::run_trees(&g, &RunOptions::default()).expect("runs");
+        assert_eq!(dist.in_ds, sol.in_ds);
+        table.row(vec![
+            name,
+            g.n().to_string(),
+            sol.size.to_string(),
+            opt.to_string(),
+            f3(ratio),
+            check(ratio <= 3.0 + 1e-9),
+            telemetry.rounds.to_string(),
+        ]);
+    }
+    table.note(
+        "OPT is exact (weighted tree DP). The paper's factor 3 holds on every \
+         family; the path realizes it asymptotically ((n−2)/⌈n/3⌉ → 3).",
+    );
+    vec![table]
+}

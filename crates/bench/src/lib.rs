@@ -1,0 +1,56 @@
+//! Experiment harness regenerating every empirical claim of the paper.
+//!
+//! The paper is a theory paper: its "evaluation" is a set of theorems,
+//! remarks, and one construction figure. Each module in [`experiments`]
+//! regenerates the empirical counterpart of one of them — measured
+//! approximation ratios against certified lower bounds, measured round
+//! counts against the stated complexities — and prints a markdown table.
+//! `EXPERIMENTS.md` at the workspace root records a full run.
+//!
+//! Run one experiment:
+//!
+//! ```text
+//! cargo run --release -p arbodom-bench --bin exp_thm11
+//! ```
+//!
+//! or everything (writes the tables EXPERIMENTS.md embeds):
+//!
+//! ```text
+//! cargo run --release -p arbodom-bench --bin exp_all
+//! ```
+//!
+//! Criterion wall-clock benchmarks live in `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+/// Workload scale shared by all experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Small sizes for CI and `cargo test`.
+    Quick,
+    /// The sizes recorded in EXPERIMENTS.md.
+    Full,
+}
+
+impl Scale {
+    /// Picks `quick` or `full` by variant.
+    pub fn pick(self, quick: usize, full: usize) -> usize {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+
+    /// Reads `ARBODOM_QUICK=1` to downscale binaries (used by CI).
+    pub fn from_env() -> Self {
+        if std::env::var("ARBODOM_QUICK").map(|v| v == "1").unwrap_or(false) {
+            Scale::Quick
+        } else {
+            Scale::Full
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Markdown table construction for experiment output.
+
+use std::fmt;
+
+/// A titled table printable as GitHub-flavored markdown.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Experiment identifier, e.g. `E-1.1`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+    /// Free-text notes rendered under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Starts a table with the given id, title, and headers.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        headers: &[&str],
+    ) -> Self {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "### {} — {}\n", self.id, self.title)?;
+        let widths: Vec<usize> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[i].len())
+                    .chain(std::iter::once(h.len()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let fmt_row = |cells: &[String]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        writeln!(f, "{}", fmt_row(&self.headers))?;
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        writeln!(f, "| {} |", sep.join(" | "))?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        for note in &self.notes {
+            writeln!(f, "\n> {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// A ✓/✗ cell.
+pub fn check(ok: bool) -> String {
+    if ok { "✓".into() } else { "✗ FAIL".into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = Table::new("E-0", "demo", &["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.note("a note");
+        let s = t.to_string();
+        assert!(s.contains("### E-0 — demo"));
+        assert!(s.contains("| a | bb |"));
+        assert!(s.contains("> a note"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("E", "t", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+}

@@ -1,0 +1,101 @@
+//! Simulator error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from message encoding/decoding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The buffer ended before the message was complete.
+    Truncated,
+    /// The bytes are not a valid encoding.
+    Invalid(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::Invalid(msg) => write!(f, "invalid message encoding: {msg}"),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+/// Errors from running a simulation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The round limit was reached before every node halted.
+    MaxRoundsExceeded {
+        /// The configured limit.
+        limit: usize,
+        /// Nodes still active when the limit was hit.
+        active: usize,
+    },
+    /// A message failed to decode in strict metering mode.
+    Wire(WireError),
+    /// A node addressed a port it does not have.
+    BadPort {
+        /// The sending node.
+        node: u32,
+        /// The invalid port index.
+        port: usize,
+        /// The sender's degree.
+        degree: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MaxRoundsExceeded { limit, active } => {
+                write!(f, "round limit {limit} reached with {active} nodes still active")
+            }
+            SimError::Wire(e) => write!(f, "wire error: {e}"),
+            SimError::BadPort { node, port, degree } => {
+                write!(f, "node {node} sent to port {port} but has degree {degree}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for SimError {
+    fn from(e: WireError) -> Self {
+        SimError::Wire(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = SimError::MaxRoundsExceeded { limit: 10, active: 3 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains('3'));
+        let e = SimError::from(WireError::Truncated);
+        assert!(e.to_string().contains("truncated"));
+        let e = SimError::BadPort { node: 5, port: 9, degree: 2 };
+        assert!(e.to_string().contains("port 9"));
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error;
+        let e = SimError::from(WireError::Invalid("x"));
+        assert!(e.source().is_some());
+    }
+}

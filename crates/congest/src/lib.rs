@@ -1,0 +1,66 @@
+//! A synchronous CONGEST-model simulator.
+//!
+//! The CONGEST model (Section 2 of the paper): the communication network is
+//! the input graph; computation proceeds in synchronous rounds; per round,
+//! each node may send one message of `O(log n)` bits along each incident
+//! edge (different messages on different edges are allowed). At the end,
+//! each node knows its part of the output.
+//!
+//! This crate executes [`NodeProgram`]s — per-node state machines — over an
+//! [`arbodom_graph::Graph`] topology and *meters* every message: messages
+//! are encoded to concrete bytes through the [`Wire`] trait, so bandwidth
+//! compliance is measured, never assumed. [`Telemetry`] reports rounds,
+//! message counts, total bits, the largest message, and the number of
+//! messages exceeding the configured CONGEST budget.
+//!
+//! Two runners are provided: a deterministic sequential runner
+//! ([`run`]) and a thread-parallel runner ([`run_parallel`]) that
+//! produces bit-identical results (node programs draw randomness only
+//! through the deterministic [`det_rand`] utilities, keyed by seed, node,
+//! and round).
+//!
+//! # Example: one round of neighbor counting
+//!
+//! ```
+//! use arbodom_congest::{run, Globals, NodeCtx, NodeProgram, Outgoing, Recipients, RunOptions, Step, Wire};
+//! use arbodom_graph::generators;
+//!
+//! struct CountNeighbors { heard: usize }
+//!
+//! impl NodeProgram for CountNeighbors {
+//!     type Message = u32;
+//!     type Output = usize;
+//!     fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(usize, u32)]) -> Step<u32> {
+//!         if ctx.round == 0 {
+//!             Step::continue_with(vec![Outgoing::broadcast(ctx.id.get())])
+//!         } else {
+//!             self.heard = inbox.len();
+//!             Step::halt()
+//!         }
+//!     }
+//!     fn output(&self) -> usize { self.heard }
+//! }
+//!
+//! let g = generators::cycle(8);
+//! let globals = Globals::new(&g, 42);
+//! let result = run(&g, &globals, |_, _| CountNeighbors { heard: 0 }, &RunOptions::default())?;
+//! assert!(result.outputs.iter().all(|&h| h == 2));
+//! assert_eq!(result.telemetry.rounds, 2);
+//! # Ok::<(), arbodom_congest::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod det_rand;
+mod error;
+mod program;
+mod sim;
+mod telemetry;
+mod wire;
+
+pub use error::{SimError, WireError};
+pub use program::{Globals, NodeCtx, NodeProgram, Outgoing, Recipients, Step};
+pub use sim::{run, run_parallel, LossModel, MeterMode, RunOptions, RunResult};
+pub use telemetry::{RoundStats, Telemetry};
+pub use wire::{get_bool, get_u32, get_u64, get_uvarint, put_bool, put_u32, put_u64, put_uvarint, Wire};

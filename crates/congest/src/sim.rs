@@ -1,0 +1,674 @@
+//! The synchronous round executor.
+
+use arbodom_graph::{Graph, NodeId};
+use bytes::BytesMut;
+
+use crate::{Globals, NodeCtx, NodeProgram, Outgoing, Recipients, SimError, Step, Telemetry, Wire};
+
+/// How thoroughly messages are serialized for metering.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MeterMode {
+    /// Encode each message once to measure it; deliver in-memory clones.
+    /// The default: accurate metering at low cost.
+    #[default]
+    Measure,
+    /// Encode *and decode* every delivered message, erroring on mismatch.
+    /// Slow; used by tests to prove `Wire` implementations round-trip.
+    Strict,
+    /// Skip encoding entirely; telemetry reports zero bits. For benchmarks
+    /// that only care about round counts.
+    Off,
+}
+
+/// Fault injection: every delivered message is dropped independently with
+/// the given probability. Drops are deterministic — keyed by
+/// `(seed, round, sender, port)` through [`crate::det_rand`] — so faulty
+/// runs are exactly reproducible. Dropped messages still consume
+/// bandwidth (they were sent); they are counted in
+/// [`Telemetry::dropped_messages`] and never delivered.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LossModel {
+    /// Per-message drop probability in `[0, 1]`.
+    pub drop_probability: f64,
+    /// Seed of the drop coin flips.
+    pub seed: u64,
+}
+
+/// Options controlling a run.
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// Hard limit on rounds; exceeded ⇒ [`SimError::MaxRoundsExceeded`].
+    pub max_rounds: usize,
+    /// Metering behavior.
+    pub meter: MeterMode,
+    /// Record per-round statistics (costs memory proportional to rounds).
+    pub track_rounds: bool,
+    /// Optional message-loss fault injection.
+    pub loss: Option<LossModel>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            max_rounds: 1_000_000,
+            meter: MeterMode::Measure,
+            track_rounds: false,
+            loss: None,
+        }
+    }
+}
+
+/// The result of a completed run.
+#[derive(Clone, Debug)]
+pub struct RunResult<O> {
+    /// Per-node outputs, indexed by node id.
+    pub outputs: Vec<O>,
+    /// Aggregate statistics.
+    pub telemetry: Telemetry,
+}
+
+/// For each node and each port, the port index of the reverse edge at the
+/// neighbor: if `neighbors(v)[p] == u`, then `rev[v][p]` is the position of
+/// `v` in `neighbors(u)`.
+fn reverse_ports(g: &Graph) -> Vec<Vec<u32>> {
+    g.nodes()
+        .map(|v| {
+            g.neighbors(v)
+                .iter()
+                .map(|&u| {
+                    g.neighbors(u)
+                        .binary_search(&v)
+                        .expect("edges are symmetric") as u32
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Domain-separation tag for fault-injection coin flips.
+const LOSS_TAG: u64 = 0x4c4f5353; // "LOSS"
+
+struct Mailbox<M> {
+    current: Vec<Vec<(usize, M)>>,
+    next: Vec<Vec<(usize, M)>>,
+}
+
+impl<M> Mailbox<M> {
+    fn new(n: usize) -> Self {
+        Mailbox {
+            current: (0..n).map(|_| Vec::new()).collect(),
+            next: (0..n).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    fn flip(&mut self) {
+        std::mem::swap(&mut self.current, &mut self.next);
+        for inbox in &mut self.next {
+            inbox.clear();
+        }
+    }
+}
+
+/// Meters (and in strict mode, re-encodes) a message; returns the bits and
+/// the possibly round-tripped payload.
+fn meter_message<M: Wire + Clone>(
+    msg: &M,
+    meter: MeterMode,
+) -> Result<(usize, M), SimError> {
+    match meter {
+        MeterMode::Off => Ok((0, msg.clone())),
+        MeterMode::Measure => Ok((msg.encoded_bits(), msg.clone())),
+        MeterMode::Strict => {
+            let mut buf = BytesMut::new();
+            msg.encode(&mut buf);
+            let bits = buf.len() * 8;
+            let bytes = buf.freeze();
+            let mut slice = &bytes[..];
+            let decoded = M::decode(&mut slice)?;
+            if !slice.is_empty() {
+                return Err(SimError::Wire(crate::WireError::Invalid(
+                    "decode left trailing bytes",
+                )));
+            }
+            Ok((bits, decoded))
+        }
+    }
+}
+
+fn route_step<M: Wire + Clone>(
+    g: &Graph,
+    rev: &[Vec<u32>],
+    v: NodeId,
+    step_out: Vec<Outgoing<M>>,
+    round: usize,
+    opts: &RunOptions,
+    telemetry: &mut Telemetry,
+    next: &mut [Vec<(usize, M)>],
+) -> Result<(), SimError> {
+    let nbrs = g.neighbors(v);
+    let vi = v.index();
+    let mut send_one = |port: usize, msg: &M, telemetry: &mut Telemetry| -> Result<(), SimError> {
+        if port >= nbrs.len() {
+            return Err(SimError::BadPort {
+                node: v.get(),
+                port,
+                degree: nbrs.len(),
+            });
+        }
+        let (bits, payload) = meter_message(msg, opts.meter)?;
+        telemetry.record(round, bits, opts.track_rounds);
+        if let Some(loss) = opts.loss {
+            if crate::det_rand::bernoulli(
+                loss.seed,
+                &[LOSS_TAG, round as u64, u64::from(v.get()), port as u64],
+                loss.drop_probability,
+            ) {
+                telemetry.dropped_messages += 1;
+                return Ok(());
+            }
+        }
+        let dest = nbrs[port];
+        let from_port = rev[vi][port] as usize;
+        next[dest.index()].push((from_port, payload));
+        Ok(())
+    };
+    for out in step_out {
+        match out.to {
+            Recipients::Broadcast => {
+                for port in 0..nbrs.len() {
+                    send_one(port, &out.msg, telemetry)?;
+                }
+            }
+            Recipients::Port(port) => send_one(port, &out.msg, telemetry)?,
+            Recipients::Ports(ports) => {
+                for port in ports {
+                    send_one(port, &out.msg, telemetry)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs `make(v, g)`-constructed node programs over `g` sequentially and
+/// deterministically until every node halts.
+///
+/// # Errors
+///
+/// Returns [`SimError::MaxRoundsExceeded`] if any node is still active
+/// after `opts.max_rounds` rounds, [`SimError::BadPort`] on invalid
+/// addressing, and [`SimError::Wire`] on strict-mode decode failures.
+pub fn run<P: NodeProgram>(
+    g: &Graph,
+    globals: &Globals,
+    mut make: impl FnMut(NodeId, &Graph) -> P,
+    opts: &RunOptions,
+) -> Result<RunResult<P::Output>, SimError> {
+    let n = g.n();
+    let mut nodes: Vec<P> = g.nodes().map(|v| make(v, g)).collect();
+    let mut active = vec![true; n];
+    let mut active_count = n;
+    let rev = reverse_ports(g);
+    let mut mail: Mailbox<P::Message> = Mailbox::new(n);
+    let mut telemetry = Telemetry {
+        bandwidth_budget_bits: globals.congest_bits(),
+        ..Telemetry::default()
+    };
+    let mut round = 0usize;
+    while active_count > 0 {
+        if round >= opts.max_rounds {
+            return Err(SimError::MaxRoundsExceeded {
+                limit: opts.max_rounds,
+                active: active_count,
+            });
+        }
+        for v in g.nodes() {
+            let vi = v.index();
+            if !active[vi] {
+                continue;
+            }
+            let ctx = NodeCtx {
+                id: v,
+                weight: g.weight(v),
+                neighbors: g.neighbors(v),
+                globals,
+                round,
+            };
+            let inbox = std::mem::take(&mut mail.current[vi]);
+            let step: Step<P::Message> = nodes[vi].round(&ctx, &inbox);
+            if step.done {
+                active[vi] = false;
+                active_count -= 1;
+            }
+            route_step(g, &rev, v, step.outgoing, round, opts, &mut telemetry, &mut mail.next)?;
+        }
+        mail.flip();
+        round += 1;
+    }
+    telemetry.rounds = round;
+    Ok(RunResult {
+        outputs: nodes.iter().map(NodeProgram::output).collect(),
+        telemetry,
+    })
+}
+
+/// Thread-parallel variant of [`run`], producing identical outputs and
+/// telemetry totals (per-round stats and totals are aggregated
+/// deterministically).
+///
+/// Nodes are partitioned into contiguous chunks, one crossbeam scoped
+/// thread per chunk; each thread steps its nodes and buffers outgoing
+/// messages locally, and buffers are merged in chunk order so message
+/// arrival order in each inbox is the same as in the sequential runner.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_parallel<P>(
+    g: &Graph,
+    globals: &Globals,
+    make: impl Fn(NodeId, &Graph) -> P + Sync,
+    opts: &RunOptions,
+    threads: usize,
+) -> Result<RunResult<P::Output>, SimError>
+where
+    P: NodeProgram + Send,
+    P::Message: Send,
+    P::Output: Send,
+{
+    let n = g.n();
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 || n < 128 {
+        return run(g, globals, |v, g| make(v, g), opts);
+    }
+    let mut nodes: Vec<P> = g.nodes().map(|v| make(v, g)).collect();
+    let mut active = vec![true; n];
+    let rev = reverse_ports(g);
+    let mut current: Vec<Vec<(usize, P::Message)>> = (0..n).map(|_| Vec::new()).collect();
+    let mut telemetry = Telemetry {
+        bandwidth_budget_bits: globals.congest_bits(),
+        ..Telemetry::default()
+    };
+    let chunk = n.div_ceil(threads);
+    let mut round = 0usize;
+    loop {
+        let active_count = active.iter().filter(|&&a| a).count();
+        if active_count == 0 {
+            break;
+        }
+        if round >= opts.max_rounds {
+            return Err(SimError::MaxRoundsExceeded {
+                limit: opts.max_rounds,
+                active: active_count,
+            });
+        }
+        // Each worker returns its sent messages and the nodes that halted.
+        type SentBuf<M> = Vec<(u32, usize, M, usize)>; // (dest, from_port, msg, bits)
+        type WorkerOut<M> = (SentBuf<M>, Vec<usize>);
+        let results: Vec<Result<WorkerOut<P::Message>, SimError>> = {
+            let rev = &rev;
+            let active = &active;
+            let current = &mut current;
+            let node_slices: Vec<&mut [P]> = nodes.chunks_mut(chunk).collect();
+            let inbox_slices: Vec<&mut [Vec<(usize, P::Message)>]> =
+                current.chunks_mut(chunk).collect();
+            crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (t, (node_chunk, inbox_chunk)) in
+                    node_slices.into_iter().zip(inbox_slices).enumerate()
+                {
+                    let base = t * chunk;
+                    handles.push(scope.spawn(move |_| {
+                        let mut sent: SentBuf<P::Message> = Vec::new();
+                        let mut halted: Vec<usize> = Vec::new();
+                        for (i, node) in node_chunk.iter_mut().enumerate() {
+                            let vi = base + i;
+                            if !active[vi] {
+                                continue;
+                            }
+                            let v = NodeId::from_index(vi);
+                            let ctx = NodeCtx {
+                                id: v,
+                                weight: g.weight(v),
+                                neighbors: g.neighbors(v),
+                                globals,
+                                round,
+                            };
+                            let inbox = std::mem::take(&mut inbox_chunk[i]);
+                            let step = node.round(&ctx, &inbox);
+                            let nbrs = g.neighbors(v);
+                            let send_one =
+                                |port: usize, msg: &P::Message, sent: &mut SentBuf<P::Message>| {
+                                    if port >= nbrs.len() {
+                                        return Err(SimError::BadPort {
+                                            node: v.get(),
+                                            port,
+                                            degree: nbrs.len(),
+                                        });
+                                    }
+                                    let (bits, payload) = meter_message(msg, opts.meter)?;
+                                    if let Some(loss) = opts.loss {
+                                        if crate::det_rand::bernoulli(
+                                            loss.seed,
+                                            &[
+                                                LOSS_TAG,
+                                                round as u64,
+                                                u64::from(v.get()),
+                                                port as u64,
+                                            ],
+                                            loss.drop_probability,
+                                        ) {
+                                            // Metered as sent, marked
+                                            // dropped by the dest sentinel.
+                                            sent.push((u32::MAX, 0, payload, bits));
+                                            return Ok(());
+                                        }
+                                    }
+                                    sent.push((
+                                        nbrs[port].get(),
+                                        rev[vi][port] as usize,
+                                        payload,
+                                        bits,
+                                    ));
+                                    Ok(())
+                                };
+                            for out in step.outgoing {
+                                match out.to {
+                                    Recipients::Broadcast => {
+                                        for port in 0..nbrs.len() {
+                                            send_one(port, &out.msg, &mut sent)?;
+                                        }
+                                    }
+                                    Recipients::Port(p) => send_one(p, &out.msg, &mut sent)?,
+                                    Recipients::Ports(ports) => {
+                                        for p in ports {
+                                            send_one(p, &out.msg, &mut sent)?;
+                                        }
+                                    }
+                                }
+                            }
+                            if step.done {
+                                halted.push(vi);
+                            }
+                        }
+                        Ok((sent, halted))
+                    }));
+                }
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            })
+            .expect("crossbeam scope")
+        };
+        // Merge in chunk order for determinism.
+        let mut next: Vec<Vec<(usize, P::Message)>> = (0..n).map(|_| Vec::new()).collect();
+        for res in results {
+            let (sent, halted) = res?;
+            for (dest, from_port, msg, bits) in sent {
+                telemetry.record(round, bits, opts.track_rounds);
+                if dest == u32::MAX {
+                    telemetry.dropped_messages += 1;
+                    continue;
+                }
+                next[dest as usize].push((from_port, msg));
+            }
+            for vi in halted {
+                active[vi] = false;
+            }
+        }
+        current = next;
+        round += 1;
+    }
+    telemetry.rounds = round;
+    Ok(RunResult {
+        outputs: nodes.iter().map(NodeProgram::output).collect(),
+        telemetry,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arbodom_graph::generators;
+
+    /// Each node floods its id once; everyone halts after hearing neighbors.
+    struct Echo {
+        sum: u64,
+    }
+
+    impl NodeProgram for Echo {
+        type Message = u32;
+        type Output = u64;
+        fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(usize, u32)]) -> Step<u32> {
+            match ctx.round {
+                0 => Step::continue_with(vec![Outgoing::broadcast(ctx.id.get())]),
+                _ => {
+                    self.sum = inbox.iter().map(|&(_, m)| u64::from(m)).sum();
+                    Step::halt()
+                }
+            }
+        }
+        fn output(&self) -> u64 {
+            self.sum
+        }
+    }
+
+    #[test]
+    fn echo_sums_neighbor_ids() {
+        let g = generators::path(4); // 0-1-2-3
+        let globals = Globals::new(&g, 0);
+        let r = run(&g, &globals, |_, _| Echo { sum: 0 }, &RunOptions::default()).unwrap();
+        assert_eq!(r.outputs, vec![1, 2, 4, 2]);
+        assert_eq!(r.telemetry.rounds, 2);
+        assert_eq!(r.telemetry.total_messages, 6); // one per edge direction
+        assert!(r.telemetry.is_congest_compliant());
+    }
+
+    #[test]
+    fn strict_mode_matches_measure() {
+        let g = generators::grid2d(5, 5, false);
+        let globals = Globals::new(&g, 0);
+        let a = run(
+            &g,
+            &globals,
+            |_, _| Echo { sum: 0 },
+            &RunOptions {
+                meter: MeterMode::Strict,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        let b = run(&g, &globals, |_, _| Echo { sum: 0 }, &RunOptions::default()).unwrap();
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.telemetry.total_bits, b.telemetry.total_bits);
+    }
+
+    #[test]
+    fn per_round_stats_recorded() {
+        let g = generators::cycle(6);
+        let globals = Globals::new(&g, 0);
+        let r = run(
+            &g,
+            &globals,
+            |_, _| Echo { sum: 0 },
+            &RunOptions {
+                track_rounds: true,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.telemetry.per_round.len(), 1); // all sends in round 0
+        assert_eq!(r.telemetry.per_round[0].messages, 12);
+    }
+
+    /// A program that never halts, to exercise the round limit.
+    struct Forever;
+    impl NodeProgram for Forever {
+        type Message = bool;
+        type Output = ();
+        fn round(&mut self, _ctx: &NodeCtx<'_>, _inbox: &[(usize, bool)]) -> Step<bool> {
+            Step::idle()
+        }
+        fn output(&self) {}
+    }
+
+    #[test]
+    fn round_limit_enforced() {
+        let g = generators::path(3);
+        let globals = Globals::new(&g, 0);
+        let err = run(
+            &g,
+            &globals,
+            |_, _| Forever,
+            &RunOptions {
+                max_rounds: 10,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::MaxRoundsExceeded { limit: 10, active: 3 }));
+    }
+
+    /// Sends to a bogus port.
+    struct BadSender;
+    impl NodeProgram for BadSender {
+        type Message = bool;
+        type Output = ();
+        fn round(&mut self, _ctx: &NodeCtx<'_>, _inbox: &[(usize, bool)]) -> Step<bool> {
+            Step::halt_with(vec![Outgoing::to_port(99, true)])
+        }
+        fn output(&self) {}
+    }
+
+    #[test]
+    fn bad_port_detected() {
+        let g = generators::path(3);
+        let globals = Globals::new(&g, 0);
+        let err = run(&g, &globals, |_, _| BadSender, &RunOptions::default()).unwrap_err();
+        assert!(matches!(err, SimError::BadPort { .. }));
+    }
+
+    /// Ping-pong along a path to verify port addressing: node 0 sends a
+    /// counter to port 0; each receiver forwards incremented to the other
+    /// side until it reaches the last node.
+    struct Relay {
+        value: u64,
+        is_source: bool,
+        is_sink: bool,
+    }
+    impl NodeProgram for Relay {
+        type Message = u64;
+        type Output = u64;
+        fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(usize, u64)]) -> Step<u64> {
+            if ctx.round == 0 && self.is_source {
+                return Step::halt_with(vec![Outgoing::to_port(0, 1)]);
+            }
+            if let Some(&(from, v)) = inbox.first() {
+                self.value = v;
+                if self.is_sink {
+                    return Step::halt();
+                }
+                // forward out the other port
+                let other = 1 - from;
+                return Step::halt_with(vec![Outgoing::to_port(other, v + 1)]);
+            }
+            if ctx.round > 0 && self.is_source {
+                return Step::halt();
+            }
+            Step::idle()
+        }
+        fn output(&self) -> u64 {
+            self.value
+        }
+    }
+
+    #[test]
+    fn relay_travels_the_path() {
+        let n = 6;
+        let g = generators::path(n);
+        let globals = Globals::new(&g, 0);
+        let r = run(
+            &g,
+            &globals,
+            |v, g| Relay {
+                value: 0,
+                is_source: v.index() == 0,
+                is_sink: v.index() == g.n() - 1,
+            },
+            &RunOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(r.outputs[n - 1], (n - 1) as u64);
+        assert_eq!(r.telemetry.rounds as usize, n);
+    }
+
+    #[test]
+    fn loss_model_drops_and_is_reproducible() {
+        let g = generators::grid2d(8, 8, true);
+        let globals = Globals::new(&g, 0);
+        let opts = RunOptions {
+            loss: Some(crate::LossModel {
+                drop_probability: 0.3,
+                seed: 5,
+            }),
+            ..RunOptions::default()
+        };
+        let a = run(&g, &globals, |_, _| Echo { sum: 0 }, &opts).unwrap();
+        let b = run(&g, &globals, |_, _| Echo { sum: 0 }, &opts).unwrap();
+        assert_eq!(a.outputs, b.outputs, "faulty runs must be reproducible");
+        assert!(a.telemetry.dropped_messages > 0);
+        // Sent bandwidth is still metered for dropped messages.
+        assert_eq!(a.telemetry.total_messages, 256);
+        // Some node heard fewer neighbors than its degree.
+        let lossless = run(&g, &globals, |_, _| Echo { sum: 0 }, &RunOptions::default()).unwrap();
+        assert_ne!(a.outputs, lossless.outputs);
+    }
+
+    #[test]
+    fn loss_parallel_matches_sequential() {
+        let g = generators::grid2d(12, 12, true);
+        let globals = Globals::new(&g, 3);
+        let opts = RunOptions {
+            loss: Some(crate::LossModel {
+                drop_probability: 0.2,
+                seed: 11,
+            }),
+            ..RunOptions::default()
+        };
+        let seq = run(&g, &globals, |_, _| Echo { sum: 0 }, &opts).unwrap();
+        let par = run_parallel(&g, &globals, |_, _| Echo { sum: 0 }, &opts, 4).unwrap();
+        assert_eq!(seq.outputs, par.outputs);
+        assert_eq!(
+            seq.telemetry.dropped_messages,
+            par.telemetry.dropped_messages
+        );
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = generators::grid2d(16, 16, true);
+        let globals = Globals::new(&g, 7);
+        let seq = run(&g, &globals, |_, _| Echo { sum: 0 }, &RunOptions::default()).unwrap();
+        let par = run_parallel(&g, &globals, |_, _| Echo { sum: 0 }, &RunOptions::default(), 4)
+            .unwrap();
+        assert_eq!(seq.outputs, par.outputs);
+        assert_eq!(seq.telemetry.rounds, par.telemetry.rounds);
+        assert_eq!(seq.telemetry.total_messages, par.telemetry.total_messages);
+        assert_eq!(seq.telemetry.total_bits, par.telemetry.total_bits);
+    }
+
+    #[test]
+    fn unit_rand_is_deterministic_across_runs() {
+        let g = generators::cycle(5);
+        let globals = Globals::new(&g, 99);
+        let ctx = NodeCtx {
+            id: arbodom_graph::NodeId::new(3),
+            weight: 1,
+            neighbors: g.neighbors(arbodom_graph::NodeId::new(3)),
+            globals: &globals,
+            round: 4,
+        };
+        let a = ctx.unit_rand(1);
+        let b = ctx.unit_rand(1);
+        assert_eq!(a, b);
+        assert_ne!(ctx.unit_rand(1), ctx.unit_rand(2));
+    }
+}

@@ -1,0 +1,103 @@
+//! Run statistics: the quantities the paper's complexity claims are about.
+
+use serde::{Deserialize, Serialize};
+
+/// Message statistics for one round.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundStats {
+    /// Messages delivered this round (one per receiving edge endpoint).
+    pub messages: usize,
+    /// Total payload bits delivered this round.
+    pub bits: usize,
+    /// Largest single message in bits this round.
+    pub max_message_bits: usize,
+}
+
+/// Aggregate statistics for a completed run.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Telemetry {
+    /// Number of synchronous rounds executed (the paper's complexity
+    /// measure).
+    pub rounds: usize,
+    /// Total messages delivered.
+    pub total_messages: usize,
+    /// Total payload bits delivered.
+    pub total_bits: usize,
+    /// Largest single message observed, in bits.
+    pub max_message_bits: usize,
+    /// The CONGEST per-message budget in force (bits).
+    pub bandwidth_budget_bits: usize,
+    /// Number of messages whose encoding exceeded the budget. Zero for a
+    /// CONGEST-compliant algorithm.
+    pub budget_violations: usize,
+    /// Messages dropped by the fault-injection model (0 without one).
+    pub dropped_messages: usize,
+    /// Per-round breakdown (empty unless per-round tracking was enabled).
+    pub per_round: Vec<RoundStats>,
+}
+
+impl Telemetry {
+    /// Average message size in bits (0 when no messages were sent).
+    pub fn avg_message_bits(&self) -> f64 {
+        if self.total_messages == 0 {
+            0.0
+        } else {
+            self.total_bits as f64 / self.total_messages as f64
+        }
+    }
+
+    /// Whether every message respected the CONGEST budget.
+    pub fn is_congest_compliant(&self) -> bool {
+        self.budget_violations == 0
+    }
+
+    pub(crate) fn record(&mut self, round: usize, bits: usize, track_rounds: bool) {
+        self.total_messages += 1;
+        self.total_bits += bits;
+        self.max_message_bits = self.max_message_bits.max(bits);
+        if bits > self.bandwidth_budget_bits {
+            self.budget_violations += 1;
+        }
+        if track_rounds {
+            if self.per_round.len() <= round {
+                self.per_round.resize(round + 1, RoundStats::default());
+            }
+            let rs = &mut self.per_round[round];
+            rs.messages += 1;
+            rs.bits += bits;
+            rs.max_message_bits = rs.max_message_bits.max(bits);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let mut t = Telemetry {
+            bandwidth_budget_bits: 16,
+            ..Telemetry::default()
+        };
+        t.record(0, 8, true);
+        t.record(0, 24, true);
+        t.record(1, 4, true);
+        assert_eq!(t.total_messages, 3);
+        assert_eq!(t.total_bits, 36);
+        assert_eq!(t.max_message_bits, 24);
+        assert_eq!(t.budget_violations, 1);
+        assert!(!t.is_congest_compliant());
+        assert_eq!(t.per_round.len(), 2);
+        assert_eq!(t.per_round[0].messages, 2);
+        assert_eq!(t.per_round[1].bits, 4);
+        assert!((t.avg_message_bits() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_telemetry_is_compliant() {
+        let t = Telemetry::default();
+        assert!(t.is_congest_compliant());
+        assert_eq!(t.avg_message_bits(), 0.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type for the solver APIs.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the dominating-set solvers.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A configuration parameter is outside its documented domain.
+    InvalidParameter {
+        /// The parameter's name.
+        name: &'static str,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// The CONGEST simulation failed.
+    Simulation(String),
+}
+
+impl CoreError {
+    pub(crate) fn param(name: &'static str, reason: impl Into<String>) -> Self {
+        CoreError::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            CoreError::Simulation(msg) => write!(f, "simulation failed: {msg}"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+impl From<arbodom_congest::SimError> for CoreError {
+    fn from(e: arbodom_congest::SimError) -> Self {
+        CoreError::Simulation(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_parameter() {
+        let e = CoreError::param("epsilon", "must be in (0, 1)");
+        assert!(e.to_string().contains("epsilon"));
+        assert!(e.to_string().contains("(0, 1)"));
+    }
+}

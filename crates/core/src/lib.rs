@@ -1,0 +1,75 @@
+//! Algorithms from *Near-Optimal Distributed Dominating Set in Bounded
+//! Arboricity Graphs* (Dory, Ghaffari, Ilchi; PODC 2022).
+//!
+//! The paper constructs dominating sets in two steps: a primal-dual
+//! **partial dominating set** (Lemma 4.1) whose weight is charged to a
+//! feasible packing, followed by a **completion** step — either the cheap
+//! one-node-per-undominated rule (Theorems 3.1/1.1) or the randomized
+//! sampling extension of Lemma 4.6 (Theorems 1.2/1.3).
+//!
+//! | API | Paper | Guarantee | Rounds |
+//! |---|---|---|---|
+//! | [`unweighted::solve`] | Thm 3.1 | (2α+1)(1+ε), unweighted | O(log(Δ/α)/ε) |
+//! | [`weighted::solve`] | Thm 1.1 | (2α+1)(1+ε), weighted | O(log(Δ/α)/ε) |
+//! | [`randomized::solve`] | Thm 1.2 | α + O(α/t) expected | O(t log Δ) |
+//! | [`general::solve`] | Thm 1.3 | O(k·Δ^{2/k}) expected | O(k²) |
+//! | [`trees::solve`] | Obs A.1 | 3, trees, unweighted | 1 |
+//! | [`unknown_delta::solve`] | Rem 4.4 | (2α+1)(1+ε), Δ unknown | O(log Δ/ε) |
+//! | [`unknown_alpha::solve`] | Rem 4.5 | (2α+1)(2+O(ε)), α unknown | O(log n·log α/ε)* |
+//!
+//! *Remark 4.5 claims `O(log n/ε)` using the Barenboim–Elkin orientation as
+//! a black box; our α-oblivious peeling uses doubling estimates, which costs
+//! an extra `log α` factor. See [`unknown_alpha`] for discussion.
+//!
+//! Every solver returns a [`DsResult`] carrying the dominating set, its
+//! weight, the iteration count, and — for the primal-dual algorithms — a
+//! [`PackingCertificate`]: a feasible dual solution whose total is a lower
+//! bound on OPT (Lemma 2.1), so the *measured* approximation ratio is
+//! certified instance by instance.
+//!
+//! Centralized simulations (fast, round-faithful) live in the modules above;
+//! bit-faithful CONGEST message-passing versions of the headline algorithms
+//! live in [`distributed`] and are tested to produce **identical outputs**
+//! to the centralized ones.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use arbodom_core::{weighted, verify};
+//! use arbodom_graph::generators;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+//! let g = generators::forest_union(400, 2, &mut rng); // arboricity ≤ 2
+//! let sol = weighted::solve(&g, &weighted::Config::new(2, 0.2)?)?;
+//! assert!(verify::is_dominating_set(&g, &sol.in_ds));
+//! let cert = sol.certificate.as_ref().unwrap();
+//! // Certified ratio is within the theorem bound (2α+1)(1+ε) = 6.
+//! assert!(sol.weight as f64 <= 6.0 * cert.lower_bound(), "ratio too large");
+//! # Ok::<(), arbodom_core::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod auto;
+pub mod distributed;
+mod error;
+pub mod extend;
+pub mod general;
+pub mod partial;
+pub mod randomized;
+mod result;
+pub mod trees;
+pub mod unknown_alpha;
+pub mod unknown_delta;
+pub mod unweighted;
+pub mod verify;
+pub mod weighted;
+
+pub use error::CoreError;
+pub use result::DsResult;
+pub use verify::PackingCertificate;
+
+/// Convenience alias for results returned by the solvers.
+pub type Result<T> = std::result::Result<T, CoreError>;

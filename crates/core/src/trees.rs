@@ -1,0 +1,120 @@
+//! Observation A.1: a single-round 3-approximation on forests (α = 1).
+//!
+//! Take every non-leaf node. The paper proves the factor 3 by charging each
+//! optimal node, its parent, and its grandparent. Two boundary cases the
+//! one-line description misses (and the proof implicitly assumes away) are
+//! handled explicitly so the output is always a valid dominating set:
+//!
+//! * **isolated nodes** (degree 0) must pick themselves;
+//! * **`K₂` components** (two adjacent leaves) would otherwise select
+//!   nobody; the endpoint with the smaller id joins, which preserves both
+//!   the single round and the factor (`K₂`'s OPT is 1, we pick 1).
+
+use arbodom_graph::Graph;
+
+use crate::{DsResult, Result};
+
+/// The factor proven in Observation A.1.
+pub const GUARANTEE: f64 = 3.0;
+
+/// Runs the one-round tree algorithm on a forest.
+///
+/// The output is a valid dominating set for *any* graph, but the
+/// 3-approximation is proven only for unweighted forests.
+///
+/// # Errors
+///
+/// Never fails; the `Result` wrapper keeps the solver signatures uniform.
+pub fn solve(g: &Graph) -> Result<DsResult> {
+    let in_ds: Vec<bool> = g
+        .nodes()
+        .map(|v| {
+            let deg = g.degree(v);
+            match deg {
+                0 => true,
+                1 => {
+                    let u = g.neighbors(v)[0];
+                    // Only needed when the sole neighbor is also a leaf.
+                    g.degree(u) == 1 && v < u
+                }
+                _ => true,
+            }
+        })
+        .collect();
+    Ok(DsResult::from_flags(g, in_ds, 1, None))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+    use arbodom_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dominates_random_trees() {
+        let mut rng = StdRng::seed_from_u64(121);
+        for n in [1usize, 2, 3, 10, 100, 2000] {
+            let g = generators::random_tree(n, &mut rng);
+            let sol = solve(&g).unwrap();
+            assert!(verify::is_dominating_set(&g, &sol.in_ds), "n={n}");
+            assert_eq!(sol.iterations, 1);
+        }
+    }
+
+    #[test]
+    fn k2_and_isolated_handled() {
+        // Two K2 components plus an isolated node.
+        let g = arbodom_graph::Graph::from_edges(5, [(0, 1), (2, 3)]).unwrap();
+        let sol = solve(&g).unwrap();
+        assert!(verify::is_dominating_set(&g, &sol.in_ds));
+        assert_eq!(sol.size, 3); // one per K2 + the isolated node
+        assert!(sol.in_ds[0] && !sol.in_ds[1]);
+        assert!(sol.in_ds[2] && !sol.in_ds[3]);
+        assert!(sol.in_ds[4]);
+    }
+
+    #[test]
+    fn path_takes_internal_nodes() {
+        let g = generators::path(6);
+        let sol = solve(&g).unwrap();
+        assert_eq!(
+            sol.in_ds,
+            vec![false, true, true, true, true, false],
+            "internal nodes only"
+        );
+    }
+
+    #[test]
+    fn star_takes_hub_only() {
+        let g = generators::star(50);
+        let sol = solve(&g).unwrap();
+        assert_eq!(sol.size, 1);
+        assert!(sol.in_ds[0]);
+    }
+
+    #[test]
+    fn factor_three_on_paths() {
+        // OPT(P_n) = ⌈n/3⌉; non-leaves = n−2.
+        for n in [3usize, 6, 30, 99] {
+            let g = generators::path(n);
+            let sol = solve(&g).unwrap();
+            let opt = n.div_ceil(3);
+            assert!(
+                sol.size <= 3 * opt,
+                "P_{n}: {} > 3·{opt}",
+                sol.size
+            );
+        }
+    }
+
+    #[test]
+    fn factor_three_on_random_trees_vs_caterpillar_structure() {
+        // Caterpillar with many legs: OPT = spine count, we take the spine.
+        let g = generators::caterpillar(10, 5);
+        let sol = solve(&g).unwrap();
+        assert!(verify::is_dominating_set(&g, &sol.in_ds));
+        assert_eq!(sol.size, 10, "exactly the spine");
+    }
+}

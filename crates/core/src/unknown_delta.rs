@@ -1,0 +1,222 @@
+//! Remark 4.4: Theorem 1.1 without global knowledge of Δ.
+//!
+//! Two changes against [`crate::weighted`]: packing values are initialized
+//! with the *local* normalizer `x_v = τ_v / max_{u∈N⁺(v)} |N⁺(u)|` (one
+//! round of degree exchange instead of knowing Δ), and because no node can
+//! tell locally when the partial phase ends, **every** iteration starts
+//! with an election step: any still-undominated node whose packing value
+//! exceeds `λτ_v` adds a cheapest dominator from its closed neighborhood.
+//! After `O(log Δ/ε)` iterations every node is dominated and the
+//! `(2α+1)(1+ε)` analysis goes through unchanged.
+
+use arbodom_graph::Graph;
+
+use crate::{CoreError, DsResult, PackingCertificate, Result};
+
+/// Parameters for Remark 4.4 (α is still known; Δ is not).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Config {
+    /// Arboricity bound α ≥ 1 known to all nodes.
+    pub alpha: usize,
+    /// Approximation slack ε ∈ (0, 1).
+    pub epsilon: f64,
+}
+
+impl Config {
+    /// Validates `alpha ≥ 1` and `ε ∈ (0, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] outside those ranges.
+    pub fn new(alpha: usize, epsilon: f64) -> Result<Self> {
+        if alpha == 0 {
+            return Err(CoreError::param("alpha", "must be at least 1"));
+        }
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(CoreError::param("epsilon", "must be in (0, 1)"));
+        }
+        Ok(Config { alpha, epsilon })
+    }
+
+    /// The threshold floor `λ = 1/((2α+1)(1+ε))`.
+    pub fn lambda(&self) -> f64 {
+        1.0 / ((2 * self.alpha + 1) as f64 * (1.0 + self.epsilon))
+    }
+}
+
+/// Runs the unknown-Δ variant.
+///
+/// The implementation never reads `g.max_degree()` for algorithmic
+/// decisions — only local degree information, exactly as a node could in
+/// the CONGEST model (a safety cap on iterations uses `n`, which CONGEST
+/// nodes know).
+///
+/// # Errors
+///
+/// Propagates parameter validation errors.
+pub fn solve(g: &Graph, cfg: &Config) -> Result<DsResult> {
+    let n = g.n();
+    let one_plus_eps = 1.0 + cfg.epsilon;
+    let lambda = cfg.lambda();
+    let tau: Vec<u64> = g.nodes().map(|v| g.tau(v)).collect();
+    // Local normalizer: max closed-neighborhood size over N⁺(v).
+    let mut x: Vec<f64> = g
+        .nodes()
+        .map(|v| {
+            let m = g
+                .closed_neighbors(v)
+                .map(|u| g.degree(u) + 1)
+                .max()
+                .expect("closed neighborhood nonempty");
+            tau[v.index()] as f64 / m as f64
+        })
+        .collect();
+    let mut in_s = vec![false; n];
+    let mut in_s_prime = vec![false; n];
+    let mut dominated = vec![false; n];
+    let mut iterations = 0usize;
+    // Safety cap: the loop provably ends once packing values cross λτ,
+    // which takes at most log_{1+ε}((n+1)·(2α+1)(1+ε)) iterations.
+    let cap = (((n + 1) as f64 / lambda).ln() / cfg.epsilon.ln_1p()).ceil() as usize + 3;
+
+    while dominated.iter().any(|&d| !d) {
+        assert!(
+            iterations <= cap,
+            "unknown-Δ loop exceeded its provable iteration cap"
+        );
+        // All decisions of an iteration are taken simultaneously from the
+        // start-of-iteration state, exactly as the 3-round CONGEST
+        // implementation in `distributed::unknown_delta` does.
+        //
+        // Extra step: elections by confident undominated nodes.
+        let electors: Vec<_> = g
+            .nodes()
+            .filter(|&v| !dominated[v.index()] && x[v.index()] > lambda * tau[v.index()] as f64)
+            .collect();
+        // Lemma 4.1 joins. Nodes whose entire closed neighborhood is
+        // already dominated skip joining: their membership cannot help
+        // anyone, and a CONGEST node that halted after local stabilization
+        // could not announce it (this only ever lowers the weight; the
+        // paper's analysis charges joins against the packing, so dropping
+        // useless joins preserves every bound).
+        let joiners: Vec<_> = g
+            .nodes()
+            .filter(|&u| {
+                if in_s[u.index()] {
+                    return false;
+                }
+                if g.closed_neighbors(u).all(|v| dominated[v.index()]) {
+                    return false;
+                }
+                let xu: f64 = g.closed_neighbors(u).map(|v| x[v.index()]).sum();
+                xu >= g.weight(u) as f64 / one_plus_eps
+            })
+            .collect();
+        for v in electors {
+            let dominator = g.tau_argmin(v);
+            in_s_prime[dominator.index()] = true;
+            dominated[dominator.index()] = true;
+            for &u in g.neighbors(dominator) {
+                dominated[u.index()] = true;
+            }
+        }
+        for &u in &joiners {
+            in_s[u.index()] = true;
+            dominated[u.index()] = true;
+            for &w in g.neighbors(u) {
+                dominated[w.index()] = true;
+            }
+        }
+        for v in 0..n {
+            if !dominated[v] {
+                x[v] *= one_plus_eps;
+            }
+        }
+        iterations += 1;
+    }
+
+    let mut in_ds = in_s;
+    for v in 0..n {
+        in_ds[v] = in_ds[v] || in_s_prime[v];
+    }
+    Ok(DsResult::from_flags(
+        g,
+        in_ds,
+        iterations,
+        Some(PackingCertificate::new(x)),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+    use arbodom_graph::{generators, weights::WeightModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn config_validation() {
+        assert!(Config::new(0, 0.5).is_err());
+        assert!(Config::new(1, 0.0).is_err());
+        assert!(Config::new(2, 0.3).is_ok());
+    }
+
+    #[test]
+    fn dominates_and_stays_feasible() {
+        let mut rng = StdRng::seed_from_u64(131);
+        for alpha in [1usize, 3] {
+            let g = generators::forest_union(300, alpha, &mut rng);
+            let g = WeightModel::Uniform { lo: 1, hi: 40 }.assign(&g, &mut rng);
+            let cfg = Config::new(alpha, 0.25).unwrap();
+            let sol = solve(&g, &cfg).unwrap();
+            assert!(verify::is_dominating_set(&g, &sol.in_ds), "α={alpha}");
+            let cert = sol.certificate.as_ref().unwrap();
+            assert!(cert.is_feasible(&g, 1e-9), "α={alpha}");
+        }
+    }
+
+    #[test]
+    fn ratio_matches_known_delta_guarantee() {
+        let mut rng = StdRng::seed_from_u64(132);
+        let alpha = 2usize;
+        let g = generators::forest_union(400, alpha, &mut rng);
+        let g = WeightModel::Exponential { max_exp: 6 }.assign(&g, &mut rng);
+        let cfg = Config::new(alpha, 0.2).unwrap();
+        let sol = solve(&g, &cfg).unwrap();
+        let bound = (2 * alpha + 1) as f64 * 1.2;
+        let ratio = sol.certified_ratio().unwrap();
+        assert!(
+            ratio <= bound * (1.0 + 1e-9),
+            "certified ratio {ratio} above (2α+1)(1+ε) = {bound}"
+        );
+    }
+
+    #[test]
+    fn iteration_count_near_known_delta_version() {
+        let mut rng = StdRng::seed_from_u64(133);
+        let alpha = 2usize;
+        let g = generators::preferential_attachment(1000, alpha, &mut rng);
+        let unknown = solve(&g, &Config::new(alpha, 0.3).unwrap()).unwrap();
+        let known =
+            crate::weighted::solve(&g, &crate::weighted::Config::new(alpha, 0.3).unwrap())
+                .unwrap();
+        // Same Θ(log Δ / ε) scaling; allow a generous constant.
+        assert!(
+            unknown.iterations <= 3 * known.iterations + 10,
+            "unknown-Δ used {} iterations vs {} known-Δ",
+            unknown.iterations,
+            known.iterations
+        );
+    }
+
+    #[test]
+    fn handles_edge_cases() {
+        let g = arbodom_graph::Graph::from_edges(1, []).unwrap();
+        let sol = solve(&g, &Config::new(1, 0.5).unwrap()).unwrap();
+        assert!(verify::is_dominating_set(&g, &sol.in_ds));
+        let g = arbodom_graph::Graph::from_edges(2, [(0, 1)]).unwrap();
+        let sol = solve(&g, &Config::new(1, 0.5).unwrap()).unwrap();
+        assert!(verify::is_dominating_set(&g, &sol.in_ds));
+    }
+}

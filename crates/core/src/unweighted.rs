@@ -1,0 +1,179 @@
+//! Theorem 3.1: deterministic `(2α+1)(1+ε)`-approximate MDS on unweighted
+//! graphs in `O(log(Δ/α)/ε)` rounds.
+//!
+//! Section 3 of the paper: run the primal-dual partial dominating set with
+//! threshold floor `λ = 1/((2α+1)(1+ε))`, then add **every** undominated
+//! node to the set. Claim 3.3 charges both parts to the packing:
+//! `|S| ≤ (2α+1)(1+ε)·Σ_{v∈N⁺(S)} x_v` and `|T| ≤ (2α+1)(1+ε)·Σ_{v∈T} x_v`,
+//! so `|S∪T| ≤ (2α+1)(1+ε)·OPT` by Lemma 2.1.
+
+use arbodom_graph::Graph;
+
+use crate::partial::{partial_dominating_set, PartialConfig};
+use crate::{CoreError, DsResult, PackingCertificate, Result};
+
+/// Parameters for Theorem 3.1.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Config {
+    /// Arboricity bound α ≥ 1 known to all nodes.
+    pub alpha: usize,
+    /// Approximation slack ε ∈ (0, 1).
+    pub epsilon: f64,
+}
+
+impl Config {
+    /// Validates `alpha ≥ 1` and `ε ∈ (0, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] outside those ranges.
+    pub fn new(alpha: usize, epsilon: f64) -> Result<Self> {
+        if alpha == 0 {
+            return Err(CoreError::param("alpha", "must be at least 1"));
+        }
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(CoreError::param("epsilon", "must be in (0, 1)"));
+        }
+        Ok(Config { alpha, epsilon })
+    }
+
+    /// The threshold floor `λ = 1/((2α+1)(1+ε))`.
+    pub fn lambda(&self) -> f64 {
+        1.0 / ((2 * self.alpha + 1) as f64 * (1.0 + self.epsilon))
+    }
+
+    /// The approximation guarantee `(2α+1)(1+ε)`.
+    pub fn guarantee(&self) -> f64 {
+        (2 * self.alpha + 1) as f64 * (1.0 + self.epsilon)
+    }
+}
+
+/// Runs Theorem 3.1 on an unweighted graph.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] if `g` is not unit-weighted
+/// (use [`crate::weighted::solve`] for the weighted problem).
+pub fn solve(g: &Graph, cfg: &Config) -> Result<DsResult> {
+    if !g.is_unit_weighted() {
+        return Err(CoreError::param(
+            "graph",
+            "Theorem 3.1 requires unit weights; use weighted::solve",
+        ));
+    }
+    let pcfg = PartialConfig::new(cfg.epsilon, cfg.lambda())?;
+    let out = partial_dominating_set(g, &pcfg);
+    let mut in_ds = out.in_s;
+    // T = undominated nodes, added wholesale (Claim 3.3).
+    for v in 0..g.n() {
+        if !out.dominated[v] {
+            in_ds[v] = true;
+        }
+    }
+    Ok(DsResult::from_flags(
+        g,
+        in_ds,
+        out.iterations + 1,
+        Some(PackingCertificate::new(out.x)),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+    use arbodom_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn config_validation() {
+        assert!(Config::new(0, 0.5).is_err());
+        assert!(Config::new(1, 0.0).is_err());
+        assert!(Config::new(1, 1.0).is_err());
+        assert!(Config::new(3, 0.2).is_ok());
+        let c = Config::new(2, 0.5).unwrap();
+        assert!((c.guarantee() - 7.5).abs() < 1e-12);
+        assert!((c.lambda() - 1.0 / 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_weighted_graphs() {
+        let g = generators::path(3).with_weights(vec![1, 2, 1]).unwrap();
+        assert!(solve(&g, &Config::new(1, 0.5).unwrap()).is_err());
+    }
+
+    #[test]
+    fn always_dominating_and_within_bound() {
+        let mut rng = StdRng::seed_from_u64(71);
+        for alpha in [1usize, 2, 4, 8] {
+            for eps in [0.1, 0.5, 0.9] {
+                let g = generators::forest_union(250, alpha, &mut rng);
+                let cfg = Config::new(alpha, eps).unwrap();
+                let sol = solve(&g, &cfg).unwrap();
+                assert!(verify::is_dominating_set(&g, &sol.in_ds));
+                let cert = sol.certificate.as_ref().unwrap();
+                assert!(cert.is_feasible(&g, 1e-9));
+                assert!(
+                    sol.weight as f64 <= cfg.guarantee() * cert.lower_bound() * (1.0 + 1e-9),
+                    "α={alpha} ε={eps}: weight {} > bound × LB {}",
+                    sol.weight,
+                    cfg.guarantee() * cert.lower_bound()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn round_complexity_scales_with_log_delta_over_alpha() {
+        // iterations ≈ log_{1+ε}((Δ+1)/((2α+1)(1+ε))), Theorem 3.1's bound.
+        let mut rng = StdRng::seed_from_u64(72);
+        let eps = 0.5f64;
+        let alpha = 2usize;
+        let g = generators::preferential_attachment(2000, alpha, &mut rng);
+        let cfg = Config::new(alpha, eps).unwrap();
+        let sol = solve(&g, &cfg).unwrap();
+        let delta = g.max_degree() as f64;
+        // r = ⌊log_{1+ε}(λ(Δ+1))⌋ + 1, plus one completion iteration.
+        let theory = ((delta + 1.0) * cfg.lambda()).ln() / eps.ln_1p() + 3.0;
+        assert!(
+            (sol.iterations as f64) <= theory.max(3.0) * 1.5,
+            "iterations {} far above theory {theory}",
+            sol.iterations
+        );
+    }
+
+    #[test]
+    fn handles_edgeless_graph() {
+        let g = arbodom_graph::Graph::from_edges(5, []).unwrap();
+        let sol = solve(&g, &Config::new(1, 0.3).unwrap()).unwrap();
+        assert!(verify::is_dominating_set(&g, &sol.in_ds));
+        assert_eq!(sol.size, 5); // every isolated node must self-dominate
+    }
+
+    #[test]
+    fn star_selects_near_optimal() {
+        let g = generators::star(200);
+        let sol = solve(&g, &Config::new(1, 0.2).unwrap()).unwrap();
+        assert!(verify::is_dominating_set(&g, &sol.in_ds));
+        // OPT = 1; the bound allows 3·1.2 = 3.6, so at most 3 nodes.
+        assert!(sol.size <= 3, "star solution too large: {}", sol.size);
+    }
+
+    #[test]
+    fn cycle_within_bound_vs_exact() {
+        // OPT(C_n) = ⌈n/3⌉; α(C_n) = 2 ⇒ bound 5(1+ε).
+        let n = 30;
+        let g = generators::cycle(n);
+        let cfg = Config::new(2, 0.1).unwrap();
+        let sol = solve(&g, &cfg).unwrap();
+        assert!(verify::is_dominating_set(&g, &sol.in_ds));
+        let opt = n.div_ceil(3);
+        assert!(
+            (sol.size as f64) <= cfg.guarantee() * opt as f64,
+            "size {} vs bound {}",
+            sol.size,
+            cfg.guarantee() * opt as f64
+        );
+    }
+}

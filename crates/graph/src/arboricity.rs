@@ -1,0 +1,154 @@
+//! Arboricity bounds and an exact Nash–Williams solver for small graphs.
+//!
+//! By Nash–Williams, `α(G) = max_{S ⊆ V, |S| ≥ 2} ⌈m(S) / (|S| − 1)⌉`.
+//! Computing it exactly is polynomial (matroid union) but heavyweight; this
+//! module provides
+//!
+//! * [`arboricity_bounds`] — cheap certified bounds `lo ≤ α ≤ hi` via edge
+//!   density and degeneracy, adequate for large experiment instances;
+//! * [`exact_arboricity_small`] — exact Nash–Williams by subset enumeration
+//!   for `n ≤ 24`, used by the test suite to validate the bounds.
+
+use crate::orientation::degeneracy_order;
+use crate::{Graph, NodeId};
+
+/// Certified bounds `(lo, hi)` with `lo ≤ α(G) ≤ hi`.
+///
+/// * `lo` is the whole-graph Nash–Williams density `⌈m / (n − 1)⌉` maximized
+///   over the cores of the degeneracy peeling (each `k`-core is a subgraph,
+///   so its density lower-bounds α).
+/// * `hi` is the degeneracy: an acyclic orientation with out-degree ≤ `d`
+///   splits into `d` forests, so `α ≤ d`.
+///
+/// # Example
+///
+/// ```
+/// let g = arbodom_graph::generators::complete(6);
+/// let (lo, hi) = arbodom_graph::arboricity::arboricity_bounds(&g);
+/// assert!(lo <= 3 && 3 <= hi); // α(K6) = 3
+/// ```
+pub fn arboricity_bounds(g: &Graph) -> (usize, usize) {
+    let n = g.n();
+    if n < 2 || g.m() == 0 {
+        return (0, 0);
+    }
+    let (order, degeneracy) = degeneracy_order(g);
+    // Scan the peeling in reverse: suffixes of the elimination order are the
+    // densest residual subgraphs. Count edges inside each suffix.
+    let mut pos = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v.index()] = i;
+    }
+    let mut lo = 1usize;
+    // edges_inside[i] = number of edges with both endpoints at position ≥ i.
+    // Build by scanning nodes from last to first.
+    let mut edges_inside = 0usize;
+    for i in (0..n).rev() {
+        let v = order[i];
+        let later = g
+            .neighbors(v)
+            .iter()
+            .filter(|&&u| pos[u.index()] > i)
+            .count();
+        edges_inside += later;
+        let size = n - i;
+        if size >= 2 {
+            lo = lo.max(edges_inside.div_ceil(size - 1));
+        }
+    }
+    (lo, degeneracy.max(lo))
+}
+
+/// Exact arboricity by Nash–Williams subset enumeration.
+///
+/// # Panics
+///
+/// Panics if `n > 24` (the enumeration is `O(2ⁿ · n)`).
+pub fn exact_arboricity_small(g: &Graph) -> usize {
+    let n = g.n();
+    assert!(n <= 24, "exact arboricity is limited to n <= 24");
+    if n < 2 || g.m() == 0 {
+        return 0;
+    }
+    let adj: Vec<u32> = (0..n)
+        .map(|v| {
+            g.neighbors(NodeId::from_index(v))
+                .iter()
+                .fold(0u32, |acc, u| acc | (1 << u.index()))
+        })
+        .collect();
+    let mut best = 0usize;
+    for s in 1u32..(1u32 << n) {
+        let size = s.count_ones() as usize;
+        if size < 2 {
+            continue;
+        }
+        // m(S) = ½ Σ_{v∈S} |adj[v] ∩ S|
+        let mut deg_sum = 0usize;
+        let mut rest = s;
+        while rest != 0 {
+            let v = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            deg_sum += (adj[v] & s).count_ones() as usize;
+        }
+        let m_s = deg_sum / 2;
+        best = best.max(m_s.div_ceil(size - 1));
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_on_known_graphs() {
+        assert_eq!(exact_arboricity_small(&generators::path(8)), 1);
+        assert_eq!(exact_arboricity_small(&generators::cycle(8)), 2);
+        assert_eq!(exact_arboricity_small(&generators::star(10)), 1);
+        // α(K_n) = ⌈n/2⌉
+        assert_eq!(exact_arboricity_small(&generators::complete(4)), 2);
+        assert_eq!(exact_arboricity_small(&generators::complete(5)), 3);
+        assert_eq!(exact_arboricity_small(&generators::complete(6)), 3);
+        // α(K_{a,b}) = ⌈ab/(a+b-1)⌉
+        assert_eq!(exact_arboricity_small(&generators::complete_bipartite(3, 3)), 2);
+    }
+
+    #[test]
+    fn bounds_bracket_exact_on_random_small_graphs() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for i in 0..30 {
+            let g = generators::gnp(12, 0.1 + 0.05 * (i % 10) as f64, &mut rng);
+            if g.m() == 0 {
+                continue;
+            }
+            let exact = exact_arboricity_small(&g);
+            let (lo, hi) = arboricity_bounds(&g);
+            assert!(lo <= exact, "lo {lo} > exact {exact}");
+            assert!(exact <= hi, "exact {exact} > hi {hi}");
+        }
+    }
+
+    #[test]
+    fn bounds_on_trivial_graphs() {
+        let empty = crate::Graph::from_edges(0, []).unwrap();
+        assert_eq!(arboricity_bounds(&empty), (0, 0));
+        let isolated = crate::Graph::from_edges(5, []).unwrap();
+        assert_eq!(arboricity_bounds(&isolated), (0, 0));
+        let single_edge = crate::Graph::from_edges(2, [(0, 1)]).unwrap();
+        assert_eq!(arboricity_bounds(&single_edge), (1, 1));
+    }
+
+    #[test]
+    fn forest_union_bounds_consistent() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let g = generators::forest_union(18, 3, &mut rng);
+        let exact = exact_arboricity_small(&g);
+        let (lo, hi) = arboricity_bounds(&g);
+        assert!(lo <= exact && exact <= hi);
+        assert!(exact <= 3);
+    }
+}

@@ -1,0 +1,177 @@
+//! Incremental construction of [`Graph`]s.
+
+use crate::{Graph, GraphError, NodeId, Result};
+
+/// Incremental builder for [`Graph`].
+///
+/// Collects undirected edges, then sorts, deduplicates, and freezes them into
+/// CSR form. Self-loops are rejected eagerly; duplicate edges are merged at
+/// [`GraphBuilder::build`] time.
+///
+/// # Example
+///
+/// ```
+/// use arbodom_graph::{Graph, NodeId};
+/// let mut b = Graph::builder(3);
+/// b.add_edge(NodeId::new(0), NodeId::new(1))?;
+/// b.add_edge(NodeId::new(1), NodeId::new(2))?;
+/// b.set_weight(NodeId::new(2), 10)?;
+/// let g = b.build();
+/// assert_eq!(g.m(), 2);
+/// assert_eq!(g.weight(NodeId::new(2)), 10);
+/// # Ok::<(), arbodom_graph::GraphError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(NodeId, NodeId)>,
+    weights: Vec<u64>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `n` nodes, all of weight 1.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "graphs are limited to u32 node ids");
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+            weights: vec![1; n],
+        }
+    }
+
+    /// Number of nodes the built graph will have.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::SelfLoop`] when `u == v` and
+    /// [`GraphError::NodeOutOfRange`] when either endpoint is `>= n`.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<&mut Self> {
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        for w in [u, v] {
+            if w.index() >= self.n {
+                return Err(GraphError::NodeOutOfRange { node: w, n: self.n });
+            }
+        }
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.edges.push((a, b));
+        Ok(self)
+    }
+
+    /// Adds an edge given raw `u32` endpoints; convenience for generators.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GraphBuilder::add_edge`].
+    pub fn add_edge_u32(&mut self, u: u32, v: u32) -> Result<&mut Self> {
+        self.add_edge(NodeId::new(u), NodeId::new(v))
+    }
+
+    /// Sets the weight of node `v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::ZeroWeight`] for `w == 0` and
+    /// [`GraphError::NodeOutOfRange`] when `v >= n`.
+    pub fn set_weight(&mut self, v: NodeId, w: u64) -> Result<&mut Self> {
+        if v.index() >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: v, n: self.n });
+        }
+        if w == 0 {
+            return Err(GraphError::ZeroWeight(v));
+        }
+        self.weights[v.index()] = w;
+        Ok(self)
+    }
+
+    /// Number of edges added so far (before deduplication).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Freezes the builder into an immutable [`Graph`].
+    ///
+    /// Duplicate edges are merged. Runs in `O(n + m log m)`.
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+
+        let mut degree = vec![0u32; self.n];
+        for &(u, v) in &self.edges {
+            degree[u.index()] += 1;
+            degree[v.index()] += 1;
+        }
+        let mut offsets = Vec::with_capacity(self.n + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for &d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = offsets[..self.n].to_vec();
+        let mut neighbors = vec![NodeId::new(0); acc as usize];
+        for &(u, v) in &self.edges {
+            neighbors[cursor[u.index()] as usize] = v;
+            cursor[u.index()] += 1;
+            neighbors[cursor[v.index()] as usize] = u;
+            cursor[v.index()] += 1;
+        }
+        // Edges were sorted lexicographically on (min, max); the per-node
+        // lists still need a sort because a node sees both roles.
+        for v in 0..self.n {
+            neighbors[offsets[v] as usize..offsets[v + 1] as usize].sort_unstable();
+        }
+        Graph {
+            offsets,
+            neighbors,
+            weights: self.weights,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_rejects_bad_input() {
+        let mut b = GraphBuilder::new(3);
+        assert!(b.add_edge(NodeId::new(0), NodeId::new(0)).is_err());
+        assert!(b.add_edge(NodeId::new(0), NodeId::new(3)).is_err());
+        assert!(b.set_weight(NodeId::new(0), 0).is_err());
+        assert!(b.set_weight(NodeId::new(7), 2).is_err());
+    }
+
+    #[test]
+    fn build_merges_duplicates_and_orients_both_ways() {
+        let mut b = GraphBuilder::new(4);
+        for _ in 0..3 {
+            b.add_edge(NodeId::new(1), NodeId::new(2)).unwrap();
+            b.add_edge(NodeId::new(2), NodeId::new(1)).unwrap();
+        }
+        b.add_edge(NodeId::new(0), NodeId::new(3)).unwrap();
+        let g = b.build();
+        assert_eq!(g.m(), 2);
+        assert!(g.has_edge(NodeId::new(1), NodeId::new(2)));
+        assert!(g.has_edge(NodeId::new(2), NodeId::new(1)));
+        assert!(g.has_edge(NodeId::new(3), NodeId::new(0)));
+    }
+
+    #[test]
+    fn large_star_degrees() {
+        let mut b = GraphBuilder::new(1001);
+        for i in 1..=1000u32 {
+            b.add_edge_u32(0, i).unwrap();
+        }
+        let g = b.build();
+        assert_eq!(g.degree(NodeId::new(0)), 1000);
+        assert_eq!(g.max_degree(), 1000);
+        assert_eq!(g.m(), 1000);
+    }
+}

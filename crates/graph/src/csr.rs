@@ -1,0 +1,370 @@
+//! Compressed-sparse-row graph representation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::{GraphBuilder, GraphError, Result};
+
+/// Identifier of a node in a [`Graph`].
+///
+/// Node ids are dense: a graph with `n` nodes uses ids `0..n`. The type is a
+/// thin newtype over `u32` so that node ids cannot be confused with counts,
+/// weights, or other integers in algorithm code.
+///
+/// # Example
+///
+/// ```
+/// use arbodom_graph::NodeId;
+/// let v = NodeId::new(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(u32::from(v), 3);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from its dense index.
+    pub const fn new(id: u32) -> Self {
+        NodeId(id)
+    }
+
+    /// Returns the id as a `usize` index, suitable for indexing node arrays.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// Creates a node id from a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in a `u32`.
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(id: u32) -> Self {
+        NodeId(id)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(id: NodeId) -> Self {
+        id.0
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(id: NodeId) -> Self {
+        id.index()
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// An immutable undirected graph with positive integer node weights, stored
+/// in compressed-sparse-row form.
+///
+/// Invariants maintained by construction ([`GraphBuilder`]):
+///
+/// * no self-loops, no parallel edges;
+/// * adjacency lists are sorted by neighbor id (so [`Graph::has_edge`] is a
+///   binary search);
+/// * all node weights are positive.
+///
+/// The CONGEST model of the paper identifies the communication network with
+/// the input graph, so this type doubles as the network topology in
+/// `arbodom-congest`.
+///
+/// # Example
+///
+/// ```
+/// use arbodom_graph::{Graph, NodeId};
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])?;
+/// assert_eq!(g.n(), 4);
+/// assert_eq!(g.m(), 4);
+/// assert_eq!(g.degree(NodeId::new(0)), 2);
+/// assert!(g.has_edge(NodeId::new(0), NodeId::new(1)));
+/// assert!(!g.has_edge(NodeId::new(0), NodeId::new(2)));
+/// # Ok::<(), arbodom_graph::GraphError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    pub(crate) offsets: Vec<u32>,
+    pub(crate) neighbors: Vec<NodeId>,
+    pub(crate) weights: Vec<u64>,
+}
+
+impl Graph {
+    /// Starts building a graph with `n` nodes.
+    pub fn builder(n: usize) -> GraphBuilder {
+        GraphBuilder::new(n)
+    }
+
+    /// Builds a unit-weight graph directly from an edge list.
+    ///
+    /// Duplicate edges are merged; edges are undirected, so `(u, v)` and
+    /// `(v, u)` denote the same edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::SelfLoop`] for edges of the form `(u, u)` and
+    /// [`GraphError::NodeOutOfRange`] when an endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> Result<Graph> {
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges {
+            b.add_edge(NodeId::new(u), NodeId::new(v))?;
+        }
+        Ok(b.build())
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    pub fn m(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Iterates over all node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.n() as u32).map(NodeId::new)
+    }
+
+    /// Iterates over all undirected edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Degree of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: NodeId) -> usize {
+        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
+    }
+
+    /// Maximum degree Δ of the graph (`0` for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.nodes().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// The sorted adjacency list of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.neighbors[self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize]
+    }
+
+    /// Iterates over the closed neighborhood `N⁺(v) = {v} ∪ N(v)`.
+    pub fn closed_neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        std::iter::once(v).chain(self.neighbors(v).iter().copied())
+    }
+
+    /// Whether the undirected edge `{u, v}` is present.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// The weight `w_v` of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn weight(&self, v: NodeId) -> u64 {
+        self.weights[v.index()]
+    }
+
+    /// All node weights, indexed by node id.
+    pub fn weights(&self) -> &[u64] {
+        &self.weights
+    }
+
+    /// Returns `true` if every node has weight 1.
+    pub fn is_unit_weighted(&self) -> bool {
+        self.weights.iter().all(|&w| w == 1)
+    }
+
+    /// Total weight of a set of nodes.
+    pub fn set_weight(&self, set: impl IntoIterator<Item = NodeId>) -> u64 {
+        set.into_iter().map(|v| self.weight(v)).sum()
+    }
+
+    /// Returns a copy of this graph with new node weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::WeightCount`] when `weights.len() != n` and
+    /// [`GraphError::ZeroWeight`] when any weight is zero (the paper assumes
+    /// positive integer weights).
+    pub fn with_weights(&self, weights: Vec<u64>) -> Result<Graph> {
+        if weights.len() != self.n() {
+            return Err(GraphError::WeightCount {
+                expected: self.n(),
+                got: weights.len(),
+            });
+        }
+        if let Some(i) = weights.iter().position(|&w| w == 0) {
+            return Err(GraphError::ZeroWeight(NodeId::from_index(i)));
+        }
+        Ok(Graph {
+            offsets: self.offsets.clone(),
+            neighbors: self.neighbors.clone(),
+            weights,
+        })
+    }
+
+    /// The minimum weight over the closed neighborhood of `v`:
+    /// `τ_v = min_{u ∈ N⁺(v)} w_u`, the cheapest node that can dominate `v`.
+    pub fn tau(&self, v: NodeId) -> u64 {
+        self.closed_neighbors(v)
+            .map(|u| self.weight(u))
+            .min()
+            .expect("closed neighborhood is nonempty")
+    }
+
+    /// The node of minimum `(weight, id)` in the closed neighborhood of `v`
+    /// — the canonical dominator the completion step of Theorem 1.1 elects.
+    pub fn tau_argmin(&self, v: NodeId) -> NodeId {
+        self.closed_neighbors(v)
+            .min_by_key(|&u| (self.weight(u), u))
+            .expect("closed neighborhood is nonempty")
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("n", &self.n())
+            .field("m", &self.m())
+            .field("max_degree", &self.max_degree())
+            .field("unit_weighted", &self.is_unit_weighted())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, []).unwrap();
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn triangle_basics() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2), (0, 2)]).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.max_degree(), 2);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert_eq!(g.tau(NodeId::new(0)), 1);
+        assert!(g.is_unit_weighted());
+    }
+
+    #[test]
+    fn duplicate_edges_merge() {
+        let g = Graph::from_edges(2, [(0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.degree(NodeId::new(0)), 1);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let err = Graph::from_edges(2, [(1, 1)]).unwrap_err();
+        assert!(matches!(err, GraphError::SelfLoop(_)));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let err = Graph::from_edges(2, [(0, 2)]).unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfRange { .. }));
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let g = Graph::from_edges(5, [(2, 4), (2, 0), (2, 3), (2, 1)]).unwrap();
+        let nb: Vec<u32> = g.neighbors(NodeId::new(2)).iter().map(|v| v.get()).collect();
+        assert_eq!(nb, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn closed_neighbors_includes_self() {
+        let g = Graph::from_edges(3, [(0, 1)]).unwrap();
+        let cn: Vec<NodeId> = g.closed_neighbors(NodeId::new(0)).collect();
+        assert_eq!(cn, vec![NodeId::new(0), NodeId::new(1)]);
+        let isolated: Vec<NodeId> = g.closed_neighbors(NodeId::new(2)).collect();
+        assert_eq!(isolated, vec![NodeId::new(2)]);
+    }
+
+    #[test]
+    fn weights_roundtrip() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let g = g.with_weights(vec![5, 1, 7]).unwrap();
+        assert_eq!(g.weight(NodeId::new(0)), 5);
+        assert_eq!(g.tau(NodeId::new(0)), 1);
+        assert_eq!(g.tau_argmin(NodeId::new(0)), NodeId::new(1));
+        assert_eq!(g.tau(NodeId::new(2)), 1);
+        assert_eq!(g.set_weight(g.nodes()), 13);
+        assert!(!g.is_unit_weighted());
+    }
+
+    #[test]
+    fn zero_weight_rejected() {
+        let g = Graph::from_edges(2, [(0, 1)]).unwrap();
+        assert!(matches!(
+            g.with_weights(vec![1, 0]).unwrap_err(),
+            GraphError::ZeroWeight(_)
+        ));
+        assert!(matches!(
+            g.with_weights(vec![1]).unwrap_err(),
+            GraphError::WeightCount { .. }
+        ));
+    }
+
+    #[test]
+    fn edges_iterator_each_once() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap();
+        let edges: Vec<(u32, u32)> = g.edges().map(|(u, v)| (u.get(), v.get())).collect();
+        assert_eq!(edges.len(), g.m());
+        for &(u, v) in &edges {
+            assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn tau_argmin_breaks_ties_by_id() {
+        let g = Graph::from_edges(3, [(0, 1), (0, 2)]).unwrap();
+        // all weights 1: the minimum id in N⁺(0) wins, which is 0 itself.
+        assert_eq!(g.tau_argmin(NodeId::new(0)), NodeId::new(0));
+        assert_eq!(g.tau_argmin(NodeId::new(1)), NodeId::new(0));
+    }
+}

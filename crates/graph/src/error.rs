@@ -1,0 +1,77 @@
+//! Error types for graph construction and manipulation.
+
+use crate::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or transforming graphs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A self-loop `(v, v)` was added; the paper's graphs are simple.
+    SelfLoop(NodeId),
+    /// A node id outside `0..n` was referenced.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// Number of nodes in the graph.
+        n: usize,
+    },
+    /// A zero node weight was supplied; the paper assumes positive weights.
+    ZeroWeight(NodeId),
+    /// A weight vector of the wrong length was supplied.
+    WeightCount {
+        /// Expected number of weights (`n`).
+        expected: usize,
+        /// Number of weights supplied.
+        got: usize,
+    },
+    /// A generator was called with parameters outside its documented domain.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::SelfLoop(v) => write!(f, "self-loop at node {v}"),
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for graph with {n} nodes")
+            }
+            GraphError::ZeroWeight(v) => write!(f, "node {v} has zero weight"),
+            GraphError::WeightCount { expected, got } => {
+                write!(f, "expected {expected} weights, got {got}")
+            }
+            GraphError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors: Vec<GraphError> = vec![
+            GraphError::SelfLoop(NodeId::new(1)),
+            GraphError::NodeOutOfRange {
+                node: NodeId::new(9),
+                n: 3,
+            },
+            GraphError::ZeroWeight(NodeId::new(0)),
+            GraphError::WeightCount {
+                expected: 3,
+                got: 1,
+            },
+            GraphError::InvalidParameter("p must be in [0, 1]".into()),
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Deterministic graph topologies.
+
+use crate::{Graph, GraphBuilder};
+
+/// The path graph `P_n` (arboricity 1).
+///
+/// # Example
+///
+/// ```
+/// let g = arbodom_graph::generators::path(5);
+/// assert_eq!(g.m(), 4);
+/// assert_eq!(g.max_degree(), 2);
+/// ```
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n as u32 {
+        b.add_edge_u32(i - 1, i).expect("path edges are valid");
+    }
+    b.build()
+}
+
+/// The cycle graph `C_n` (arboricity 2 for `n ≥ 3`).
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle requires n >= 3");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n as u32 {
+        b.add_edge_u32(i, (i + 1) % n as u32).expect("cycle edges are valid");
+    }
+    b.build()
+}
+
+/// The star `K_{1,n-1}`: node 0 is the hub (arboricity 1).
+pub fn star(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n as u32 {
+        b.add_edge_u32(0, i).expect("star edges are valid");
+    }
+    b.build()
+}
+
+/// The complete graph `K_n` (arboricity ⌈n/2⌉).
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            b.add_edge_u32(u, v).expect("complete edges are valid");
+        }
+    }
+    b.build()
+}
+
+/// The complete bipartite graph `K_{a,b}`; side A is `0..a`, side B is `a..a+b`.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut builder = GraphBuilder::new(a + b);
+    for u in 0..a as u32 {
+        for v in a as u32..(a + b) as u32 {
+            builder.add_edge_u32(u, v).expect("bipartite edges are valid");
+        }
+    }
+    builder.build()
+}
+
+/// A complete `k`-ary tree with `n` nodes in heap layout: the children of
+/// node `i` are `k·i + 1 ..= k·i + k` (arboricity 1).
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn kary_tree(n: usize, k: usize) -> Graph {
+    assert!(k >= 1, "k-ary tree requires k >= 1");
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        let parent = (i - 1) / k;
+        b.add_edge_u32(parent as u32, i as u32).expect("tree edges are valid");
+    }
+    b.build()
+}
+
+/// A caterpillar: a spine path of `spine` nodes, each carrying `legs` leaves
+/// (arboricity 1). Total nodes: `spine · (1 + legs)`.
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    let n = spine * (1 + legs);
+    let mut b = GraphBuilder::new(n);
+    for s in 1..spine {
+        b.add_edge_u32((s - 1) as u32, s as u32).expect("spine edges are valid");
+    }
+    let mut next = spine as u32;
+    for s in 0..spine as u32 {
+        for _ in 0..legs {
+            b.add_edge_u32(s, next).expect("leg edges are valid");
+            next += 1;
+        }
+    }
+    b.build()
+}
+
+/// A spider: `legs` paths of length `len` glued at a center node
+/// (arboricity 1). Total nodes: `1 + legs · len`.
+pub fn spider(legs: usize, len: usize) -> Graph {
+    let n = 1 + legs * len;
+    let mut b = GraphBuilder::new(n);
+    let mut next = 1u32;
+    for _ in 0..legs {
+        let mut prev = 0u32;
+        for _ in 0..len {
+            b.add_edge_u32(prev, next).expect("spider edges are valid");
+            prev = next;
+            next += 1;
+        }
+    }
+    b.build()
+}
+
+/// The `rows × cols` grid; with `torus`, rows and columns wrap around.
+///
+/// Grids are planar, hence arboricity ≤ 3 (in fact 2 for the open grid);
+/// the torus is toroidal with arboricity ≤ 3. Node `(r, c)` has id
+/// `r·cols + c`.
+///
+/// # Panics
+///
+/// Panics if `torus` is set and either side is shorter than 3 (the wrap
+/// edges would duplicate or self-loop).
+pub fn grid2d(rows: usize, cols: usize, torus: bool) -> Graph {
+    if torus {
+        assert!(rows >= 3 && cols >= 3, "torus requires both sides >= 3");
+    }
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge_u32(id(r, c), id(r, c + 1)).expect("grid edges are valid");
+            } else if torus {
+                b.add_edge_u32(id(r, c), id(r, 0)).expect("grid edges are valid");
+            }
+            if r + 1 < rows {
+                b.add_edge_u32(id(r, c), id(r + 1, c)).expect("grid edges are valid");
+            } else if torus {
+                b.add_edge_u32(id(r, c), id(0, c)).expect("grid edges are valid");
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    #[test]
+    fn path_shape() {
+        let g = path(6);
+        assert_eq!((g.n(), g.m(), g.max_degree()), (6, 5, 2));
+        assert_eq!(g.degree(NodeId::new(0)), 1);
+    }
+
+    #[test]
+    fn singleton_and_empty_paths() {
+        assert_eq!(path(0).n(), 0);
+        let g = path(1);
+        assert_eq!((g.n(), g.m()), (1, 0));
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(5);
+        assert_eq!((g.n(), g.m()), (5, 5));
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(10);
+        assert_eq!(g.degree(NodeId::new(0)), 9);
+        assert_eq!(g.m(), 9);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(6);
+        assert_eq!(g.m(), 15);
+        assert_eq!(g.max_degree(), 5);
+    }
+
+    #[test]
+    fn complete_bipartite_shape() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.m(), 12);
+        assert_eq!(g.degree(NodeId::new(0)), 4);
+        assert_eq!(g.degree(NodeId::new(3)), 3);
+        assert!(!g.has_edge(NodeId::new(0), NodeId::new(1)));
+    }
+
+    #[test]
+    fn kary_tree_shape() {
+        let g = kary_tree(13, 3);
+        assert_eq!(g.m(), 12);
+        // root has 3 children
+        assert_eq!(g.degree(NodeId::new(0)), 3);
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let g = caterpillar(4, 2);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 3 + 8);
+    }
+
+    #[test]
+    fn spider_shape() {
+        let g = spider(3, 4);
+        assert_eq!(g.n(), 13);
+        assert_eq!(g.m(), 12);
+        assert_eq!(g.degree(NodeId::new(0)), 3);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid2d(3, 4, false);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 3 * 3 + 4 * 2);
+        assert_eq!(g.max_degree(), 4);
+        let t = grid2d(3, 4, true);
+        assert_eq!(t.m(), 2 * 12);
+        for v in t.nodes() {
+            assert_eq!(t.degree(v), 4);
+        }
+    }
+}

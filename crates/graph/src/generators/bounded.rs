@@ -1,0 +1,218 @@
+//! Bounded-arboricity workload families.
+//!
+//! These are the graphs the paper is about: families whose arboricity is
+//! controlled by construction, so the approximation bound `(2α+1)(1+ε)` can
+//! be evaluated against a *known* α instead of an estimated one.
+
+use rand::seq::SliceRandom;
+use rand::{Rng, RngExt};
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// The union of `alpha` independent uniformly random spanning trees on the
+/// same `n` nodes. The edge set decomposes into `alpha` forests by
+/// construction, so the arboricity is at most `alpha` (and, for `n` not too
+/// small, typically exactly `alpha`).
+///
+/// This is the canonical "arboricity exactly α" workload of the experiment
+/// suite.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let g = arbodom_graph::generators::forest_union(100, 4, &mut rng);
+/// assert!(g.m() <= 4 * 99);
+/// let (_, upper) = arbodom_graph::arboricity::arboricity_bounds(&g);
+/// assert!(upper <= 2 * 4 - 1); // degeneracy ≤ 2α − 1
+/// ```
+pub fn forest_union(n: usize, alpha: usize, rng: &mut impl Rng) -> Graph {
+    forest_union_partial(n, alpha, 1.0, rng)
+}
+
+/// Like [`forest_union`] but each tree edge is kept independently with
+/// probability `keep`, yielding sparser unions of forests (arboricity still
+/// at most `alpha`).
+///
+/// # Panics
+///
+/// Panics if `keep` is not in `[0, 1]`.
+pub fn forest_union_partial(n: usize, alpha: usize, keep: f64, rng: &mut impl Rng) -> Graph {
+    assert!((0.0..=1.0).contains(&keep), "keep must be in [0, 1]");
+    let mut b = GraphBuilder::new(n);
+    for _ in 0..alpha {
+        let tree = super::random_tree(n, rng);
+        for (u, v) in tree.edges() {
+            if keep >= 1.0 || rng.random_bool(keep) {
+                b.add_edge(u, v).expect("forest edges are valid");
+            }
+        }
+    }
+    b.build()
+}
+
+/// Preferential attachment (Barabási–Albert): nodes arrive one by one and
+/// attach to `m_per_node` existing nodes chosen proportionally to degree.
+///
+/// The resulting graph has degeneracy at most `m_per_node` (every node has
+/// at most `m_per_node` earlier neighbors), hence arboricity at most
+/// `m_per_node`, while exhibiting a heavy-tailed degree distribution — the
+/// "social network / WWW" motivation from the paper's introduction.
+///
+/// # Panics
+///
+/// Panics if `m_per_node == 0` or `n < m_per_node + 1`.
+pub fn preferential_attachment(n: usize, m_per_node: usize, rng: &mut impl Rng) -> Graph {
+    assert!(m_per_node >= 1, "m_per_node must be >= 1");
+    assert!(n > m_per_node, "need n > m_per_node");
+    let mut b = GraphBuilder::new(n);
+    // Seed clique on m_per_node + 1 nodes.
+    let seed = m_per_node + 1;
+    for u in 0..seed as u32 {
+        for v in (u + 1)..seed as u32 {
+            b.add_edge_u32(u, v).expect("seed edges are valid");
+        }
+    }
+    // Endpoint multiset for degree-proportional sampling.
+    let mut chances: Vec<u32> = Vec::with_capacity(2 * n * m_per_node);
+    for u in 0..seed as u32 {
+        for _ in 0..m_per_node {
+            chances.push(u);
+        }
+    }
+    for v in seed..n {
+        let mut targets = std::collections::HashSet::with_capacity(m_per_node);
+        // Rejection-sample m distinct targets.
+        let mut guard = 0;
+        while targets.len() < m_per_node {
+            let t = chances[rng.random_range(0..chances.len())];
+            targets.insert(t);
+            guard += 1;
+            if guard > 100 * m_per_node {
+                // Extremely unlikely; fill with smallest ids not yet chosen.
+                for u in 0..v as u32 {
+                    if targets.len() >= m_per_node {
+                        break;
+                    }
+                    targets.insert(u);
+                }
+            }
+        }
+        // HashSet iteration order is nondeterministic; sort so the
+        // endpoint multiset (which feeds later draws) is reproducible.
+        let mut targets: Vec<u32> = targets.into_iter().collect();
+        targets.sort_unstable();
+        for t in targets {
+            b.add_edge_u32(v as u32, t).expect("attachment edges are valid");
+            chances.push(t);
+            chances.push(v as u32);
+        }
+    }
+    b.build()
+}
+
+/// A planted dominating-set instance with a known small dominating set.
+#[derive(Clone, Debug)]
+pub struct PlantedInstance {
+    /// The generated graph.
+    pub graph: Graph,
+    /// The planted dominating set (an upper bound on OPT).
+    pub planted: Vec<NodeId>,
+}
+
+/// Plants `k` centers among `n` nodes; every non-center attaches to one
+/// random center, and `extra_per_node` additional random edges are scattered
+/// among non-centers to thicken the graph while keeping degeneracy low.
+///
+/// The planted centers form a dominating set of size `k`, giving a certified
+/// upper bound `OPT ≤ k` for ratio measurements on large instances.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > n`.
+pub fn planted_ds(n: usize, k: usize, extra_per_node: usize, rng: &mut impl Rng) -> PlantedInstance {
+    assert!(k >= 1 && k <= n, "need 1 <= k <= n");
+    let mut ids: Vec<u32> = (0..n as u32).collect();
+    ids.shuffle(rng);
+    let centers: Vec<u32> = ids[..k].to_vec();
+    let mut b = GraphBuilder::new(n);
+    for &v in &ids[k..] {
+        let c = centers[rng.random_range(0..k)];
+        b.add_edge_u32(v, c).expect("planted edges are valid");
+    }
+    // Sprinkle extra edges (each adds at most 1 to degeneracy per endpoint
+    // on average; with extra_per_node = e the arboricity stays O(1 + e)).
+    for _ in 0..n.saturating_mul(extra_per_node) {
+        let u = rng.random_range(0..n as u32);
+        let v = rng.random_range(0..n as u32);
+        if u != v {
+            b.add_edge_u32(u, v).expect("extra edges are valid");
+        }
+    }
+    PlantedInstance {
+        graph: b.build(),
+        planted: centers.into_iter().map(NodeId::new).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arboricity;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forest_union_arboricity_bounded() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for alpha in [1usize, 2, 4, 8] {
+            let g = forest_union(300, alpha, &mut rng);
+            let (lo, hi) = arboricity::arboricity_bounds(&g);
+            assert!(lo <= alpha, "lower bound {lo} exceeds construction α {alpha}");
+            assert!(hi <= 2 * alpha, "degeneracy {hi} exceeds 2α for α={alpha}");
+        }
+    }
+
+    #[test]
+    fn forest_union_alpha_one_is_tree() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let g = forest_union(50, 1, &mut rng);
+        assert_eq!(g.m(), 49);
+    }
+
+    #[test]
+    fn forest_union_partial_sparser() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let dense = forest_union(200, 3, &mut rng);
+        let sparse = forest_union_partial(200, 3, 0.3, &mut rng);
+        assert!(sparse.m() < dense.m());
+    }
+
+    #[test]
+    fn preferential_attachment_degeneracy() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let g = preferential_attachment(500, 3, &mut rng);
+        assert_eq!(g.n(), 500);
+        let (_, degeneracy) = crate::orientation::degeneracy_order(&g);
+        assert!(degeneracy <= 3, "PA graph must have degeneracy <= m_per_node");
+        // Heavy tail: the max degree should well exceed the average.
+        let avg = 2.0 * g.m() as f64 / g.n() as f64;
+        assert!(g.max_degree() as f64 > 3.0 * avg);
+    }
+
+    #[test]
+    fn planted_ds_dominates() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let inst = planted_ds(400, 20, 2, &mut rng);
+        let mut dominated = vec![false; 400];
+        for &c in &inst.planted {
+            dominated[c.index()] = true;
+            for &u in inst.graph.neighbors(c) {
+                dominated[u.index()] = true;
+            }
+        }
+        assert!(dominated.iter().all(|&d| d), "planted set must dominate");
+        assert_eq!(inst.planted.len(), 20);
+    }
+}

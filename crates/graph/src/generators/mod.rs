@@ -1,0 +1,21 @@
+//! Graph generators: the workload families of the experiments.
+//!
+//! Three groups:
+//!
+//! * deterministic topologies ([`path`], [`cycle`], [`star`], [`complete`],
+//!   [`complete_bipartite`], [`kary_tree`], [`caterpillar`], [`grid2d`]);
+//! * random families ([`gnp`], [`gnm`], [`random_tree`], [`random_regular`],
+//!   [`bipartite_random`]);
+//! * bounded-arboricity families central to the paper
+//!   ([`forest_union`], [`preferential_attachment`], [`planted_ds`]).
+//!
+//! All random generators take an explicit `&mut impl Rng` so that every
+//! experiment in the workspace is reproducible from a seed.
+
+mod basic;
+mod bounded;
+mod random;
+
+pub use basic::{caterpillar, complete, complete_bipartite, cycle, grid2d, kary_tree, path, spider, star};
+pub use bounded::{forest_union, forest_union_partial, planted_ds, preferential_attachment, PlantedInstance};
+pub use random::{bipartite_random, gnm, gnp, random_regular, random_tree};

@@ -1,0 +1,281 @@
+//! Classic random graph families.
+
+use rand::seq::SliceRandom;
+use rand::{Rng, RngExt};
+
+use crate::{Graph, GraphBuilder};
+
+/// Erdős–Rényi `G(n, p)`: every pair is an edge independently with
+/// probability `p`.
+///
+/// Uses geometric edge skipping, so the running time is `O(n + m)` rather
+/// than `O(n²)` for sparse graphs.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+pub fn gnp(n: usize, p: f64, rng: &mut impl Rng) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+    let mut b = GraphBuilder::new(n);
+    if p == 0.0 || n < 2 {
+        return b.build();
+    }
+    if p == 1.0 {
+        return super::complete(n);
+    }
+    // Iterate over pair ranks 0..n(n-1)/2 with geometric skips.
+    let total = n as u64 * (n as u64 - 1) / 2;
+    let log_q = (1.0 - p).ln();
+    let mut rank: u64 = 0;
+    let mut first = true;
+    loop {
+        let u: f64 = rng.random::<f64>();
+        // Number of failures before the next success in a Bernoulli(p) stream.
+        let skip = if u <= 0.0 { 0 } else { (u.ln() / log_q).floor() as u64 };
+        rank = if first { skip } else { rank + 1 + skip };
+        first = false;
+        if rank >= total {
+            break;
+        }
+        let (i, j) = pair_from_rank(rank, n as u64);
+        b.add_edge_u32(i as u32, j as u32).expect("gnp edges are valid");
+    }
+    b.build()
+}
+
+/// Maps a rank in `0..n(n-1)/2` to the corresponding unordered pair `(i, j)`
+/// with `i < j`, ordering pairs row by row.
+fn pair_from_rank(rank: u64, n: u64) -> (u64, u64) {
+    // Row i owns (n-1-i) pairs; find i by solving the prefix sum.
+    // prefix(i) = i*n - i(i+1)/2.
+    let mut lo = 0u64;
+    let mut hi = n - 1;
+    while lo < hi {
+        let mid = (lo + hi + 1) / 2;
+        let prefix = mid * n - mid * (mid + 1) / 2;
+        if prefix <= rank {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    let i = lo;
+    let prefix = i * n - i * (i + 1) / 2;
+    let j = i + 1 + (rank - prefix);
+    (i, j)
+}
+
+/// Erdős–Rényi `G(n, m)`: exactly `m` distinct edges drawn uniformly.
+///
+/// # Panics
+///
+/// Panics if `m` exceeds the number of node pairs.
+pub fn gnm(n: usize, m: usize, rng: &mut impl Rng) -> Graph {
+    let total = n as u64 * (n as u64 - 1) / 2;
+    assert!(m as u64 <= total, "m exceeds the number of node pairs");
+    let mut b = GraphBuilder::new(n);
+    if m == 0 {
+        return b.build();
+    }
+    // Floyd's algorithm for sampling m distinct ranks.
+    let mut chosen = std::collections::HashSet::with_capacity(m);
+    for t in (total - m as u64)..total {
+        let r = rng.random_range(0..=t);
+        let rank = if chosen.contains(&r) { t } else { r };
+        chosen.insert(rank);
+        let (i, j) = pair_from_rank(rank, n as u64);
+        b.add_edge_u32(i as u32, j as u32).expect("gnm edges are valid");
+    }
+    b.build()
+}
+
+/// A uniformly random labelled tree on `n` nodes via a Prüfer sequence
+/// (arboricity 1).
+pub fn random_tree(n: usize, rng: &mut impl Rng) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    if n < 2 {
+        return b.build();
+    }
+    if n == 2 {
+        b.add_edge_u32(0, 1).expect("tree edge is valid");
+        return b.build();
+    }
+    let seq: Vec<usize> = (0..n - 2).map(|_| rng.random_range(0..n)).collect();
+    let mut degree = vec![1u32; n];
+    for &s in &seq {
+        degree[s] += 1;
+    }
+    // Min-heap of current leaves.
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+        .filter(|&v| degree[v] == 1)
+        .map(std::cmp::Reverse)
+        .collect();
+    for &s in &seq {
+        let std::cmp::Reverse(leaf) = heap.pop().expect("a leaf always exists");
+        b.add_edge_u32(leaf as u32, s as u32).expect("tree edges are valid");
+        degree[s] -= 1;
+        if degree[s] == 1 {
+            heap.push(std::cmp::Reverse(s));
+        }
+    }
+    let std::cmp::Reverse(u) = heap.pop().expect("two nodes remain");
+    let std::cmp::Reverse(v) = heap.pop().expect("two nodes remain");
+    b.add_edge_u32(u as u32, v as u32).expect("tree edges are valid");
+    b.build()
+}
+
+/// A random `d`-regular multigraph flattened to a simple graph, via the
+/// configuration model with up to 100 restarts; falls back to dropping the
+/// conflicting stubs if no perfect matching of stubs is found.
+///
+/// For `n·d` even and `d ≪ n` the result is `d`-regular with high
+/// probability; otherwise some nodes may have degree less than `d`.
+///
+/// # Panics
+///
+/// Panics if `n·d` is odd or `d ≥ n`.
+pub fn random_regular(n: usize, d: usize, rng: &mut impl Rng) -> Graph {
+    assert!(n * d % 2 == 0, "n*d must be even");
+    assert!(d < n, "d must be < n");
+    for _attempt in 0..100 {
+        let mut stubs: Vec<u32> = (0..n as u32).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+        stubs.shuffle(rng);
+        let mut ok = true;
+        let mut seen = std::collections::HashSet::with_capacity(n * d / 2);
+        for pair in stubs.chunks_exact(2) {
+            let (u, v) = (pair[0], pair[1]);
+            if u == v || !seen.insert((u.min(v), u.max(v))) {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            let mut b = GraphBuilder::new(n);
+            for pair in stubs.chunks_exact(2) {
+                b.add_edge_u32(pair[0], pair[1]).expect("regular edges are valid");
+            }
+            return b.build();
+        }
+    }
+    // Fallback: keep the simple edges of one more pairing.
+    let mut stubs: Vec<u32> = (0..n as u32).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+    stubs.shuffle(rng);
+    let mut b = GraphBuilder::new(n);
+    for pair in stubs.chunks_exact(2) {
+        if pair[0] != pair[1] {
+            b.add_edge_u32(pair[0], pair[1]).expect("regular edges are valid");
+        }
+    }
+    b.build()
+}
+
+/// A random bipartite graph: sides `0..a` and `a..a+b`, each cross pair an
+/// edge independently with probability `p`.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+pub fn bipartite_random(a: usize, b: usize, p: f64, rng: &mut impl Rng) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+    let mut builder = GraphBuilder::new(a + b);
+    for u in 0..a as u32 {
+        for v in a as u32..(a + b) as u32 {
+            if rng.random_bool(p) {
+                builder.add_edge_u32(u, v).expect("bipartite edges are valid");
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pair_rank_roundtrip() {
+        let n = 7u64;
+        let mut seen = std::collections::HashSet::new();
+        for rank in 0..(n * (n - 1) / 2) {
+            let (i, j) = pair_from_rank(rank, n);
+            assert!(i < j && j < n, "bad pair ({i},{j}) at rank {rank}");
+            assert!(seen.insert((i, j)));
+        }
+        assert_eq!(seen.len() as u64, n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(gnp(50, 0.0, &mut rng).m(), 0);
+        assert_eq!(gnp(10, 1.0, &mut rng).m(), 45);
+    }
+
+    #[test]
+    fn gnp_density_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 400;
+        let p = 0.05;
+        let g = gnp(n, p, &mut rng);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = g.m() as f64;
+        assert!(
+            (got - expected).abs() < 0.2 * expected,
+            "got {got}, expected about {expected}"
+        );
+    }
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = gnm(100, 250, &mut rng);
+        assert_eq!(g.m(), 250);
+        let g = gnm(5, 10, &mut rng);
+        assert_eq!(g.m(), 10); // complete K5
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for n in [2usize, 3, 10, 100, 1000] {
+            let g = random_tree(n, &mut rng);
+            assert_eq!(g.m(), n - 1, "tree on {n} nodes must have n-1 edges");
+            assert!(traversal::is_connected(&g), "tree on {n} nodes must be connected");
+        }
+    }
+
+    #[test]
+    fn random_regular_degrees() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = random_regular(60, 4, &mut rng);
+        assert_eq!(g.n(), 60);
+        // The configuration model with restarts almost surely produced a
+        // simple 4-regular graph at this size.
+        let deg4 = g.nodes().filter(|&v| g.degree(v) == 4).count();
+        assert!(deg4 >= 58, "expected almost all nodes 4-regular, got {deg4}");
+    }
+
+    #[test]
+    fn bipartite_random_is_bipartite() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = bipartite_random(20, 30, 0.2, &mut rng);
+        for u in 0..20u32 {
+            for v in g.neighbors(crate::NodeId::new(u)) {
+                assert!(v.get() >= 20);
+            }
+        }
+    }
+
+    #[test]
+    fn generators_are_reproducible() {
+        let g1 = gnp(200, 0.03, &mut StdRng::seed_from_u64(42));
+        let g2 = gnp(200, 0.03, &mut StdRng::seed_from_u64(42));
+        assert_eq!(g1, g2);
+        let t1 = random_tree(500, &mut StdRng::seed_from_u64(9));
+        let t2 = random_tree(500, &mut StdRng::seed_from_u64(9));
+        assert_eq!(t1, t2);
+    }
+}

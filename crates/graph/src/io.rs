@@ -1,0 +1,163 @@
+//! Plain-text edge-list persistence.
+//!
+//! Format (whitespace-separated, `#` comments allowed):
+//!
+//! ```text
+//! # arbodom edge list
+//! n m
+//! u₁ v₁
+//! …
+//! uₘ vₘ
+//! [w₀ w₁ … wₙ₋₁]     # single optional trailing line of node weights
+//! ```
+//!
+//! The format is line-oriented so experiment artifacts diff cleanly.
+
+use std::io::{BufRead, BufWriter, Write};
+
+use crate::{Graph, GraphBuilder, GraphError, NodeId, Result};
+
+/// Writes `g` in edge-list format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_edge_list(g: &Graph, writer: impl Write) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# arbodom edge list")?;
+    writeln!(w, "{} {}", g.n(), g.m())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{} {}", u.get(), v.get())?;
+    }
+    if !g.is_unit_weighted() {
+        let weights: Vec<String> = g.weights().iter().map(u64::to_string).collect();
+        writeln!(w, "{}", weights.join(" "))?;
+    }
+    w.flush()
+}
+
+/// Reads a graph written by [`write_edge_list`].
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] on malformed input and
+/// propagates the structural errors of [`GraphBuilder`].
+pub fn read_edge_list(reader: impl BufRead) -> Result<Graph> {
+    let bad = |msg: &str| GraphError::InvalidParameter(format!("edge list: {msg}"));
+    let mut lines = reader
+        .lines()
+        .map(|l| l.map_err(|e| bad(&format!("read failed: {e}"))))
+        .filter(|l| {
+            l.as_ref()
+                .map(|s| {
+                    let t = s.trim();
+                    !t.is_empty() && !t.starts_with('#')
+                })
+                .unwrap_or(true)
+        });
+    let header = lines.next().ok_or_else(|| bad("missing header"))??;
+    let mut it = header.split_whitespace();
+    let n: usize = it
+        .next()
+        .ok_or_else(|| bad("missing n"))?
+        .parse()
+        .map_err(|_| bad("n is not a number"))?;
+    let m: usize = it
+        .next()
+        .ok_or_else(|| bad("missing m"))?
+        .parse()
+        .map_err(|_| bad("m is not a number"))?;
+    let mut b = GraphBuilder::new(n);
+    for _ in 0..m {
+        let line = lines.next().ok_or_else(|| bad("fewer edges than declared"))??;
+        let mut it = line.split_whitespace();
+        let u: u32 = it
+            .next()
+            .ok_or_else(|| bad("missing edge endpoint"))?
+            .parse()
+            .map_err(|_| bad("endpoint is not a number"))?;
+        let v: u32 = it
+            .next()
+            .ok_or_else(|| bad("missing edge endpoint"))?
+            .parse()
+            .map_err(|_| bad("endpoint is not a number"))?;
+        b.add_edge(NodeId::new(u), NodeId::new(v))?;
+    }
+    let g = b.build();
+    if g.m() != m {
+        return Err(bad("duplicate edges in input"));
+    }
+    // Optional weight line.
+    if let Some(line) = lines.next() {
+        let line = line?;
+        let weights: std::result::Result<Vec<u64>, _> =
+            line.split_whitespace().map(str::parse).collect();
+        let weights = weights.map_err(|_| bad("weight is not a number"))?;
+        return g.with_weights(weights);
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::weights::WeightModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn roundtrip(g: &Graph) -> Graph {
+        let mut buf = Vec::new();
+        write_edge_list(g, &mut buf).unwrap();
+        read_edge_list(buf.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn unweighted_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(401);
+        for g in [
+            generators::path(10),
+            generators::gnp(50, 0.1, &mut rng),
+            Graph::from_edges(3, []).unwrap(),
+            Graph::from_edges(0, []).unwrap(),
+        ] {
+            assert_eq!(roundtrip(&g), g);
+        }
+    }
+
+    #[test]
+    fn weighted_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(402);
+        let g = generators::forest_union(40, 2, &mut rng);
+        let g = WeightModel::Uniform { lo: 1, hi: 1000 }.assign(&g, &mut rng);
+        assert_eq!(roundtrip(&g), g);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# hi\n\n3 2\n# edge block\n0 1\n\n1 2\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        for text in [
+            "",                    // no header
+            "3\n",                 // missing m
+            "x y\n",               // non-numeric header
+            "3 2\n0 1\n",          // fewer edges than declared
+            "2 1\n0 0\n",          // self loop
+            "2 1\n0 5\n",          // out of range
+            "2 2\n0 1\n0 1\n",     // duplicate edges
+            "2 1\n0 1\nbad weights\n",
+            "2 1\n0 1\n1\n",       // wrong weight count
+        ] {
+            assert!(
+                read_edge_list(text.as_bytes()).is_err(),
+                "accepted malformed input: {text:?}"
+            );
+        }
+    }
+}

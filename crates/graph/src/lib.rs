@@ -1,0 +1,54 @@
+//! Static graphs, generators, and arboricity tooling for the `arbodom` workspace.
+//!
+//! This crate provides the graph substrate used by every other crate in the
+//! reproduction of *Near-Optimal Distributed Dominating Set in Bounded
+//! Arboricity Graphs* (Dory, Ghaffari, Ilchi; PODC 2022):
+//!
+//! * [`Graph`] — an immutable, compressed-sparse-row graph with positive
+//!   integer node weights, built through [`GraphBuilder`].
+//! * [`generators`] — the workload families used throughout the experiments:
+//!   Erdős–Rényi, random trees, unions of random forests (arboricity ≤ α by
+//!   construction), grids, preferential attachment, planted dominating sets,
+//!   and more.
+//! * [`orientation`] — degeneracy (core) decompositions and low out-degree
+//!   orientations, the combinatorial tool behind every bound in the paper.
+//! * [`arboricity`] — lower/upper bounds and an exact Nash–Williams solver
+//!   for small graphs.
+//! * [`weights`] — node-weight models for the weighted MDS experiments.
+//! * [`traversal`] — BFS, connected components and diameter estimation.
+//!
+//! # Example
+//!
+//! ```
+//! use arbodom_graph::{generators, orientation, arboricity};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! // A union of three random forests has arboricity at most 3.
+//! let g = generators::forest_union(500, 3, &mut rng);
+//! let (lo, hi) = arboricity::arboricity_bounds(&g);
+//! assert!(lo <= 3 && hi <= 5); // degeneracy ≤ 2α − 1
+//! let orient = orientation::degeneracy_orientation(&g);
+//! assert!(orient.max_out_degree() <= hi);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arboricity;
+mod builder;
+mod csr;
+mod error;
+pub mod generators;
+pub mod io;
+pub mod orientation;
+pub mod pseudoarboricity;
+pub mod traversal;
+pub mod weights;
+
+pub use builder::GraphBuilder;
+pub use csr::{Graph, NodeId};
+pub use error::GraphError;
+
+/// Convenience alias for results returned by fallible graph operations.
+pub type Result<T> = std::result::Result<T, GraphError>;

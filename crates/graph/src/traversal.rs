@@ -1,0 +1,112 @@
+//! Breadth-first search, connectivity, and diameter estimation.
+
+use crate::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// BFS distances from `source`; unreachable nodes get `usize::MAX`.
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; g.n()];
+    let mut queue = VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()];
+        for &u in g.neighbors(v) {
+            if dist[u.index()] == usize::MAX {
+                dist[u.index()] = d + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Connected components; returns `(component_id_per_node, component_count)`.
+pub fn connected_components(g: &Graph) -> (Vec<usize>, usize) {
+    let n = g.n();
+    let mut comp = vec![usize::MAX; n];
+    let mut count = 0;
+    for s in 0..n {
+        if comp[s] != usize::MAX {
+            continue;
+        }
+        let mut queue = VecDeque::new();
+        comp[s] = count;
+        queue.push_back(NodeId::from_index(s));
+        while let Some(v) = queue.pop_front() {
+            for &u in g.neighbors(v) {
+                if comp[u.index()] == usize::MAX {
+                    comp[u.index()] = count;
+                    queue.push_back(u);
+                }
+            }
+        }
+        count += 1;
+    }
+    (comp, count)
+}
+
+/// Whether the graph is connected (vacuously true for `n ≤ 1`).
+pub fn is_connected(g: &Graph) -> bool {
+    if g.n() <= 1 {
+        return true;
+    }
+    connected_components(g).1 == 1
+}
+
+/// Lower bound on the diameter via a double BFS sweep (exact on trees).
+/// Returns `None` for disconnected or empty graphs.
+pub fn diameter_estimate(g: &Graph) -> Option<usize> {
+    if g.n() == 0 || !is_connected(g) {
+        return None;
+    }
+    let d0 = bfs_distances(g, NodeId::new(0));
+    let far = (0..g.n()).max_by_key(|&v| d0[v]).expect("nonempty");
+    let d1 = bfs_distances(g, NodeId::from_index(far));
+    d1.iter().copied().max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bfs_on_path() {
+        let g = generators::path(5);
+        let dist = bfs_distances(&g, NodeId::new(0));
+        assert_eq!(dist, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn components_counted() {
+        let g = crate::Graph::from_edges(6, [(0, 1), (2, 3)]).unwrap();
+        let (comp, count) = connected_components(&g);
+        assert_eq!(count, 4);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn diameter_of_path_exact() {
+        assert_eq!(diameter_estimate(&generators::path(10)), Some(9));
+        assert_eq!(diameter_estimate(&generators::star(10)), Some(2));
+    }
+
+    #[test]
+    fn diameter_none_when_disconnected() {
+        let g = crate::Graph::from_edges(4, [(0, 1)]).unwrap();
+        assert_eq!(diameter_estimate(&g), None);
+    }
+
+    #[test]
+    fn tree_connected() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let g = generators::random_tree(300, &mut rng);
+        assert!(is_connected(&g));
+    }
+}

@@ -1,0 +1,170 @@
+//! A KMW-inspired layered bipartite hard-instance family.
+//!
+//! **Fidelity note.** The true Kuhn–Moscibroda–Wattenhofer lower-bound
+//! family (the cluster trees `CT_k` of \[KMW16\]) is used by the paper
+//! only as a *black box* with three properties: it is bipartite, it has
+//! `m ≥ n`, and `o(log Δ/log log Δ)`-round algorithms approximate its
+//! fractional vertex cover badly. This generator reproduces the first two
+//! properties exactly and the *flavor* of the third: locally, low-level
+//! nodes are indistinguishable from their neighbors, while the optimal
+//! cover hides in the thin high levels.
+//!
+//! Construction: levels `L_0, …, L_k` with `|L_i| = β^(k−i)`; each node of
+//! `L_i` receives `β` edges to nodes of `L_{i+1}` (dealt round-robin from
+//! a random permutation, so level-`i+1` degrees are balanced at `β²`).
+//! Edges connect consecutive levels only, so level parity is a
+//! bipartition. `m = β·Σ_{i<k}|L_i| ≥ n` for `β ≥ 2`.
+
+use arbodom_graph::{Graph, GraphBuilder};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A layered bipartite instance with its level structure.
+#[derive(Clone, Debug)]
+pub struct KmwLike {
+    /// The graph.
+    pub graph: Graph,
+    /// `level[v]` ∈ `0..=k`.
+    pub level: Vec<u32>,
+    /// Branching factor β.
+    pub beta: usize,
+}
+
+impl KmwLike {
+    /// Side flags for [`crate::hopcroft_karp::hopcroft_karp`]: even levels
+    /// are side A.
+    pub fn side_a(&self) -> Vec<bool> {
+        self.level.iter().map(|&l| l % 2 == 0).collect()
+    }
+}
+
+/// Generates the layered family with `k+1` levels and branching `β`.
+///
+/// # Panics
+///
+/// Panics if `beta < 2` or `levels < 1`.
+pub fn kmw_like(levels: usize, beta: usize, rng: &mut impl Rng) -> KmwLike {
+    assert!(beta >= 2, "beta must be at least 2");
+    assert!(levels >= 1, "need at least two levels (k >= 1)");
+    let k = levels;
+    // Level sizes β^k, β^(k−1), …, 1.
+    let sizes: Vec<usize> = (0..=k).map(|i| beta.pow((k - i) as u32)).collect();
+    let offsets: Vec<usize> = sizes
+        .iter()
+        .scan(0usize, |acc, &s| {
+            let o = *acc;
+            *acc += s;
+            Some(o)
+        })
+        .collect();
+    let n: usize = sizes.iter().sum();
+    let mut level = vec![0u32; n];
+    for (i, (&off, &sz)) in offsets.iter().zip(&sizes).enumerate() {
+        for v in off..off + sz {
+            level[v] = i as u32;
+        }
+    }
+    let mut b = GraphBuilder::new(n);
+    for i in 0..k {
+        let (lo, lo_sz) = (offsets[i], sizes[i]);
+        let (hi, hi_sz) = (offsets[i + 1], sizes[i + 1]);
+        // Deal β stubs per low node round-robin over a shuffled upper level
+        // repeated as needed: balanced upper degrees, no parallel edges
+        // (each low node's β targets are distinct because hi_sz ≥ β... for
+        // the last level hi_sz may be < β; fall back to all-to-all there).
+        if hi_sz < beta {
+            for u in lo..lo + lo_sz {
+                for w in hi..hi + hi_sz {
+                    b.add_edge_u32(u as u32, w as u32).expect("layer edges");
+                }
+            }
+            continue;
+        }
+        let mut targets: Vec<u32> = (hi as u32..(hi + hi_sz) as u32).collect();
+        targets.shuffle(rng);
+        let mut cursor = 0usize;
+        for u in lo..lo + lo_sz {
+            for _ in 0..beta {
+                if cursor == targets.len() {
+                    targets.shuffle(rng);
+                    cursor = 0;
+                }
+                b.add_edge_u32(u as u32, targets[cursor]).expect("layer edges");
+                cursor += 1;
+            }
+        }
+    }
+    KmwLike {
+        graph: b.build(),
+        level,
+        beta,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hopcroft_karp::{bipartition, hopcroft_karp, is_vertex_cover};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn is_bipartite_with_m_at_least_n() {
+        let mut rng = StdRng::seed_from_u64(271);
+        for (k, beta) in [(2usize, 3usize), (3, 2), (4, 2)] {
+            let inst = kmw_like(k, beta, &mut rng);
+            let g = &inst.graph;
+            assert!(bipartition(g).is_some(), "k={k} β={beta} must be bipartite");
+            assert!(
+                g.m() >= g.n() - 1,
+                "k={k} β={beta}: m = {} < n = {}",
+                g.m(),
+                g.n()
+            );
+        }
+    }
+
+    #[test]
+    fn level_structure_valid() {
+        let mut rng = StdRng::seed_from_u64(272);
+        let inst = kmw_like(3, 3, &mut rng);
+        // Edges cross exactly one level.
+        for (u, v) in inst.graph.edges() {
+            let (lu, lv) = (inst.level[u.index()], inst.level[v.index()]);
+            assert_eq!(lu.abs_diff(lv), 1, "edge {u}-{v} spans levels {lu},{lv}");
+        }
+        // Bottom level has degree exactly β.
+        for v in inst.graph.nodes() {
+            if inst.level[v.index()] == 0 {
+                assert_eq!(inst.graph.degree(v), 3);
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_cover_is_thin() {
+        // The minimum vertex cover should concentrate in the upper levels:
+        // it must be much smaller than n/2 (the "local" answer).
+        let mut rng = StdRng::seed_from_u64(273);
+        let inst = kmw_like(3, 3, &mut rng);
+        let g = &inst.graph;
+        let res = hopcroft_karp(g, &inst.side_a());
+        assert!(is_vertex_cover(g, &res.min_vertex_cover));
+        assert!(
+            res.size * 2 < g.n(),
+            "MVC {} not thin vs n = {}",
+            res.size,
+            g.n()
+        );
+    }
+
+    #[test]
+    fn side_a_is_consistent() {
+        let mut rng = StdRng::seed_from_u64(274);
+        let inst = kmw_like(2, 4, &mut rng);
+        let side = inst.side_a();
+        for (u, v) in inst.graph.edges() {
+            assert_ne!(side[u.index()], side[v.index()]);
+        }
+    }
+}

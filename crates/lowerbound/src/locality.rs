@@ -1,0 +1,102 @@
+//! The locality-wall experiment for Theorem 1.4.
+//!
+//! Theorem 1.4 says: on arboricity-2 graphs (like `H(G)`), *every*
+//! `o(log Δ/log log Δ)`-round algorithm has a bad approximation ratio.
+//! A lower bound cannot be "run", but its *shape* can be exhibited: take
+//! the paper's own engine (the strongest algorithm available for this
+//! graph class), truncate it to `r` iterations plus the one-round
+//! completion, and measure the certified ratio as `r` grows. The wall is
+//! the regime where small `r` forces ratios far above the converged value.
+
+use arbodom_core::partial::partial_dominating_set_iterations;
+use arbodom_core::{verify, PackingCertificate};
+use arbodom_graph::Graph;
+
+/// Outcome of one truncated run.
+#[derive(Clone, Copy, Debug)]
+pub struct TruncatedPoint {
+    /// Iteration budget `r` of the truncated engine.
+    pub rounds: usize,
+    /// Size of the produced dominating set.
+    pub size: usize,
+    /// Total weight of the produced dominating set.
+    pub weight: u64,
+    /// Certified ratio against the supplied lower bound.
+    pub ratio: f64,
+}
+
+/// Runs the Section 3/4 engine truncated to `r` iterations, completes with
+/// all undominated nodes (the Theorem 3.1 completion — one round), and
+/// reports the ratio against `lower_bound` (use a converged run's
+/// certificate or a [`crate::hopcroft_karp`]-based bound).
+pub fn truncated_run(g: &Graph, epsilon: f64, r: usize, lower_bound: f64) -> TruncatedPoint {
+    let out = partial_dominating_set_iterations(g, epsilon, r);
+    let mut in_ds = out.in_s;
+    for v in 0..g.n() {
+        if !out.dominated[v] {
+            in_ds[v] = true;
+        }
+    }
+    debug_assert!(verify::is_dominating_set(g, &in_ds));
+    let weight: u64 = g
+        .nodes()
+        .filter(|v| in_ds[v.index()])
+        .map(|v| g.weight(v))
+        .sum();
+    let size = in_ds.iter().filter(|&&b| b).count();
+    TruncatedPoint {
+        rounds: r,
+        size,
+        weight,
+        ratio: weight as f64 / lower_bound,
+    }
+}
+
+/// Sweeps truncation budgets `0..=max_rounds` and returns the ratio curve.
+/// The lower bound used is the packing certificate of the *converged* run
+/// (feasible at every truncation, since truncation only stops the packing
+/// earlier).
+pub fn locality_curve(g: &Graph, epsilon: f64, max_rounds: usize) -> Vec<TruncatedPoint> {
+    let converged = partial_dominating_set_iterations(g, epsilon, max_rounds);
+    let lb = PackingCertificate::new(converged.x).lower_bound().max(1.0);
+    (0..=max_rounds)
+        .map(|r| truncated_run(g, epsilon, r, lb))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construction::build_h;
+    use crate::kmw_like::kmw_like;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ratio_degrades_at_small_round_budgets() {
+        let mut rng = StdRng::seed_from_u64(281);
+        let base = kmw_like(2, 4, &mut rng).graph;
+        let h = build_h(&base, 4);
+        let curve = locality_curve(&h.graph, 0.3, 25);
+        let first = curve.first().unwrap().ratio;
+        let last = curve.last().unwrap().ratio;
+        assert!(
+            first > 1.5 * last,
+            "expected a locality wall: r=0 ratio {first} vs converged {last}"
+        );
+        // The curve is weakly improving overall (allow local noise).
+        assert!(curve.iter().all(|p| p.ratio >= last * 0.999));
+    }
+
+    #[test]
+    fn every_truncation_still_dominates() {
+        let mut rng = StdRng::seed_from_u64(282);
+        let base = kmw_like(2, 3, &mut rng).graph;
+        let h = build_h(&base, 2);
+        for r in [0usize, 1, 3, 10] {
+            let p = truncated_run(&h.graph, 0.5, r, 1.0);
+            assert!(p.size > 0);
+            assert!(p.weight >= p.size as u64);
+        }
+    }
+}

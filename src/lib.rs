@@ -1,0 +1,63 @@
+//! `arbodom` — distributed dominating set in bounded arboricity graphs.
+//!
+//! An open-source reproduction of *Near-Optimal Distributed Dominating Set
+//! in Bounded Arboricity Graphs* (Michal Dory, Mohsen Ghaffari, Saeed
+//! Ilchi; PODC 2022, arXiv:2206.05174), packaged as a Rust workspace:
+//!
+//! * [`graph`] — CSR graphs, generators, weights, arboricity tooling;
+//! * [`congest`] — a synchronous CONGEST simulator with bit metering;
+//! * [`core`] — the paper's algorithms (Theorems 1.1–1.3, 3.1,
+//!   Observation A.1, Remarks 4.4/4.5) as centralized solvers *and*
+//!   bit-faithful message-passing node programs;
+//! * [`baselines`] — greedy, parallel greedy, LP rounding, exact solvers;
+//! * [`lowerbound`] — the Theorem 1.4 construction `H(G)` and its
+//!   verification.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use arbodom::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! // A graph of arboricity ≤ 3: the union of three random forests.
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let g = arbodom::graph::generators::forest_union(1_000, 3, &mut rng);
+//!
+//! // Theorem 1.1: deterministic (2α+1)(1+ε)-approximation.
+//! let cfg = arbodom::core::weighted::Config::new(3, 0.2)?;
+//! let sol = arbodom::core::weighted::solve(&g, &cfg)?;
+//! assert!(arbodom::core::verify::is_dominating_set(&g, &sol.in_ds));
+//!
+//! // The run carries a dual certificate: a machine-checked bound on how
+//! // far the solution can be from optimal (Lemma 2.1).
+//! let ratio = sol.certified_ratio().unwrap();
+//! assert!(ratio <= cfg.guarantee());
+//! # Ok::<(), arbodom::core::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use arbodom_baselines as baselines;
+pub use arbodom_congest as congest;
+pub use arbodom_core as core;
+pub use arbodom_graph as graph;
+pub use arbodom_lowerbound as lowerbound;
+
+/// The most common imports, for examples and quick scripts.
+pub mod prelude {
+    pub use arbodom_congest::{Globals, RunOptions};
+    pub use arbodom_core::{verify, DsResult, PackingCertificate};
+    pub use arbodom_graph::{Graph, GraphBuilder, NodeId};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_reexports_compile() {
+        use crate::prelude::*;
+        let g: Graph = Graph::from_edges(2, [(0, 1)]).unwrap();
+        assert_eq!(g.n(), 2);
+        let _ = NodeId::new(0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based invariants spanning crates: for arbitrary generated
+//! graphs, weights, and parameters, the primal-dual machinery must keep
+//! its Lemma 4.1 invariants, every solver must dominate, and certificates
+//! must stay dual-feasible.
+
+use arbodom::core::partial::{partial_dominating_set, PartialConfig};
+use arbodom::core::{general, randomized, verify, weighted, PackingCertificate};
+use arbodom::graph::{generators, weights::WeightModel, Graph};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a reproducible graph from one of the experiment families.
+fn arb_graph() -> impl Strategy<Value = (Graph, usize)> {
+    (0u64..1_000, 0usize..4, 10usize..120).prop_map(|(seed, family, n)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match family {
+            0 => (generators::forest_union(n, 1 + (seed % 4) as usize, &mut rng), 1 + (seed % 4) as usize),
+            1 => {
+                let g = generators::gnp(n, 0.08, &mut rng);
+                let a = arbodom::graph::arboricity::arboricity_bounds(&g).1.max(1);
+                (g, a)
+            }
+            2 => (generators::random_tree(n.max(2), &mut rng), 1),
+            _ => {
+                let g = generators::preferential_attachment(n.max(4), 2, &mut rng);
+                (g, 2)
+            }
+        }
+    })
+}
+
+fn arb_weighted_graph() -> impl Strategy<Value = (Graph, usize)> {
+    (arb_graph(), 0u64..500, prop::bool::ANY).prop_map(|((g, a), wseed, weighted)| {
+        if weighted {
+            let mut rng = StdRng::seed_from_u64(wseed);
+            (
+                WeightModel::Uniform { lo: 1, hi: 64 }.assign(&g, &mut rng),
+                a,
+            )
+        } else {
+            (g, a)
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lemma_41_invariants((g, _a) in arb_weighted_graph(),
+                           eps in 0.05f64..0.9,
+                           lambda_scale in 0.05f64..2.0) {
+        let delta_p1 = (g.max_degree() + 1) as f64;
+        let lambda = lambda_scale / delta_p1;
+        let cfg = PartialConfig::new(eps, lambda).unwrap();
+        let out = partial_dominating_set(&g, &cfg);
+        // Observation 4.2: packing feasible throughout (checked at end).
+        let cert = PackingCertificate::new(out.x.clone());
+        prop_assert!(cert.is_feasible(&g, 1e-9),
+                     "violation {}", cert.max_violation(&g));
+        // Observation 4.3 / property (b).
+        for v in g.nodes() {
+            let tau = g.tau(v) as f64;
+            if !out.dominated[v.index()] {
+                prop_assert!(out.x[v.index()] >= lambda.min(1.0 / delta_p1) * tau * (1.0 - 1e-12));
+            } else {
+                prop_assert!(out.x[v.index()] <= lambda * tau * (1.0 + 1e-9));
+            }
+        }
+        // S ⊆ dominated.
+        for v in 0..g.n() {
+            if out.in_s[v] {
+                prop_assert!(out.dominated[v]);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_solver_always_valid((g, a) in arb_weighted_graph(), eps in 0.05f64..0.9) {
+        let cfg = weighted::Config::new(a, eps).unwrap();
+        let sol = weighted::solve(&g, &cfg).unwrap();
+        prop_assert!(verify::is_dominating_set(&g, &sol.in_ds));
+        let cert = sol.certificate.as_ref().unwrap();
+        prop_assert!(cert.is_feasible(&g, 1e-9));
+        if cert.lower_bound() > 0.0 {
+            prop_assert!(sol.weight as f64 <= cfg.guarantee() * cert.lower_bound() * (1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn randomized_solver_always_valid((g, a) in arb_weighted_graph(),
+                                      t in 1usize..4,
+                                      seed in 0u64..1_000) {
+        let cfg = randomized::Config::new(a, t, seed).unwrap();
+        let sol = randomized::solve(&g, &cfg).unwrap();
+        prop_assert!(verify::is_dominating_set(&g, &sol.in_ds));
+        prop_assert!(sol.certificate.as_ref().unwrap().is_feasible(&g, 1e-9));
+    }
+
+    #[test]
+    fn general_solver_always_valid((g, _a) in arb_weighted_graph(),
+                                   k in 1usize..5,
+                                   seed in 0u64..1_000) {
+        let cfg = general::Config::new(k, seed).unwrap();
+        let sol = general::solve(&g, &cfg).unwrap();
+        prop_assert!(verify::is_dominating_set(&g, &sol.in_ds));
+    }
+
+    #[test]
+    fn dsresult_weight_is_sum_of_members((g, a) in arb_weighted_graph()) {
+        let sol = weighted::solve(&g, &weighted::Config::new(a, 0.3).unwrap()).unwrap();
+        let recomputed: u64 = sol.members().iter().map(|&v| g.weight(v)).sum();
+        prop_assert_eq!(sol.weight, recomputed);
+        prop_assert_eq!(sol.size, sol.members().len());
+    }
+}

@@ -1,0 +1,56 @@
+//! Property tests for the Theorem 1.4 construction: for arbitrary base
+//! graphs and copy counts, H(G) must satisfy every structural claim of
+//! Section 5.
+
+use arbodom::graph::{generators, Graph};
+use arbodom::lowerbound::construction::build_h;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_base() -> impl Strategy<Value = Graph> {
+    (0u64..500, 3usize..14, 0usize..3).prop_map(|(seed, n, family)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match family {
+            0 => generators::gnp(n, 0.4, &mut rng),
+            1 => generators::random_tree(n, &mut rng),
+            _ => generators::cycle(n.max(3)),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn h_structure_always_verifies(base in arb_base(), copies in 1usize..6) {
+        let h = build_h(&base, copies);
+        prop_assert!(h.verify_structure().is_ok());
+        // Counts exactly as the paper computes them.
+        prop_assert_eq!(h.graph.n(), copies * (base.n() + base.m()) + base.n());
+        prop_assert_eq!(h.graph.m(), copies * (2 * base.m() + base.n()));
+        // Arboricity-2 witness.
+        let o = h.arboricity2_orientation();
+        prop_assert!(o.is_orientation_of(&h.graph));
+        prop_assert!(o.max_out_degree() <= 2);
+    }
+
+    #[test]
+    fn hubs_plus_full_cover_always_dominates(base in arb_base(), copies in 1usize..4) {
+        // The all-nodes cover is a vertex cover of any base, so the
+        // equation-(2) set must dominate H.
+        let h = build_h(&base, copies);
+        let ds = h.hubs_plus_cover(&vec![true; base.n()]);
+        prop_assert!(arbodom::core::verify::is_dominating_set(&h.graph, &ds));
+    }
+
+    #[test]
+    fn middle_nodes_have_degree_two(base in arb_base(), copies in 1usize..4) {
+        let h = build_h(&base, copies);
+        for i in 0..copies {
+            for j in 0..base.m() {
+                prop_assert_eq!(h.graph.degree(h.middle_node(i, j)), 2);
+            }
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! End-to-end pipelines: the workflows a downstream user would run,
+//! exercised across crate boundaries.
+
+use arbodom::baselines::{greedy, lp, parallel_greedy};
+use arbodom::core::{randomized, verify, weighted};
+use arbodom::graph::{arboricity, generators, orientation, traversal, weights::WeightModel};
+use arbodom::lowerbound::construction::build_h_paper;
+use arbodom::lowerbound::hopcroft_karp::{bipartition, hopcroft_karp};
+use arbodom::lowerbound::kmw_like::kmw_like;
+use arbodom::lowerbound::locality::locality_curve;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn generate_solve_verify_certify() {
+    let mut rng = StdRng::seed_from_u64(701);
+    // 1. Generate a workload.
+    let g = generators::forest_union(2_000, 3, &mut rng);
+    let g = WeightModel::Exponential { max_exp: 8 }.assign(&g, &mut rng);
+    assert!(traversal::is_connected(&g));
+    // 2. Confirm its arboricity story.
+    let (lo, hi) = arboricity::arboricity_bounds(&g);
+    assert!(lo <= 3 && hi <= 5);
+    let orient = orientation::degeneracy_orientation(&g);
+    assert!(orient.is_orientation_of(&g));
+    // 3. Solve with the paper's algorithm.
+    let sol = weighted::solve(&g, &weighted::Config::new(3, 0.2).unwrap()).unwrap();
+    assert!(verify::is_dominating_set(&g, &sol.in_ds));
+    // 4. Certify against two independent lower bounds.
+    let own = sol.certificate.as_ref().unwrap().lower_bound();
+    let indep = lp::maximal_packing(&g).lower_bound();
+    assert!(own > 0.0 && indep > 0.0);
+    assert!(sol.weight as f64 >= own && sol.weight as f64 >= indep);
+}
+
+#[test]
+fn planted_instances_give_known_upper_bounds() {
+    let mut rng = StdRng::seed_from_u64(702);
+    let inst = generators::planted_ds(3_000, 60, 1, &mut rng);
+    let g = &inst.graph;
+    // The planted set bounds OPT above; the solvers should land within
+    // their guarantees of it.
+    let planted_weight: u64 = inst.planted.iter().map(|&v| g.weight(v)).sum();
+    let sol = weighted::solve(g, &weighted::Config::new(3, 0.2).unwrap()).unwrap();
+    assert!(verify::is_dominating_set(g, &sol.in_ds));
+    assert!(
+        sol.weight <= 9 * planted_weight,
+        "solution {} far above planted bound {}",
+        sol.weight,
+        planted_weight
+    );
+}
+
+#[test]
+fn comparison_pipeline_ranks_algorithms_sanely() {
+    let mut rng = StdRng::seed_from_u64(703);
+    let g = generators::forest_union(1_500, 4, &mut rng);
+    let lb = lp::maximal_packing(&g).lower_bound();
+    let det = weighted::solve(&g, &weighted::Config::new(4, 0.2).unwrap()).unwrap();
+    let rnd = randomized::solve(&g, &randomized::Config::new(4, 3, 1).unwrap()).unwrap();
+    let seq = greedy::solve(&g);
+    let par = parallel_greedy::solve(&g);
+    for (name, w) in [
+        ("det", det.weight),
+        ("rand", rnd.weight),
+        ("greedy", seq.weight),
+        ("par", par.weight),
+    ] {
+        let ratio = w as f64 / lb;
+        assert!(
+            (1.0..30.0).contains(&ratio),
+            "{name}: implausible ratio {ratio}"
+        );
+    }
+    // Sequential greedy should be the best or near-best of the heuristics.
+    assert!(seq.weight <= det.weight * 2);
+}
+
+#[test]
+fn lower_bound_pipeline_end_to_end() {
+    let mut rng = StdRng::seed_from_u64(704);
+    // Base hard instance → exact MVC → H → structural verification →
+    // locality curve.
+    let base = kmw_like(2, 4, &mut rng);
+    let side = bipartition(&base.graph).expect("bipartite");
+    let mvc = hopcroft_karp(&base.graph, &side);
+    let h = build_h_paper(&base.graph);
+    h.verify_structure().expect("structure holds");
+    let ds = h.hubs_plus_cover(&mvc.min_vertex_cover);
+    assert!(verify::is_dominating_set(&h.graph, &ds));
+    let curve = locality_curve(&h.graph, 0.3, 20);
+    assert!(curve.first().unwrap().ratio > curve.last().unwrap().ratio);
+}
+
+#[test]
+fn big_run_smoke() {
+    // One big instance through the fastest full path, as a scalability
+    // smoke test (release CI budget ~seconds).
+    let mut rng = StdRng::seed_from_u64(705);
+    let g = generators::forest_union(50_000, 2, &mut rng);
+    let sol = weighted::solve(&g, &weighted::Config::new(2, 0.5).unwrap()).unwrap();
+    assert!(verify::is_dominating_set(&g, &sol.in_ds));
+    assert!(sol.size < g.n());
+}

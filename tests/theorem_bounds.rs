@@ -1,0 +1,173 @@
+//! Cross-crate validation: every solver's output measured against *exact*
+//! optima (branch and bound, tree DP) on instances small enough to solve,
+//! across many seeds and families. These are the strongest correctness
+//! tests in the repository: the theorem bounds must hold against ground
+//! truth, not just against certificates.
+
+use arbodom::baselines::{exact, tree_dp};
+use arbodom::core::{general, randomized, trees, unknown_alpha, unknown_delta, verify, weighted};
+use arbodom::graph::{generators, weights::WeightModel, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_portfolio(rng: &mut StdRng) -> Vec<(String, usize, Graph)> {
+    let mut out = Vec::new();
+    for seed_batch in 0..4 {
+        let _ = seed_batch;
+        out.push((
+            "forest-α2".into(),
+            2,
+            generators::forest_union(24, 2, rng),
+        ));
+        out.push(("forest-α3".into(), 3, generators::forest_union(20, 3, rng)));
+        out.push(("gnp".into(), 6, generators::gnp(22, 0.18, rng)));
+        out.push(("tree".into(), 1, generators::random_tree(26, rng)));
+        out.push(("grid".into(), 2, generators::grid2d(4, 6, false)));
+    }
+    out
+}
+
+#[test]
+fn theorem11_bound_vs_exact_opt() {
+    let mut rng = StdRng::seed_from_u64(901);
+    for (name, alpha, g) in small_portfolio(&mut rng) {
+        for model in [WeightModel::Unit, WeightModel::Uniform { lo: 1, hi: 9 }] {
+            let g = model.assign(&g, &mut rng);
+            let opt = exact::solve(&g).expect("small").weight;
+            let eps = 0.2;
+            let cfg = weighted::Config::new(alpha, eps).unwrap();
+            let sol = weighted::solve(&g, &cfg).unwrap();
+            assert!(verify::is_dominating_set(&g, &sol.in_ds), "{name}");
+            assert!(
+                sol.weight as f64 <= cfg.guarantee() * opt as f64 + 1e-9,
+                "{name} {model:?}: weight {} > (2α+1)(1+ε)·OPT = {}",
+                sol.weight,
+                cfg.guarantee() * opt as f64
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem12_bound_vs_exact_opt_in_expectation() {
+    let mut rng = StdRng::seed_from_u64(902);
+    for alpha in [2usize, 3] {
+        let g = generators::forest_union(24, alpha, &mut rng);
+        let opt = exact::solve(&g).expect("small").weight;
+        let mut total = 0u64;
+        let seeds = 20;
+        for seed in 0..seeds {
+            let cfg = randomized::Config::new(alpha, 2, seed).unwrap();
+            let sol = randomized::solve(&g, &cfg).unwrap();
+            assert!(verify::is_dominating_set(&g, &sol.in_ds));
+            total += sol.weight;
+        }
+        let avg = total as f64 / seeds as f64;
+        // E[w] ≤ (α + O(α/t))·OPT; allow the proof-side constant.
+        let cfg = randomized::Config::new(alpha, 2, 0).unwrap();
+        let bound = cfg.guarantee(g.max_degree()) * opt as f64;
+        assert!(
+            avg <= bound + 1e-9,
+            "α={alpha}: avg {} above expectation bound {}",
+            avg,
+            bound
+        );
+    }
+}
+
+#[test]
+fn theorem13_bound_vs_exact_opt() {
+    let mut rng = StdRng::seed_from_u64(903);
+    let g = generators::gnp(24, 0.2, &mut rng);
+    let opt = exact::solve(&g).expect("small").weight;
+    for k in [1usize, 2, 3] {
+        let mut total = 0u64;
+        let seeds = 15;
+        for seed in 0..seeds {
+            let cfg = general::Config::new(k, seed).unwrap();
+            let sol = general::solve(&g, &cfg).unwrap();
+            assert!(verify::is_dominating_set(&g, &sol.in_ds));
+            total += sol.weight;
+        }
+        let avg = total as f64 / seeds as f64;
+        let bound = general::Config::new(k, 0).unwrap().guarantee(g.max_degree()) * opt as f64;
+        assert!(
+            avg <= bound,
+            "k={k}: avg {avg} above Δ^{{1/k}}(Δ^{{1/k}}+1)(k+1)·OPT = {bound}"
+        );
+    }
+}
+
+#[test]
+fn observation_a1_three_approx_vs_tree_dp() {
+    let mut rng = StdRng::seed_from_u64(904);
+    for n in [2usize, 5, 40, 400, 4000] {
+        let g = generators::random_tree(n, &mut rng);
+        let sol = trees::solve(&g).unwrap();
+        assert!(verify::is_dominating_set(&g, &sol.in_ds), "n={n}");
+        let opt = tree_dp::solve(&g).expect("tree").weight;
+        assert!(
+            sol.size as u64 <= 3 * opt,
+            "n={n}: {} > 3·OPT = {}",
+            sol.size,
+            3 * opt
+        );
+    }
+}
+
+#[test]
+fn remark44_matches_theorem11_bound_vs_exact() {
+    let mut rng = StdRng::seed_from_u64(905);
+    let alpha = 2;
+    for _ in 0..6 {
+        let g = generators::forest_union(22, alpha, &mut rng);
+        let g = WeightModel::Uniform { lo: 1, hi: 7 }.assign(&g, &mut rng);
+        let opt = exact::solve(&g).expect("small").weight;
+        let cfg = unknown_delta::Config::new(alpha, 0.2).unwrap();
+        let sol = unknown_delta::solve(&g, &cfg).unwrap();
+        assert!(verify::is_dominating_set(&g, &sol.in_ds));
+        let bound = (2 * alpha + 1) as f64 * 1.2 * opt as f64;
+        assert!(
+            sol.weight as f64 <= bound + 1e-9,
+            "weight {} above bound {bound}",
+            sol.weight
+        );
+    }
+}
+
+#[test]
+fn remark45_bound_vs_exact() {
+    let mut rng = StdRng::seed_from_u64(906);
+    let alpha = 2;
+    for _ in 0..6 {
+        let g = generators::forest_union(22, alpha, &mut rng);
+        let opt = exact::solve(&g).expect("small").weight;
+        let cfg = unknown_alpha::Config::new(0.25).unwrap();
+        let sol = unknown_alpha::solve(&g, &cfg).unwrap();
+        assert!(verify::is_dominating_set(&g, &sol.in_ds));
+        // (2α̂+1)(1+ε)-style bound with α̂ ≤ (2+ε)·2α from the peeling.
+        let ahat = (2.0 + 0.25) * 2.0 * alpha as f64;
+        let bound = (2.0 * ahat + 1.0) * 1.25 * opt as f64;
+        assert!(
+            sol.weight as f64 <= bound + 1e-9,
+            "weight {} above remark bound {bound}",
+            sol.weight
+        );
+    }
+}
+
+#[test]
+fn certificates_never_exceed_exact_opt() {
+    let mut rng = StdRng::seed_from_u64(907);
+    for (name, alpha, g) in small_portfolio(&mut rng) {
+        let opt = exact::solve(&g).expect("small").weight;
+        let sol = weighted::solve(&g, &weighted::Config::new(alpha, 0.3).unwrap()).unwrap();
+        let cert = sol.certificate.as_ref().unwrap();
+        assert!(cert.is_feasible(&g, 1e-9), "{name}");
+        assert!(
+            cert.lower_bound() <= opt as f64 + 1e-9,
+            "{name}: Lemma 2.1 violated — Σx = {} > OPT = {opt}",
+            cert.lower_bound()
+        );
+    }
+}
