@@ -1,0 +1,19 @@
+//! Offline stand-in for the [`serde`](https://serde.rs) crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its result and
+//! telemetry types so they are serialization-ready, but nothing actually
+//! serializes yet (no `serde_json::to_string` call sites). This stub keeps
+//! those derives compiling in the no-network build environment: the traits
+//! exist in the type namespace and the derives (re-exported from the
+//! stub `serde_derive`) expand to nothing. Swapping in the real serde later
+//! requires only a `Cargo.toml` change.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}

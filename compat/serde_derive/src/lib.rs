@@ -1,0 +1,21 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! Nothing in the workspace serializes yet — types derive
+//! `Serialize`/`Deserialize` so their wire/report formats are ready for a
+//! real serde once the build environment can fetch it. These derives accept
+//! the full derive syntax (including `#[serde(...)]` attributes) and expand
+//! to nothing, so the annotations compile without pulling in `syn`/`quote`.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

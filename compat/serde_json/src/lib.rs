@@ -1,0 +1,142 @@
+//! Offline stand-in for `serde_json`: a small owned JSON value model with a
+//! spec-compliant writer.
+//!
+//! The real `serde_json` works through `Serialize` impls, which the stub
+//! `serde` derives don't generate. Until the environment can fetch the real
+//! crates, callers that want JSON output (e.g. bench artifacts) build a
+//! [`Value`] explicitly and `Display` it.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An owned JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A finite number (serialized via `f64`; non-finite maps to `null`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with deterministically ordered keys.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Convenience constructor for object values.
+    pub fn object(entries: impl IntoIterator<Item = (String, Value)>) -> Value {
+        Value::Object(entries.into_iter().collect())
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Value {
+        Value::Number(x)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(x: u64) -> Value {
+        Value::Number(x as f64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(x: usize) -> Value {
+        Value::Number(x as f64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(x) if x.is_finite() => write!(f, "{x}"),
+            Value::Number(_) => f.write_str("null"),
+            Value::String(s) => write_escaped(f, s),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(map) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Serializes a [`Value`] to a compact JSON string.
+pub fn to_string(value: &Value) -> String {
+    value.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_compact_json() {
+        let v = Value::object([
+            ("n".to_string(), Value::from(3usize)),
+            ("name".to_string(), Value::from("a\"b")),
+            (
+                "xs".to_string(),
+                Value::Array(vec![Value::Null, Value::Bool(true), Value::from(1.5)]),
+            ),
+        ]);
+        assert_eq!(
+            to_string(&v),
+            r#"{"n":3,"name":"a\"b","xs":[null,true,1.5]}"#
+        );
+    }
+}

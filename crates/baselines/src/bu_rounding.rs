@@ -143,6 +143,10 @@ mod tests {
         let g = generators::star(60);
         let sol = solve(&g).unwrap();
         assert!(verify::is_dominating_set(&g, &sol.in_ds));
-        assert!(sol.size <= 4, "star should round to a few nodes, got {}", sol.size);
+        assert!(
+            sol.size <= 4,
+            "star should round to a few nodes, got {}",
+            sol.size
+        );
     }
 }

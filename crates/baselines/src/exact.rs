@@ -114,7 +114,10 @@ pub fn solve(g: &Graph) -> Option<ExactSolution> {
     }
     let closed: Vec<u64> = g
         .nodes()
-        .map(|v| g.closed_neighbors(v).fold(0u64, |m, u| m | (1u64 << u.index())))
+        .map(|v| {
+            g.closed_neighbors(v)
+                .fold(0u64, |m, u| m | (1u64 << u.index()))
+        })
         .collect();
     let full = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
     // Warm start with greedy for pruning.

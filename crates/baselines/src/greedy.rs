@@ -46,7 +46,9 @@ pub fn solve(g: &Graph) -> DsResult {
     let mut covered_count = 0usize;
     let mut in_ds = vec![false; n];
     let gain_of = |v: NodeId, covered: &[bool]| -> u64 {
-        g.closed_neighbors(v).filter(|u| !covered[u.index()]).count() as u64
+        g.closed_neighbors(v)
+            .filter(|u| !covered[u.index()])
+            .count() as u64
     };
     let mut heap: BinaryHeap<Entry> = g
         .nodes()
@@ -64,10 +66,7 @@ pub fn solve(g: &Graph) -> DsResult {
             continue;
         }
         if fresh < top.gain {
-            heap.push(Entry {
-                gain: fresh,
-                ..top
-            });
+            heap.push(Entry { gain: fresh, ..top });
             continue;
         }
         // Entry is current: take it.
@@ -136,7 +135,11 @@ mod tests {
         let sol = solve(&g);
         assert!(verify::is_dominating_set(&g, &sol.in_ds));
         // OPT = ⌈n/3⌉ = 10; greedy is optimal on paths up to boundary slop.
-        assert!(sol.size <= 12, "greedy on a path should be near ⌈n/3⌉, got {}", sol.size);
+        assert!(
+            sol.size <= 12,
+            "greedy on a path should be near ⌈n/3⌉, got {}",
+            sol.size
+        );
     }
 
     #[test]

@@ -102,7 +102,10 @@ impl FractionalSolution {
 pub fn fractional_mwu(g: &Graph, cfg: &MwuConfig) -> FractionalSolution {
     let n = g.n();
     if n == 0 {
-        return FractionalSolution { x: Vec::new(), cost: 0.0 };
+        return FractionalSolution {
+            x: Vec::new(),
+            cost: 0.0,
+        };
     }
     let iterations = if cfg.iterations == 0 {
         8 * n
@@ -157,7 +160,10 @@ pub fn fractional_mwu(g: &Graph, cfg: &MwuConfig) -> FractionalSolution {
             x_acc[g.tau_argmin(v).index()] += 1.0;
         }
     }
-    let mut sol = FractionalSolution { x: x_acc, cost: 0.0 };
+    let mut sol = FractionalSolution {
+        x: x_acc,
+        cost: 0.0,
+    };
     let cov = sol.min_coverage(g);
     debug_assert!(cov > 0.0);
     for x in &mut sol.x {
@@ -286,7 +292,13 @@ mod tests {
     #[test]
     fn mwu_handles_isolated_nodes() {
         let g = arbodom_graph::Graph::from_edges(3, [(0, 1)]).unwrap();
-        let sol = fractional_mwu(&g, &MwuConfig { eta: 0.2, iterations: 300 });
+        let sol = fractional_mwu(
+            &g,
+            &MwuConfig {
+                eta: 0.2,
+                iterations: 300,
+            },
+        );
         assert!(sol.min_coverage(&g) >= 1.0 - 1e-9);
     }
 

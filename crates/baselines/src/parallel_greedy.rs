@@ -36,7 +36,9 @@ pub fn solve(g: &Graph) -> DsResult {
         return DsResult::from_flags(g, in_ds, 0, None);
     }
     let residual = |v: NodeId, covered: &[bool]| -> u64 {
-        g.closed_neighbors(v).filter(|u| !covered[u.index()]).count() as u64
+        g.closed_neighbors(v)
+            .filter(|u| !covered[u.index()])
+            .count() as u64
     };
     let mut theta = (g.max_degree() as u64 + 1).next_power_of_two();
     while covered_count < n {

@@ -162,7 +162,11 @@ pub fn solve(g: &Graph) -> Option<TreeSolution> {
         .map(|v| g.weight(v))
         .sum();
     let size = in_ds.iter().filter(|&&b| b).count();
-    Some(TreeSolution { in_ds, weight, size })
+    Some(TreeSolution {
+        in_ds,
+        weight,
+        size,
+    })
 }
 
 /// The trivial upper bound `w(V)`, for sanity checks.

@@ -50,7 +50,14 @@ pub fn run(scale: Scale) -> Vec<Table> {
         "E-ABL-b",
         "footnote 2: nominal α vs exact pseudoarboricity p as the parameter",
         &[
-            "family", "nominal α", "p (exact)", "|DS| @α", "|DS| @p", "bound @α", "bound @p", "ok",
+            "family",
+            "nominal α",
+            "p (exact)",
+            "|DS| @α",
+            "|DS| @p",
+            "bound @α",
+            "bound @p",
+            "ok",
         ],
     );
     let np = scale.pick(800, 5_000);

@@ -19,7 +19,13 @@ pub fn run(scale: Scale) -> Vec<Table> {
         "E-CERT",
         "dual certificates vs exact OPT (n ≤ 40)",
         &[
-            "instance", "OPT", "w(DS)", "Σx (ours)", "Σy (packing)", "chain ok", "tightness Σx/OPT",
+            "instance",
+            "OPT",
+            "w(DS)",
+            "Σx (ours)",
+            "Σy (packing)",
+            "chain ok",
+            "tightness Σx/OPT",
         ],
     );
     let mut rng = StdRng::seed_from_u64(1060);
@@ -37,13 +43,11 @@ pub fn run(scale: Scale) -> Vec<Table> {
             g
         };
         let opt = exact::solve(&g).expect("small instance").weight;
-        let sol = weighted::solve(&g, &weighted::Config::new(2, 0.2).expect("valid"))
-            .expect("solves");
+        let sol =
+            weighted::solve(&g, &weighted::Config::new(2, 0.2).expect("valid")).expect("solves");
         let ours = sol.certificate.as_ref().unwrap().lower_bound();
         let indep = lp::maximal_packing(&g).lower_bound();
-        let chain_ok = ours <= opt as f64 + 1e-9
-            && indep <= opt as f64 + 1e-9
-            && sol.weight >= opt;
+        let chain_ok = ours <= opt as f64 + 1e-9 && indep <= opt as f64 + 1e-9 && sol.weight >= opt;
         table.row(vec![
             format!("{} n={}", ["gnp", "forest", "tree"][i % 3], g.n()),
             opt.to_string(),

@@ -28,7 +28,11 @@ pub fn run(scale: Scale) -> Vec<Table> {
         "E-FAULT",
         format!("Theorem 1.1 under message loss (forest union α=3, n={n}, {trials} trials)"),
         &[
-            "drop prob", "still dominating", "avg undominated", "avg weight vs lossless", "avg dropped msgs",
+            "drop prob",
+            "still dominating",
+            "avg undominated",
+            "avg weight vs lossless",
+            "avg dropped msgs",
         ],
     );
     let mut rng = StdRng::seed_from_u64(1080);

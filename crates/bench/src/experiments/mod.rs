@@ -47,11 +47,7 @@ mod tests {
             // Every experiment embeds its own pass/fail cells; none may fail.
             for row in &t.rows {
                 for cell in row {
-                    assert!(
-                        !cell.contains("FAIL"),
-                        "{}: failing row {row:?}",
-                        t.id
-                    );
+                    assert!(!cell.contains("FAIL"), "{}: failing row {row:?}", t.id);
                 }
             }
         }

@@ -15,7 +15,14 @@ pub fn run(scale: Scale) -> Vec<Table> {
         "E-4.4/4.5",
         format!("knowledge ablation on forest unions, n = {n}, ε = {eps}"),
         &[
-            "α", "algorithm", "knows", "iters", "w(DS)", "cert ratio", "bound", "ok",
+            "α",
+            "algorithm",
+            "knows",
+            "iters",
+            "w(DS)",
+            "cert ratio",
+            "bound",
+            "ok",
         ],
     );
     let mut rng = StdRng::seed_from_u64(1044);

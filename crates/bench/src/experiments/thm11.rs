@@ -16,7 +16,14 @@ pub fn run(scale: Scale) -> Vec<Table> {
         "E-1.1",
         format!("Theorem 1.1 (weighted) on forest unions, n = {n}, ε = 0.2"),
         &[
-            "α", "weights", "Δ", "iters", "w(DS)", "cert ratio", "bound", "ok",
+            "α",
+            "weights",
+            "Δ",
+            "iters",
+            "w(DS)",
+            "cert ratio",
+            "bound",
+            "ok",
         ],
     );
     let mut rng = StdRng::seed_from_u64(1011);
@@ -56,7 +63,15 @@ pub fn run(scale: Scale) -> Vec<Table> {
         "E-1.1b",
         "CONGEST fidelity of the Theorem 1.1 node program",
         &[
-            "α", "n", "rounds", "schedule 2r+4", "msgs", "avg bits", "max bits", "budget", "identical",
+            "α",
+            "n",
+            "rounds",
+            "schedule 2r+4",
+            "msgs",
+            "avg bits",
+            "max bits",
+            "budget",
+            "identical",
         ],
     );
     let nc = scale.pick(600, 5_000);

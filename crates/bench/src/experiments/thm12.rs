@@ -20,7 +20,14 @@ pub fn run(scale: Scale) -> Vec<Table> {
         "E-1.2",
         format!("Theorem 1.2 trade-off sweep on forest unions, n = {n}, avg of {seeds} seeds"),
         &[
-            "α", "t", "iters", "t·logΔ scale", "avg ratio", "proof bound", "det bound 2α+1", "ok",
+            "α",
+            "t",
+            "iters",
+            "t·logΔ scale",
+            "avg ratio",
+            "proof bound",
+            "det bound 2α+1",
+            "ok",
         ],
     );
     let mut rng = StdRng::seed_from_u64(1012);

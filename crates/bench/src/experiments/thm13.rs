@@ -15,9 +15,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
     let mut table = Table::new(
         "E-1.3",
         format!("Theorem 1.3 k-sweep on G(n,p), n = {n}, avg of {seeds} seeds"),
-        &[
-            "Δ", "k", "iters", "~k²", "avg ratio", "theorem bound", "ok",
-        ],
+        &["Δ", "k", "iters", "~k²", "avg ratio", "theorem bound", "ok"],
     );
     let mut rng = StdRng::seed_from_u64(1013);
     for &target_delta in &[32usize, 128] {

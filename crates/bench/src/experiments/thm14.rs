@@ -17,7 +17,16 @@ pub fn run(scale: Scale) -> Vec<Table> {
         "E-1.4a",
         "Section 5 construction H(G): structural verification (Fig. 1 = K4 row)",
         &[
-            "base G", "copies", "n(H)", "m(H)", "Δ(H)", "out-deg ≤ 2", "hub deg = c", "eq(2) size", "Δ²·MVC+n", "ok",
+            "base G",
+            "copies",
+            "n(H)",
+            "m(H)",
+            "Δ(H)",
+            "out-deg ≤ 2",
+            "hub deg = c",
+            "eq(2) size",
+            "Δ²·MVC+n",
+            "ok",
         ],
     );
     let mut rng = StdRng::seed_from_u64(1014);
@@ -25,14 +34,8 @@ pub fn run(scale: Scale) -> Vec<Table> {
     let bases: Vec<(String, arbodom_graph::Graph)> = vec![
         ("K4 (Fig. 1)".into(), generators::complete(4)),
         ("C8".into(), generators::cycle(8)),
-        (
-            "kmw-like(2,3)".into(),
-            kmw_like(2, 3, &mut rng).graph,
-        ),
-        (
-            "kmw-like(3,2)".into(),
-            kmw_like(3, 2, &mut rng).graph,
-        ),
+        ("kmw-like(2,3)".into(), kmw_like(2, 3, &mut rng).graph),
+        ("kmw-like(3,2)".into(), kmw_like(3, 2, &mut rng).graph),
     ];
     for (name, g) in &bases {
         let h = build_h_paper(g);
@@ -59,8 +62,11 @@ pub fn run(scale: Scale) -> Vec<Table> {
                 (size, h.copies * (g.n() - 1) + g.n(), ok)
             }
         };
-        let hub_ok = (0..g.n())
-            .all(|v| h.graph.degree(h.hub_node(arbodom_graph::NodeId::from_index(v))) == h.copies);
+        let hub_ok = (0..g.n()).all(|v| {
+            h.graph
+                .degree(h.hub_node(arbodom_graph::NodeId::from_index(v)))
+                == h.copies
+        });
         structure.row(vec![
             name.clone(),
             h.copies.to_string(),

@@ -15,7 +15,15 @@ pub fn run(scale: Scale) -> Vec<Table> {
         "E-3.1",
         format!("Theorem 3.1 (unweighted) on forest unions, n = {n}"),
         &[
-            "α", "ε", "Δ", "iters", "iter bound", "|DS|", "cert ratio", "(2α+1)(1+ε)", "ok",
+            "α",
+            "ε",
+            "Δ",
+            "iters",
+            "iter bound",
+            "|DS|",
+            "cert ratio",
+            "(2α+1)(1+ε)",
+            "ok",
         ],
     );
     let mut rng = StdRng::seed_from_u64(1031);

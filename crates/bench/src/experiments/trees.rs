@@ -16,7 +16,13 @@ pub fn run(scale: Scale) -> Vec<Table> {
         "E-A.1",
         "Observation A.1 on forests: non-leaves vs exact OPT (tree DP)",
         &[
-            "family", "n", "|DS|", "OPT", "ratio", "≤ 3", "congest rounds",
+            "family",
+            "n",
+            "|DS|",
+            "OPT",
+            "ratio",
+            "≤ 3",
+            "congest rounds",
         ],
     );
     let mut rng = StdRng::seed_from_u64(10_01);
@@ -33,10 +39,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
             "3-ary tree".into(),
             generators::kary_tree(scale.pick(1_000, 20_000), 3),
         ),
-        (
-            "star".into(),
-            generators::star(scale.pick(1_000, 50_000)),
-        ),
+        ("star".into(), generators::star(scale.pick(1_000, 50_000))),
     ];
     for (name, g) in families {
         let sol = trees::solve(&g).expect("never fails");

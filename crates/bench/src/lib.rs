@@ -47,7 +47,10 @@ impl Scale {
 
     /// Reads `ARBODOM_QUICK=1` to downscale binaries (used by CI).
     pub fn from_env() -> Self {
-        if std::env::var("ARBODOM_QUICK").map(|v| v == "1").unwrap_or(false) {
+        if std::env::var("ARBODOM_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
             Scale::Quick
         } else {
             Scale::Full

@@ -19,11 +19,7 @@ pub struct Table {
 
 impl Table {
     /// Starts a table with the given id, title, and headers.
-    pub fn new(
-        id: impl Into<String>,
-        title: impl Into<String>,
-        headers: &[&str],
-    ) -> Self {
+    pub fn new(id: impl Into<String>, title: impl Into<String>, headers: &[&str]) -> Self {
         Table {
             id: id.into(),
             title: title.into(),
@@ -100,7 +96,11 @@ pub fn f2(x: f64) -> String {
 
 /// A ✓/✗ cell.
 pub fn check(ok: bool) -> String {
-    if ok { "✓".into() } else { "✗ FAIL".into() }
+    if ok {
+        "✓".into()
+    } else {
+        "✗ FAIL".into()
+    }
 }
 
 #[cfg(test)]

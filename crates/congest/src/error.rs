@@ -52,7 +52,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::MaxRoundsExceeded { limit, active } => {
-                write!(f, "round limit {limit} reached with {active} nodes still active")
+                write!(
+                    f,
+                    "round limit {limit} reached with {active} nodes still active"
+                )
             }
             SimError::Wire(e) => write!(f, "wire error: {e}"),
             SimError::BadPort { node, port, degree } => {
@@ -83,12 +86,19 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        let e = SimError::MaxRoundsExceeded { limit: 10, active: 3 };
+        let e = SimError::MaxRoundsExceeded {
+            limit: 10,
+            active: 3,
+        };
         assert!(e.to_string().contains("10"));
         assert!(e.to_string().contains('3'));
         let e = SimError::from(WireError::Truncated);
         assert!(e.to_string().contains("truncated"));
-        let e = SimError::BadPort { node: 5, port: 9, degree: 2 };
+        let e = SimError::BadPort {
+            node: 5,
+            port: 9,
+            degree: 2,
+        };
         assert!(e.to_string().contains("port 9"));
     }
 

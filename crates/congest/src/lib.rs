@@ -63,4 +63,6 @@ pub use error::{SimError, WireError};
 pub use program::{Globals, NodeCtx, NodeProgram, Outgoing, Recipients, Step};
 pub use sim::{run, run_parallel, LossModel, MeterMode, RunOptions, RunResult};
 pub use telemetry::{RoundStats, Telemetry};
-pub use wire::{get_bool, get_u32, get_u64, get_uvarint, put_bool, put_u32, put_u64, put_uvarint, Wire};
+pub use wire::{
+    get_bool, get_u32, get_u64, get_uvarint, put_bool, put_u32, put_u64, put_uvarint, Wire,
+};

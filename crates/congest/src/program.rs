@@ -183,7 +183,8 @@ pub trait NodeProgram {
     type Output;
 
     /// Executes one synchronous round.
-    fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(usize, Self::Message)]) -> Step<Self::Message>;
+    fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(usize, Self::Message)])
+        -> Step<Self::Message>;
 
     /// This node's part of the global output.
     fn output(&self) -> Self::Output;

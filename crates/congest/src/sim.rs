@@ -111,10 +111,7 @@ impl<M> Mailbox<M> {
 
 /// Meters (and in strict mode, re-encodes) a message; returns the bits and
 /// the possibly round-tripped payload.
-fn meter_message<M: Wire + Clone>(
-    msg: &M,
-    meter: MeterMode,
-) -> Result<(usize, M), SimError> {
+fn meter_message<M: Wire + Clone>(msg: &M, meter: MeterMode) -> Result<(usize, M), SimError> {
     match meter {
         MeterMode::Off => Ok((0, msg.clone())),
         MeterMode::Measure => Ok((msg.encoded_bits(), msg.clone())),
@@ -135,6 +132,7 @@ fn meter_message<M: Wire + Clone>(
     }
 }
 
+#[allow(clippy::too_many_arguments)] // internal routing core shared by both runners
 fn route_step<M: Wire + Clone>(
     g: &Graph,
     rev: &[Vec<u32>],
@@ -240,7 +238,16 @@ pub fn run<P: NodeProgram>(
                 active[vi] = false;
                 active_count -= 1;
             }
-            route_step(g, &rev, v, step.outgoing, round, opts, &mut telemetry, &mut mail.next)?;
+            route_step(
+                g,
+                &rev,
+                v,
+                step.outgoing,
+                round,
+                opts,
+                &mut telemetry,
+                &mut mail.next,
+            )?;
         }
         mail.flip();
         round += 1;
@@ -256,7 +263,7 @@ pub fn run<P: NodeProgram>(
 /// telemetry totals (per-round stats and totals are aggregated
 /// deterministically).
 ///
-/// Nodes are partitioned into contiguous chunks, one crossbeam scoped
+/// Nodes are partitioned into contiguous chunks, one scoped
 /// thread per chunk; each thread steps its nodes and buffers outgoing
 /// messages locally, and buffers are merged in chunk order so message
 /// arrival order in each inbox is the same as in the sequential runner.
@@ -305,20 +312,20 @@ where
         // Each worker returns its sent messages and the nodes that halted.
         type SentBuf<M> = Vec<(u32, usize, M, usize)>; // (dest, from_port, msg, bits)
         type WorkerOut<M> = (SentBuf<M>, Vec<usize>);
+        type InboxChunks<'a, M> = Vec<&'a mut [Vec<(usize, M)>]>;
         let results: Vec<Result<WorkerOut<P::Message>, SimError>> = {
             let rev = &rev;
             let active = &active;
             let current = &mut current;
             let node_slices: Vec<&mut [P]> = nodes.chunks_mut(chunk).collect();
-            let inbox_slices: Vec<&mut [Vec<(usize, P::Message)>]> =
-                current.chunks_mut(chunk).collect();
-            crossbeam::thread::scope(|scope| {
+            let inbox_slices: InboxChunks<'_, P::Message> = current.chunks_mut(chunk).collect();
+            std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for (t, (node_chunk, inbox_chunk)) in
                     node_slices.into_iter().zip(inbox_slices).enumerate()
                 {
                     let base = t * chunk;
-                    handles.push(scope.spawn(move |_| {
+                    handles.push(scope.spawn(move || {
                         let mut sent: SentBuf<P::Message> = Vec::new();
                         let mut halted: Vec<usize> = Vec::new();
                         for (i, node) in node_chunk.iter_mut().enumerate() {
@@ -394,9 +401,11 @@ where
                         Ok((sent, halted))
                     }));
                 }
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
             })
-            .expect("crossbeam scope")
         };
         // Merge in chunk order for determinism.
         let mut next: Vec<Vec<(usize, P::Message)>> = (0..n).map(|_| Vec::new()).collect();
@@ -524,7 +533,13 @@ mod tests {
             },
         )
         .unwrap_err();
-        assert!(matches!(err, SimError::MaxRoundsExceeded { limit: 10, active: 3 }));
+        assert!(matches!(
+            err,
+            SimError::MaxRoundsExceeded {
+                limit: 10,
+                active: 3
+            }
+        ));
     }
 
     /// Sends to a bogus port.
@@ -647,8 +662,14 @@ mod tests {
         let g = generators::grid2d(16, 16, true);
         let globals = Globals::new(&g, 7);
         let seq = run(&g, &globals, |_, _| Echo { sum: 0 }, &RunOptions::default()).unwrap();
-        let par = run_parallel(&g, &globals, |_, _| Echo { sum: 0 }, &RunOptions::default(), 4)
-            .unwrap();
+        let par = run_parallel(
+            &g,
+            &globals,
+            |_, _| Echo { sum: 0 },
+            &RunOptions::default(),
+            4,
+        )
+        .unwrap();
         assert_eq!(seq.outputs, par.outputs);
         assert_eq!(seq.telemetry.rounds, par.telemetry.rounds);
         assert_eq!(seq.telemetry.total_messages, par.telemetry.total_messages);

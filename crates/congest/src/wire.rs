@@ -230,10 +230,19 @@ mod tests {
     #[test]
     fn truncated_errors() {
         let empty: &[u8] = &[];
-        assert!(matches!(get_bool(&mut { empty }), Err(WireError::Truncated)));
-        assert!(matches!(get_uvarint(&mut { empty }), Err(WireError::Truncated)));
+        assert!(matches!(
+            get_bool(&mut { empty }),
+            Err(WireError::Truncated)
+        ));
+        assert!(matches!(
+            get_uvarint(&mut { empty }),
+            Err(WireError::Truncated)
+        ));
         let cut: &[u8] = &[0x80]; // continuation bit with no next byte
-        assert!(matches!(get_uvarint(&mut { cut }), Err(WireError::Truncated)));
+        assert!(matches!(
+            get_uvarint(&mut { cut }),
+            Err(WireError::Truncated)
+        ));
     }
 
     #[test]
@@ -245,7 +254,10 @@ mod tests {
     #[test]
     fn varint_overflow_rejected() {
         let bad: &[u8] = &[0xff; 11];
-        assert!(matches!(get_uvarint(&mut { bad }), Err(WireError::Invalid(_))));
+        assert!(matches!(
+            get_uvarint(&mut { bad }),
+            Err(WireError::Invalid(_))
+        ));
     }
 
     proptest::proptest! {

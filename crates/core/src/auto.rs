@@ -120,7 +120,9 @@ pub fn solve(g: &Graph, cfg: &AutoConfig) -> Result<AutoOutcome> {
             }
             Err(CoreError::param(
                 "target_ratio",
-                format!("no parameterization reaches {target} for α = {alpha} (needs > α + O(log α))"),
+                format!(
+                    "no parameterization reaches {target} for α = {alpha} (needs > α + O(log α))"
+                ),
             ))
         }
     }

@@ -37,6 +37,6 @@ mod weighted;
 
 pub use msg::ProtocolMsg;
 pub use randomized::{run_general, run_randomized, RandomizedProgram};
-pub use unknown_delta::{run_unknown_delta, UnknownDeltaProgram};
 pub use trees::{run_trees, TreeProgram};
+pub use unknown_delta::{run_unknown_delta, UnknownDeltaProgram};
 pub use weighted::{run_weighted, WeightedProgram};

@@ -356,19 +356,20 @@ impl NodeProgram for RandomizedProgram {
 /// # Errors
 ///
 /// Propagates configuration validation and simulation errors.
-pub fn run_randomized(
-    g: &Graph,
-    cfg: &Config,
-    opts: &RunOptions,
-) -> Result<(DsResult, Telemetry)> {
+pub fn run_randomized(g: &Graph, cfg: &Config, opts: &RunOptions) -> Result<(DsResult, Telemetry)> {
     let pcfg = PartialConfig::new(cfg.epsilon(), cfg.lambda())?;
     let ecfg = ExtendConfig::new(cfg.lambda(), cfg.gamma(), cfg.seed)?;
     let globals = Globals::new(g, cfg.seed).with_arboricity(cfg.alpha);
-    let run_out = run(g, &globals, |v, g| RandomizedProgram::new(*cfg, g.degree(v)), opts)?;
+    let run_out = run(
+        g,
+        &globals,
+        |v, g| RandomizedProgram::new(*cfg, g.degree(v)),
+        opts,
+    )?;
     let in_ds: Vec<bool> = run_out.outputs.iter().map(|o| o.in_ds).collect();
     let x: Vec<f64> = run_out.outputs.iter().map(|o| o.x_certificate).collect();
-    let iterations = pcfg.iterations(g.max_degree())
-        + ecfg.phases() * ecfg.iterations_per_phase(g.max_degree());
+    let iterations =
+        pcfg.iterations(g.max_degree()) + ecfg.phases() * ecfg.iterations_per_phase(g.max_degree());
     Ok((
         DsResult::from_flags(g, in_ds, iterations, Some(PackingCertificate::new(x))),
         run_out.telemetry,

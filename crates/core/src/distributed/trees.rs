@@ -106,9 +106,6 @@ mod tests {
         let g = arbodom_graph::Graph::from_edges(6, [(0, 1), (2, 3), (3, 4)]).unwrap();
         let (sol, _) = run_trees(&g, &strict()).unwrap();
         assert!(verify::is_dominating_set(&g, &sol.in_ds));
-        assert_eq!(
-            sol.in_ds,
-            trees::solve(&g).unwrap().in_ds
-        );
+        assert_eq!(sol.in_ds, trees::solve(&g).unwrap().in_ds);
     }
 }

@@ -241,9 +241,7 @@ impl NodeProgram for UnknownDeltaProgram {
                             }
                         }
                         // Election (start-of-iteration snapshot).
-                        if !self.dominated
-                            && self.x > self.lambda() * self.tau as f64
-                        {
+                        if !self.dominated && self.x > self.lambda() * self.tau as f64 {
                             match self.cheapest_dominator(ctx) {
                                 None => {
                                     self.in_s_prime = true;
@@ -256,8 +254,8 @@ impl NodeProgram for UnknownDeltaProgram {
                         }
                         // Join (start-of-iteration snapshot; only useful
                         // joins — see the centralized solver's comment).
-                        let any_undominated = !self.dominated
-                            || self.nbr_dominated.iter().any(|&d| !d);
+                        let any_undominated =
+                            !self.dominated || self.nbr_dominated.iter().any(|&d| !d);
                         if !self.in_s
                             && any_undominated
                             && !self.announced_joined

@@ -228,10 +228,9 @@ impl NodeProgram for WeightedProgram {
                             self.in_s_prime = true;
                             Step::idle()
                         }
-                        Some(port) => Step::continue_with(vec![Outgoing::to_port(
-                            port,
-                            ProtocolMsg::Elect,
-                        )]),
+                        Some(port) => {
+                            Step::continue_with(vec![Outgoing::to_port(port, ProtocolMsg::Elect)])
+                        }
                     }
                 } else {
                     // completion_round + 1: receive elections, halt.
@@ -267,7 +266,12 @@ pub fn run_weighted(
     // Validate before constructing node programs.
     PartialConfig::new(cfg.epsilon, cfg.lambda())?;
     let globals = Globals::new(g, seed).with_arboricity(cfg.alpha);
-    let run_out = run(g, &globals, |v, g| WeightedProgram::new(*cfg, g.degree(v)), opts)?;
+    let run_out = run(
+        g,
+        &globals,
+        |v, g| WeightedProgram::new(*cfg, g.degree(v)),
+        opts,
+    )?;
     let in_ds: Vec<bool> = run_out.outputs.iter().map(|o| o.in_ds).collect();
     let x: Vec<f64> = run_out.outputs.iter().map(|o| o.x).collect();
     let iterations = PartialConfig::new(cfg.epsilon, cfg.lambda())?.iterations(g.max_degree()) + 1;

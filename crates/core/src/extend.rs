@@ -163,7 +163,12 @@ pub fn extend(
                 if xu >= g.weight(u) as f64 / cfg.gamma
                     && det_rand::bernoulli(
                         cfg.seed,
-                        &[EXTEND_RAND_TAG, phase as u64, iter as u64, u64::from(u.get())],
+                        &[
+                            EXTEND_RAND_TAG,
+                            phase as u64,
+                            iter as u64,
+                            u64::from(u.get()),
+                        ],
                         p,
                     )
                 {
@@ -245,13 +250,7 @@ mod tests {
         let delta_p1 = (g.max_degree() + 1) as f64;
         let x0: Vec<f64> = g.nodes().map(|v| g.tau(v) as f64 / delta_p1).collect();
         let cfg = ExtendConfig::new(1.0 / delta_p1, 2.0, 7).unwrap();
-        let out = extend(
-            &g,
-            &vec![false; g.n()],
-            &vec![false; g.n()],
-            &x0,
-            &cfg,
-        );
+        let out = extend(&g, &vec![false; g.n()], &vec![false; g.n()], &x0, &cfg);
         assert!(verify::is_dominating_set(&g, &out.in_s_prime));
         assert_eq!(out.fallback_elections, 0, "lemma guarantees domination");
     }
@@ -271,8 +270,8 @@ mod tests {
             let cfg = ExtendConfig::new(lambda, gamma, 13).unwrap();
             let out = extend(&g, &part.dominated, &part.in_s, &part.x, &cfg);
             let mut in_ds = part.in_s.clone();
-            for v in 0..g.n() {
-                in_ds[v] = in_ds[v] || out.in_s_prime[v];
+            for (flag, &added) in in_ds.iter_mut().zip(&out.in_s_prime) {
+                *flag = *flag || added;
             }
             assert!(verify::is_dominating_set(&g, &in_ds), "α={alpha}");
             assert_eq!(out.fallback_elections, 0, "α={alpha}");

@@ -39,7 +39,9 @@ impl Config {
     /// finite when `k` exceeds `log Δ` (larger `k` than that buys nothing;
     /// the clamp is documented behavior, not part of the paper).
     pub fn gamma(&self, max_degree: usize) -> f64 {
-        ((max_degree.max(1)) as f64).powf(1.0 / self.k as f64).max(1.3)
+        ((max_degree.max(1)) as f64)
+            .powf(1.0 / self.k as f64)
+            .max(1.3)
     }
 
     /// The expected approximation factor `Δ^{1/k}(Δ^{1/k}+1)(k+1)`.

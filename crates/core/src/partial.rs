@@ -118,11 +118,7 @@ pub fn partial_dominating_set(g: &Graph, cfg: &PartialConfig) -> PartialOutcome 
 /// `r`-round algorithm is the paper's engine truncated at `r` iterations
 /// plus the take-all-undominated completion; ratios must degrade as `r`
 /// shrinks on the lower-bound construction.
-pub fn partial_dominating_set_iterations(
-    g: &Graph,
-    epsilon: f64,
-    r: usize,
-) -> PartialOutcome {
+pub fn partial_dominating_set_iterations(g: &Graph, epsilon: f64, r: usize) -> PartialOutcome {
     let n = g.n();
     let delta_p1 = (g.max_degree() + 1) as f64;
     let one_plus_eps = 1.0 + epsilon;

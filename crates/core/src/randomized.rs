@@ -86,8 +86,8 @@ pub fn solve(g: &Graph, cfg: &Config) -> Result<DsResult> {
     let ecfg = ExtendConfig::new(cfg.lambda(), cfg.gamma(), cfg.seed)?;
     let ext = extend(g, &part.dominated, &part.in_s, &part.x, &ecfg);
     let mut in_ds = part.in_s;
-    for v in 0..g.n() {
-        in_ds[v] = in_ds[v] || ext.in_s_prime[v];
+    for (flag, &added) in in_ds.iter_mut().zip(&ext.in_s_prime) {
+        *flag = *flag || added;
     }
     Ok(DsResult::from_flags(
         g,

@@ -53,7 +53,8 @@ impl DsResult {
         self.in_ds
             .iter()
             .enumerate()
-            .filter_map(|(i, &b)| b.then(|| NodeId::from_index(i)))
+            .filter(|&(_, &b)| b)
+            .map(|(i, _)| NodeId::from_index(i))
             .collect()
     }
 
@@ -73,9 +74,7 @@ mod tests {
 
     #[test]
     fn from_flags_computes_weight_and_size() {
-        let g = generators::path(4)
-            .with_weights(vec![2, 3, 5, 7])
-            .unwrap();
+        let g = generators::path(4).with_weights(vec![2, 3, 5, 7]).unwrap();
         let r = DsResult::from_flags(&g, vec![true, false, true, false], 3, None);
         assert_eq!(r.size, 2);
         assert_eq!(r.weight, 7);

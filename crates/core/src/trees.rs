@@ -101,11 +101,7 @@ mod tests {
             let g = generators::path(n);
             let sol = solve(&g).unwrap();
             let opt = n.div_ceil(3);
-            assert!(
-                sol.size <= 3 * opt,
-                "P_{n}: {} > 3·{opt}",
-                sol.size
-            );
+            assert!(sol.size <= 3 * opt, "P_{n}: {} > 3·{opt}", sol.size);
         }
     }
 

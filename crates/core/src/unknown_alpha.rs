@@ -53,9 +53,9 @@ fn peel_with_schedule(
     let mut rounds = 0usize;
     // Rounds needed at a *correct* estimate: each removes an ε/(2+ε)
     // fraction of the residual graph.
-    let per_estimate =
-        (((n + 1) as f64).ln() / (1.0 - epsilon / (2.0 + epsilon)).recip().ln()).ceil() as usize
-            + 1;
+    let per_estimate = (((n + 1) as f64).ln() / (1.0 - epsilon / (2.0 + epsilon)).recip().ln())
+        .ceil() as usize
+        + 1;
     let mut estimate = 1usize;
     while remaining_count > 0 {
         let threshold = threshold_for(estimate);

@@ -199,8 +199,7 @@ mod tests {
         let g = generators::preferential_attachment(1000, alpha, &mut rng);
         let unknown = solve(&g, &Config::new(alpha, 0.3).unwrap()).unwrap();
         let known =
-            crate::weighted::solve(&g, &crate::weighted::Config::new(alpha, 0.3).unwrap())
-                .unwrap();
+            crate::weighted::solve(&g, &crate::weighted::Config::new(alpha, 0.3).unwrap()).unwrap();
         // Same Θ(log Δ / ε) scaling; allow a generous constant.
         assert!(
             unknown.iterations <= 3 * known.iterations + 10,

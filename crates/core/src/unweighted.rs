@@ -65,9 +65,9 @@ pub fn solve(g: &Graph, cfg: &Config) -> Result<DsResult> {
     let out = partial_dominating_set(g, &pcfg);
     let mut in_ds = out.in_s;
     // T = undominated nodes, added wholesale (Claim 3.3).
-    for v in 0..g.n() {
-        if !out.dominated[v] {
-            in_ds[v] = true;
+    for (flag, &dominated) in in_ds.iter_mut().zip(&out.dominated) {
+        if !dominated {
+            *flag = true;
         }
     }
     Ok(DsResult::from_flags(

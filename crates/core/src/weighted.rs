@@ -104,7 +104,10 @@ mod tests {
                 let g = model.assign(&g, &mut rng);
                 let cfg = Config::new(alpha, 0.25).unwrap();
                 let sol = solve(&g, &cfg).unwrap();
-                assert!(verify::is_dominating_set(&g, &sol.in_ds), "α={alpha} {model:?}");
+                assert!(
+                    verify::is_dominating_set(&g, &sol.in_ds),
+                    "α={alpha} {model:?}"
+                );
                 let cert = sol.certificate.as_ref().unwrap();
                 assert!(cert.is_feasible(&g, 1e-9));
                 assert!(

@@ -114,7 +114,10 @@ mod tests {
         assert_eq!(exact_arboricity_small(&generators::complete(5)), 3);
         assert_eq!(exact_arboricity_small(&generators::complete(6)), 3);
         // α(K_{a,b}) = ⌈ab/(a+b-1)⌉
-        assert_eq!(exact_arboricity_small(&generators::complete_bipartite(3, 3)), 2);
+        assert_eq!(
+            exact_arboricity_small(&generators::complete_bipartite(3, 3)),
+            2
+        );
     }
 
     #[test]

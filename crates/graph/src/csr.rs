@@ -19,7 +19,9 @@ use crate::{GraphBuilder, GraphError, Result};
 /// assert_eq!(v.index(), 3);
 /// assert_eq!(u32::from(v), 3);
 /// ```
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(
+    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct NodeId(u32);
 
@@ -312,7 +314,11 @@ mod tests {
     #[test]
     fn neighbors_sorted() {
         let g = Graph::from_edges(5, [(2, 4), (2, 0), (2, 3), (2, 1)]).unwrap();
-        let nb: Vec<u32> = g.neighbors(NodeId::new(2)).iter().map(|v| v.get()).collect();
+        let nb: Vec<u32> = g
+            .neighbors(NodeId::new(2))
+            .iter()
+            .map(|v| v.get())
+            .collect();
         assert_eq!(nb, vec![0, 1, 3, 4]);
     }
 

@@ -28,7 +28,8 @@ pub fn cycle(n: usize) -> Graph {
     assert!(n >= 3, "cycle requires n >= 3");
     let mut b = GraphBuilder::new(n);
     for i in 0..n as u32 {
-        b.add_edge_u32(i, (i + 1) % n as u32).expect("cycle edges are valid");
+        b.add_edge_u32(i, (i + 1) % n as u32)
+            .expect("cycle edges are valid");
     }
     b.build()
 }
@@ -58,7 +59,9 @@ pub fn complete_bipartite(a: usize, b: usize) -> Graph {
     let mut builder = GraphBuilder::new(a + b);
     for u in 0..a as u32 {
         for v in a as u32..(a + b) as u32 {
-            builder.add_edge_u32(u, v).expect("bipartite edges are valid");
+            builder
+                .add_edge_u32(u, v)
+                .expect("bipartite edges are valid");
         }
     }
     builder.build()
@@ -75,7 +78,8 @@ pub fn kary_tree(n: usize, k: usize) -> Graph {
     let mut b = GraphBuilder::new(n);
     for i in 1..n {
         let parent = (i - 1) / k;
-        b.add_edge_u32(parent as u32, i as u32).expect("tree edges are valid");
+        b.add_edge_u32(parent as u32, i as u32)
+            .expect("tree edges are valid");
     }
     b.build()
 }
@@ -86,7 +90,8 @@ pub fn caterpillar(spine: usize, legs: usize) -> Graph {
     let n = spine * (1 + legs);
     let mut b = GraphBuilder::new(n);
     for s in 1..spine {
-        b.add_edge_u32((s - 1) as u32, s as u32).expect("spine edges are valid");
+        b.add_edge_u32((s - 1) as u32, s as u32)
+            .expect("spine edges are valid");
     }
     let mut next = spine as u32;
     for s in 0..spine as u32 {
@@ -134,14 +139,18 @@ pub fn grid2d(rows: usize, cols: usize, torus: bool) -> Graph {
     for r in 0..rows {
         for c in 0..cols {
             if c + 1 < cols {
-                b.add_edge_u32(id(r, c), id(r, c + 1)).expect("grid edges are valid");
+                b.add_edge_u32(id(r, c), id(r, c + 1))
+                    .expect("grid edges are valid");
             } else if torus {
-                b.add_edge_u32(id(r, c), id(r, 0)).expect("grid edges are valid");
+                b.add_edge_u32(id(r, c), id(r, 0))
+                    .expect("grid edges are valid");
             }
             if r + 1 < rows {
-                b.add_edge_u32(id(r, c), id(r + 1, c)).expect("grid edges are valid");
+                b.add_edge_u32(id(r, c), id(r + 1, c))
+                    .expect("grid edges are valid");
             } else if torus {
-                b.add_edge_u32(id(r, c), id(0, c)).expect("grid edges are valid");
+                b.add_edge_u32(id(r, c), id(0, c))
+                    .expect("grid edges are valid");
             }
         }
     }

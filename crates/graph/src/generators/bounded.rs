@@ -5,7 +5,7 @@
 //! be evaluated against a *known* α instead of an estimated one.
 
 use rand::seq::SliceRandom;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 use crate::{Graph, GraphBuilder, NodeId};
 
@@ -104,7 +104,8 @@ pub fn preferential_attachment(n: usize, m_per_node: usize, rng: &mut impl Rng) 
         let mut targets: Vec<u32> = targets.into_iter().collect();
         targets.sort_unstable();
         for t in targets {
-            b.add_edge_u32(v as u32, t).expect("attachment edges are valid");
+            b.add_edge_u32(v as u32, t)
+                .expect("attachment edges are valid");
             chances.push(t);
             chances.push(v as u32);
         }
@@ -131,7 +132,12 @@ pub struct PlantedInstance {
 /// # Panics
 ///
 /// Panics if `k == 0` or `k > n`.
-pub fn planted_ds(n: usize, k: usize, extra_per_node: usize, rng: &mut impl Rng) -> PlantedInstance {
+pub fn planted_ds(
+    n: usize,
+    k: usize,
+    extra_per_node: usize,
+    rng: &mut impl Rng,
+) -> PlantedInstance {
     assert!(k >= 1 && k <= n, "need 1 <= k <= n");
     let mut ids: Vec<u32> = (0..n as u32).collect();
     ids.shuffle(rng);
@@ -169,7 +175,10 @@ mod tests {
         for alpha in [1usize, 2, 4, 8] {
             let g = forest_union(300, alpha, &mut rng);
             let (lo, hi) = arboricity::arboricity_bounds(&g);
-            assert!(lo <= alpha, "lower bound {lo} exceeds construction α {alpha}");
+            assert!(
+                lo <= alpha,
+                "lower bound {lo} exceeds construction α {alpha}"
+            );
             assert!(hi <= 2 * alpha, "degeneracy {hi} exceeds 2α for α={alpha}");
         }
     }
@@ -195,7 +204,10 @@ mod tests {
         let g = preferential_attachment(500, 3, &mut rng);
         assert_eq!(g.n(), 500);
         let (_, degeneracy) = crate::orientation::degeneracy_order(&g);
-        assert!(degeneracy <= 3, "PA graph must have degeneracy <= m_per_node");
+        assert!(
+            degeneracy <= 3,
+            "PA graph must have degeneracy <= m_per_node"
+        );
         // Heavy tail: the max degree should well exceed the average.
         let avg = 2.0 * g.m() as f64 / g.n() as f64;
         assert!(g.max_degree() as f64 > 3.0 * avg);

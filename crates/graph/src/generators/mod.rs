@@ -16,6 +16,10 @@ mod basic;
 mod bounded;
 mod random;
 
-pub use basic::{caterpillar, complete, complete_bipartite, cycle, grid2d, kary_tree, path, spider, star};
-pub use bounded::{forest_union, forest_union_partial, planted_ds, preferential_attachment, PlantedInstance};
+pub use basic::{
+    caterpillar, complete, complete_bipartite, cycle, grid2d, kary_tree, path, spider, star,
+};
+pub use bounded::{
+    forest_union, forest_union_partial, planted_ds, preferential_attachment, PlantedInstance,
+};
 pub use random::{bipartite_random, gnm, gnp, random_regular, random_tree};

@@ -1,7 +1,7 @@
 //! Classic random graph families.
 
 use rand::seq::SliceRandom;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 use crate::{Graph, GraphBuilder};
 
@@ -31,14 +31,19 @@ pub fn gnp(n: usize, p: f64, rng: &mut impl Rng) -> Graph {
     loop {
         let u: f64 = rng.random::<f64>();
         // Number of failures before the next success in a Bernoulli(p) stream.
-        let skip = if u <= 0.0 { 0 } else { (u.ln() / log_q).floor() as u64 };
+        let skip = if u <= 0.0 {
+            0
+        } else {
+            (u.ln() / log_q).floor() as u64
+        };
         rank = if first { skip } else { rank + 1 + skip };
         first = false;
         if rank >= total {
             break;
         }
         let (i, j) = pair_from_rank(rank, n as u64);
-        b.add_edge_u32(i as u32, j as u32).expect("gnp edges are valid");
+        b.add_edge_u32(i as u32, j as u32)
+            .expect("gnp edges are valid");
     }
     b.build()
 }
@@ -51,7 +56,7 @@ fn pair_from_rank(rank: u64, n: u64) -> (u64, u64) {
     let mut lo = 0u64;
     let mut hi = n - 1;
     while lo < hi {
-        let mid = (lo + hi + 1) / 2;
+        let mid = (lo + hi).div_ceil(2);
         let prefix = mid * n - mid * (mid + 1) / 2;
         if prefix <= rank {
             lo = mid;
@@ -84,7 +89,8 @@ pub fn gnm(n: usize, m: usize, rng: &mut impl Rng) -> Graph {
         let rank = if chosen.contains(&r) { t } else { r };
         chosen.insert(rank);
         let (i, j) = pair_from_rank(rank, n as u64);
-        b.add_edge_u32(i as u32, j as u32).expect("gnm edges are valid");
+        b.add_edge_u32(i as u32, j as u32)
+            .expect("gnm edges are valid");
     }
     b.build()
 }
@@ -112,7 +118,8 @@ pub fn random_tree(n: usize, rng: &mut impl Rng) -> Graph {
         .collect();
     for &s in &seq {
         let std::cmp::Reverse(leaf) = heap.pop().expect("a leaf always exists");
-        b.add_edge_u32(leaf as u32, s as u32).expect("tree edges are valid");
+        b.add_edge_u32(leaf as u32, s as u32)
+            .expect("tree edges are valid");
         degree[s] -= 1;
         if degree[s] == 1 {
             heap.push(std::cmp::Reverse(s));
@@ -120,7 +127,8 @@ pub fn random_tree(n: usize, rng: &mut impl Rng) -> Graph {
     }
     let std::cmp::Reverse(u) = heap.pop().expect("two nodes remain");
     let std::cmp::Reverse(v) = heap.pop().expect("two nodes remain");
-    b.add_edge_u32(u as u32, v as u32).expect("tree edges are valid");
+    b.add_edge_u32(u as u32, v as u32)
+        .expect("tree edges are valid");
     b.build()
 }
 
@@ -138,7 +146,9 @@ pub fn random_regular(n: usize, d: usize, rng: &mut impl Rng) -> Graph {
     assert!(n * d % 2 == 0, "n*d must be even");
     assert!(d < n, "d must be < n");
     for _attempt in 0..100 {
-        let mut stubs: Vec<u32> = (0..n as u32).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+        let mut stubs: Vec<u32> = (0..n as u32)
+            .flat_map(|v| std::iter::repeat_n(v, d))
+            .collect();
         stubs.shuffle(rng);
         let mut ok = true;
         let mut seen = std::collections::HashSet::with_capacity(n * d / 2);
@@ -152,18 +162,22 @@ pub fn random_regular(n: usize, d: usize, rng: &mut impl Rng) -> Graph {
         if ok {
             let mut b = GraphBuilder::new(n);
             for pair in stubs.chunks_exact(2) {
-                b.add_edge_u32(pair[0], pair[1]).expect("regular edges are valid");
+                b.add_edge_u32(pair[0], pair[1])
+                    .expect("regular edges are valid");
             }
             return b.build();
         }
     }
     // Fallback: keep the simple edges of one more pairing.
-    let mut stubs: Vec<u32> = (0..n as u32).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+    let mut stubs: Vec<u32> = (0..n as u32)
+        .flat_map(|v| std::iter::repeat_n(v, d))
+        .collect();
     stubs.shuffle(rng);
     let mut b = GraphBuilder::new(n);
     for pair in stubs.chunks_exact(2) {
         if pair[0] != pair[1] {
-            b.add_edge_u32(pair[0], pair[1]).expect("regular edges are valid");
+            b.add_edge_u32(pair[0], pair[1])
+                .expect("regular edges are valid");
         }
     }
     b.build()
@@ -181,7 +195,9 @@ pub fn bipartite_random(a: usize, b: usize, p: f64, rng: &mut impl Rng) -> Graph
     for u in 0..a as u32 {
         for v in a as u32..(a + b) as u32 {
             if rng.random_bool(p) {
-                builder.add_edge_u32(u, v).expect("bipartite edges are valid");
+                builder
+                    .add_edge_u32(u, v)
+                    .expect("bipartite edges are valid");
             }
         }
     }
@@ -243,7 +259,10 @@ mod tests {
         for n in [2usize, 3, 10, 100, 1000] {
             let g = random_tree(n, &mut rng);
             assert_eq!(g.m(), n - 1, "tree on {n} nodes must have n-1 edges");
-            assert!(traversal::is_connected(&g), "tree on {n} nodes must be connected");
+            assert!(
+                traversal::is_connected(&g),
+                "tree on {n} nodes must be connected"
+            );
         }
     }
 
@@ -255,7 +274,10 @@ mod tests {
         // The configuration model with restarts almost surely produced a
         // simple 4-regular graph at this size.
         let deg4 = g.nodes().filter(|&v| g.degree(v) == 4).count();
-        assert!(deg4 >= 58, "expected almost all nodes 4-regular, got {deg4}");
+        assert!(
+            deg4 >= 58,
+            "expected almost all nodes 4-regular, got {deg4}"
+        );
     }
 
     #[test]

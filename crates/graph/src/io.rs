@@ -69,7 +69,9 @@ pub fn read_edge_list(reader: impl BufRead) -> Result<Graph> {
         .map_err(|_| bad("m is not a number"))?;
     let mut b = GraphBuilder::new(n);
     for _ in 0..m {
-        let line = lines.next().ok_or_else(|| bad("fewer edges than declared"))??;
+        let line = lines
+            .next()
+            .ok_or_else(|| bad("fewer edges than declared"))??;
         let mut it = line.split_whitespace();
         let u: u32 = it
             .next()
@@ -144,15 +146,15 @@ mod tests {
     #[test]
     fn malformed_inputs_rejected() {
         for text in [
-            "",                    // no header
-            "3\n",                 // missing m
-            "x y\n",               // non-numeric header
-            "3 2\n0 1\n",          // fewer edges than declared
-            "2 1\n0 0\n",          // self loop
-            "2 1\n0 5\n",          // out of range
-            "2 2\n0 1\n0 1\n",     // duplicate edges
+            "",                // no header
+            "3\n",             // missing m
+            "x y\n",           // non-numeric header
+            "3 2\n0 1\n",      // fewer edges than declared
+            "2 1\n0 0\n",      // self loop
+            "2 1\n0 5\n",      // out of range
+            "2 2\n0 1\n0 1\n", // duplicate edges
             "2 1\n0 1\nbad weights\n",
-            "2 1\n0 1\n1\n",       // wrong weight count
+            "2 1\n0 1\n1\n", // wrong weight count
         ] {
             assert!(
                 read_edge_list(text.as_bytes()).is_err(),

@@ -22,10 +22,7 @@ impl Orientation {
     /// Panics in debug builds if a listed arc references an out-of-range
     /// node.
     pub fn from_out_lists(out: Vec<Vec<NodeId>>) -> Self {
-        debug_assert!(out
-            .iter()
-            .flatten()
-            .all(|v| v.index() < out.len()));
+        debug_assert!(out.iter().flatten().all(|v| v.index() < out.len()));
         Orientation { out }
     }
 
@@ -212,7 +209,7 @@ mod tests {
             let o = degeneracy_orientation(&g);
             assert!(o.is_orientation_of(&g));
             assert!(
-                o.max_out_degree() <= 2 * alpha - 1,
+                o.max_out_degree() < 2 * alpha,
                 "out-degree {} exceeds 2α−1 for α={alpha}",
                 o.max_out_degree()
             );
@@ -225,7 +222,9 @@ mod tests {
         let g = generators::gnp(100, 0.05, &mut rng);
         let o = degeneracy_orientation(&g);
         let incoming = o.in_neighbors_all();
-        let arcs_out: usize = (0..g.n()).map(|v| o.out_degree(NodeId::from_index(v))).sum();
+        let arcs_out: usize = (0..g.n())
+            .map(|v| o.out_degree(NodeId::from_index(v)))
+            .sum();
         let arcs_in: usize = incoming.iter().map(Vec::len).sum();
         assert_eq!(arcs_out, arcs_in);
         assert_eq!(arcs_out, g.m());

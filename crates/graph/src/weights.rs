@@ -3,7 +3,7 @@
 //! The paper assumes positive integer weights bounded by `n^c`; every model
 //! here respects that.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::{Graph, NodeId};
@@ -61,7 +61,8 @@ impl WeightModel {
                     .collect()
             }
         };
-        g.with_weights(weights).expect("weight models produce valid weights")
+        g.with_weights(weights)
+            .expect("weight models produce valid weights")
     }
 
     /// Short label used in experiment tables.

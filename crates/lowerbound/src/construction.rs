@@ -91,10 +91,18 @@ impl HConstruction {
         let h = &self.graph;
         let (n, m, c) = (self.base_n, self.base_m, self.copies);
         if h.n() != c * (n + m) + n {
-            return Err(format!("node count {} ≠ c(n+m)+n = {}", h.n(), c * (n + m) + n));
+            return Err(format!(
+                "node count {} ≠ c(n+m)+n = {}",
+                h.n(),
+                c * (n + m) + n
+            ));
         }
         if h.m() != c * (2 * m + n) {
-            return Err(format!("edge count {} ≠ c(2m+n) = {}", h.m(), c * (2 * m + n)));
+            return Err(format!(
+                "edge count {} ≠ c(2m+n) = {}",
+                h.m(),
+                c * (2 * m + n)
+            ));
         }
         // Degree profile.
         for v in 0..n {
@@ -270,7 +278,10 @@ mod tests {
         let g = generators::path(3); // edges (0,1), (1,2)
         let h = build_h(&g, 1);
         // In H, copy nodes are NOT adjacent to each other.
-        assert!(!h.graph.has_edge(h.copy_node(0, NodeId::new(0)), h.copy_node(0, NodeId::new(1))));
+        assert!(!h.graph.has_edge(
+            h.copy_node(0, NodeId::new(0)),
+            h.copy_node(0, NodeId::new(1))
+        ));
         // Each middle node connects the two endpoints of its edge.
         let mid = h.middle_node(0, 0);
         assert!(h.graph.has_edge(mid, h.copy_node(0, NodeId::new(0))));

@@ -89,12 +89,7 @@ pub fn hopcroft_karp(g: &Graph, side_a: &[bool]) -> MatchingResult {
         found
     };
 
-    fn dfs(
-        g: &Graph,
-        a: usize,
-        pair: &mut [usize],
-        dist: &mut [usize],
-    ) -> bool {
+    fn dfs(g: &Graph, a: usize, pair: &mut [usize], dist: &mut [usize]) -> bool {
         const NIL: usize = usize::MAX;
         for &b in g.neighbors(NodeId::from_index(a)) {
             let b = b.index();

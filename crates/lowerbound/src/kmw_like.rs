@@ -60,8 +60,8 @@ pub fn kmw_like(levels: usize, beta: usize, rng: &mut impl Rng) -> KmwLike {
     let n: usize = sizes.iter().sum();
     let mut level = vec![0u32; n];
     for (i, (&off, &sz)) in offsets.iter().zip(&sizes).enumerate() {
-        for v in off..off + sz {
-            level[v] = i as u32;
+        for slot in &mut level[off..off + sz] {
+            *slot = i as u32;
         }
     }
     let mut b = GraphBuilder::new(n);
@@ -89,7 +89,8 @@ pub fn kmw_like(levels: usize, beta: usize, rng: &mut impl Rng) -> KmwLike {
                     targets.shuffle(rng);
                     cursor = 0;
                 }
-                b.add_edge_u32(u as u32, targets[cursor]).expect("layer edges");
+                b.add_edge_u32(u as u32, targets[cursor])
+                    .expect("layer edges");
                 cursor += 1;
             }
         }

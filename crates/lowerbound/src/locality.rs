@@ -32,9 +32,9 @@ pub struct TruncatedPoint {
 pub fn truncated_run(g: &Graph, epsilon: f64, r: usize, lower_bound: f64) -> TruncatedPoint {
     let out = partial_dominating_set_iterations(g, epsilon, r);
     let mut in_ds = out.in_s;
-    for v in 0..g.n() {
-        if !out.dominated[v] {
-            in_ds[v] = true;
+    for (flag, &dominated) in in_ds.iter_mut().zip(&out.dominated) {
+        if !dominated {
+            *flag = true;
         }
     }
     debug_assert!(verify::is_dominating_set(g, &in_ds));

@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  arboricity-2 witness: explicit orientation with max out-degree {}",
         orientation.max_out_degree()
     );
-    println!("  hub degree = {} = Δ² ✓\n", h.graph.degree(h.hub_node(0.into())));
+    println!(
+        "  hub degree = {} = Δ² ✓\n",
+        h.graph.degree(h.hub_node(0.into()))
+    );
 
     // ---- Part 2: a KMW-flavored hard base graph, with exact MVC. ----
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);

@@ -16,7 +16,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let alpha = 3;
     let g = generators::forest_union(10_000, alpha, &mut rng);
     let (lo, hi) = arboricity::arboricity_bounds(&g);
-    println!("graph: n = {}, m = {}, Δ = {}", g.n(), g.m(), g.max_degree());
+    println!(
+        "graph: n = {}, m = {}, Δ = {}",
+        g.n(),
+        g.m(),
+        g.max_degree()
+    );
     println!("arboricity: construction ≤ {alpha}, certified bounds [{lo}, {hi}]");
 
     // Theorem 1.1: deterministic (2α+1)(1+ε)-approximate weighted MDS in

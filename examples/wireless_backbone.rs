@@ -58,8 +58,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut mesh = WeightModel::Uniform { lo: 1, hi: 8 }.assign(&mesh, &mut rng);
     {
         let mut w = mesh.weights().to_vec();
-        for g in 3600..3636 {
-            w[g] = 2;
+        for gw in &mut w[3600..3636] {
+            *gw = 2;
         }
         mesh = mesh.with_weights(w)?;
     }

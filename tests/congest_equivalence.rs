@@ -26,7 +26,10 @@ fn topologies(rng: &mut StdRng) -> Vec<(String, Graph)> {
         ("torus".into(), generators::grid2d(6, 6, true)),
         ("forest-α3".into(), generators::forest_union(150, 3, rng)),
         ("gnp".into(), generators::gnp(120, 0.06, rng)),
-        ("pa".into(), generators::preferential_attachment(150, 2, rng)),
+        (
+            "pa".into(),
+            generators::preferential_attachment(150, 2, rng),
+        ),
         ("two-components".into(), {
             let mut b = Graph::builder(40);
             for i in 1..20u32 {
@@ -37,7 +40,10 @@ fn topologies(rng: &mut StdRng) -> Vec<(String, Graph)> {
             }
             b.build()
         }),
-        ("isolated-nodes".into(), Graph::from_edges(10, [(0, 1), (2, 3)]).unwrap()),
+        (
+            "isolated-nodes".into(),
+            Graph::from_edges(10, [(0, 1), (2, 3)]).unwrap(),
+        ),
     ]
 }
 
@@ -115,7 +121,11 @@ fn round_schedule_is_exact() {
 fn steady_state_traffic_is_constant_bits() {
     let mut rng = StdRng::seed_from_u64(805);
     let g = generators::forest_union(400, 3, &mut rng);
-    let g = WeightModel::Uniform { lo: 1, hi: 1_000_000 }.assign(&g, &mut rng);
+    let g = WeightModel::Uniform {
+        lo: 1,
+        hi: 1_000_000,
+    }
+    .assign(&g, &mut rng);
     let cfg = weighted::Config::new(3, 0.2).unwrap();
     let opts = RunOptions {
         track_rounds: true,
@@ -138,9 +148,8 @@ fn parallel_runner_reproduces_sequential_for_node_programs() {
     let g = generators::forest_union(600, 2, &mut rng);
     let cfg = weighted::Config::new(2, 0.3).unwrap();
     let globals = arbodom::congest::Globals::new(&g, 3).with_arboricity(2);
-    let make = |v: arbodom::graph::NodeId, g: &Graph| {
-        distributed::WeightedProgram::new(cfg, g.degree(v))
-    };
+    let make =
+        |v: arbodom::graph::NodeId, g: &Graph| distributed::WeightedProgram::new(cfg, g.degree(v));
     let seq = arbodom::congest::run(&g, &globals, make, &RunOptions::default()).unwrap();
     let par =
         arbodom::congest::run_parallel(&g, &globals, make, &RunOptions::default(), 4).unwrap();

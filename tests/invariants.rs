@@ -15,7 +15,10 @@ fn arb_graph() -> impl Strategy<Value = (Graph, usize)> {
     (0u64..1_000, 0usize..4, 10usize..120).prop_map(|(seed, family, n)| {
         let mut rng = StdRng::seed_from_u64(seed);
         match family {
-            0 => (generators::forest_union(n, 1 + (seed % 4) as usize, &mut rng), 1 + (seed % 4) as usize),
+            0 => (
+                generators::forest_union(n, 1 + (seed % 4) as usize, &mut rng),
+                1 + (seed % 4) as usize,
+            ),
             1 => {
                 let g = generators::gnp(n, 0.08, &mut rng);
                 let a = arbodom::graph::arboricity::arboricity_bounds(&g).1.max(1);

@@ -14,11 +14,7 @@ fn small_portfolio(rng: &mut StdRng) -> Vec<(String, usize, Graph)> {
     let mut out = Vec::new();
     for seed_batch in 0..4 {
         let _ = seed_batch;
-        out.push((
-            "forest-α2".into(),
-            2,
-            generators::forest_union(24, 2, rng),
-        ));
+        out.push(("forest-α2".into(), 2, generators::forest_union(24, 2, rng)));
         out.push(("forest-α3".into(), 3, generators::forest_union(20, 3, rng)));
         out.push(("gnp".into(), 6, generators::gnp(22, 0.18, rng)));
         out.push(("tree".into(), 1, generators::random_tree(26, rng)));
@@ -90,7 +86,10 @@ fn theorem13_bound_vs_exact_opt() {
             total += sol.weight;
         }
         let avg = total as f64 / seeds as f64;
-        let bound = general::Config::new(k, 0).unwrap().guarantee(g.max_degree()) * opt as f64;
+        let bound = general::Config::new(k, 0)
+            .unwrap()
+            .guarantee(g.max_degree())
+            * opt as f64;
         assert!(
             avg <= bound,
             "k={k}: avg {avg} above Δ^{{1/k}}(Δ^{{1/k}}+1)(k+1)·OPT = {bound}"

@@ -1,0 +1,63 @@
+//! End-to-end smoke test of the facade quickstart path: every public-API
+//! step a new user hits in the README must work, fast enough for every CI
+//! run. Guards the `arbodom::prelude` surface, the generator → solver →
+//! verifier → certificate pipeline, and the Theorem 1.1 guarantee.
+
+use arbodom::prelude::*;
+use rand::SeedableRng;
+
+#[test]
+fn quickstart_thm11_end_to_end() {
+    // A graph of arboricity ≤ 3: the union of three random forests.
+    let alpha = 3usize;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let g = arbodom::graph::generators::forest_union(1_000, alpha, &mut rng);
+    assert_eq!(g.n(), 1_000);
+    assert!(g.m() > 0, "forest union should have edges");
+
+    // Theorem 1.1: deterministic (2α+1)(1+ε)-approximation.
+    let eps = 0.2;
+    let cfg = arbodom::core::weighted::Config::new(alpha, eps).expect("valid config");
+    let sol = arbodom::core::weighted::solve(&g, &cfg).expect("solver succeeds");
+
+    // The output dominates.
+    assert!(verify::is_dominating_set(&g, &sol.in_ds));
+
+    // The dual certificate is feasible and certifies the theorem bound
+    // (2α+1)(1+ε) against this instance's OPT.
+    let cert: &PackingCertificate = sol.certificate.as_ref().expect("certificate attached");
+    assert!(cert.is_feasible(&g, 1e-9), "packing must be dual-feasible");
+    let ratio = sol.certified_ratio().expect("certified ratio available");
+    let guarantee = (2 * alpha + 1) as f64 * (1.0 + eps);
+    assert!(
+        ratio <= guarantee,
+        "certified ratio {ratio} exceeds (2α+1)(1+ε) = {guarantee}"
+    );
+    assert_eq!(cfg.guarantee(), guarantee);
+
+    // DsResult bookkeeping is consistent.
+    let members = sol.members();
+    assert_eq!(members.len(), sol.size);
+    let recomputed: u64 = members.iter().map(|&v| g.weight(v)).sum();
+    assert_eq!(recomputed, sol.weight);
+}
+
+#[test]
+fn prelude_congest_surface_runs() {
+    // The prelude's CONGEST types drive a distributed run end to end.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let g = arbodom::graph::generators::forest_union(300, 2, &mut rng);
+    let cfg = arbodom::core::weighted::Config::new(2, 0.25).expect("valid config");
+    let (result, telemetry) =
+        arbodom::core::distributed::run_weighted(&g, &cfg, 0, &RunOptions::default())
+            .expect("CONGEST run succeeds");
+    assert!(verify::is_dominating_set(&g, &result.in_ds));
+
+    // CONGEST and centralized solvers agree exactly (bit-faithful claim).
+    let centralized = arbodom::core::weighted::solve(&g, &cfg).expect("solver succeeds");
+    assert_eq!(result.in_ds, centralized.in_ds);
+
+    // Telemetry metered actual traffic.
+    assert!(telemetry.rounds > 0);
+    assert!(telemetry.total_bits > 0);
+}
