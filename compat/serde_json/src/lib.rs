@@ -3,8 +3,11 @@
 //!
 //! The real `serde_json` works through `Serialize` impls, which the stub
 //! `serde` derives don't generate. Until the environment can fetch the real
-//! crates, callers that want JSON output (e.g. bench artifacts) build a
-//! [`Value`] explicitly and `Display` it.
+//! crates, callers that want JSON output build a [`Value`] explicitly and
+//! `Display` it — but note that [`Value::object`] and the infallible
+//! [`to_string`] signature do **not** exist in the real crate, so code
+//! meant to survive a swap back to crates.io (e.g. the `BENCH_sim.json`
+//! writer in `arbodom-bench`) renders its JSON without this crate.
 
 #![forbid(unsafe_code)]
 

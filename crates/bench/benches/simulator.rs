@@ -42,34 +42,10 @@ fn bench_parallel_runner(c: &mut Criterion) {
     let g = generators::grid2d(100, 100, true);
     let globals = arbodom_congest::Globals::new(&g, 0);
 
-    struct Flood {
-        seen: u64,
-        rounds_left: u32,
-    }
-    impl arbodom_congest::NodeProgram for Flood {
-        type Message = u64;
-        type Output = u64;
-        fn round(
-            &mut self,
-            ctx: &arbodom_congest::NodeCtx<'_>,
-            inbox: &[(usize, u64)],
-        ) -> arbodom_congest::Step<u64> {
-            self.seen += inbox.iter().map(|&(_, m)| m).sum::<u64>();
-            if self.rounds_left == 0 {
-                return arbodom_congest::Step::halt();
-            }
-            self.rounds_left -= 1;
-            arbodom_congest::Step::continue_with(vec![arbodom_congest::Outgoing::broadcast(
-                u64::from(ctx.id.get()),
-            )])
-        }
-        fn output(&self) -> u64 {
-            self.seen
-        }
-    }
-    let make = |_: arbodom_graph::NodeId, _: &arbodom_graph::Graph| Flood {
-        seen: 0,
-        rounds_left: 20,
+    // The same program the BENCH_sim.json trajectory measures, so the
+    // criterion numbers and the recorded trajectory stay comparable.
+    let make = |_: arbodom_graph::NodeId, _: &arbodom_graph::Graph| {
+        arbodom_bench::workloads::Flood::new(20)
     };
     group.bench_function("sequential", |b| {
         b.iter(|| arbodom_congest::run(&g, &globals, make, &RunOptions::default()).unwrap())

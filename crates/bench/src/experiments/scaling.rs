@@ -1,12 +1,20 @@
 //! E-SCALE — round complexity scaling: iterations grow with `log Δ` and
-//! are independent of `n` at fixed Δ, as Theorem 1.1 requires.
+//! are independent of `n` at fixed Δ, as Theorem 1.1 requires — plus the
+//! **simulator throughput bench**, the wall-clock counterpart: how many
+//! metered CONGEST messages per second the `arbodom-congest` core pushes
+//! on a 50k-node bounded-arboricity workload. Its numbers are written to
+//! `BENCH_sim.json` so every PR's simulator performance is recorded
+//! against the pre-rework baseline.
 
 use crate::report::{check, f2, Table};
+use crate::workloads::Flood;
 use crate::Scale;
-use arbodom_core::weighted;
-use arbodom_graph::generators;
+use arbodom_congest::{run as congest_run, run_parallel, Globals, MeterMode, RunOptions};
+use arbodom_core::{distributed, weighted};
+use arbodom_graph::{generators, weights::WeightModel, Graph};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Instant;
 
 /// Runs the experiment.
 pub fn run(scale: Scale) -> Vec<Table> {
@@ -64,5 +72,318 @@ pub fn run(scale: Scale) -> Vec<Table> {
          the paper's whole point; contrast with the O(α log n) rounds of [MSW21] \
          or O(log n) of [LW10]'s randomized algorithm.",
     );
-    vec![delta_table, n_table]
+    let sim_table = sim_bench(scale);
+    vec![delta_table, n_table, sim_table]
+}
+
+// ---------------------------------------------------------------------------
+// Simulator throughput bench (E-SCALE-c / BENCH_sim.json)
+// ---------------------------------------------------------------------------
+
+/// The scaling workload at full scale: 50k nodes.
+const SIM_BENCH_FULL_N: usize = 50_000;
+/// CI / quick scale.
+const SIM_BENCH_QUICK_N: usize = 5_000;
+/// Broadcast rounds of the flood workload.
+const FLOOD_ROUNDS: u32 = 20;
+
+/// Pre-rework throughput baseline (messages/second), measured at the
+/// commit before the arena-mailbox simulator core landed
+/// (`92bbb82`, 50k-node workload, best of 3). Kept so `BENCH_sim.json`
+/// always records the before/after pair and future regressions have a
+/// fixed reference point. The sequential `thm11_*` baselines were taken
+/// through the `run_weighted` wrapper (raw runner + a few ms of result
+/// assembly at 50k nodes); current rows time the raw runner in all
+/// cases.
+const PRE_PR_BASELINE: &[(&str, f64)] = &[
+    ("flood_measure_seq", 6_780_170.0),
+    ("flood_off_seq", 10_039_709.0),
+    ("flood_strict_seq", 6_103_245.0),
+    ("flood_measure_par4", 8_602_180.0),
+    ("thm11_measure_seq", 3_821_953.0),
+    ("thm11_off_seq", 5_533_580.0),
+    ("thm11_strict_seq", 3_780_261.0),
+    ("thm11_measure_par4", 5_782_912.0),
+];
+
+struct SimBenchRow {
+    name: &'static str,
+    rounds: usize,
+    messages: usize,
+    wall_s: f64,
+}
+
+impl SimBenchRow {
+    fn msgs_per_sec(&self) -> f64 {
+        self.messages as f64 / self.wall_s
+    }
+}
+
+/// Times `workload` `reps` times, keeping the fastest run.
+fn time_best(
+    name: &'static str,
+    reps: usize,
+    mut workload: impl FnMut() -> (usize, usize),
+) -> SimBenchRow {
+    let mut best = f64::INFINITY;
+    let mut rounds = 0;
+    let mut messages = 0;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let (r, m) = workload();
+        let dt = t.elapsed().as_secs_f64().max(1e-9);
+        if dt < best {
+            best = dt;
+        }
+        rounds = r;
+        messages = m;
+    }
+    SimBenchRow {
+        name,
+        rounds,
+        messages,
+        wall_s: best,
+    }
+}
+
+/// Runs the simulator throughput workloads, writes `BENCH_sim.json`, and
+/// returns the human-readable table.
+fn sim_bench(scale: Scale) -> Table {
+    let n = scale.pick(SIM_BENCH_QUICK_N, SIM_BENCH_FULL_N);
+    // Best-of-5 at full scale: the parallel rows are scheduling-noise
+    // sensitive, and the trajectory should record capability, not load.
+    let reps = scale.pick(1, 5);
+    let mut rng = StdRng::seed_from_u64(1050);
+    let g = generators::forest_union(n, 3, &mut rng);
+    let g = WeightModel::Uniform { lo: 1, hi: 20 }.assign(&g, &mut rng);
+    let cfg = weighted::Config::new(3, 0.3).expect("valid");
+    let globals = Globals::new(&g, 0);
+    let wglobals = Globals::new(&g, 0).with_arboricity(cfg.alpha);
+    let mk_flood = |_: arbodom_graph::NodeId, _: &Graph| Flood::new(FLOOD_ROUNDS);
+    let mk_thm11 =
+        |v: arbodom_graph::NodeId, g: &Graph| distributed::WeightedProgram::new(cfg, g.degree(v));
+    let meter_opts = |meter: MeterMode| RunOptions {
+        meter,
+        ..RunOptions::default()
+    };
+    // Shared borrows so the workload factories below stay callable
+    // repeatedly (their `move` closures capture these `Copy` references).
+    let g = &g;
+    let globals = &globals;
+    let wglobals = &wglobals;
+    // Both workloads time the raw runner (`run`/`run_parallel`) only —
+    // never result-assembly wrappers — so every row is pure simulator
+    // time and sequential/parallel rows compare apples to apples.
+    let flood = |meter: MeterMode, threads: usize| {
+        let opts = meter_opts(meter);
+        move || {
+            let out = if threads <= 1 {
+                congest_run(g, globals, mk_flood, &opts).expect("flood runs")
+            } else {
+                run_parallel(g, globals, mk_flood, &opts, threads).expect("flood runs")
+            };
+            (out.telemetry.rounds, out.telemetry.total_messages)
+        }
+    };
+    let thm11 = |meter: MeterMode, threads: usize| {
+        let opts = meter_opts(meter);
+        move || {
+            let out = if threads <= 1 {
+                congest_run(g, wglobals, mk_thm11, &opts).expect("thm11 runs")
+            } else {
+                run_parallel(g, wglobals, mk_thm11, &opts, threads).expect("thm11 runs")
+            };
+            (out.telemetry.rounds, out.telemetry.total_messages)
+        }
+    };
+    let rows = [
+        time_best("flood_measure_seq", reps, flood(MeterMode::Measure, 1)),
+        time_best("flood_off_seq", reps, flood(MeterMode::Off, 1)),
+        time_best("flood_strict_seq", reps, flood(MeterMode::Strict, 1)),
+        time_best("flood_measure_par4", reps, flood(MeterMode::Measure, 4)),
+        time_best("thm11_measure_seq", reps, thm11(MeterMode::Measure, 1)),
+        time_best("thm11_off_seq", reps, thm11(MeterMode::Off, 1)),
+        time_best("thm11_strict_seq", reps, thm11(MeterMode::Strict, 1)),
+        time_best("thm11_measure_par4", reps, thm11(MeterMode::Measure, 4)),
+    ];
+
+    let baseline = |name: &str| -> Option<f64> {
+        PRE_PR_BASELINE
+            .iter()
+            .find(|(b, _)| *b == name)
+            .map(|&(_, v)| v)
+    };
+    let mut table = Table::new(
+        "E-SCALE-c",
+        format!("simulator throughput, n = {n} forest union (α = 3)"),
+        &[
+            "workload",
+            "rounds",
+            "messages",
+            "wall ms",
+            "Mmsg/s",
+            "vs pre-PR",
+        ],
+    );
+    for r in rows.iter() {
+        // The recorded baseline is the 50k-node workload; comparing the
+        // quick (downscaled) run against it would be meaningless.
+        let vs = match (scale, baseline(r.name)) {
+            (Scale::Full, Some(b)) => format!("{:.2}x", r.msgs_per_sec() / b),
+            _ => "—".into(),
+        };
+        table.row(vec![
+            r.name.to_string(),
+            r.rounds.to_string(),
+            r.messages.to_string(),
+            f2(r.wall_s * 1e3),
+            f2(r.msgs_per_sec() / 1e6),
+            vs,
+        ]);
+    }
+    table.note(format!(
+        "written to BENCH_sim.json (baseline: pre-arena core at 92bbb82, \
+         n = {SIM_BENCH_FULL_N}); flood = {FLOOD_ROUNDS}-round u64 broadcast, \
+         thm11 = the Theorem 1.1 node program end to end."
+    ));
+
+    // --- BENCH_sim.json ---
+    // Rendered with the tiny JSON builder below (keys and values here are
+    // plain identifiers and finite numbers, nothing needs escaping), so
+    // this file has no opinion about which `serde_json` is installed.
+    let current = JsonObj::new().entries(rows.iter().map(|r| {
+        (
+            r.name.to_string(),
+            JsonObj::new()
+                .int("rounds", r.rounds)
+                .int("messages", r.messages)
+                .num("wall_seconds", r.wall_s)
+                .num("msgs_per_sec", r.msgs_per_sec().round())
+                .render(),
+        )
+    }));
+    let speedups = JsonObj::new().entries(rows.iter().filter_map(|r| {
+        if scale != Scale::Full {
+            return None;
+        }
+        baseline(r.name).map(|b| {
+            (
+                r.name.to_string(),
+                fmt_num((r.msgs_per_sec() / b * 100.0).round() / 100.0),
+            )
+        })
+    }));
+    let json = JsonObj::new()
+        .str("schema", "arbodom-sim-bench/v1")
+        .raw(
+            "workload",
+            JsonObj::new()
+                .str("graph", "forest_union")
+                .int("alpha", 3)
+                .int("n", n)
+                .int("flood_rounds", FLOOD_ROUNDS as usize)
+                .str(
+                    "scale",
+                    if scale == Scale::Full {
+                        "full"
+                    } else {
+                        "quick"
+                    },
+                )
+                .int("reps_best_of", reps)
+                .render(),
+        )
+        .raw(
+            "baseline_pre_pr",
+            JsonObj::new()
+                .str("commit", "92bbb82")
+                .int("n", SIM_BENCH_FULL_N)
+                .raw(
+                    "msgs_per_sec",
+                    JsonObj::new()
+                        .entries(
+                            PRE_PR_BASELINE
+                                .iter()
+                                .map(|&(k, v)| (k.to_string(), fmt_num(v))),
+                        )
+                        .render(),
+                )
+                .render(),
+        )
+        .raw("current", current.render())
+        .raw("speedup_vs_pre_pr", speedups.render())
+        .render();
+    // Write the trajectory file for real invocations only: full-scale
+    // runs, or explicitly downscaled ones (CI sets `ARBODOM_QUICK=1` and
+    // uploads the file as an artifact). In-process test harness calls
+    // (quick scale without the env var) must not litter the package
+    // directory or clobber the committed full-scale numbers. The path is
+    // pinned to the workspace root so the committed file is updated no
+    // matter which directory the binary runs from.
+    let explicit_quick = std::env::var("ARBODOM_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    if scale == Scale::Full || explicit_quick {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_sim.json");
+        if let Err(e) = std::fs::write(&path, json + "\n") {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+    table
+}
+
+/// Formats a finite number the way JSON expects (integral values without
+/// a trailing `.0`).
+fn fmt_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// A minimal ordered JSON object builder for the bench artifact. All keys
+/// used here are ASCII identifiers and all strings are escape-free, which
+/// is why this can stay this small.
+struct JsonObj(Vec<String>);
+
+impl JsonObj {
+    fn new() -> Self {
+        JsonObj(Vec::new())
+    }
+
+    fn str(mut self, key: &str, value: &str) -> Self {
+        self.0.push(format!("\"{key}\":\"{value}\""));
+        self
+    }
+
+    fn int(mut self, key: &str, value: usize) -> Self {
+        self.0.push(format!("\"{key}\":{value}"));
+        self
+    }
+
+    fn num(mut self, key: &str, value: f64) -> Self {
+        self.0.push(format!("\"{key}\":{}", fmt_num(value)));
+        self
+    }
+
+    /// Adds a pre-rendered JSON value (object or number) under `key`.
+    fn raw(mut self, key: &str, value: String) -> Self {
+        self.0.push(format!("\"{key}\":{value}"));
+        self
+    }
+
+    /// Adds `(key, pre-rendered value)` pairs in iteration order.
+    fn entries(mut self, pairs: impl Iterator<Item = (String, String)>) -> Self {
+        for (k, v) in pairs {
+            self = self.raw(&k, v);
+        }
+        self
+    }
+
+    fn render(&self) -> String {
+        format!("{{{}}}", self.0.join(","))
+    }
 }

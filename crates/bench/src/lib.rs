@@ -26,6 +26,7 @@
 
 pub mod experiments;
 pub mod report;
+pub mod workloads;
 
 /// Workload scale shared by all experiments.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -1,0 +1,269 @@
+//! Per-round mailbox arenas.
+//!
+//! The naive mailbox — one `Vec` of messages per node, reallocated as
+//! traffic ebbs and flows — spends most of its time in the allocator and
+//! in cache misses across `n` scattered buffers. The arena replaces it
+//! with two flat arrays per round:
+//!
+//! * `entries`: every [`Delivery`] of the round, grouped by destination
+//!   node (a stable counting sort keyed by destination);
+//! * `offsets`: an `n + 1` offset table, so node `v`'s inbox is the slice
+//!   `entries[offsets[v]..offsets[v + 1]]`.
+//!
+//! Node programs receive that slice as an [`Inbox`] — a borrowed view,
+//! never an owned buffer — so steady-state delivery performs **zero
+//! allocations**: the send buffer and the arena swap storage every round
+//! and reuse their capacity for the lifetime of the run.
+
+/// One delivered message: where it is going, which port it arrives on,
+/// and the payload.
+///
+/// `dest` is the receiving node's id; `port` is the receiver-side port
+/// (the index of the *sender* in the receiver's adjacency list). The
+/// destination is carried explicitly so a round's deliveries can live in
+/// one flat buffer and be grouped by destination in a single stable
+/// counting-sort pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct Delivery<M> {
+    pub(crate) dest: u32,
+    pub(crate) port: u32,
+    pub(crate) msg: M,
+}
+
+/// A node's inbox for one round: a borrowed slice of the round's mailbox
+/// arena.
+///
+/// Iteration yields `(port, &message)` pairs in deterministic arrival
+/// order — senders in ascending node id, and within a sender, the order
+/// its [`crate::Outgoing`] entries expanded (ports ascending for a
+/// broadcast). The port identifies which incident edge delivered the
+/// message, exactly as in [`crate::NodeCtx::neighbors`] indexing.
+#[derive(Debug)]
+pub struct Inbox<'a, M> {
+    entries: &'a [Delivery<M>],
+}
+
+// Manual impls: `#[derive(Clone, Copy)]` would bound `M: Clone`/`M: Copy`,
+// but the inbox is only a shared borrow and copies freely regardless of `M`.
+impl<M> Clone for Inbox<'_, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<M> Copy for Inbox<'_, M> {}
+
+impl<'a, M> Inbox<'a, M> {
+    pub(crate) fn new(entries: &'a [Delivery<M>]) -> Self {
+        Inbox { entries }
+    }
+
+    /// An inbox with no messages (what every node sees in round 0).
+    pub fn empty() -> Self {
+        Inbox { entries: &[] }
+    }
+
+    /// Number of messages delivered this round.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no messages arrived.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(port, message)` pairs in arrival order.
+    pub fn iter(&self) -> InboxIter<'a, M> {
+        InboxIter {
+            inner: self.entries.iter(),
+        }
+    }
+
+    /// The first delivered `(port, message)` pair, if any.
+    pub fn first(&self) -> Option<(usize, &'a M)> {
+        self.entries.first().map(|d| (d.port as usize, &d.msg))
+    }
+}
+
+impl<'a, M> IntoIterator for Inbox<'a, M> {
+    type Item = (usize, &'a M);
+    type IntoIter = InboxIter<'a, M>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Iterator over an [`Inbox`], yielding `(port, &message)`.
+#[derive(Clone, Debug)]
+pub struct InboxIter<'a, M> {
+    inner: std::slice::Iter<'a, Delivery<M>>,
+}
+
+impl<'a, M> Iterator for InboxIter<'a, M> {
+    type Item = (usize, &'a M);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next().map(|d| (d.port as usize, &d.msg))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<M> ExactSizeIterator for InboxIter<'_, M> {}
+
+/// The double-buffered round arena: one flat entry array plus an offset
+/// table, rebuilt from the round's staged sends by [`MailArena::refill`].
+pub(crate) struct MailArena<M> {
+    entries: Vec<Delivery<M>>,
+    /// `offsets[v]..offsets[v + 1]` indexes node `v`'s inbox in `entries`.
+    offsets: Vec<u32>,
+    /// Scratch: target position of each staged send (counting-sort ranks).
+    pos: Vec<u32>,
+    /// Scratch: per-destination write cursors during rank assignment.
+    cursors: Vec<u32>,
+}
+
+impl<M> MailArena<M> {
+    pub(crate) fn new(n: usize) -> Self {
+        MailArena {
+            entries: Vec::new(),
+            offsets: vec![0; n + 1],
+            pos: Vec::new(),
+            cursors: Vec::new(),
+        }
+    }
+
+    /// Node `v`'s inbox for the current round.
+    pub(crate) fn inbox(&self, v: usize) -> Inbox<'_, M> {
+        Inbox::new(&self.entries[self.offsets[v] as usize..self.offsets[v + 1] as usize])
+    }
+
+    /// Replaces the arena contents with the staged sends of the finished
+    /// round, grouped by destination via a **stable** counting sort (equal
+    /// destinations keep their staging order, which is how the parallel
+    /// runner reproduces the sequential runner's inbox order bit for bit).
+    ///
+    /// The sort permutes `staged` in place by cycle-following — O(m) swaps,
+    /// no per-message allocation — then swaps buffers with the arena, so
+    /// both vectors' capacities are recycled every round.
+    pub(crate) fn refill(&mut self, staged: &mut Vec<Delivery<M>>) {
+        let n = self.offsets.len() - 1;
+        self.offsets.fill(0);
+        for d in staged.iter() {
+            self.offsets[d.dest as usize + 1] += 1;
+        }
+        for v in 0..n {
+            self.offsets[v + 1] += self.offsets[v];
+        }
+        // Rank each send: position = next free slot of its destination.
+        self.cursors.clear();
+        self.cursors.extend_from_slice(&self.offsets[..n]);
+        self.pos.clear();
+        self.pos.reserve(staged.len());
+        for d in staged.iter() {
+            let c = &mut self.cursors[d.dest as usize];
+            self.pos.push(*c);
+            *c += 1;
+        }
+        // Apply the permutation in place.
+        for i in 0..staged.len() {
+            while self.pos[i] as usize != i {
+                let j = self.pos[i] as usize;
+                staged.swap(i, j);
+                self.pos.swap(i, j);
+            }
+        }
+        std::mem::swap(&mut self.entries, staged);
+        staged.clear();
+    }
+
+    /// Total messages currently held (the finished round's traffic).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(dest: u32, port: u32, msg: u32) -> Delivery<u32> {
+        Delivery { dest, port, msg }
+    }
+
+    #[test]
+    fn refill_groups_by_destination_stably() {
+        let mut arena: MailArena<u32> = MailArena::new(4);
+        let mut staged = vec![
+            d(2, 0, 10),
+            d(0, 1, 11),
+            d(2, 1, 12),
+            d(3, 0, 13),
+            d(2, 2, 14),
+            d(0, 0, 15),
+        ];
+        arena.refill(&mut staged);
+        assert!(staged.is_empty());
+        assert_eq!(arena.len(), 6);
+        let collect = |v: usize| -> Vec<(usize, u32)> {
+            arena.inbox(v).iter().map(|(p, &m)| (p, m)).collect()
+        };
+        // Stable: dest 0 keeps (11 before 15), dest 2 keeps (10, 12, 14).
+        assert_eq!(collect(0), vec![(1, 11), (0, 15)]);
+        assert_eq!(collect(1), vec![]);
+        assert_eq!(collect(2), vec![(0, 10), (1, 12), (2, 14)]);
+        assert_eq!(collect(3), vec![(0, 13)]);
+    }
+
+    #[test]
+    fn refill_recycles_capacity() {
+        let mut arena: MailArena<u32> = MailArena::new(2);
+        let mut staged: Vec<Delivery<u32>> = Vec::with_capacity(64);
+        for round in 0..10u32 {
+            for i in 0..32 {
+                staged.push(d(i % 2, 0, round * 100 + i));
+            }
+            let cap_before = staged.capacity();
+            arena.refill(&mut staged);
+            assert_eq!(arena.len(), 32);
+            assert_eq!(arena.inbox(0).len(), 16);
+            // After the first two rounds both buffers have grown to fit a
+            // full round, and no further allocation happens.
+            if round >= 2 {
+                assert!(staged.capacity() >= 32, "swap must recycle capacity");
+            }
+            let _ = cap_before;
+        }
+    }
+
+    #[test]
+    fn empty_round_yields_empty_inboxes() {
+        let mut arena: MailArena<u32> = MailArena::new(3);
+        let mut staged = vec![d(1, 0, 5)];
+        arena.refill(&mut staged);
+        arena.refill(&mut staged); // nothing staged: all inboxes drain
+        for v in 0..3 {
+            assert!(arena.inbox(v).is_empty());
+            assert_eq!(arena.inbox(v).first(), None);
+        }
+    }
+
+    #[test]
+    fn inbox_iteration_and_copy() {
+        let entries = vec![d(0, 3, 7), d(0, 1, 9)];
+        let inbox = Inbox::new(&entries);
+        let copy = inbox; // Copy regardless of M
+        assert_eq!(copy.len(), 2);
+        assert_eq!(inbox.first(), Some((3, &7)));
+        let all: Vec<(usize, u32)> = inbox.iter().map(|(p, &m)| (p, m)).collect();
+        assert_eq!(all, vec![(3, 7), (1, 9)]);
+        let empty: Inbox<'_, u32> = Inbox::empty();
+        assert_eq!(empty.len(), 0);
+        assert_eq!(empty.iter().len(), 0);
+    }
+}

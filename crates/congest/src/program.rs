@@ -2,7 +2,7 @@
 
 use arbodom_graph::{Graph, NodeId};
 
-use crate::Wire;
+use crate::{Inbox, Wire};
 
 /// Information every node knows before the first round.
 ///
@@ -174,8 +174,11 @@ impl<M> Step<M> {
 ///
 /// The simulator calls [`NodeProgram::round`] once per round for every
 /// active node: at round 0 with an empty inbox, afterwards with the
-/// messages sent to it in the previous round as `(port, message)` pairs
-/// (the port identifies which incident edge delivered the message).
+/// messages sent to it in the previous round as an [`Inbox`] — a borrowed
+/// slice of the round's mailbox arena yielding `(port, message)` pairs,
+/// where the port identifies which incident edge delivered the message.
+/// Programs never own their inbox, which is what lets the simulator keep
+/// every round's traffic in one flat allocation-free buffer.
 pub trait NodeProgram {
     /// Message type exchanged along edges.
     type Message: Wire + Clone + std::fmt::Debug;
@@ -183,8 +186,7 @@ pub trait NodeProgram {
     type Output;
 
     /// Executes one synchronous round.
-    fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(usize, Self::Message)])
-        -> Step<Self::Message>;
+    fn round(&mut self, ctx: &NodeCtx<'_>, inbox: Inbox<'_, Self::Message>) -> Step<Self::Message>;
 
     /// This node's part of the global output.
     fn output(&self) -> Self::Output;

@@ -1,19 +1,42 @@
-//! The synchronous round executor.
+//! The synchronous round executors.
+//!
+//! Both runners share one high-throughput core:
+//!
+//! * **Arena delivery** — each round's messages live in one flat
+//!   [`crate::mailbox`] arena grouped by destination; node programs
+//!   receive borrowed [`Inbox`] slices, and the send buffer and arena
+//!   swap storage every round, so steady-state delivery allocates
+//!   nothing.
+//! * **Encode-once metering** — [`MeterMode::Measure`] and
+//!   [`MeterMode::Strict`] encode each [`Outgoing`] exactly once into a
+//!   reusable scratch buffer, however many edges it fans out to;
+//!   [`MeterMode::Off`] never touches an encoder.
+//! * **CSR fan-out** — [`Recipients::Broadcast`] expands through the
+//!   graph's flat CSR adjacency ([`Graph::csr`]) and a flat reverse-port
+//!   table sharing the same offsets.
+//! * **Round-batched work queue** — [`run_parallel`] splits each round
+//!   into many more batches than threads and lets workers claim batches
+//!   from an atomic queue, so skewed-degree graphs keep every thread
+//!   busy; batch outputs are merged in batch (= node id) order, which is
+//!   why its results are bit-identical to [`run`]'s.
 
 use arbodom_graph::{Graph, NodeId};
 use bytes::BytesMut;
 
+use crate::mailbox::{Delivery, MailArena};
+use crate::telemetry::SendStats;
 use crate::{Globals, NodeCtx, NodeProgram, Outgoing, Recipients, SimError, Step, Telemetry, Wire};
 
 /// How thoroughly messages are serialized for metering.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum MeterMode {
-    /// Encode each message once to measure it; deliver in-memory clones.
-    /// The default: accurate metering at low cost.
+    /// Encode each outgoing message once to measure it; deliver in-memory
+    /// clones. The default: accurate metering at low cost.
     #[default]
     Measure,
-    /// Encode *and decode* every delivered message, erroring on mismatch.
-    /// Slow; used by tests to prove `Wire` implementations round-trip.
+    /// Encode *and decode* every outgoing message, erroring on mismatch,
+    /// and deliver the round-tripped value. Slow; used by tests to prove
+    /// `Wire` implementations round-trip.
     Strict,
     /// Skip encoding entirely; telemetry reports zero bits. For benchmarks
     /// that only care about round counts.
@@ -37,7 +60,9 @@ pub struct LossModel {
 /// Options controlling a run.
 #[derive(Clone, Debug)]
 pub struct RunOptions {
-    /// Hard limit on rounds; exceeded ⇒ [`SimError::MaxRoundsExceeded`].
+    /// Hard limit on executed rounds. A program that halts within exactly
+    /// `max_rounds` rounds succeeds; needing even one more round fails
+    /// with [`SimError::MaxRoundsExceeded`].
     pub max_rounds: usize,
     /// Metering behavior.
     pub meter: MeterMode,
@@ -67,125 +92,138 @@ pub struct RunResult<O> {
     pub telemetry: Telemetry,
 }
 
-/// For each node and each port, the port index of the reverse edge at the
-/// neighbor: if `neighbors(v)[p] == u`, then `rev[v][p]` is the position of
-/// `v` in `neighbors(u)`.
-fn reverse_ports(g: &Graph) -> Vec<Vec<u32>> {
-    g.nodes()
-        .map(|v| {
-            g.neighbors(v)
-                .iter()
-                .map(|&u| {
-                    g.neighbors(u)
-                        .binary_search(&v)
-                        .expect("edges are symmetric") as u32
-                })
-                .collect()
-        })
-        .collect()
+/// For each directed edge at flat CSR index `e = offsets[v] + p` (port `p`
+/// of node `v`), the port index of the reverse edge at the neighbor: if
+/// `neighbors(v)[p] == u`, then `rev[e]` is the position of `v` in
+/// `neighbors(u)` — i.e. the port a message from `v` *arrives on* at `u`.
+/// Flat and offset-shared with [`Graph::csr`], unlike a per-node
+/// `Vec<Vec<u32>>`, so fan-out walks contiguous memory.
+fn reverse_ports(g: &Graph) -> Vec<u32> {
+    let (_, nbrs_flat) = g.csr();
+    let mut rev = vec![0u32; nbrs_flat.len()];
+    for v in g.nodes() {
+        let range = g.neighbor_range(v);
+        for (p, &u) in g.neighbors(v).iter().enumerate() {
+            rev[range.start + p] = g
+                .neighbors(u)
+                .binary_search(&v)
+                .expect("edges are symmetric") as u32;
+        }
+    }
+    rev
 }
 
 /// Domain-separation tag for fault-injection coin flips.
 const LOSS_TAG: u64 = 0x4c4f5353; // "LOSS"
 
-struct Mailbox<M> {
-    current: Vec<Vec<(usize, M)>>,
-    next: Vec<Vec<(usize, M)>>,
+/// Below this node count the parallel runner falls back to [`run`]:
+/// thread start-up costs more than the round work it would split.
+const PARALLEL_MIN_NODES: usize = 128;
+
+/// Immutable per-run routing state shared by both runners (and, in the
+/// parallel runner, by every worker thread).
+struct Router<'a> {
+    g: &'a Graph,
+    rev: &'a [u32],
+    opts: &'a RunOptions,
+    /// The CONGEST per-message budget, for violation counting.
+    budget: usize,
 }
 
-impl<M> Mailbox<M> {
-    fn new(n: usize) -> Self {
-        Mailbox {
-            current: (0..n).map(|_| Vec::new()).collect(),
-            next: (0..n).map(|_| Vec::new()).collect(),
+impl Router<'_> {
+    /// Expands one node's [`Step`] output into staged deliveries.
+    ///
+    /// Each `Outgoing` is metered **once** — encoded into `scratch` in
+    /// `Measure`/`Strict` modes, skipped entirely in `Off` — then fanned
+    /// out to its recipients through the CSR adjacency slice. Dropped
+    /// messages (fault injection) are metered as sent but never staged.
+    fn expand<M: Wire + Clone>(
+        &self,
+        v: NodeId,
+        round: usize,
+        outgoing: Vec<Outgoing<M>>,
+        scratch: &mut BytesMut,
+        stats: &mut SendStats,
+        staged: &mut Vec<Delivery<M>>,
+    ) -> Result<(), SimError> {
+        if outgoing.is_empty() {
+            return Ok(());
         }
-    }
-
-    fn flip(&mut self) {
-        std::mem::swap(&mut self.current, &mut self.next);
-        for inbox in &mut self.next {
-            inbox.clear();
-        }
-    }
-}
-
-/// Meters (and in strict mode, re-encodes) a message; returns the bits and
-/// the possibly round-tripped payload.
-fn meter_message<M: Wire + Clone>(msg: &M, meter: MeterMode) -> Result<(usize, M), SimError> {
-    match meter {
-        MeterMode::Off => Ok((0, msg.clone())),
-        MeterMode::Measure => Ok((msg.encoded_bits(), msg.clone())),
-        MeterMode::Strict => {
-            let mut buf = BytesMut::new();
-            msg.encode(&mut buf);
-            let bits = buf.len() * 8;
-            let bytes = buf.freeze();
-            let mut slice = &bytes[..];
-            let decoded = M::decode(&mut slice)?;
-            if !slice.is_empty() {
-                return Err(SimError::Wire(crate::WireError::Invalid(
-                    "decode left trailing bytes",
-                )));
+        let (_, nbrs_flat) = self.g.csr();
+        let range = self.g.neighbor_range(v);
+        let nbrs = &nbrs_flat[range.clone()];
+        let rev = &self.rev[range];
+        let deg = nbrs.len();
+        for out in outgoing {
+            let (bits, roundtripped) = match self.opts.meter {
+                MeterMode::Off => (0, None),
+                MeterMode::Measure => {
+                    scratch.clear();
+                    out.msg.encode(scratch);
+                    (scratch.len() * 8, None)
+                }
+                MeterMode::Strict => {
+                    scratch.clear();
+                    out.msg.encode(scratch);
+                    let bits = scratch.len() * 8;
+                    let mut slice: &[u8] = scratch;
+                    let decoded = M::decode(&mut slice)?;
+                    if !slice.is_empty() {
+                        return Err(SimError::Wire(crate::WireError::Invalid(
+                            "decode left trailing bytes",
+                        )));
+                    }
+                    (bits, Some(decoded))
+                }
+            };
+            // Strict mode delivers the round-tripped value, proving the
+            // decoded bytes — not the in-memory original — drive the run.
+            let payload = roundtripped.as_ref().unwrap_or(&out.msg);
+            let send_one = |port: usize,
+                            stats: &mut SendStats,
+                            staged: &mut Vec<Delivery<M>>|
+             -> Result<(), SimError> {
+                if port >= deg {
+                    return Err(SimError::BadPort {
+                        node: v.get(),
+                        port,
+                        degree: deg,
+                    });
+                }
+                stats.note(bits, self.budget);
+                if let Some(loss) = self.opts.loss {
+                    if crate::det_rand::bernoulli(
+                        loss.seed,
+                        &[LOSS_TAG, round as u64, u64::from(v.get()), port as u64],
+                        loss.drop_probability,
+                    ) {
+                        stats.dropped += 1;
+                        return Ok(());
+                    }
+                }
+                staged.push(Delivery {
+                    dest: nbrs[port].get(),
+                    port: rev[port],
+                    msg: payload.clone(),
+                });
+                Ok(())
+            };
+            match out.to {
+                Recipients::Broadcast => {
+                    for port in 0..deg {
+                        send_one(port, stats, staged)?;
+                    }
+                }
+                Recipients::Port(port) => send_one(port, stats, staged)?,
+                Recipients::Ports(ports) => {
+                    for port in ports {
+                        send_one(port, stats, staged)?;
+                    }
+                }
             }
-            Ok((bits, decoded))
         }
-    }
-}
-
-#[allow(clippy::too_many_arguments)] // internal routing core shared by both runners
-fn route_step<M: Wire + Clone>(
-    g: &Graph,
-    rev: &[Vec<u32>],
-    v: NodeId,
-    step_out: Vec<Outgoing<M>>,
-    round: usize,
-    opts: &RunOptions,
-    telemetry: &mut Telemetry,
-    next: &mut [Vec<(usize, M)>],
-) -> Result<(), SimError> {
-    let nbrs = g.neighbors(v);
-    let vi = v.index();
-    let mut send_one = |port: usize, msg: &M, telemetry: &mut Telemetry| -> Result<(), SimError> {
-        if port >= nbrs.len() {
-            return Err(SimError::BadPort {
-                node: v.get(),
-                port,
-                degree: nbrs.len(),
-            });
-        }
-        let (bits, payload) = meter_message(msg, opts.meter)?;
-        telemetry.record(round, bits, opts.track_rounds);
-        if let Some(loss) = opts.loss {
-            if crate::det_rand::bernoulli(
-                loss.seed,
-                &[LOSS_TAG, round as u64, u64::from(v.get()), port as u64],
-                loss.drop_probability,
-            ) {
-                telemetry.dropped_messages += 1;
-                return Ok(());
-            }
-        }
-        let dest = nbrs[port];
-        let from_port = rev[vi][port] as usize;
-        next[dest.index()].push((from_port, payload));
         Ok(())
-    };
-    for out in step_out {
-        match out.to {
-            Recipients::Broadcast => {
-                for port in 0..nbrs.len() {
-                    send_one(port, &out.msg, telemetry)?;
-                }
-            }
-            Recipients::Port(port) => send_one(port, &out.msg, telemetry)?,
-            Recipients::Ports(ports) => {
-                for port in ports {
-                    send_one(port, &out.msg, telemetry)?;
-                }
-            }
-        }
     }
-    Ok(())
 }
 
 /// Runs `make(v, g)`-constructed node programs over `g` sequentially and
@@ -207,9 +245,17 @@ pub fn run<P: NodeProgram>(
     let mut active = vec![true; n];
     let mut active_count = n;
     let rev = reverse_ports(g);
-    let mut mail: Mailbox<P::Message> = Mailbox::new(n);
+    let router = Router {
+        g,
+        rev: &rev,
+        opts,
+        budget: globals.congest_bits(),
+    };
+    let mut arena: MailArena<P::Message> = MailArena::new(n);
+    let mut staged: Vec<Delivery<P::Message>> = Vec::new();
+    let mut scratch = BytesMut::new();
     let mut telemetry = Telemetry {
-        bandwidth_budget_bits: globals.congest_bits(),
+        bandwidth_budget_bits: router.budget,
         ..Telemetry::default()
     };
     let mut round = 0usize;
@@ -220,6 +266,7 @@ pub fn run<P: NodeProgram>(
                 active: active_count,
             });
         }
+        let mut stats = SendStats::default();
         for v in g.nodes() {
             let vi = v.index();
             if !active[vi] {
@@ -232,24 +279,22 @@ pub fn run<P: NodeProgram>(
                 globals,
                 round,
             };
-            let inbox = std::mem::take(&mut mail.current[vi]);
-            let step: Step<P::Message> = nodes[vi].round(&ctx, &inbox);
+            let step: Step<P::Message> = nodes[vi].round(&ctx, arena.inbox(vi));
             if step.done {
                 active[vi] = false;
                 active_count -= 1;
             }
-            route_step(
-                g,
-                &rev,
+            router.expand(
                 v,
-                step.outgoing,
                 round,
-                opts,
-                &mut telemetry,
-                &mut mail.next,
+                step.outgoing,
+                &mut scratch,
+                &mut stats,
+                &mut staged,
             )?;
         }
-        mail.flip();
+        telemetry.absorb(round, &stats, opts.track_rounds);
+        arena.refill(&mut staged);
         round += 1;
     }
     telemetry.rounds = round;
@@ -260,13 +305,16 @@ pub fn run<P: NodeProgram>(
 }
 
 /// Thread-parallel variant of [`run`], producing identical outputs and
-/// telemetry totals (per-round stats and totals are aggregated
-/// deterministically).
+/// telemetry (totals, maxima, and per-round stats are all merged
+/// order-independently or in node order).
 ///
-/// Nodes are partitioned into contiguous chunks, one scoped
-/// thread per chunk; each thread steps its nodes and buffers outgoing
-/// messages locally, and buffers are merged in chunk order so message
-/// arrival order in each inbox is the same as in the sequential runner.
+/// Each round, nodes are split into batches — several per thread — and
+/// worker threads claim batches from an atomic work queue, so a few
+/// heavyweight nodes (skewed-degree graphs) do not leave the other
+/// threads idle the way fixed contiguous chunks would. Every batch
+/// buffers its outgoing messages locally; buffers are merged in batch
+/// order (= ascending node id), so each inbox sees the same arrival
+/// order as in the sequential runner.
 ///
 /// # Errors
 ///
@@ -280,26 +328,43 @@ pub fn run_parallel<P>(
 ) -> Result<RunResult<P::Output>, SimError>
 where
     P: NodeProgram + Send,
-    P::Message: Send,
+    P::Message: Send + Sync,
     P::Output: Send,
 {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
     let n = g.n();
     let threads = threads.max(1).min(n.max(1));
-    if threads <= 1 || n < 128 {
+    if threads <= 1 || n < PARALLEL_MIN_NODES {
         return run(g, globals, |v, g| make(v, g), opts);
     }
     let mut nodes: Vec<P> = g.nodes().map(|v| make(v, g)).collect();
     let mut active = vec![true; n];
+    let mut active_count = n;
     let rev = reverse_ports(g);
-    let mut current: Vec<Vec<(usize, P::Message)>> = (0..n).map(|_| Vec::new()).collect();
+    let router = Router {
+        g,
+        rev: &rev,
+        opts,
+        budget: globals.congest_bits(),
+    };
+    let mut arena: MailArena<P::Message> = MailArena::new(n);
+    let mut staged: Vec<Delivery<P::Message>> = Vec::new();
     let mut telemetry = Telemetry {
-        bandwidth_budget_bits: globals.congest_bits(),
+        bandwidth_budget_bits: router.budget,
         ..Telemetry::default()
     };
-    let chunk = n.div_ceil(threads);
+    // More batches than threads so the work queue can rebalance; large
+    // enough batches that claiming one (an atomic increment + an
+    // uncontended lock) is noise next to stepping its nodes.
+    let batch_size = n.div_ceil(threads * 4).max(64);
+    let num_batches = n.div_ceil(batch_size);
+    // Capacity hint for per-batch send buffers: last round's traffic,
+    // split evenly, with headroom.
+    let mut send_hint = 0usize;
     let mut round = 0usize;
     loop {
-        let active_count = active.iter().filter(|&&a| a).count();
         if active_count == 0 {
             break;
         }
@@ -309,121 +374,107 @@ where
                 active: active_count,
             });
         }
-        // Each worker returns its sent messages and the nodes that halted.
-        type SentBuf<M> = Vec<(u32, usize, M, usize)>; // (dest, from_port, msg, bits)
-        type WorkerOut<M> = (SentBuf<M>, Vec<usize>);
-        type InboxChunks<'a, M> = Vec<&'a mut [Vec<(usize, M)>]>;
-        let results: Vec<Result<WorkerOut<P::Message>, SimError>> = {
-            let rev = &rev;
+        // (staged deliveries, halted node ids, send statistics) per batch;
+        // a worker returns the batches it claimed, tagged by batch index.
+        type BatchOut<M> = (Vec<Delivery<M>>, Vec<usize>, SendStats);
+        type WorkerOut<M> = Vec<(usize, BatchOut<M>)>;
+        let mut batch_outs: WorkerOut<P::Message> = {
+            let queue = AtomicUsize::new(0);
+            let queue = &queue;
+            let batches: Vec<Mutex<&mut [P]>> =
+                nodes.chunks_mut(batch_size).map(Mutex::new).collect();
+            let batches = &batches;
+            let router = &router;
+            let arena = &arena;
             let active = &active;
-            let current = &mut current;
-            let node_slices: Vec<&mut [P]> = nodes.chunks_mut(chunk).collect();
-            let inbox_slices: InboxChunks<'_, P::Message> = current.chunks_mut(chunk).collect();
-            std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for (t, (node_chunk, inbox_chunk)) in
-                    node_slices.into_iter().zip(inbox_slices).enumerate()
-                {
-                    let base = t * chunk;
-                    handles.push(scope.spawn(move || {
-                        let mut sent: SentBuf<P::Message> = Vec::new();
-                        let mut halted: Vec<usize> = Vec::new();
-                        for (i, node) in node_chunk.iter_mut().enumerate() {
-                            let vi = base + i;
-                            if !active[vi] {
-                                continue;
-                            }
-                            let v = NodeId::from_index(vi);
-                            let ctx = NodeCtx {
-                                id: v,
-                                weight: g.weight(v),
-                                neighbors: g.neighbors(v),
-                                globals,
-                                round,
-                            };
-                            let inbox = std::mem::take(&mut inbox_chunk[i]);
-                            let step = node.round(&ctx, &inbox);
-                            let nbrs = g.neighbors(v);
-                            let send_one =
-                                |port: usize, msg: &P::Message, sent: &mut SentBuf<P::Message>| {
-                                    if port >= nbrs.len() {
-                                        return Err(SimError::BadPort {
-                                            node: v.get(),
-                                            port,
-                                            degree: nbrs.len(),
-                                        });
-                                    }
-                                    let (bits, payload) = meter_message(msg, opts.meter)?;
-                                    if let Some(loss) = opts.loss {
-                                        if crate::det_rand::bernoulli(
-                                            loss.seed,
-                                            &[
-                                                LOSS_TAG,
-                                                round as u64,
-                                                u64::from(v.get()),
-                                                port as u64,
-                                            ],
-                                            loss.drop_probability,
-                                        ) {
-                                            // Metered as sent, marked
-                                            // dropped by the dest sentinel.
-                                            sent.push((u32::MAX, 0, payload, bits));
-                                            return Ok(());
-                                        }
-                                    }
-                                    sent.push((
-                                        nbrs[port].get(),
-                                        rev[vi][port] as usize,
-                                        payload,
-                                        bits,
-                                    ));
-                                    Ok(())
-                                };
-                            for out in step.outgoing {
-                                match out.to {
-                                    Recipients::Broadcast => {
-                                        for port in 0..nbrs.len() {
-                                            send_one(port, &out.msg, &mut sent)?;
-                                        }
-                                    }
-                                    Recipients::Port(p) => send_one(p, &out.msg, &mut sent)?,
-                                    Recipients::Ports(ports) => {
-                                        for p in ports {
-                                            send_one(p, &out.msg, &mut sent)?;
-                                        }
-                                    }
-                                }
-                            }
-                            if step.done {
-                                halted.push(vi);
-                            }
+            // Errors are tagged with their batch index so the merge can
+            // propagate the fault of the *lowest* batch — batches step
+            // their nodes in ascending id order and the queue hands out
+            // batches in ascending order, so that is exactly the error
+            // the sequential runner would have hit first, regardless of
+            // which worker happened to claim which batch.
+            let worker = move || -> Result<WorkerOut<P::Message>, (usize, SimError)> {
+                let mut outs = Vec::new();
+                let mut scratch = BytesMut::new();
+                loop {
+                    let b = queue.fetch_add(1, Ordering::Relaxed);
+                    if b >= num_batches {
+                        return Ok(outs);
+                    }
+                    let mut chunk = batches[b].lock().expect("batch claimed once");
+                    let base = b * batch_size;
+                    let mut batch_staged = Vec::with_capacity(send_hint);
+                    let mut halted = Vec::new();
+                    let mut stats = SendStats::default();
+                    for (i, node) in chunk.iter_mut().enumerate() {
+                        let vi = base + i;
+                        if !active[vi] {
+                            continue;
                         }
-                        Ok((sent, halted))
-                    }));
+                        let v = NodeId::from_index(vi);
+                        let ctx = NodeCtx {
+                            id: v,
+                            weight: router.g.weight(v),
+                            neighbors: router.g.neighbors(v),
+                            globals,
+                            round,
+                        };
+                        let step = node.round(&ctx, arena.inbox(vi));
+                        if step.done {
+                            halted.push(vi);
+                        }
+                        router
+                            .expand(
+                                v,
+                                round,
+                                step.outgoing,
+                                &mut scratch,
+                                &mut stats,
+                                &mut batch_staged,
+                            )
+                            .map_err(|e| (b, e))?;
+                    }
+                    outs.push((b, (batch_staged, halted, stats)));
                 }
+            };
+            let results: Vec<Result<_, (usize, SimError)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads).map(|_| scope.spawn(worker)).collect();
                 handles
                     .into_iter()
                     .map(|h| h.join().expect("worker panicked"))
                     .collect()
-            })
-        };
-        // Merge in chunk order for determinism.
-        let mut next: Vec<Vec<(usize, P::Message)>> = (0..n).map(|_| Vec::new()).collect();
-        for res in results {
-            let (sent, halted) = res?;
-            for (dest, from_port, msg, bits) in sent {
-                telemetry.record(round, bits, opts.track_rounds);
-                if dest == u32::MAX {
-                    telemetry.dropped_messages += 1;
-                    continue;
+            });
+            let mut all = Vec::new();
+            let mut first_err: Option<(usize, SimError)> = None;
+            for res in results {
+                match res {
+                    Ok(mut outs) => all.append(&mut outs),
+                    Err((b, e)) => {
+                        if first_err.as_ref().is_none_or(|(fb, _)| b < *fb) {
+                            first_err = Some((b, e));
+                        }
+                    }
                 }
-                next[dest as usize].push((from_port, msg));
             }
+            if let Some((_, e)) = first_err {
+                return Err(e);
+            }
+            all
+        };
+        // Merge in batch order: bit-identical inbox order to `run`.
+        batch_outs.sort_unstable_by_key(|&(b, _)| b);
+        let mut round_stats = SendStats::default();
+        for (_, (mut batch_staged, halted, stats)) in batch_outs {
+            staged.append(&mut batch_staged);
+            round_stats.merge(&stats);
             for vi in halted {
                 active[vi] = false;
+                active_count -= 1;
             }
         }
-        current = next;
+        telemetry.absorb(round, &round_stats, opts.track_rounds);
+        send_hint = staged.len() / num_batches + staged.len() / (num_batches * 4) + 8;
+        arena.refill(&mut staged);
         round += 1;
     }
     telemetry.rounds = round;
@@ -436,6 +487,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Inbox;
     use arbodom_graph::generators;
 
     /// Each node floods its id once; everyone halts after hearing neighbors.
@@ -446,11 +498,11 @@ mod tests {
     impl NodeProgram for Echo {
         type Message = u32;
         type Output = u64;
-        fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(usize, u32)]) -> Step<u32> {
+        fn round(&mut self, ctx: &NodeCtx<'_>, inbox: Inbox<'_, u32>) -> Step<u32> {
             match ctx.round {
                 0 => Step::continue_with(vec![Outgoing::broadcast(ctx.id.get())]),
                 _ => {
-                    self.sum = inbox.iter().map(|&(_, m)| u64::from(m)).sum();
+                    self.sum = inbox.iter().map(|(_, &m)| u64::from(m)).sum();
                     Step::halt()
                 }
             }
@@ -491,6 +543,30 @@ mod tests {
     }
 
     #[test]
+    fn off_mode_reports_zero_bits_same_outputs() {
+        let g = generators::grid2d(6, 4, true);
+        let globals = Globals::new(&g, 0);
+        let off = run(
+            &g,
+            &globals,
+            |_, _| Echo { sum: 0 },
+            &RunOptions {
+                meter: MeterMode::Off,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        let measured = run(&g, &globals, |_, _| Echo { sum: 0 }, &RunOptions::default()).unwrap();
+        assert_eq!(off.outputs, measured.outputs);
+        assert_eq!(
+            off.telemetry.total_messages,
+            measured.telemetry.total_messages
+        );
+        assert_eq!(off.telemetry.total_bits, 0);
+        assert_eq!(off.telemetry.max_message_bits, 0);
+    }
+
+    #[test]
     fn per_round_stats_recorded() {
         let g = generators::cycle(6);
         let globals = Globals::new(&g, 0);
@@ -513,7 +589,7 @@ mod tests {
     impl NodeProgram for Forever {
         type Message = bool;
         type Output = ();
-        fn round(&mut self, _ctx: &NodeCtx<'_>, _inbox: &[(usize, bool)]) -> Step<bool> {
+        fn round(&mut self, _ctx: &NodeCtx<'_>, _inbox: Inbox<'_, bool>) -> Step<bool> {
             Step::idle()
         }
         fn output(&self) {}
@@ -542,12 +618,137 @@ mod tests {
         ));
     }
 
+    /// Halts (all nodes simultaneously) at the end of round `total - 1`,
+    /// i.e. after executing exactly `total` rounds.
+    struct ExactRounds {
+        total: usize,
+    }
+    impl NodeProgram for ExactRounds {
+        type Message = bool;
+        type Output = ();
+        fn round(&mut self, ctx: &NodeCtx<'_>, _inbox: Inbox<'_, bool>) -> Step<bool> {
+            if ctx.round + 1 == self.total {
+                Step::halt()
+            } else {
+                Step::idle()
+            }
+        }
+        fn output(&self) {}
+    }
+
+    /// `max_rounds` is an *inclusive* budget: a program needing exactly
+    /// the configured limit succeeds; one more round fails. Pinned at the
+    /// boundary for both runners so an off-by-one cannot creep in.
+    #[test]
+    fn max_rounds_boundary_is_exact_sequential() {
+        let g = generators::path(5);
+        let globals = Globals::new(&g, 0);
+        for total in [1usize, 2, 7] {
+            let ok = run(
+                &g,
+                &globals,
+                |_, _| ExactRounds { total },
+                &RunOptions {
+                    max_rounds: total,
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(ok.telemetry.rounds, total);
+            let err = run(
+                &g,
+                &globals,
+                |_, _| ExactRounds { total },
+                &RunOptions {
+                    max_rounds: total - 1,
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap_err();
+            assert!(
+                matches!(err, SimError::MaxRoundsExceeded { limit, active }
+                    if limit == total - 1 && active == g.n()),
+                "total={total}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_rounds_boundary_is_exact_parallel() {
+        // Large enough that run_parallel does not fall back to run().
+        let g = generators::path(200);
+        let globals = Globals::new(&g, 0);
+        let total = 5usize;
+        let ok = run_parallel(
+            &g,
+            &globals,
+            |_, _| ExactRounds { total },
+            &RunOptions {
+                max_rounds: total,
+                ..RunOptions::default()
+            },
+            3,
+        )
+        .unwrap();
+        assert_eq!(ok.telemetry.rounds, total);
+        let err = run_parallel(
+            &g,
+            &globals,
+            |_, _| ExactRounds { total },
+            &RunOptions {
+                max_rounds: total - 1,
+                ..RunOptions::default()
+            },
+            3,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::MaxRoundsExceeded { limit, active }
+            if limit == total - 1 && active == g.n()));
+    }
+
+    #[test]
+    fn zero_max_rounds_fails_immediately_when_nodes_exist() {
+        let g = generators::path(3);
+        let globals = Globals::new(&g, 0);
+        let err = run(
+            &g,
+            &globals,
+            |_, _| ExactRounds { total: 1 },
+            &RunOptions {
+                max_rounds: 0,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::MaxRoundsExceeded {
+                limit: 0,
+                active: 3
+            }
+        ));
+        // An empty graph needs zero rounds, so the zero budget suffices.
+        let empty = arbodom_graph::Graph::from_edges(0, []).unwrap();
+        let eg = Globals::new(&empty, 0);
+        let ok = run(
+            &empty,
+            &eg,
+            |_, _| ExactRounds { total: 1 },
+            &RunOptions {
+                max_rounds: 0,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(ok.telemetry.rounds, 0);
+    }
+
     /// Sends to a bogus port.
     struct BadSender;
     impl NodeProgram for BadSender {
         type Message = bool;
         type Output = ();
-        fn round(&mut self, _ctx: &NodeCtx<'_>, _inbox: &[(usize, bool)]) -> Step<bool> {
+        fn round(&mut self, _ctx: &NodeCtx<'_>, _inbox: Inbox<'_, bool>) -> Step<bool> {
             Step::halt_with(vec![Outgoing::to_port(99, true)])
         }
         fn output(&self) {}
@@ -561,6 +762,44 @@ mod tests {
         assert!(matches!(err, SimError::BadPort { .. }));
     }
 
+    /// Faults in one node only; everyone else idles forever.
+    struct FaultAt {
+        faulty: bool,
+    }
+    impl NodeProgram for FaultAt {
+        type Message = bool;
+        type Output = ();
+        fn round(&mut self, _ctx: &NodeCtx<'_>, _inbox: Inbox<'_, bool>) -> Step<bool> {
+            if self.faulty {
+                Step::continue_with(vec![Outgoing::to_port(99, true)])
+            } else {
+                Step::idle()
+            }
+        }
+        fn output(&self) {}
+    }
+
+    /// With several nodes faulting in the same round, both runners must
+    /// report the *lowest* faulting node, deterministically — whichever
+    /// worker happens to claim which batch.
+    #[test]
+    fn multi_fault_error_is_deterministic_and_matches_sequential() {
+        let g = generators::path(600);
+        let globals = Globals::new(&g, 0);
+        let make = |v: NodeId, _: &arbodom_graph::Graph| FaultAt {
+            faulty: v.index() == 77 || v.index() == 350 || v.index() == 599,
+        };
+        let seq = run(&g, &globals, make, &RunOptions::default()).unwrap_err();
+        assert!(matches!(seq, SimError::BadPort { node: 77, .. }), "{seq:?}");
+        for _ in 0..10 {
+            for threads in [2usize, 4] {
+                let par =
+                    run_parallel(&g, &globals, make, &RunOptions::default(), threads).unwrap_err();
+                assert_eq!(seq, par, "threads={threads}");
+            }
+        }
+    }
+
     /// Ping-pong along a path to verify port addressing: node 0 sends a
     /// counter to port 0; each receiver forwards incremented to the other
     /// side until it reaches the last node.
@@ -572,11 +811,11 @@ mod tests {
     impl NodeProgram for Relay {
         type Message = u64;
         type Output = u64;
-        fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(usize, u64)]) -> Step<u64> {
+        fn round(&mut self, ctx: &NodeCtx<'_>, inbox: Inbox<'_, u64>) -> Step<u64> {
             if ctx.round == 0 && self.is_source {
                 return Step::halt_with(vec![Outgoing::to_port(0, 1)]);
             }
-            if let Some(&(from, v)) = inbox.first() {
+            if let Some((from, &v)) = inbox.first() {
                 self.value = v;
                 if self.is_sink {
                     return Step::halt();
@@ -674,6 +913,31 @@ mod tests {
         assert_eq!(seq.telemetry.rounds, par.telemetry.rounds);
         assert_eq!(seq.telemetry.total_messages, par.telemetry.total_messages);
         assert_eq!(seq.telemetry.total_bits, par.telemetry.total_bits);
+    }
+
+    /// A hub-heavy topology (star inside a path) exercises the work
+    /// queue's rebalancing: one batch holds the hub with degree ≈ n.
+    #[test]
+    fn parallel_matches_sequential_on_skewed_degrees() {
+        let mut b = arbodom_graph::Graph::builder(600);
+        for i in 1..600u32 {
+            b.add_edge_u32(0, i).unwrap();
+        }
+        for i in 1..599u32 {
+            b.add_edge_u32(i, i + 1).unwrap();
+        }
+        let g = b.build();
+        let globals = Globals::new(&g, 1);
+        let opts = RunOptions {
+            track_rounds: true,
+            ..RunOptions::default()
+        };
+        let seq = run(&g, &globals, |_, _| Echo { sum: 0 }, &opts).unwrap();
+        for threads in [2usize, 3, 8] {
+            let par = run_parallel(&g, &globals, |_, _| Echo { sum: 0 }, &opts, threads).unwrap();
+            assert_eq!(seq.outputs, par.outputs, "threads={threads}");
+            assert_eq!(seq.telemetry, par.telemetry, "threads={threads}");
+        }
     }
 
     #[test]

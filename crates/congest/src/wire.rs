@@ -35,6 +35,52 @@ pub trait Wire: Sized {
     }
 }
 
+/// Asserts the full [`Wire`] conformance contract for one message value —
+/// the same contract [`MeterMode::Strict`](crate::MeterMode::Strict) runs
+/// enforce on live traffic, checkable in isolation:
+///
+/// 1. `decode(encode(m)) == m`, consuming the encoding exactly;
+/// 2. [`Wire::encoded_bits`] agrees with the actual encoding length;
+/// 3. the encoding is *prefix-free for truncation*: decoding any strict
+///    prefix of it fails (so a truncated network buffer can never be
+///    silently mis-read as a complete message).
+///
+/// All message types in this workspace (varint/tag-based codecs) satisfy
+/// property 3; a codec with valid encodings that are prefixes of other
+/// valid encodings should not be checked with this helper.
+///
+/// # Panics
+///
+/// Panics, with a message naming the violated property, if any check
+/// fails.
+pub fn assert_wire_conformance<M: Wire + PartialEq + std::fmt::Debug>(msg: &M) {
+    let mut buf = BytesMut::new();
+    msg.encode(&mut buf);
+    assert_eq!(
+        msg.encoded_bits(),
+        buf.len() * 8,
+        "encoded_bits disagrees with encode() length for {msg:?}"
+    );
+    let mut slice = &buf[..];
+    let decoded = M::decode(&mut slice).unwrap_or_else(|e| {
+        panic!("decode failed on a fresh encoding of {msg:?}: {e}");
+    });
+    assert!(
+        slice.is_empty(),
+        "decode left {} trailing bytes for {msg:?}",
+        slice.len()
+    );
+    assert_eq!(&decoded, msg, "round-trip changed the message");
+    for cut in 0..buf.len() {
+        let mut prefix = &buf[..cut];
+        assert!(
+            M::decode(&mut prefix).is_err(),
+            "decoding the {cut}-byte prefix of {msg:?} ({} bytes) succeeded",
+            buf.len()
+        );
+    }
+}
+
 /// Writes a LEB128-style unsigned varint.
 pub fn put_uvarint(buf: &mut BytesMut, mut v: u64) {
     loop {
@@ -192,13 +238,9 @@ mod tests {
     use super::*;
 
     fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
-        let mut buf = BytesMut::new();
-        v.encode(&mut buf);
-        let bytes = buf.freeze();
-        let mut slice = &bytes[..];
-        let back = T::decode(&mut slice).expect("decode");
-        assert_eq!(back, v);
-        assert!(slice.is_empty(), "decode must consume exactly the encoding");
+        // The public conformance helper covers round-trip, exact
+        // consumption, encoded_bits agreement, and truncation safety.
+        assert_wire_conformance(&v);
     }
 
     #[test]

@@ -36,7 +36,11 @@ mod unknown_delta;
 mod weighted;
 
 pub use msg::ProtocolMsg;
-pub use randomized::{run_general, run_randomized, RandomizedProgram};
+pub use randomized::{
+    run_general, run_randomized, NodeOutput as RandomizedNodeOutput, RandomizedProgram,
+};
 pub use trees::{run_trees, TreeProgram};
-pub use unknown_delta::{run_unknown_delta, UnknownDeltaProgram};
-pub use weighted::{run_weighted, WeightedProgram};
+pub use unknown_delta::{
+    run_unknown_delta, NodeOutput as UnknownDeltaNodeOutput, UnknownDeltaProgram,
+};
+pub use weighted::{run_weighted, NodeOutput as WeightedNodeOutput, WeightedProgram};

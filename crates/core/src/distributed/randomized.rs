@@ -19,7 +19,7 @@
 //! tests assert.
 
 use arbodom_congest::{
-    det_rand, run, Globals, NodeCtx, NodeProgram, Outgoing, RunOptions, Step, Telemetry,
+    det_rand, run, Globals, Inbox, NodeCtx, NodeProgram, Outgoing, RunOptions, Step, Telemetry,
 };
 use arbodom_graph::{Graph, NodeId};
 
@@ -112,8 +112,8 @@ impl RandomizedProgram {
         }
     }
 
-    fn apply_dominated_events(&mut self, inbox: &[(usize, ProtocolMsg)]) {
-        for &(port, msg) in inbox {
+    fn apply_dominated_events(&mut self, inbox: Inbox<'_, ProtocolMsg>) {
+        for (port, &msg) in inbox {
             match msg {
                 ProtocolMsg::Dominated | ProtocolMsg::Joined => {
                     self.nbr_dominated[port] = true;
@@ -167,9 +167,9 @@ impl RandomizedProgram {
         best_port
     }
 
-    fn part_b(&mut self, inbox: &[(usize, ProtocolMsg)]) -> Vec<Outgoing<ProtocolMsg>> {
+    fn part_b(&mut self, inbox: Inbox<'_, ProtocolMsg>) -> Vec<Outgoing<ProtocolMsg>> {
         let mut heard_join = false;
-        for &(port, msg) in inbox {
+        for (port, &msg) in inbox {
             if msg == ProtocolMsg::Joined {
                 self.nbr_dominated[port] = true;
                 heard_join = true;
@@ -190,7 +190,7 @@ impl NodeProgram for RandomizedProgram {
     type Message = ProtocolMsg;
     type Output = NodeOutput;
 
-    fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(usize, ProtocolMsg)]) -> Step<ProtocolMsg> {
+    fn round(&mut self, ctx: &NodeCtx<'_>, inbox: Inbox<'_, ProtocolMsg>) -> Step<ProtocolMsg> {
         let rd = ctx.round;
         match rd {
             0 => {
@@ -198,7 +198,7 @@ impl NodeProgram for RandomizedProgram {
                 Step::continue_with(vec![Outgoing::broadcast(ProtocolMsg::Weight(self.weight))])
             }
             1 => {
-                for &(port, msg) in inbox {
+                for (port, &msg) in inbox {
                     if let ProtocolMsg::Weight(w) = msg {
                         self.nbr_weight[port] = w;
                     }
@@ -216,7 +216,7 @@ impl NodeProgram for RandomizedProgram {
                 if rd == 2 {
                     let dp1 = (ctx.globals.max_degree + 1) as f64;
                     self.x = self.tau as f64 / dp1;
-                    for &(port, msg) in inbox {
+                    for (port, &msg) in inbox {
                         if let ProtocolMsg::Tau(t) = msg {
                             self.nbr_x[port] = t as f64 / dp1;
                         }
@@ -334,7 +334,7 @@ impl NodeProgram for RandomizedProgram {
                         }
                     }
                 } else {
-                    if inbox.iter().any(|&(_, m)| m == ProtocolMsg::Elect) {
+                    if inbox.iter().any(|(_, &m)| m == ProtocolMsg::Elect) {
                         self.in_s_prime = true;
                     }
                     Step::halt()

@@ -5,7 +5,9 @@
 //! and in a `K₂` component the smaller id joins (see [`crate::trees`] for
 //! why the boundary cases matter).
 
-use arbodom_congest::{run, Globals, NodeCtx, NodeProgram, Outgoing, RunOptions, Step, Telemetry};
+use arbodom_congest::{
+    run, Globals, Inbox, NodeCtx, NodeProgram, Outgoing, RunOptions, Step, Telemetry,
+};
 use arbodom_graph::Graph;
 
 use super::msg::ProtocolMsg;
@@ -21,7 +23,7 @@ impl NodeProgram for TreeProgram {
     type Message = ProtocolMsg;
     type Output = bool;
 
-    fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(usize, ProtocolMsg)]) -> Step<ProtocolMsg> {
+    fn round(&mut self, ctx: &NodeCtx<'_>, inbox: Inbox<'_, ProtocolMsg>) -> Step<ProtocolMsg> {
         match ctx.round {
             0 => {
                 let deg = ctx.degree() as u64;
@@ -40,7 +42,7 @@ impl NodeProgram for TreeProgram {
                 if ctx.degree() == 1 && !self.in_ds {
                     let nbr_deg = inbox
                         .iter()
-                        .find_map(|&(_, m)| match m {
+                        .find_map(|(_, &m)| match m {
                             ProtocolMsg::Degree(d) => Some(d),
                             _ => None,
                         })

@@ -19,7 +19,9 @@
 //! simultaneous-snapshot semantics, and the equivalence tests require
 //! bit-identical dominating sets and packing values.
 
-use arbodom_congest::{run, Globals, NodeCtx, NodeProgram, Outgoing, RunOptions, Step, Telemetry};
+use arbodom_congest::{
+    run, Globals, Inbox, NodeCtx, NodeProgram, Outgoing, RunOptions, Step, Telemetry,
+};
 use arbodom_graph::{Graph, NodeId};
 
 use super::msg::ProtocolMsg;
@@ -108,9 +110,9 @@ impl UnknownDeltaProgram {
     }
 
     /// Digest `Joined`/`Dominated` events into the mirrors and own state.
-    fn digest(&mut self, inbox: &[(usize, ProtocolMsg)]) -> bool {
+    fn digest(&mut self, inbox: Inbox<'_, ProtocolMsg>) -> bool {
         let mut heard_join = false;
-        for &(port, msg) in inbox {
+        for (port, &msg) in inbox {
             match msg {
                 ProtocolMsg::Joined => {
                     self.nbr_dominated[port] = true;
@@ -153,7 +155,7 @@ impl NodeProgram for UnknownDeltaProgram {
     type Message = ProtocolMsg;
     type Output = NodeOutput;
 
-    fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(usize, ProtocolMsg)]) -> Step<ProtocolMsg> {
+    fn round(&mut self, ctx: &NodeCtx<'_>, inbox: Inbox<'_, ProtocolMsg>) -> Step<ProtocolMsg> {
         let rd = ctx.round;
         match rd {
             0 => {
@@ -161,7 +163,7 @@ impl NodeProgram for UnknownDeltaProgram {
                 Step::continue_with(vec![Outgoing::broadcast(ProtocolMsg::Weight(self.weight))])
             }
             1 => {
-                for &(port, msg) in inbox {
+                for (port, &msg) in inbox {
                     if let ProtocolMsg::Weight(w) = msg {
                         self.nbr_weight[port] = w;
                     }
@@ -179,7 +181,7 @@ impl NodeProgram for UnknownDeltaProgram {
                 // Second setup round: exchange closed-neighborhood sizes so
                 // every node can form the local normalizer
                 // max_{u∈N⁺(v)} |N⁺(u)| — Remark 4.4's replacement for Δ+1.
-                for &(port, msg) in inbox {
+                for (port, &msg) in inbox {
                     if let ProtocolMsg::Tau(t) = msg {
                         self.nbr_tau[port] = t;
                     }
@@ -193,7 +195,7 @@ impl NodeProgram for UnknownDeltaProgram {
                     let my_closed = ctx.degree() as u64 + 1;
                     let max_closed = inbox
                         .iter()
-                        .filter_map(|&(_, m)| match m {
+                        .filter_map(|(_, &m)| match m {
                             ProtocolMsg::Degree(d) => Some(d),
                             _ => None,
                         })
@@ -209,7 +211,7 @@ impl NodeProgram for UnknownDeltaProgram {
                     ))]);
                 }
                 if rd == 4 {
-                    for &(port, msg) in inbox {
+                    for (port, &msg) in inbox {
                         if let ProtocolMsg::Weight(m) = msg {
                             self.nbr_x[port] = self.nbr_tau[port] as f64 / m as f64;
                         }
@@ -270,7 +272,7 @@ impl NodeProgram for UnknownDeltaProgram {
                         // ---- sub-round B ----
                         let mut out = Vec::new();
                         self.digest(inbox);
-                        if inbox.iter().any(|&(_, m)| m == ProtocolMsg::Elect) {
+                        if inbox.iter().any(|(_, &m)| m == ProtocolMsg::Elect) {
                             self.in_s_prime = true;
                             if !self.announced_joined {
                                 // Announce membership — even if a plain

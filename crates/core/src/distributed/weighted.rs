@@ -19,7 +19,9 @@
 //! `O(log(Δ/α)/ε)`-round claim translates to `O(log n)`-bit CONGEST
 //! compliance with room to spare.
 
-use arbodom_congest::{run, Globals, NodeCtx, NodeProgram, Outgoing, RunOptions, Step, Telemetry};
+use arbodom_congest::{
+    run, Globals, Inbox, NodeCtx, NodeProgram, Outgoing, RunOptions, Step, Telemetry,
+};
 use arbodom_graph::{Graph, NodeId};
 
 use super::msg::ProtocolMsg;
@@ -100,8 +102,8 @@ impl WeightedProgram {
         best_port
     }
 
-    fn apply_dominated_events(&mut self, inbox: &[(usize, ProtocolMsg)]) {
-        for &(port, msg) in inbox {
+    fn apply_dominated_events(&mut self, inbox: Inbox<'_, ProtocolMsg>) {
+        for (port, &msg) in inbox {
             match msg {
                 ProtocolMsg::Dominated | ProtocolMsg::Joined => {
                     self.nbr_dominated[port] = true;
@@ -141,9 +143,9 @@ impl WeightedProgram {
     }
 
     /// Part B of an iteration: digest joins, announce fresh domination.
-    fn part_b(&mut self, inbox: &[(usize, ProtocolMsg)]) -> Vec<Outgoing<ProtocolMsg>> {
+    fn part_b(&mut self, inbox: Inbox<'_, ProtocolMsg>) -> Vec<Outgoing<ProtocolMsg>> {
         let mut heard_join = false;
-        for &(port, msg) in inbox {
+        for (port, &msg) in inbox {
             if msg == ProtocolMsg::Joined {
                 self.nbr_dominated[port] = true;
                 heard_join = true;
@@ -164,7 +166,7 @@ impl NodeProgram for WeightedProgram {
     type Message = ProtocolMsg;
     type Output = NodeOutput;
 
-    fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(usize, ProtocolMsg)]) -> Step<ProtocolMsg> {
+    fn round(&mut self, ctx: &NodeCtx<'_>, inbox: Inbox<'_, ProtocolMsg>) -> Step<ProtocolMsg> {
         let rd = ctx.round;
         match rd {
             0 => {
@@ -172,7 +174,7 @@ impl NodeProgram for WeightedProgram {
                 Step::continue_with(vec![Outgoing::broadcast(ProtocolMsg::Weight(self.weight))])
             }
             1 => {
-                for &(port, msg) in inbox {
+                for (port, &msg) in inbox {
                     if let ProtocolMsg::Weight(w) = msg {
                         self.nbr_weight[port] = w;
                     }
@@ -191,7 +193,7 @@ impl NodeProgram for WeightedProgram {
                     // Initialize packing values and the schedule.
                     let dp1 = (ctx.globals.max_degree + 1) as f64;
                     self.x = self.tau as f64 / dp1;
-                    for &(port, msg) in inbox {
+                    for (port, &msg) in inbox {
                         if let ProtocolMsg::Tau(t) = msg {
                             self.nbr_x[port] = t as f64 / dp1;
                         }
@@ -234,7 +236,7 @@ impl NodeProgram for WeightedProgram {
                     }
                 } else {
                     // completion_round + 1: receive elections, halt.
-                    if inbox.iter().any(|&(_, m)| m == ProtocolMsg::Elect) {
+                    if inbox.iter().any(|(_, &m)| m == ProtocolMsg::Elect) {
                         self.in_s_prime = true;
                     }
                     Step::halt()

@@ -180,6 +180,30 @@ impl Graph {
         &self.neighbors[self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize]
     }
 
+    /// The raw compressed-sparse-row arrays: `(offsets, neighbors)`.
+    ///
+    /// `neighbors[offsets[v] as usize..offsets[v + 1] as usize]` is the
+    /// sorted adjacency list of node `v` — the same slice
+    /// [`Graph::neighbors`] returns. Exposing the flat arrays lets hot loops
+    /// (the CONGEST simulator's fan-out, edge-parallel kernels) walk the
+    /// whole adjacency structure without per-node slicing overhead, and
+    /// lets auxiliary per-edge tables (e.g. reverse-port maps) share this
+    /// graph's offset table.
+    pub fn csr(&self) -> (&[u32], &[NodeId]) {
+        (&self.offsets, &self.neighbors)
+    }
+
+    /// The half-open index range of `v`'s adjacency inside the flat
+    /// [`Graph::csr`] neighbor array. The `p`-th port of `v` lives at flat
+    /// index `neighbor_range(v).start + p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbor_range(&self, v: NodeId) -> std::ops::Range<usize> {
+        self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize
+    }
+
     /// Iterates over the closed neighborhood `N⁺(v) = {v} ∪ N(v)`.
     pub fn closed_neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
         std::iter::once(v).chain(self.neighbors(v).iter().copied())
@@ -363,6 +387,20 @@ mod tests {
         assert_eq!(edges.len(), g.m());
         for &(u, v) in &edges {
             assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn csr_arrays_match_neighbor_slices() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 4)]).unwrap();
+        let (offsets, neighbors) = g.csr();
+        assert_eq!(offsets.len(), g.n() + 1);
+        assert_eq!(neighbors.len(), 2 * g.m());
+        for v in g.nodes() {
+            let r = g.neighbor_range(v);
+            assert_eq!(&neighbors[r.clone()], g.neighbors(v));
+            assert_eq!(r.start, offsets[v.index()] as usize);
+            assert_eq!(r.end, offsets[v.index() + 1] as usize);
         }
     }
 

@@ -46,7 +46,7 @@ pub use arbodom_lowerbound as lowerbound;
 
 /// The most common imports, for examples and quick scripts.
 pub mod prelude {
-    pub use arbodom_congest::{Globals, RunOptions};
+    pub use arbodom_congest::{Globals, Inbox, MeterMode, NodeProgram, RunOptions};
     pub use arbodom_core::{verify, DsResult, PackingCertificate};
     pub use arbodom_graph::{Graph, GraphBuilder, NodeId};
 }

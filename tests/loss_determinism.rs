@@ -1,0 +1,137 @@
+//! Fault-injection determinism: the `LossModel` is a pure function of
+//! `(seed, round, sender, port)`, so two runs with the same
+//! `(seed, drop_probability)` must produce **bit-identical** telemetry —
+//! including `dropped_messages` and the per-round breakdown — and
+//! identical outputs, at every thread count and meter mode. Different
+//! seeds or probabilities must actually change what is dropped.
+
+use arbodom::congest::{run, run_parallel, Globals, LossModel, MeterMode, RunOptions, RunResult};
+use arbodom::core::distributed::WeightedProgram;
+use arbodom::core::weighted;
+use arbodom::graph::{generators, weights::WeightModel, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn instance(n: usize) -> (Graph, weighted::Config) {
+    let mut rng = StdRng::seed_from_u64(2024);
+    let g = generators::forest_union(n, 3, &mut rng);
+    let g = WeightModel::Uniform { lo: 1, hi: 20 }.assign(&g, &mut rng);
+    (g, weighted::Config::new(3, 0.3).unwrap())
+}
+
+fn lossy_opts(seed: u64, p: f64, meter: MeterMode) -> RunOptions {
+    RunOptions {
+        meter,
+        track_rounds: true,
+        loss: Some(LossModel {
+            drop_probability: p,
+            seed,
+        }),
+        ..RunOptions::default()
+    }
+}
+
+fn run_once(
+    g: &Graph,
+    cfg: weighted::Config,
+    opts: &RunOptions,
+    threads: usize,
+) -> RunResult<arbodom::core::distributed::WeightedNodeOutput> {
+    let globals = Globals::new(g, 7).with_arboricity(cfg.alpha);
+    let make = |v: arbodom::graph::NodeId, g: &Graph| WeightedProgram::new(cfg, g.degree(v));
+    if threads <= 1 {
+        run(g, &globals, make, opts).unwrap()
+    } else {
+        run_parallel(g, &globals, make, opts, threads).unwrap()
+    }
+}
+
+#[test]
+fn same_seed_same_probability_is_bit_identical_across_runs_and_threads() {
+    let (g, cfg) = instance(400);
+    for meter in [MeterMode::Measure, MeterMode::Strict, MeterMode::Off] {
+        let opts = lossy_opts(11, 0.15, meter);
+        let reference = run_once(&g, cfg, &opts, 1);
+        assert!(
+            reference.telemetry.dropped_messages > 0,
+            "{meter:?}: the workload must actually lose messages"
+        );
+        // Repeat runs and every thread count reproduce it exactly.
+        for threads in [1usize, 2, 4] {
+            for rep in 0..2 {
+                let again = run_once(&g, cfg, &opts, threads);
+                assert_eq!(
+                    reference.telemetry, again.telemetry,
+                    "{meter:?} threads={threads} rep={rep}: telemetry diverged"
+                );
+                assert_eq!(
+                    reference.outputs, again.outputs,
+                    "{meter:?} threads={threads} rep={rep}: outputs diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn drops_are_keyed_by_seed_and_probability() {
+    let (g, cfg) = instance(400);
+    let base = run_once(&g, cfg, &lossy_opts(11, 0.15, MeterMode::Measure), 1);
+    let other_seed = run_once(&g, cfg, &lossy_opts(12, 0.15, MeterMode::Measure), 1);
+    // Same probability, different coin flips: the drop *pattern* differs
+    // (outputs diverge), even if counts happen to be close.
+    assert_ne!(
+        base.outputs, other_seed.outputs,
+        "different seeds must drop different messages"
+    );
+    let heavier = run_once(&g, cfg, &lossy_opts(11, 0.6, MeterMode::Measure), 1);
+    assert!(
+        heavier.telemetry.dropped_messages > base.telemetry.dropped_messages,
+        "higher drop probability must drop more: {} vs {}",
+        heavier.telemetry.dropped_messages,
+        base.telemetry.dropped_messages
+    );
+    // p = 0 is exactly the lossless run.
+    let lossless = run_once(&g, cfg, &lossy_opts(11, 0.0, MeterMode::Measure), 1);
+    let no_model = run_once(
+        &g,
+        cfg,
+        &RunOptions {
+            track_rounds: true,
+            ..RunOptions::default()
+        },
+        1,
+    );
+    assert_eq!(lossless.telemetry, no_model.telemetry);
+    assert_eq!(lossless.outputs, no_model.outputs);
+    assert_eq!(lossless.telemetry.dropped_messages, 0);
+}
+
+#[test]
+fn dropped_messages_are_metered_but_not_delivered() {
+    let (g, cfg) = instance(300);
+    let lossy = run_once(&g, cfg, &lossy_opts(5, 0.3, MeterMode::Measure), 1);
+    let clean = run_once(
+        &g,
+        cfg,
+        &RunOptions {
+            track_rounds: true,
+            ..RunOptions::default()
+        },
+        1,
+    );
+    // Setup rounds (0 and 1) broadcast unconditionally in both runs, so
+    // their *sent* traffic is identical even under loss — drops consume
+    // bandwidth.
+    for round in 0..2 {
+        assert_eq!(
+            lossy.telemetry.per_round[round].messages, clean.telemetry.per_round[round].messages,
+            "round {round}: dropped messages must still be metered as sent"
+        );
+        assert_eq!(
+            lossy.telemetry.per_round[round].bits, clean.telemetry.per_round[round].bits,
+            "round {round}: dropped messages must still consume bandwidth"
+        );
+    }
+    assert!(lossy.telemetry.dropped_messages > 0);
+}

@@ -1,0 +1,140 @@
+//! Differential property tests for the simulator core: on random
+//! bounded-arboricity graphs, the sequential and parallel runners must be
+//! observationally identical — same outputs *and* same telemetry, down to
+//! the per-round breakdown — at every thread count and in every
+//! [`MeterMode`]; and the Theorem 1.1 node program must match its
+//! centralized counterpart node for node.
+//!
+//! These tests are the safety net under the simulator's performance work:
+//! any scheduling, arena, or metering change that perturbs observable
+//! behavior fails here before it can skew an experiment.
+
+use arbodom::congest::{run, run_parallel, Globals, MeterMode, RunOptions, Telemetry};
+use arbodom::core::{distributed, weighted};
+use arbodom::graph::{generators, weights::WeightModel, Graph};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A random bounded-arboricity instance: α forests over `n` nodes, with
+/// random positive weights.
+fn instance(n: usize, alpha: usize, seed: u64, wseed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = generators::forest_union(n, alpha, &mut rng);
+    let mut wrng = StdRng::seed_from_u64(wseed);
+    WeightModel::Uniform { lo: 1, hi: 30 }.assign(&g, &mut wrng)
+}
+
+fn opts(meter: MeterMode) -> RunOptions {
+    RunOptions {
+        meter,
+        track_rounds: true, // make telemetry comparison as strong as possible
+        ..RunOptions::default()
+    }
+}
+
+/// Runs Theorem 1.1's node program under both runners and asserts they
+/// are indistinguishable; returns the sequential result for further use.
+fn assert_runners_agree(
+    g: &Graph,
+    cfg: weighted::Config,
+    seed: u64,
+    meter: MeterMode,
+) -> Result<(Vec<bool>, Vec<f64>, Telemetry), proptest::test_runner::TestCaseError> {
+    let globals = Globals::new(g, seed).with_arboricity(cfg.alpha);
+    let make =
+        |v: arbodom::graph::NodeId, g: &Graph| distributed::WeightedProgram::new(cfg, g.degree(v));
+    let o = opts(meter);
+    let seq = run(g, &globals, make, &o).expect("sequential run succeeds");
+    for threads in [1usize, 2, 4] {
+        let par = run_parallel(g, &globals, make, &o, threads).expect("parallel run succeeds");
+        let seq_ds: Vec<bool> = seq.outputs.iter().map(|out| out.in_ds).collect();
+        let par_ds: Vec<bool> = par.outputs.iter().map(|out| out.in_ds).collect();
+        prop_assert_eq!(
+            seq_ds,
+            par_ds,
+            "{:?} threads={} set differs",
+            meter,
+            threads
+        );
+        let seq_x: Vec<f64> = seq.outputs.iter().map(|out| out.x).collect();
+        let par_x: Vec<f64> = par.outputs.iter().map(|out| out.x).collect();
+        prop_assert_eq!(
+            seq_x,
+            par_x,
+            "{:?} threads={}: packing values differ",
+            meter,
+            threads
+        );
+        prop_assert_eq!(
+            &seq.telemetry,
+            &par.telemetry,
+            "{:?} threads={}: telemetry differs",
+            meter,
+            threads
+        );
+    }
+    Ok((
+        seq.outputs.iter().map(|out| out.in_ds).collect(),
+        seq.outputs.iter().map(|out| out.x).collect(),
+        seq.telemetry,
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// `run` and `run_parallel` (1/2/4 threads) are observationally
+    /// identical for every meter mode. Sizes straddle the parallel
+    /// runner's sequential-fallback threshold (128 nodes), so both the
+    /// fallback and the real work-queue path are exercised.
+    #[test]
+    fn parallel_is_indistinguishable_from_sequential(
+        n in 100usize..350,
+        alpha in 1usize..4,
+        seed: u64,
+        wseed: u64,
+    ) {
+        let g = instance(n, alpha, seed, wseed);
+        let cfg = weighted::Config::new(alpha, 0.3).expect("valid config");
+        let (_, _, measure_t) = assert_runners_agree(&g, cfg, seed, MeterMode::Measure)?;
+        let (_, _, strict_t) = assert_runners_agree(&g, cfg, seed, MeterMode::Strict)?;
+        let (_, _, off_t) = assert_runners_agree(&g, cfg, seed, MeterMode::Off)?;
+        // Cross-mode invariants: metering changes what is measured, never
+        // what happens.
+        prop_assert_eq!(measure_t.rounds, strict_t.rounds);
+        prop_assert_eq!(measure_t.rounds, off_t.rounds);
+        prop_assert_eq!(measure_t.total_messages, strict_t.total_messages);
+        prop_assert_eq!(measure_t.total_messages, off_t.total_messages);
+        prop_assert_eq!(measure_t.total_bits, strict_t.total_bits);
+        prop_assert_eq!(off_t.total_bits, 0);
+        prop_assert_eq!(off_t.max_message_bits, 0);
+    }
+
+    /// Theorem 1.1 as a message-passing computation equals the
+    /// centralized solver node for node — membership and dual
+    /// certificate, bit-identical.
+    #[test]
+    fn thm11_distributed_matches_centralized_node_for_node(
+        n in 60usize..300,
+        alpha in 1usize..4,
+        seed: u64,
+        wseed: u64,
+    ) {
+        let g = instance(n, alpha, seed, wseed);
+        let cfg = weighted::Config::new(alpha, 0.25).expect("valid config");
+        let central = weighted::solve(&g, &cfg).expect("centralized solve");
+        let (dist, telemetry) =
+            distributed::run_weighted(&g, &cfg, seed, &opts(MeterMode::Strict))
+                .expect("distributed run");
+        prop_assert_eq!(&central.in_ds, &dist.in_ds, "membership differs");
+        prop_assert_eq!(
+            central.certificate.as_ref().expect("centralized certificate").values(),
+            dist.certificate.as_ref().expect("distributed certificate").values(),
+            "packing certificates must be bit-identical"
+        );
+        prop_assert!(telemetry.is_congest_compliant());
+        // And the distributed result is a real dominating set.
+        prop_assert!(arbodom::core::verify::is_dominating_set(&g, &dist.in_ds));
+    }
+}
