@@ -1,7 +1,4 @@
 //! Regenerates experiment tables for `ablation`; see DESIGN.md.
 fn main() {
-    let scale = arbodom_bench::Scale::from_env();
-    for table in arbodom_bench::experiments::ablation::run(scale) {
-        println!("{table}");
-    }
+    arbodom_bench::experiment_main(arbodom_bench::experiments::ablation::run);
 }

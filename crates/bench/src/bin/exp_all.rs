@@ -1,7 +1,4 @@
 //! Runs every experiment and prints all tables (EXPERIMENTS.md source).
 fn main() {
-    let scale = arbodom_bench::Scale::from_env();
-    for table in arbodom_bench::experiments::all(scale) {
-        println!("{table}");
-    }
+    arbodom_bench::experiment_main(arbodom_bench::experiments::all);
 }

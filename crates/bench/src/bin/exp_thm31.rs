@@ -1,7 +1,4 @@
 //! Regenerates experiment tables for `thm31`; see DESIGN.md.
 fn main() {
-    let scale = arbodom_bench::Scale::from_env();
-    for table in arbodom_bench::experiments::thm31::run(scale) {
-        println!("{table}");
-    }
+    arbodom_bench::experiment_main(arbodom_bench::experiments::thm31::run);
 }

@@ -10,12 +10,10 @@ use crate::report::{check, f2, f3, Table};
 use crate::Scale;
 use arbodom_core::{verify, weighted};
 use arbodom_graph::{generators, pseudoarboricity};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Runs the experiment.
 pub fn run(scale: Scale) -> Vec<Table> {
-    let mut rng = StdRng::seed_from_u64(1070);
+    let mut rng = crate::seeded_rng(1070);
 
     // ---- ε sweep ----
     let n = scale.pick(2_000, 20_000);

@@ -10,8 +10,6 @@ use crate::Scale;
 use arbodom_baselines::{exact, lp};
 use arbodom_core::weighted;
 use arbodom_graph::{generators, weights::WeightModel};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Runs the experiment.
 pub fn run(scale: Scale) -> Vec<Table> {
@@ -28,7 +26,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
             "tightness Σx/OPT",
         ],
     );
-    let mut rng = StdRng::seed_from_u64(1060);
+    let mut rng = crate::seeded_rng(1060);
     let runs = scale.pick(6, 15);
     for i in 0..runs {
         let n = 20 + (i % 3) * 10;

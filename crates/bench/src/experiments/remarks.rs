@@ -4,8 +4,6 @@ use crate::report::{check, f2, f3, Table};
 use crate::Scale;
 use arbodom_core::{unknown_alpha, unknown_delta, verify, weighted};
 use arbodom_graph::{generators, weights::WeightModel};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Runs the experiment.
 pub fn run(scale: Scale) -> Vec<Table> {
@@ -25,7 +23,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
             "ok",
         ],
     );
-    let mut rng = StdRng::seed_from_u64(1044);
+    let mut rng = crate::seeded_rng(1044);
     for &alpha in &[2usize, 4] {
         let g = generators::forest_union(n, alpha, &mut rng);
         let g = WeightModel::Uniform { lo: 1, hi: 50 }.assign(&g, &mut rng);

@@ -12,13 +12,12 @@ use crate::Scale;
 use arbodom_congest::{run as congest_run, run_parallel, Globals, MeterMode, RunOptions};
 use arbodom_core::{distributed, weighted};
 use arbodom_graph::{generators, weights::WeightModel, Graph};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use arbodom_scenarios::json::{fmt_num, JsonObj};
 use std::time::Instant;
 
 /// Runs the experiment.
 pub fn run(scale: Scale) -> Vec<Table> {
-    let mut rng = StdRng::seed_from_u64(1050);
+    let mut rng = crate::seeded_rng(1050);
     let alpha = 2usize;
     let eps = 0.3;
     let cfg = weighted::Config::new(alpha, eps).expect("valid");
@@ -153,7 +152,7 @@ fn sim_bench(scale: Scale) -> Table {
     // Best-of-5 at full scale: the parallel rows are scheduling-noise
     // sensitive, and the trajectory should record capability, not load.
     let reps = scale.pick(1, 5);
-    let mut rng = StdRng::seed_from_u64(1050);
+    let mut rng = crate::seeded_rng(1050);
     let g = generators::forest_union(n, 3, &mut rng);
     let g = WeightModel::Uniform { lo: 1, hi: 20 }.assign(&g, &mut rng);
     let cfg = weighted::Config::new(3, 0.3).expect("valid");
@@ -334,56 +333,5 @@ fn sim_bench(scale: Scale) -> Table {
     table
 }
 
-/// Formats a finite number the way JSON expects (integral values without
-/// a trailing `.0`).
-fn fmt_num(v: f64) -> String {
-    if v.fract() == 0.0 && v.abs() < 1e15 {
-        format!("{}", v as i64)
-    } else {
-        format!("{v}")
-    }
-}
-
-/// A minimal ordered JSON object builder for the bench artifact. All keys
-/// used here are ASCII identifiers and all strings are escape-free, which
-/// is why this can stay this small.
-struct JsonObj(Vec<String>);
-
-impl JsonObj {
-    fn new() -> Self {
-        JsonObj(Vec::new())
-    }
-
-    fn str(mut self, key: &str, value: &str) -> Self {
-        self.0.push(format!("\"{key}\":\"{value}\""));
-        self
-    }
-
-    fn int(mut self, key: &str, value: usize) -> Self {
-        self.0.push(format!("\"{key}\":{value}"));
-        self
-    }
-
-    fn num(mut self, key: &str, value: f64) -> Self {
-        self.0.push(format!("\"{key}\":{}", fmt_num(value)));
-        self
-    }
-
-    /// Adds a pre-rendered JSON value (object or number) under `key`.
-    fn raw(mut self, key: &str, value: String) -> Self {
-        self.0.push(format!("\"{key}\":{value}"));
-        self
-    }
-
-    /// Adds `(key, pre-rendered value)` pairs in iteration order.
-    fn entries(mut self, pairs: impl Iterator<Item = (String, String)>) -> Self {
-        for (k, v) in pairs {
-            self = self.raw(&k, v);
-        }
-        self
-    }
-
-    fn render(&self) -> String {
-        format!("{{{}}}", self.0.join(","))
-    }
-}
+// The JSON builder previously defined here moved to
+// `arbodom_scenarios::json`, where `BENCH_scenarios.json` shares it.

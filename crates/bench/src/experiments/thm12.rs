@@ -9,8 +9,6 @@ use crate::report::{check, f2, f3, Table};
 use crate::Scale;
 use arbodom_core::{randomized, verify};
 use arbodom_graph::generators;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Runs the experiment.
 pub fn run(scale: Scale) -> Vec<Table> {
@@ -30,7 +28,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
             "ok",
         ],
     );
-    let mut rng = StdRng::seed_from_u64(1012);
+    let mut rng = crate::seeded_rng(1012);
     for &alpha in &[4usize, 8, 16] {
         let g = generators::forest_union(n, alpha, &mut rng);
         let log_delta = ((g.max_degree() + 1) as f64).log2();

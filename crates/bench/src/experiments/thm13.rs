@@ -5,8 +5,6 @@ use crate::report::{check, f2, f3, Table};
 use crate::Scale;
 use arbodom_core::{general, verify};
 use arbodom_graph::generators;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Runs the experiment.
 pub fn run(scale: Scale) -> Vec<Table> {
@@ -17,7 +15,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
         format!("Theorem 1.3 k-sweep on G(n,p), n = {n}, avg of {seeds} seeds"),
         &["Δ", "k", "iters", "~k²", "avg ratio", "theorem bound", "ok"],
     );
-    let mut rng = StdRng::seed_from_u64(1013);
+    let mut rng = crate::seeded_rng(1013);
     for &target_delta in &[32usize, 128] {
         let p = target_delta as f64 / n as f64;
         let g = generators::gnp(n, p, &mut rng);

@@ -8,8 +8,6 @@ use arbodom_lowerbound::construction::{build_h, build_h_paper};
 use arbodom_lowerbound::hopcroft_karp::{bipartition, hopcroft_karp};
 use arbodom_lowerbound::kmw_like::kmw_like;
 use arbodom_lowerbound::locality::locality_curve;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Runs the experiment.
 pub fn run(scale: Scale) -> Vec<Table> {
@@ -29,7 +27,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
             "ok",
         ],
     );
-    let mut rng = StdRng::seed_from_u64(1014);
+    let mut rng = crate::seeded_rng(1014);
 
     let bases: Vec<(String, arbodom_graph::Graph)> = vec![
         ("K4 (Fig. 1)".into(), generators::complete(4)),

@@ -5,8 +5,6 @@ use crate::report::{check, f2, f3, Table};
 use crate::Scale;
 use arbodom_core::{unweighted, verify};
 use arbodom_graph::generators;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Runs the experiment.
 pub fn run(scale: Scale) -> Vec<Table> {
@@ -26,7 +24,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
             "ok",
         ],
     );
-    let mut rng = StdRng::seed_from_u64(1031);
+    let mut rng = crate::seeded_rng(1031);
     for &alpha in &[1usize, 2, 4, 8] {
         for &eps in &[0.1f64, 0.5] {
             let g = generators::forest_union(n, alpha, &mut rng);

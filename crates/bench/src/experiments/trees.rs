@@ -7,8 +7,6 @@ use arbodom_baselines::tree_dp;
 use arbodom_congest::RunOptions;
 use arbodom_core::{distributed, trees, verify};
 use arbodom_graph::{generators, Graph};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Runs the experiment.
 pub fn run(scale: Scale) -> Vec<Table> {
@@ -25,7 +23,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
             "congest rounds",
         ],
     );
-    let mut rng = StdRng::seed_from_u64(10_01);
+    let mut rng = crate::seeded_rng(10_01);
     let big = scale.pick(5_000, 100_000);
     let families: Vec<(String, Graph)> = vec![
         ("path".into(), generators::path(scale.pick(300, 10_000))),

@@ -28,6 +28,9 @@ pub mod experiments;
 pub mod report;
 pub mod workloads;
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
 /// Workload scale shared by all experiments.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Scale {
@@ -56,5 +59,33 @@ impl Scale {
         } else {
             Scale::Full
         }
+    }
+
+    /// The corresponding scenario-engine scale (the two enums exist so
+    /// `arbodom-scenarios` does not depend on this crate).
+    pub fn to_scenarios(self) -> arbodom_scenarios::Scale {
+        match self {
+            Scale::Quick => arbodom_scenarios::Scale::Quick,
+            Scale::Full => arbodom_scenarios::Scale::Full,
+        }
+    }
+}
+
+/// The workspace experiment RNG: every experiment draws its randomness
+/// from a `StdRng` keyed by a per-experiment stream id, so runs are
+/// reproducible and two experiments never share a stream. This is the one
+/// place the choice of RNG lives — previously copy-pasted into every
+/// module.
+pub fn seeded_rng(stream: u64) -> StdRng {
+    StdRng::seed_from_u64(stream)
+}
+
+/// The shared `main` of every `exp_*` binary: read the scale from the
+/// environment, run the experiment, print its tables. Keeps the binaries
+/// at one line each instead of thirteen copies of the same ritual.
+pub fn experiment_main(run: fn(Scale) -> Vec<report::Table>) {
+    let scale = Scale::from_env();
+    for table in run(scale) {
+        println!("{table}");
     }
 }

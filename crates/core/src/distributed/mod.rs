@@ -37,10 +37,14 @@ mod weighted;
 
 pub use msg::ProtocolMsg;
 pub use randomized::{
-    run_general, run_randomized, NodeOutput as RandomizedNodeOutput, RandomizedProgram,
+    run_general, run_general_on, run_randomized, run_randomized_on,
+    NodeOutput as RandomizedNodeOutput, RandomizedProgram,
 };
-pub use trees::{run_trees, TreeProgram};
+pub use trees::{run_trees, run_trees_on, TreeProgram};
 pub use unknown_delta::{
-    run_unknown_delta, NodeOutput as UnknownDeltaNodeOutput, UnknownDeltaProgram,
+    run_unknown_delta, run_unknown_delta_on, NodeOutput as UnknownDeltaNodeOutput,
+    UnknownDeltaProgram,
 };
-pub use weighted::{run_weighted, NodeOutput as WeightedNodeOutput, WeightedProgram};
+pub use weighted::{
+    run_weighted, run_weighted_on, NodeOutput as WeightedNodeOutput, WeightedProgram,
+};

@@ -19,7 +19,8 @@
 //! tests assert.
 
 use arbodom_congest::{
-    det_rand, run, Globals, Inbox, NodeCtx, NodeProgram, Outgoing, RunOptions, Step, Telemetry,
+    det_rand, run, run_parallel, Globals, Inbox, NodeCtx, NodeProgram, Outgoing, RunOptions, Step,
+    Telemetry,
 };
 use arbodom_graph::{Graph, NodeId};
 
@@ -357,15 +358,32 @@ impl NodeProgram for RandomizedProgram {
 ///
 /// Propagates configuration validation and simulation errors.
 pub fn run_randomized(g: &Graph, cfg: &Config, opts: &RunOptions) -> Result<(DsResult, Telemetry)> {
+    run_randomized_on(g, cfg, opts, 1)
+}
+
+/// Like [`run_randomized`], executed on `threads` worker threads through
+/// [`run_parallel`] (`threads <= 1` falls back to the sequential [`run`]).
+/// Randomness is drawn through [`det_rand`], so outputs and telemetry are
+/// bit-identical at any thread count.
+///
+/// # Errors
+///
+/// Propagates configuration validation and simulation errors.
+pub fn run_randomized_on(
+    g: &Graph,
+    cfg: &Config,
+    opts: &RunOptions,
+    threads: usize,
+) -> Result<(DsResult, Telemetry)> {
     let pcfg = PartialConfig::new(cfg.epsilon(), cfg.lambda())?;
     let ecfg = ExtendConfig::new(cfg.lambda(), cfg.gamma(), cfg.seed)?;
     let globals = Globals::new(g, cfg.seed).with_arboricity(cfg.alpha);
-    let run_out = run(
-        g,
-        &globals,
-        |v, g| RandomizedProgram::new(*cfg, g.degree(v)),
-        opts,
-    )?;
+    let make = |v: NodeId, g: &Graph| RandomizedProgram::new(*cfg, g.degree(v));
+    let run_out = if threads <= 1 {
+        run(g, &globals, make, opts)?
+    } else {
+        run_parallel(g, &globals, make, opts, threads)?
+    };
     let in_ds: Vec<bool> = run_out.outputs.iter().map(|o| o.in_ds).collect();
     let x: Vec<f64> = run_out.outputs.iter().map(|o| o.x_certificate).collect();
     let iterations =
@@ -388,18 +406,34 @@ pub fn run_general(
     cfg: &crate::general::Config,
     opts: &RunOptions,
 ) -> Result<(DsResult, Telemetry)> {
+    run_general_on(g, cfg, opts, 1)
+}
+
+/// Like [`run_general`], executed on `threads` worker threads through
+/// [`run_parallel`] (`threads <= 1` falls back to the sequential [`run`]).
+/// Outputs and telemetry are bit-identical at any thread count.
+///
+/// # Errors
+///
+/// Propagates configuration validation and simulation errors.
+pub fn run_general_on(
+    g: &Graph,
+    cfg: &crate::general::Config,
+    opts: &RunOptions,
+    threads: usize,
+) -> Result<(DsResult, Telemetry)> {
     let ecfg = ExtendConfig::new(
         1.0 / (g.max_degree() + 1) as f64,
         cfg.gamma(g.max_degree()),
         cfg.seed,
     )?;
     let globals = Globals::new(g, cfg.seed);
-    let run_out = run(
-        g,
-        &globals,
-        |v, g| RandomizedProgram::new_general(*cfg, g.degree(v)),
-        opts,
-    )?;
+    let make = |v: NodeId, g: &Graph| RandomizedProgram::new_general(*cfg, g.degree(v));
+    let run_out = if threads <= 1 {
+        run(g, &globals, make, opts)?
+    } else {
+        run_parallel(g, &globals, make, opts, threads)?
+    };
     let in_ds: Vec<bool> = run_out.outputs.iter().map(|o| o.in_ds).collect();
     let x: Vec<f64> = run_out.outputs.iter().map(|o| o.x_certificate).collect();
     let iterations = ecfg.phases() * ecfg.iterations_per_phase(g.max_degree());

@@ -6,7 +6,7 @@
 //! why the boundary cases matter).
 
 use arbodom_congest::{
-    run, Globals, Inbox, NodeCtx, NodeProgram, Outgoing, RunOptions, Step, Telemetry,
+    run, run_parallel, Globals, Inbox, NodeCtx, NodeProgram, Outgoing, RunOptions, Step, Telemetry,
 };
 use arbodom_graph::Graph;
 
@@ -66,8 +66,24 @@ impl NodeProgram for TreeProgram {
 ///
 /// Propagates simulation errors.
 pub fn run_trees(g: &Graph, opts: &RunOptions) -> Result<(DsResult, Telemetry)> {
+    run_trees_on(g, opts, 1)
+}
+
+/// Like [`run_trees`], executed on `threads` worker threads through
+/// [`run_parallel`] (`threads <= 1` falls back to the sequential [`run`]).
+/// Outputs and telemetry are bit-identical at any thread count.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run_trees_on(g: &Graph, opts: &RunOptions, threads: usize) -> Result<(DsResult, Telemetry)> {
     let globals = Globals::new(g, 0).with_arboricity(1);
-    let run_out = run(g, &globals, |_, _| TreeProgram::default(), opts)?;
+    let make = |_, _: &Graph| TreeProgram::default();
+    let run_out = if threads <= 1 {
+        run(g, &globals, make, opts)?
+    } else {
+        run_parallel(g, &globals, make, opts, threads)?
+    };
     Ok((
         DsResult::from_flags(g, run_out.outputs, 1, None),
         run_out.telemetry,

@@ -20,7 +20,7 @@
 //! bit-identical dominating sets and packing values.
 
 use arbodom_congest::{
-    run, Globals, Inbox, NodeCtx, NodeProgram, Outgoing, RunOptions, Step, Telemetry,
+    run, run_parallel, Globals, Inbox, NodeCtx, NodeProgram, Outgoing, RunOptions, Step, Telemetry,
 };
 use arbodom_graph::{Graph, NodeId};
 
@@ -315,13 +315,30 @@ pub fn run_unknown_delta(
     seed: u64,
     opts: &RunOptions,
 ) -> Result<(DsResult, Telemetry)> {
+    run_unknown_delta_on(g, cfg, seed, opts, 1)
+}
+
+/// Like [`run_unknown_delta`], executed on `threads` worker threads
+/// through [`run_parallel`] (`threads <= 1` falls back to the sequential
+/// [`run`]). Outputs and telemetry are bit-identical at any thread count.
+///
+/// # Errors
+///
+/// Propagates configuration validation and simulation errors.
+pub fn run_unknown_delta_on(
+    g: &Graph,
+    cfg: &Config,
+    seed: u64,
+    opts: &RunOptions,
+    threads: usize,
+) -> Result<(DsResult, Telemetry)> {
     let globals = Globals::new(g, seed).with_arboricity(cfg.alpha);
-    let run_out = run(
-        g,
-        &globals,
-        |v, g| UnknownDeltaProgram::new(*cfg, g.degree(v)),
-        opts,
-    )?;
+    let make = |v: NodeId, g: &Graph| UnknownDeltaProgram::new(*cfg, g.degree(v));
+    let run_out = if threads <= 1 {
+        run(g, &globals, make, opts)?
+    } else {
+        run_parallel(g, &globals, make, opts, threads)?
+    };
     let in_ds: Vec<bool> = run_out.outputs.iter().map(|o| o.in_ds).collect();
     let x: Vec<f64> = run_out.outputs.iter().map(|o| o.x).collect();
     let iterations = run_out

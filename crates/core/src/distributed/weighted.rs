@@ -20,7 +20,7 @@
 //! compliance with room to spare.
 
 use arbodom_congest::{
-    run, Globals, Inbox, NodeCtx, NodeProgram, Outgoing, RunOptions, Step, Telemetry,
+    run, run_parallel, Globals, Inbox, NodeCtx, NodeProgram, Outgoing, RunOptions, Step, Telemetry,
 };
 use arbodom_graph::{Graph, NodeId};
 
@@ -265,15 +265,32 @@ pub fn run_weighted(
     seed: u64,
     opts: &RunOptions,
 ) -> Result<(DsResult, Telemetry)> {
+    run_weighted_on(g, cfg, seed, opts, 1)
+}
+
+/// Like [`run_weighted`], executed on `threads` worker threads through
+/// [`run_parallel`] (`threads <= 1` falls back to the sequential [`run`]).
+/// Outputs and telemetry are bit-identical at any thread count.
+///
+/// # Errors
+///
+/// Propagates configuration validation and simulation errors.
+pub fn run_weighted_on(
+    g: &Graph,
+    cfg: &Config,
+    seed: u64,
+    opts: &RunOptions,
+    threads: usize,
+) -> Result<(DsResult, Telemetry)> {
     // Validate before constructing node programs.
     PartialConfig::new(cfg.epsilon, cfg.lambda())?;
     let globals = Globals::new(g, seed).with_arboricity(cfg.alpha);
-    let run_out = run(
-        g,
-        &globals,
-        |v, g| WeightedProgram::new(*cfg, g.degree(v)),
-        opts,
-    )?;
+    let make = |v: NodeId, g: &Graph| WeightedProgram::new(*cfg, g.degree(v));
+    let run_out = if threads <= 1 {
+        run(g, &globals, make, opts)?
+    } else {
+        run_parallel(g, &globals, make, opts, threads)?
+    };
     let in_ds: Vec<bool> = run_out.outputs.iter().map(|o| o.in_ds).collect();
     let x: Vec<f64> = run_out.outputs.iter().map(|o| o.x).collect();
     let iterations = PartialConfig::new(cfg.epsilon, cfg.lambda())?.iterations(g.max_degree()) + 1;

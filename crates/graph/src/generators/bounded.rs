@@ -7,7 +7,7 @@
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use crate::{Graph, GraphBuilder, NodeId};
+use crate::{Graph, GraphBuilder, GraphError, NodeId, Result};
 
 /// The union of `alpha` independent uniformly random spanning trees on the
 /// same `n` nodes. The edge set decomposes into `alpha` forests by
@@ -31,15 +31,59 @@ pub fn forest_union(n: usize, alpha: usize, rng: &mut impl Rng) -> Graph {
     forest_union_partial(n, alpha, 1.0, rng)
 }
 
+/// Fallible form of [`forest_union`]: validates parameters instead of
+/// panicking.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n == 0` or `alpha == 0`.
+pub fn try_forest_union(n: usize, alpha: usize, rng: &mut impl Rng) -> Result<Graph> {
+    try_forest_union_partial(n, alpha, 1.0, rng)
+}
+
 /// Like [`forest_union`] but each tree edge is kept independently with
 /// probability `keep`, yielding sparser unions of forests (arboricity still
 /// at most `alpha`).
 ///
 /// # Panics
 ///
-/// Panics if `keep` is not in `[0, 1]`.
+/// Panics where [`try_forest_union_partial`] errors.
 pub fn forest_union_partial(n: usize, alpha: usize, keep: f64, rng: &mut impl Rng) -> Graph {
-    assert!((0.0..=1.0).contains(&keep), "keep must be in [0, 1]");
+    try_forest_union_partial(n, alpha, keep, rng).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`forest_union_partial`]: validates every parameter
+/// with a typed error instead of panicking or silently clamping.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if:
+///
+/// * `n == 0` — a forest union needs at least one node;
+/// * `alpha == 0` — a union of zero forests is not an arboricity workload
+///   (an edgeless graph is `keep = 0`, stated explicitly, not `α = 0`);
+/// * `keep` is NaN or outside `[0, 1]`.
+pub fn try_forest_union_partial(
+    n: usize,
+    alpha: usize,
+    keep: f64,
+    rng: &mut impl Rng,
+) -> Result<Graph> {
+    if n == 0 {
+        return Err(GraphError::InvalidParameter(
+            "forest_union: n must be at least 1".into(),
+        ));
+    }
+    if alpha == 0 {
+        return Err(GraphError::InvalidParameter(
+            "forest_union: alpha must be at least 1".into(),
+        ));
+    }
+    if !(0.0..=1.0).contains(&keep) {
+        return Err(GraphError::InvalidParameter(format!(
+            "forest_union: keep must be in [0, 1], got {keep}"
+        )));
+    }
     let mut b = GraphBuilder::new(n);
     for _ in 0..alpha {
         let tree = super::random_tree(n, rng);
@@ -49,7 +93,7 @@ pub fn forest_union_partial(n: usize, alpha: usize, keep: f64, rng: &mut impl Rn
             }
         }
     }
-    b.build()
+    Ok(b.build())
 }
 
 /// Preferential attachment (Barabási–Albert): nodes arrive one by one and
@@ -62,10 +106,33 @@ pub fn forest_union_partial(n: usize, alpha: usize, keep: f64, rng: &mut impl Rn
 ///
 /// # Panics
 ///
-/// Panics if `m_per_node == 0` or `n < m_per_node + 1`.
+/// Panics where [`try_preferential_attachment`] errors.
 pub fn preferential_attachment(n: usize, m_per_node: usize, rng: &mut impl Rng) -> Graph {
-    assert!(m_per_node >= 1, "m_per_node must be >= 1");
-    assert!(n > m_per_node, "need n > m_per_node");
+    try_preferential_attachment(n, m_per_node, rng).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`preferential_attachment`]: validates parameters
+/// instead of panicking.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `m_per_node == 0` or
+/// `n < m_per_node + 1` (the seed clique would not fit).
+pub fn try_preferential_attachment(
+    n: usize,
+    m_per_node: usize,
+    rng: &mut impl Rng,
+) -> Result<Graph> {
+    if m_per_node == 0 {
+        return Err(GraphError::InvalidParameter(
+            "preferential_attachment: m_per_node must be at least 1".into(),
+        ));
+    }
+    if n <= m_per_node {
+        return Err(GraphError::InvalidParameter(format!(
+            "preferential_attachment: need n > m_per_node, got n = {n}, m_per_node = {m_per_node}"
+        )));
+    }
     let mut b = GraphBuilder::new(n);
     // Seed clique on m_per_node + 1 nodes.
     let seed = m_per_node + 1;
@@ -110,7 +177,7 @@ pub fn preferential_attachment(n: usize, m_per_node: usize, rng: &mut impl Rng) 
             chances.push(v as u32);
         }
     }
-    b.build()
+    Ok(b.build())
 }
 
 /// A planted dominating-set instance with a known small dominating set.
@@ -131,14 +198,33 @@ pub struct PlantedInstance {
 ///
 /// # Panics
 ///
-/// Panics if `k == 0` or `k > n`.
+/// Panics where [`try_planted_ds`] errors.
 pub fn planted_ds(
     n: usize,
     k: usize,
     extra_per_node: usize,
     rng: &mut impl Rng,
 ) -> PlantedInstance {
-    assert!(k >= 1 && k <= n, "need 1 <= k <= n");
+    try_planted_ds(n, k, extra_per_node, rng).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`planted_ds`]: validates parameters instead of
+/// panicking.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] unless `1 <= k <= n`.
+pub fn try_planted_ds(
+    n: usize,
+    k: usize,
+    extra_per_node: usize,
+    rng: &mut impl Rng,
+) -> Result<PlantedInstance> {
+    if k == 0 || k > n {
+        return Err(GraphError::InvalidParameter(format!(
+            "planted_ds: need 1 <= k <= n, got k = {k}, n = {n}"
+        )));
+    }
     let mut ids: Vec<u32> = (0..n as u32).collect();
     ids.shuffle(rng);
     let centers: Vec<u32> = ids[..k].to_vec();
@@ -156,10 +242,10 @@ pub fn planted_ds(
             b.add_edge_u32(u, v).expect("extra edges are valid");
         }
     }
-    PlantedInstance {
+    Ok(PlantedInstance {
         graph: b.build(),
         planted: centers.into_iter().map(NodeId::new).collect(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -211,6 +297,58 @@ mod tests {
         // Heavy tail: the max degree should well exceed the average.
         let avg = 2.0 * g.m() as f64 / g.n() as f64;
         assert!(g.max_degree() as f64 > 3.0 * avg);
+    }
+
+    #[test]
+    fn forest_union_rejects_bad_parameters() {
+        let mut rng = StdRng::seed_from_u64(16);
+        for bad in [
+            try_forest_union_partial(0, 2, 1.0, &mut rng),
+            try_forest_union_partial(10, 0, 1.0, &mut rng),
+            try_forest_union_partial(10, 2, -0.1, &mut rng),
+            try_forest_union_partial(10, 2, 1.1, &mut rng),
+            try_forest_union_partial(10, 2, f64::NAN, &mut rng),
+        ] {
+            assert!(
+                matches!(bad, Err(GraphError::InvalidParameter(_))),
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "keep must be in [0, 1]")]
+    fn forest_union_partial_panics_on_bad_keep() {
+        let mut rng = StdRng::seed_from_u64(17);
+        forest_union_partial(10, 2, 2.0, &mut rng);
+    }
+
+    #[test]
+    fn preferential_attachment_rejects_bad_parameters() {
+        let mut rng = StdRng::seed_from_u64(18);
+        for bad in [
+            try_preferential_attachment(10, 0, &mut rng),
+            try_preferential_attachment(3, 3, &mut rng),
+        ] {
+            assert!(
+                matches!(bad, Err(GraphError::InvalidParameter(_))),
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn planted_ds_rejects_bad_parameters() {
+        let mut rng = StdRng::seed_from_u64(19);
+        for bad in [
+            try_planted_ds(10, 0, 1, &mut rng),
+            try_planted_ds(10, 11, 1, &mut rng),
+        ] {
+            assert!(
+                matches!(bad, Err(GraphError::InvalidParameter(_))),
+                "{bad:?}"
+            );
+        }
     }
 
     #[test]

@@ -7,19 +7,35 @@
 //! * random families ([`gnp`], [`gnm`], [`random_tree`], [`random_regular`],
 //!   [`bipartite_random`]);
 //! * bounded-arboricity families central to the paper
-//!   ([`forest_union`], [`preferential_attachment`], [`planted_ds`]).
+//!   ([`forest_union`], [`preferential_attachment`], [`planted_ds`]);
+//! * structured families for the scenario matrix ([`random_planar`],
+//!   [`k_tree`], [`power_law_capped`], [`unit_disk`]).
 //!
 //! All random generators take an explicit `&mut impl Rng` so that every
-//! experiment in the workspace is reproducible from a seed.
+//! experiment in the workspace is reproducible from a seed, and each is
+//! pinned by a seed-stability test (`tests/seed_stability.rs`) through
+//! [`crate::digest::edge_digest`].
+//!
+//! Parameter validation comes in two flavors: every random generator has a
+//! `try_*` form returning a typed [`crate::GraphError::InvalidParameter`]
+//! for out-of-domain parameters, and the historical panicking form
+//! delegating to it. The scenario-matrix families are new enough to have
+//! only the fallible form.
 
 mod basic;
 mod bounded;
 mod random;
+mod structured;
 
 pub use basic::{
     caterpillar, complete, complete_bipartite, cycle, grid2d, kary_tree, path, spider, star,
 };
 pub use bounded::{
-    forest_union, forest_union_partial, planted_ds, preferential_attachment, PlantedInstance,
+    forest_union, forest_union_partial, planted_ds, preferential_attachment, try_forest_union,
+    try_forest_union_partial, try_planted_ds, try_preferential_attachment, PlantedInstance,
 };
-pub use random::{bipartite_random, gnm, gnp, random_regular, random_tree};
+pub use random::{
+    bipartite_random, gnm, gnp, random_regular, random_tree, try_bipartite_random, try_gnm,
+    try_gnp, try_random_regular,
+};
+pub use structured::{k_tree, power_law_capped, random_planar, unit_disk};

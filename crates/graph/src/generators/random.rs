@@ -3,7 +3,7 @@
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use crate::{Graph, GraphBuilder};
+use crate::{Graph, GraphBuilder, GraphError, Result};
 
 /// Erdős–Rényi `G(n, p)`: every pair is an edge independently with
 /// probability `p`.
@@ -13,15 +13,29 @@ use crate::{Graph, GraphBuilder};
 ///
 /// # Panics
 ///
-/// Panics if `p` is not in `[0, 1]`.
+/// Panics where [`try_gnp`] errors.
 pub fn gnp(n: usize, p: f64, rng: &mut impl Rng) -> Graph {
-    assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+    try_gnp(n, p, rng).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`gnp`]: validates parameters instead of panicking.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `p` is NaN or outside
+/// `[0, 1]`.
+pub fn try_gnp(n: usize, p: f64, rng: &mut impl Rng) -> Result<Graph> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(GraphError::InvalidParameter(format!(
+            "gnp: p must be in [0, 1], got {p}"
+        )));
+    }
     let mut b = GraphBuilder::new(n);
     if p == 0.0 || n < 2 {
-        return b.build();
+        return Ok(b.build());
     }
     if p == 1.0 {
-        return super::complete(n);
+        return Ok(super::complete(n));
     }
     // Iterate over pair ranks 0..n(n-1)/2 with geometric skips.
     let total = n as u64 * (n as u64 - 1) / 2;
@@ -45,7 +59,7 @@ pub fn gnp(n: usize, p: f64, rng: &mut impl Rng) -> Graph {
         b.add_edge_u32(i as u32, j as u32)
             .expect("gnp edges are valid");
     }
-    b.build()
+    Ok(b.build())
 }
 
 /// Maps a rank in `0..n(n-1)/2` to the corresponding unordered pair `(i, j)`
@@ -74,13 +88,31 @@ fn pair_from_rank(rank: u64, n: u64) -> (u64, u64) {
 ///
 /// # Panics
 ///
-/// Panics if `m` exceeds the number of node pairs.
+/// Panics where [`try_gnm`] errors.
 pub fn gnm(n: usize, m: usize, rng: &mut impl Rng) -> Graph {
-    let total = n as u64 * (n as u64 - 1) / 2;
-    assert!(m as u64 <= total, "m exceeds the number of node pairs");
+    try_gnm(n, m, rng).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`gnm`]: validates parameters instead of panicking.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `m` exceeds the number of
+/// node pairs `n(n−1)/2`.
+pub fn try_gnm(n: usize, m: usize, rng: &mut impl Rng) -> Result<Graph> {
+    let total = if n < 2 {
+        0
+    } else {
+        n as u64 * (n as u64 - 1) / 2
+    };
+    if m as u64 > total {
+        return Err(GraphError::InvalidParameter(format!(
+            "gnm: m exceeds the number of node pairs, got m = {m}, max = {total}"
+        )));
+    }
     let mut b = GraphBuilder::new(n);
     if m == 0 {
-        return b.build();
+        return Ok(b.build());
     }
     // Floyd's algorithm for sampling m distinct ranks.
     let mut chosen = std::collections::HashSet::with_capacity(m);
@@ -92,7 +124,7 @@ pub fn gnm(n: usize, m: usize, rng: &mut impl Rng) -> Graph {
         b.add_edge_u32(i as u32, j as u32)
             .expect("gnm edges are valid");
     }
-    b.build()
+    Ok(b.build())
 }
 
 /// A uniformly random labelled tree on `n` nodes via a Prüfer sequence
@@ -141,10 +173,29 @@ pub fn random_tree(n: usize, rng: &mut impl Rng) -> Graph {
 ///
 /// # Panics
 ///
-/// Panics if `n·d` is odd or `d ≥ n`.
+/// Panics where [`try_random_regular`] errors.
 pub fn random_regular(n: usize, d: usize, rng: &mut impl Rng) -> Graph {
-    assert!(n * d % 2 == 0, "n*d must be even");
-    assert!(d < n, "d must be < n");
+    try_random_regular(n, d, rng).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`random_regular`]: validates parameters instead of
+/// panicking.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n·d` is odd (no d-regular
+/// graph exists) or `d >= n`.
+pub fn try_random_regular(n: usize, d: usize, rng: &mut impl Rng) -> Result<Graph> {
+    if n * d % 2 != 0 {
+        return Err(GraphError::InvalidParameter(format!(
+            "random_regular: n*d must be even, got n = {n}, d = {d}"
+        )));
+    }
+    if d >= n {
+        return Err(GraphError::InvalidParameter(format!(
+            "random_regular: need d < n, got n = {n}, d = {d}"
+        )));
+    }
     for _attempt in 0..100 {
         let mut stubs: Vec<u32> = (0..n as u32)
             .flat_map(|v| std::iter::repeat_n(v, d))
@@ -165,7 +216,7 @@ pub fn random_regular(n: usize, d: usize, rng: &mut impl Rng) -> Graph {
                 b.add_edge_u32(pair[0], pair[1])
                     .expect("regular edges are valid");
             }
-            return b.build();
+            return Ok(b.build());
         }
     }
     // Fallback: keep the simple edges of one more pairing.
@@ -180,7 +231,7 @@ pub fn random_regular(n: usize, d: usize, rng: &mut impl Rng) -> Graph {
                 .expect("regular edges are valid");
         }
     }
-    b.build()
+    Ok(b.build())
 }
 
 /// A random bipartite graph: sides `0..a` and `a..a+b`, each cross pair an
@@ -188,9 +239,24 @@ pub fn random_regular(n: usize, d: usize, rng: &mut impl Rng) -> Graph {
 ///
 /// # Panics
 ///
-/// Panics if `p` is not in `[0, 1]`.
+/// Panics where [`try_bipartite_random`] errors.
 pub fn bipartite_random(a: usize, b: usize, p: f64, rng: &mut impl Rng) -> Graph {
-    assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+    try_bipartite_random(a, b, p, rng).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`bipartite_random`]: validates parameters instead of
+/// panicking.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `p` is NaN or outside
+/// `[0, 1]`.
+pub fn try_bipartite_random(a: usize, b: usize, p: f64, rng: &mut impl Rng) -> Result<Graph> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(GraphError::InvalidParameter(format!(
+            "bipartite_random: p must be in [0, 1], got {p}"
+        )));
+    }
     let mut builder = GraphBuilder::new(a + b);
     for u in 0..a as u32 {
         for v in a as u32..(a + b) as u32 {
@@ -201,7 +267,7 @@ pub fn bipartite_random(a: usize, b: usize, p: f64, rng: &mut impl Rng) -> Graph
             }
         }
     }
-    builder.build()
+    Ok(builder.build())
 }
 
 #[cfg(test)]
@@ -288,6 +354,26 @@ mod tests {
             for v in g.neighbors(crate::NodeId::new(u)) {
                 assert!(v.get() >= 20);
             }
+        }
+    }
+
+    #[test]
+    fn random_generators_reject_bad_parameters() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for bad in [
+            try_gnp(10, -0.5, &mut rng),
+            try_gnp(10, 1.5, &mut rng),
+            try_gnp(10, f64::NAN, &mut rng),
+            try_gnm(5, 11, &mut rng),
+            try_gnm(1, 1, &mut rng),
+            try_random_regular(5, 3, &mut rng),
+            try_random_regular(4, 4, &mut rng),
+            try_bipartite_random(3, 4, 2.0, &mut rng),
+        ] {
+            assert!(
+                matches!(bad, Err(GraphError::InvalidParameter(_))),
+                "{bad:?}"
+            );
         }
     }
 

@@ -38,6 +38,7 @@
 pub mod arboricity;
 mod builder;
 mod csr;
+pub mod digest;
 mod error;
 pub mod generators;
 pub mod io;

@@ -1,0 +1,180 @@
+//! The scenario engine CLI: list the registry, run the matrix.
+//!
+//! ```text
+//! scenarios list [FILTER]
+//! scenarios run  [FILTER] [--quick|--full] [--threads N] [--no-write]
+//! ```
+//!
+//! `FILTER` is a name substring or an exact tag; omitted = everything.
+//! `run` prints one summary row per scenario and writes
+//! `BENCH_scenarios.json` to the workspace root (suppress with
+//! `--no-write`). Exit status is nonzero if any cell's quality
+//! accounting raised a flag, so CI can gate on it.
+
+use arbodom_scenarios::runner::{run_matching, RunConfig};
+use arbodom_scenarios::spec::Scale;
+use arbodom_scenarios::{registry, render_artifact, write_workspace_artifact, ScenarioReport};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut words = args.iter().map(String::as_str);
+    match words.next() {
+        Some("list") => list(words.next().unwrap_or("")),
+        Some("run") => run(&args[1..]),
+        Some("help") | None => usage(0),
+        Some(other) => {
+            eprintln!("unknown command: {other}\n");
+            usage(2);
+        }
+    }
+}
+
+fn usage(code: i32) -> ! {
+    eprintln!(
+        "scenario engine — declarative experiment matrix\n\n\
+         USAGE:\n  scenarios list [FILTER]\n  scenarios run [FILTER] [OPTIONS]\n\n\
+         OPTIONS (run):\n  \
+         --quick        small size sweeps (CI; also via ARBODOM_QUICK=1)\n  \
+         --full         recorded size sweeps (default)\n  \
+         --threads N    simulator worker threads (default 4; output identical)\n  \
+         --no-write     skip writing BENCH_scenarios.json\n\n\
+         FILTER matches a name substring or an exact tag, e.g. `thm11`,\n\
+         `new-family`, `faults-forest-loss`."
+    );
+    std::process::exit(code)
+}
+
+fn list(filter: &str) {
+    let specs = registry();
+    let matching: Vec<_> = specs.iter().filter(|s| s.matches(filter)).collect();
+    println!(
+        "{} scenario(s){}:\n",
+        matching.len(),
+        if filter.is_empty() {
+            String::new()
+        } else {
+            format!(" matching `{filter}`")
+        }
+    );
+    for s in &matching {
+        println!(
+            "  {:<22} {:<28} {:<14} cells {:>3} quick / {:>3} full  [{}]",
+            s.name,
+            s.family.label(),
+            s.algorithm.label(),
+            s.cell_count(Scale::Quick),
+            s.cell_count(Scale::Full),
+            s.tags.join(", "),
+        );
+        println!("  {:<22} {}", "", s.title);
+    }
+}
+
+fn run(args: &[String]) {
+    let mut filter = String::new();
+    let mut scale = Scale::from_env();
+    let mut threads = 4usize;
+    let mut write = true;
+    let mut it = args.iter().map(String::as_str);
+    while let Some(arg) = it.next() {
+        match arg {
+            "--quick" => scale = Scale::Quick,
+            "--full" => scale = Scale::Full,
+            "--no-write" => write = false,
+            "--threads" => {
+                threads = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--threads needs a positive integer");
+                    usage(2)
+                });
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown option: {flag}\n");
+                usage(2);
+            }
+            word => {
+                if !filter.is_empty() {
+                    eprintln!("only one FILTER is supported, got `{filter}` and `{word}`\n");
+                    usage(2);
+                }
+                filter = word.to_string();
+            }
+        }
+    }
+    let cfg = RunConfig { scale, threads };
+    let specs = registry();
+    if !specs.iter().any(|s| s.matches(&filter)) {
+        eprintln!("no scenario matches `{filter}` — try `scenarios list`");
+        std::process::exit(2);
+    }
+    println!(
+        "running {} cells at {} scale on {} thread(s)\n",
+        specs
+            .iter()
+            .filter(|s| s.matches(&filter))
+            .map(|s| s.cell_count(scale))
+            .sum::<usize>(),
+        scale.label(),
+        threads,
+    );
+    let t0 = std::time::Instant::now();
+    let reports = run_matching(&specs, &filter, &cfg, |spec| {
+        println!("  {:<22} {:>3} cells … ", spec.name, spec.cell_count(scale));
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("scenario run failed: {e}");
+        std::process::exit(1);
+    });
+    println!("\n{}", summary_table(&reports));
+    println!(
+        "wall time: {:.1}s (not recorded in the artifact)",
+        t0.elapsed().as_secs_f64()
+    );
+    let flagged: usize = reports.iter().map(ScenarioReport::flagged_cells).sum();
+    if write {
+        let json = render_artifact(&reports, scale);
+        match write_workspace_artifact(arbodom_scenarios::report::ARTIFACT_NAME, &json) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("could not write artifact: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if flagged > 0 {
+        eprintln!("{flagged} cell(s) flagged by quality accounting");
+        std::process::exit(1);
+    }
+}
+
+/// One human-readable summary row per scenario.
+fn summary_table(reports: &[ScenarioReport]) -> String {
+    let mut out = String::from(
+        "scenario               cells  valid  worst ratio  guarantee  rounds≤budget  flagged\n",
+    );
+    for r in reports {
+        let valid = r.cells.iter().filter(|c| c.valid).count();
+        let worst = r
+            .cells
+            .iter()
+            .map(|c| c.ratio)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let bound = r
+            .cells
+            .iter()
+            .map(|c| c.guarantee)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let in_budget = r.cells.iter().filter(|c| c.within_round_budget).count();
+        out.push_str(&format!(
+            "{:<22} {:>5}  {:>5}  {:>11.3}  {:>9.2}  {:>9}/{:<3}  {:>7}\n",
+            r.name,
+            r.cells.len(),
+            valid,
+            worst,
+            bound,
+            in_budget,
+            r.cells.len(),
+            r.flagged_cells(),
+        ));
+    }
+    out
+}

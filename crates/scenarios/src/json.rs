@@ -1,0 +1,177 @@
+//! A minimal deterministic JSON writer for the benchmark artifacts.
+//!
+//! `BENCH_scenarios.json` (and `BENCH_sim.json` in `arbodom-bench`, which
+//! reuses this module) must be **byte-identical** for identical inputs —
+//! the scenario engine's determinism guarantee is stated at the artifact
+//! level, and the tests compare rendered strings. The offline `serde_json`
+//! stand-in has a different API than the real crate, so the artifact
+//! writers render through this tiny builder instead and have no opinion
+//! about which `serde_json` is installed.
+//!
+//! Insertion order is preserved; keys are written exactly once, in the
+//! order the caller adds them.
+
+use std::fmt::Write as _;
+
+/// Formats a finite `f64` the way JSON expects: integral values without a
+/// trailing `.0`, everything else through Rust's shortest-roundtrip
+/// `Display` (deterministic for identical bits). Non-finite values render
+/// as `null`.
+pub fn fmt_num(v: f64) -> String {
+    if !v.is_finite() {
+        "null".into()
+    } else if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Escapes a string for inclusion in a JSON document (quotes, backslash,
+/// control characters).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// An ordered JSON object builder.
+#[derive(Clone, Debug, Default)]
+pub struct JsonObj(Vec<String>);
+
+impl JsonObj {
+    /// An empty object.
+    pub fn new() -> Self {
+        JsonObj(Vec::new())
+    }
+
+    /// Adds a string value (escaped).
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.0
+            .push(format!("\"{}\":\"{}\"", escape(key), escape(value)));
+        self
+    }
+
+    /// Adds an unsigned integer value.
+    pub fn int(mut self, key: &str, value: usize) -> Self {
+        self.0.push(format!("\"{}\":{value}", escape(key)));
+        self
+    }
+
+    /// Adds a `u64` value.
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        self.0.push(format!("\"{}\":{value}", escape(key)));
+        self
+    }
+
+    /// Adds a number value (see [`fmt_num`]).
+    pub fn num(mut self, key: &str, value: f64) -> Self {
+        self.0
+            .push(format!("\"{}\":{}", escape(key), fmt_num(value)));
+        self
+    }
+
+    /// Adds a boolean value.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.0.push(format!("\"{}\":{value}", escape(key)));
+        self
+    }
+
+    /// Adds a pre-rendered JSON value (object, array, or number).
+    pub fn raw(mut self, key: &str, value: String) -> Self {
+        self.0.push(format!("\"{}\":{value}", escape(key)));
+        self
+    }
+
+    /// Adds `(key, pre-rendered value)` pairs in iteration order.
+    pub fn entries(mut self, pairs: impl Iterator<Item = (String, String)>) -> Self {
+        for (k, v) in pairs {
+            self = self.raw(&k, v);
+        }
+        self
+    }
+
+    /// Renders the object.
+    pub fn render(&self) -> String {
+        format!("{{{}}}", self.0.join(","))
+    }
+}
+
+/// An ordered JSON array builder.
+#[derive(Clone, Debug, Default)]
+pub struct JsonArr(Vec<String>);
+
+impl JsonArr {
+    /// An empty array.
+    pub fn new() -> Self {
+        JsonArr(Vec::new())
+    }
+
+    /// Appends a pre-rendered JSON value.
+    pub fn push_raw(mut self, value: String) -> Self {
+        self.0.push(value);
+        self
+    }
+
+    /// Appends a string value (escaped).
+    pub fn push_str(mut self, value: &str) -> Self {
+        self.0.push(format!("\"{}\"", escape(value)));
+        self
+    }
+
+    /// Collects pre-rendered values.
+    pub fn from_raw(values: impl Iterator<Item = String>) -> Self {
+        JsonArr(values.collect())
+    }
+
+    /// Renders the array.
+    pub fn render(&self) -> String {
+        format!("[{}]", self.0.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures() {
+        let inner = JsonObj::new().int("a", 1).bool("ok", true).render();
+        let arr = JsonArr::new().push_raw(inner).push_str("x").render();
+        let doc = JsonObj::new()
+            .str("name", "demo")
+            .raw("items", arr)
+            .num("pi", 3.5)
+            .render();
+        assert_eq!(
+            doc,
+            r#"{"name":"demo","items":[{"a":1,"ok":true},"x"],"pi":3.5}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn numbers_render_canonically() {
+        assert_eq!(fmt_num(3.0), "3");
+        assert_eq!(fmt_num(3.25), "3.25");
+        assert_eq!(fmt_num(f64::NAN), "null");
+        assert_eq!(fmt_num(-0.5), "-0.5");
+    }
+}

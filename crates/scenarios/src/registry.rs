@@ -1,0 +1,294 @@
+//! The typed registry of named scenarios.
+//!
+//! Each entry is a [`ScenarioSpec`] value — pure data. Experiments in
+//! `arbodom-bench` address entries by name ([`find`]) so that their
+//! workloads are defined *here*, once, instead of in bespoke loops; the
+//! CLI addresses them by name or tag.
+
+use arbodom_congest::MeterMode;
+use arbodom_graph::weights::WeightModel;
+
+use crate::spec::{Algorithm, Family, ScenarioSpec};
+
+/// The four weight models of the Theorem 1.1 experiment sweep.
+const THM11_WEIGHTS: &[WeightModel] = &[
+    WeightModel::Unit,
+    WeightModel::Uniform { lo: 1, hi: 100 },
+    WeightModel::Exponential { max_exp: 10 },
+    WeightModel::DegreeCorrelated,
+];
+
+const UNIT: &[WeightModel] = &[WeightModel::Unit];
+const LOSSLESS: &[f64] = &[0.0];
+
+/// A Theorem 1.1 forest-union scenario at a given α — the rows of the
+/// E-1.1 table, one scenario per α, weight models as a matrix axis.
+const fn thm11_forest(name: &'static str, alpha: usize) -> ScenarioSpec {
+    ScenarioSpec {
+        name,
+        title: "Theorem 1.1 (weighted, deterministic) on forest unions",
+        tags: &["thm11", "forest-union", "deterministic", "core"],
+        family: Family::ForestUnion { alpha, keep: 1.0 },
+        quick_sizes: &[400],
+        full_sizes: &[30_000],
+        weights: THM11_WEIGHTS,
+        loss: LOSSLESS,
+        seeds: 1,
+        algorithm: Algorithm::Weighted { eps: 0.2 },
+        meter: MeterMode::Measure,
+    }
+}
+
+/// Every registered scenario, in display order.
+pub fn registry() -> Vec<ScenarioSpec> {
+    vec![
+        thm11_forest("thm11-forest-a1", 1),
+        thm11_forest("thm11-forest-a2", 2),
+        thm11_forest("thm11-forest-a4", 4),
+        thm11_forest("thm11-forest-a8", 8),
+        ScenarioSpec {
+            name: "thm11-forest-sparse",
+            title: "Theorem 1.1 on sparse partial forest unions (keep = 0.5)",
+            tags: &["thm11", "forest-union", "sparse"],
+            family: Family::ForestUnion {
+                alpha: 4,
+                keep: 0.5,
+            },
+            quick_sizes: &[400],
+            full_sizes: &[10_000, 30_000],
+            weights: UNIT,
+            loss: LOSSLESS,
+            seeds: 2,
+            algorithm: Algorithm::Weighted { eps: 0.2 },
+            meter: MeterMode::Measure,
+        },
+        ScenarioSpec {
+            name: "compare-pref-attach",
+            title: "Theorem 1.1 on preferential-attachment hubs",
+            tags: &["compare", "power-law"],
+            family: Family::PrefAttach { m_per_node: 3 },
+            quick_sizes: &[400],
+            full_sizes: &[8_000],
+            weights: UNIT,
+            loss: LOSSLESS,
+            seeds: 1,
+            algorithm: Algorithm::Weighted { eps: 0.2 },
+            meter: MeterMode::Measure,
+        },
+        ScenarioSpec {
+            name: "compare-torus",
+            title: "Theorem 1.1 on the 4-regular torus",
+            tags: &["compare", "grid"],
+            family: Family::Grid2d { torus: true },
+            quick_sizes: &[400],
+            full_sizes: &[1_600],
+            weights: UNIT,
+            loss: LOSSLESS,
+            seeds: 1,
+            algorithm: Algorithm::Weighted { eps: 0.2 },
+            meter: MeterMode::Measure,
+        },
+        ScenarioSpec {
+            name: "compare-planted",
+            title: "Theorem 1.1 against a planted optimum",
+            tags: &["compare", "planted", "quality"],
+            family: Family::PlantedDs {
+                k_per_mille: 50,
+                extra_per_node: 2,
+            },
+            quick_sizes: &[400],
+            full_sizes: &[8_000],
+            weights: UNIT,
+            loss: LOSSLESS,
+            seeds: 2,
+            algorithm: Algorithm::Weighted { eps: 0.2 },
+            meter: MeterMode::Measure,
+        },
+        ScenarioSpec {
+            name: "thm12-planted",
+            title: "Theorem 1.2 (randomized α + O(α/t)) against a planted optimum",
+            tags: &["thm12", "planted", "randomized"],
+            family: Family::PlantedDs {
+                k_per_mille: 50,
+                extra_per_node: 2,
+            },
+            quick_sizes: &[400],
+            full_sizes: &[8_000],
+            weights: UNIT,
+            loss: LOSSLESS,
+            seeds: 3,
+            algorithm: Algorithm::Randomized { t: 2 },
+            meter: MeterMode::Measure,
+        },
+        ScenarioSpec {
+            name: "thm13-gnp",
+            title: "Theorem 1.3 (general graphs, O(k·Δ^{2/k})) on G(n, p)",
+            tags: &["thm13", "general", "randomized"],
+            family: Family::Gnp { avg_degree: 8.0 },
+            quick_sizes: &[400],
+            full_sizes: &[8_000],
+            weights: UNIT,
+            loss: LOSSLESS,
+            seeds: 3,
+            algorithm: Algorithm::General { k: 2 },
+            meter: MeterMode::Measure,
+        },
+        ScenarioSpec {
+            name: "rem44-power-law",
+            title: "Remark 4.4 (Δ unknown) on capped power-law graphs",
+            tags: &["rem44", "power-law", "new-family"],
+            family: Family::PowerLawCapped {
+                exponent: 2.5,
+                cap: 3,
+            },
+            quick_sizes: &[400],
+            full_sizes: &[8_000],
+            weights: UNIT,
+            loss: LOSSLESS,
+            seeds: 2,
+            algorithm: Algorithm::UnknownDelta { eps: 0.25 },
+            meter: MeterMode::Measure,
+        },
+        ScenarioSpec {
+            name: "planar-weighted",
+            title: "Theorem 1.1 on random planar graphs (α ≤ 3)",
+            tags: &["planar", "new-family"],
+            family: Family::RandomPlanar { diag_p: 0.5 },
+            quick_sizes: &[400],
+            full_sizes: &[10_000],
+            weights: &[WeightModel::Unit, WeightModel::DegreeCorrelated],
+            loss: LOSSLESS,
+            seeds: 2,
+            algorithm: Algorithm::Weighted { eps: 0.2 },
+            meter: MeterMode::Measure,
+        },
+        ScenarioSpec {
+            name: "ktree-weighted",
+            title: "Theorem 1.1 on k-trees (treewidth 3)",
+            tags: &["treewidth", "new-family"],
+            family: Family::KTree { k: 3 },
+            quick_sizes: &[400],
+            full_sizes: &[10_000],
+            weights: &[WeightModel::Unit, WeightModel::Exponential { max_exp: 10 }],
+            loss: LOSSLESS,
+            seeds: 2,
+            algorithm: Algorithm::Weighted { eps: 0.2 },
+            meter: MeterMode::Measure,
+        },
+        ScenarioSpec {
+            name: "unit-disk-weighted",
+            title: "Theorem 1.1 on unit-disk graphs (measured α)",
+            tags: &["geometric", "new-family"],
+            family: Family::UnitDisk { avg_degree: 6.0 },
+            quick_sizes: &[400],
+            full_sizes: &[8_000],
+            weights: UNIT,
+            loss: LOSSLESS,
+            seeds: 2,
+            algorithm: Algorithm::Weighted { eps: 0.3 },
+            meter: MeterMode::Measure,
+        },
+        ScenarioSpec {
+            name: "trees-exact",
+            title: "Theorem 1.1 on random trees vs the exact forest DP",
+            tags: &["trees", "quality"],
+            family: Family::RandomTree,
+            quick_sizes: &[400],
+            full_sizes: &[10_000, 30_000],
+            weights: &[WeightModel::Uniform { lo: 1, hi: 100 }],
+            loss: LOSSLESS,
+            seeds: 2,
+            algorithm: Algorithm::Weighted { eps: 0.3 },
+            meter: MeterMode::Measure,
+        },
+        ScenarioSpec {
+            name: "faults-forest-loss",
+            title: "Theorem 1.1 under i.i.d. message loss (the E-FAULT sweep)",
+            tags: &["faults", "forest-union"],
+            family: Family::ForestUnion {
+                alpha: 3,
+                keep: 1.0,
+            },
+            quick_sizes: &[400],
+            full_sizes: &[2_000],
+            weights: UNIT,
+            loss: &[0.0, 0.001, 0.01, 0.05, 0.2],
+            seeds: 5,
+            algorithm: Algorithm::Weighted { eps: 0.25 },
+            meter: MeterMode::Measure,
+        },
+        ScenarioSpec {
+            name: "strict-wire-forest",
+            title: "Theorem 1.1 under strict encode/decode metering",
+            tags: &["strict", "forest-union", "congest"],
+            family: Family::ForestUnion {
+                alpha: 2,
+                keep: 1.0,
+            },
+            quick_sizes: &[400],
+            full_sizes: &[5_000],
+            weights: UNIT,
+            loss: LOSSLESS,
+            seeds: 1,
+            algorithm: Algorithm::Weighted { eps: 0.2 },
+            meter: MeterMode::Strict,
+        },
+    ]
+}
+
+/// Looks a scenario up by exact name.
+pub fn find(name: &str) -> Option<ScenarioSpec> {
+    registry().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Scale;
+    use std::collections::HashSet;
+
+    #[test]
+    fn registry_meets_the_acceptance_floor() {
+        let specs = registry();
+        assert!(
+            specs.len() >= 12,
+            "need ≥ 12 scenarios, have {}",
+            specs.len()
+        );
+        let families: HashSet<&str> = specs.iter().map(|s| s.family.generator()).collect();
+        assert!(families.len() >= 6, "need ≥ 6 families, have {families:?}");
+        let new_families: HashSet<&str> = specs
+            .iter()
+            .filter(|s| s.family.uses_new_generator())
+            .map(|s| s.family.generator())
+            .collect();
+        assert!(
+            new_families.len() >= 3,
+            "need ≥ 3 newly added generators, have {new_families:?}"
+        );
+    }
+
+    #[test]
+    fn names_are_unique_and_findable() {
+        let specs = registry();
+        let names: HashSet<&str> = specs.iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), specs.len(), "duplicate scenario names");
+        for spec in &specs {
+            assert!(find(spec.name).is_some());
+        }
+        assert!(find("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn every_scenario_has_cells_at_both_scales() {
+        for spec in registry() {
+            assert!(spec.cell_count(Scale::Quick) > 0, "{}", spec.name);
+            assert!(spec.cell_count(Scale::Full) > 0, "{}", spec.name);
+            assert!(
+                !spec.tags.is_empty(),
+                "{}: tags drive the CLI filter",
+                spec.name
+            );
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Quality-tracked reports and the `BENCH_scenarios.json` artifact.
+//!
+//! One [`CellReport`] per matrix cell, one [`ScenarioReport`] per
+//! scenario, one artifact per run. The artifact lives at the workspace
+//! root next to `BENCH_sim.json`: `BENCH_sim.json` tracks how fast the
+//! simulator core is, `BENCH_scenarios.json` tracks what the algorithms
+//! *achieve* when run through it — solution quality against certified
+//! references and round counts against the theorems' budgets, per cell.
+//!
+//! Rendering is deterministic: the JSON is byte-identical for identical
+//! cell data, which is how the engine's thread-count-independence is
+//! tested end to end.
+
+use crate::json::{JsonArr, JsonObj};
+use crate::quality::RefKind;
+use crate::spec::{Scale, ScenarioSpec};
+
+/// The measured outcome of one matrix cell.
+#[derive(Clone, Debug)]
+pub struct CellReport {
+    /// Nodes in the generated graph (grid families round `n`).
+    pub n: usize,
+    /// Edges in the generated graph.
+    pub m: usize,
+    /// Maximum degree Δ.
+    pub max_degree: usize,
+    /// The arboricity parameter the algorithm ran with.
+    pub alpha: usize,
+    /// Weight-model label.
+    pub weights: String,
+    /// Injected per-message drop probability (0 = reliable links).
+    pub drop_p: f64,
+    /// Seed replica index within the scenario.
+    pub seed_idx: u64,
+    /// The derived deterministic seed of this cell.
+    pub cell_seed: u64,
+    /// [`arbodom_graph::digest::edge_digest`] of the instance.
+    pub graph_digest: u64,
+    /// Nodes in the computed dominating set.
+    pub ds_size: usize,
+    /// Weight of the computed dominating set.
+    pub ds_weight: u64,
+    /// Whether the output is a dominating set.
+    pub valid: bool,
+    /// Number of undominated nodes (0 when `valid`).
+    pub undominated: usize,
+    /// Reference kind of the ratio (exact / planted / packing-lb).
+    pub reference: RefKind,
+    /// Reference value.
+    pub opt_estimate: f64,
+    /// `ds_weight / opt_estimate`, unclamped.
+    pub ratio: f64,
+    /// The theorem bound for this cell's parameters.
+    pub guarantee: f64,
+    /// Whether `ratio <= guarantee`.
+    pub within_guarantee: bool,
+    /// Quality-accounting alarm (see [`crate::quality`]).
+    pub flagged: bool,
+    /// Executed CONGEST rounds.
+    pub rounds: usize,
+    /// The round budget of the theorem's complexity statement.
+    pub round_budget: usize,
+    /// Whether `rounds <= round_budget` (lossy cells are exempt).
+    pub within_round_budget: bool,
+    /// Messages delivered.
+    pub messages: usize,
+    /// Payload bits delivered.
+    pub total_bits: usize,
+    /// Largest single message in bits.
+    pub max_message_bits: usize,
+    /// Messages exceeding the CONGEST bandwidth budget (0 = compliant).
+    pub budget_violations: usize,
+    /// Messages dropped by fault injection.
+    pub dropped_messages: usize,
+}
+
+impl CellReport {
+    fn to_json(&self) -> String {
+        JsonObj::new()
+            .int("n", self.n)
+            .int("m", self.m)
+            .int("max_degree", self.max_degree)
+            .int("alpha", self.alpha)
+            .str("weights", &self.weights)
+            .num("drop_p", self.drop_p)
+            .u64("seed_idx", self.seed_idx)
+            .str("cell_seed", &format!("{:#018x}", self.cell_seed))
+            .str("graph_digest", &format!("{:#018x}", self.graph_digest))
+            .int("ds_size", self.ds_size)
+            .u64("ds_weight", self.ds_weight)
+            .bool("valid", self.valid)
+            .int("undominated", self.undominated)
+            .str("reference", self.reference.label())
+            .num("opt_estimate", self.opt_estimate)
+            .num("ratio", self.ratio)
+            .num("guarantee", self.guarantee)
+            .bool("within_guarantee", self.within_guarantee)
+            .bool("flagged", self.flagged)
+            .int("rounds", self.rounds)
+            .int("round_budget", self.round_budget)
+            .bool("within_round_budget", self.within_round_budget)
+            .int("messages", self.messages)
+            .int("total_bits", self.total_bits)
+            .int("max_message_bits", self.max_message_bits)
+            .int("budget_violations", self.budget_violations)
+            .int("dropped_messages", self.dropped_messages)
+            .render()
+    }
+}
+
+/// One scenario's identity plus all its cell outcomes.
+#[derive(Clone, Debug)]
+pub struct ScenarioReport {
+    /// Scenario name (registry key).
+    pub name: String,
+    /// One-line description.
+    pub title: String,
+    /// Filter tags.
+    pub tags: Vec<String>,
+    /// Family label with parameters.
+    pub family: String,
+    /// Generator slug the family draws from.
+    pub generator: String,
+    /// Algorithm label with parameters.
+    pub algorithm: String,
+    /// All cell outcomes, in matrix order.
+    pub cells: Vec<CellReport>,
+}
+
+impl ScenarioReport {
+    /// Assembles a report from a spec and its executed cells.
+    pub fn new(spec: &ScenarioSpec, cells: Vec<CellReport>) -> Self {
+        ScenarioReport {
+            name: spec.name.to_string(),
+            title: spec.title.to_string(),
+            tags: spec.tags.iter().map(|t| t.to_string()).collect(),
+            family: spec.family.label(),
+            generator: spec.family.generator().to_string(),
+            algorithm: spec.algorithm.label(),
+            cells,
+        }
+    }
+
+    /// Number of cells whose quality accounting raised the alarm.
+    pub fn flagged_cells(&self) -> usize {
+        self.cells.iter().filter(|c| c.flagged).count()
+    }
+
+    fn to_json(&self) -> String {
+        JsonObj::new()
+            .str("name", &self.name)
+            .str("title", &self.title)
+            .raw(
+                "tags",
+                JsonArr::from_raw(
+                    self.tags
+                        .iter()
+                        .map(|t| format!("\"{}\"", crate::json::escape(t))),
+                )
+                .render(),
+            )
+            .str("family", &self.family)
+            .str("generator", &self.generator)
+            .str("algorithm", &self.algorithm)
+            .int("flagged_cells", self.flagged_cells())
+            .raw(
+                "cells",
+                JsonArr::from_raw(self.cells.iter().map(|c| c.to_json())).render(),
+            )
+            .render()
+    }
+}
+
+/// Renders the full artifact. Deterministic: byte-identical for identical
+/// reports — deliberately **excluding** anything execution-environment
+/// dependent (thread count, wall clock), so the artifact itself witnesses
+/// the engine's thread-count independence.
+pub fn render_artifact(reports: &[ScenarioReport], scale: Scale) -> String {
+    JsonObj::new()
+        .str("schema", "arbodom-scenarios/v1")
+        .str("scale", scale.label())
+        .int("scenario_count", reports.len())
+        .int(
+            "cell_count",
+            reports.iter().map(|r| r.cells.len()).sum::<usize>(),
+        )
+        .int(
+            "flagged_cells",
+            reports.iter().map(|r| r.flagged_cells()).sum::<usize>(),
+        )
+        .raw(
+            "scenarios",
+            JsonArr::from_raw(reports.iter().map(|r| r.to_json())).render(),
+        )
+        .render()
+}
+
+/// The artifact file name at the workspace root.
+pub const ARTIFACT_NAME: &str = "BENCH_scenarios.json";
+
+/// Writes `contents` to `<workspace root>/<name>`, the convention shared
+/// with `BENCH_sim.json` (the path is pinned to the manifest location, so
+/// it lands at the root no matter where the binary runs from). Returns
+/// the path written.
+///
+/// # Errors
+///
+/// Propagates the underlying IO error.
+pub fn write_workspace_artifact(name: &str, contents: &str) -> std::io::Result<std::path::PathBuf> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(name);
+    std::fs::write(&path, format!("{contents}\n"))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_cell() -> CellReport {
+        CellReport {
+            n: 10,
+            m: 9,
+            max_degree: 3,
+            alpha: 1,
+            weights: "unit".into(),
+            drop_p: 0.0,
+            seed_idx: 0,
+            cell_seed: 0x1234,
+            graph_digest: 0xabcd,
+            ds_size: 3,
+            ds_weight: 3,
+            valid: true,
+            undominated: 0,
+            reference: RefKind::Exact,
+            opt_estimate: 3.0,
+            ratio: 1.0,
+            guarantee: 3.9,
+            within_guarantee: true,
+            flagged: false,
+            rounds: 8,
+            round_budget: 10,
+            within_round_budget: true,
+            messages: 100,
+            total_bits: 800,
+            max_message_bits: 8,
+            budget_violations: 0,
+            dropped_messages: 0,
+        }
+    }
+
+    #[test]
+    fn artifact_renders_deterministically() {
+        let report = ScenarioReport {
+            name: "demo".into(),
+            title: "a demo".into(),
+            tags: vec!["x".into()],
+            family: "random-tree".into(),
+            generator: "random_tree".into(),
+            algorithm: "thm1.1(ε=0.3)".into(),
+            cells: vec![demo_cell()],
+        };
+        let a = render_artifact(std::slice::from_ref(&report), Scale::Quick);
+        let b = render_artifact(&[report], Scale::Quick);
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"schema\":\"arbodom-scenarios/v1\""));
+        assert!(a.contains("\"reference\":\"exact\""));
+        assert!(a.contains("\"cell_seed\":\"0x0000000000001234\""));
+    }
+
+    #[test]
+    fn flagged_cells_counted() {
+        let mut cell = demo_cell();
+        cell.flagged = true;
+        let report = ScenarioReport {
+            name: "demo".into(),
+            title: String::new(),
+            tags: vec![],
+            family: String::new(),
+            generator: String::new(),
+            algorithm: String::new(),
+            cells: vec![demo_cell(), cell],
+        };
+        assert_eq!(report.flagged_cells(), 1);
+        let json = render_artifact(&[report], Scale::Full);
+        assert!(json.contains("\"flagged_cells\":1"));
+        assert!(json.contains("\"scale\":\"full\""));
+    }
+}

@@ -1,0 +1,114 @@
+//! End-to-end guarantees of the scenario engine: the acceptance criteria
+//! of the subsystem, tested at quick scale.
+//!
+//! * the rendered artifact is **byte-identical** across thread counts and
+//!   across repeated runs;
+//! * every registered scenario runs clean (valid solutions, no quality
+//!   flags, rounds within the theorem budgets);
+//! * planted scenarios account their ratio against the planted optimum.
+
+use arbodom_scenarios::runner::{run_matching, run_scenario, RunConfig};
+use arbodom_scenarios::spec::Scale;
+use arbodom_scenarios::{registry, render_artifact};
+
+fn cfg(threads: usize) -> RunConfig {
+    RunConfig {
+        scale: Scale::Quick,
+        threads,
+    }
+}
+
+/// A small but representative slice of the registry: a deterministic
+/// sweep, a randomized algorithm, a lossy matrix, a planted family, and a
+/// new-generator family.
+const SLICE: &[&str] = &[
+    "thm11-forest-a2",
+    "thm12-planted",
+    "faults-forest-loss",
+    "planar-weighted",
+];
+
+#[test]
+fn artifact_is_bit_deterministic_across_thread_counts() {
+    let specs: Vec<_> = registry()
+        .into_iter()
+        .filter(|s| SLICE.contains(&s.name))
+        .collect();
+    let mut renders = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let reports = run_matching(&specs, "", &cfg(threads), |_| {}).expect("runs");
+        renders.push(render_artifact(&reports, Scale::Quick));
+    }
+    assert_eq!(renders[0], renders[1], "1 vs 2 threads");
+    assert_eq!(renders[1], renders[2], "2 vs 4 threads");
+    // And across repeated runs at the same thread count.
+    let again = run_matching(&specs, "", &cfg(4), |_| {}).expect("runs");
+    assert_eq!(renders[2], render_artifact(&again, Scale::Quick));
+}
+
+#[test]
+fn every_registered_scenario_runs_clean_at_quick_scale() {
+    for spec in registry() {
+        let report = run_scenario(&spec, &cfg(4)).unwrap_or_else(|e| {
+            panic!("{}: {e}", spec.name);
+        });
+        assert_eq!(
+            report.cells.len(),
+            spec.cell_count(Scale::Quick),
+            "{}: wrong cell count",
+            spec.name
+        );
+        assert_eq!(report.flagged_cells(), 0, "{}: flagged cells", spec.name);
+        for cell in &report.cells {
+            // Lossless cells must be dominating and within the round
+            // budget; lossy cells are allowed to degrade (that is the
+            // experiment) but must still be accounted, not flagged.
+            if cell.drop_p == 0.0 {
+                assert!(cell.valid, "{}: invalid lossless cell", spec.name);
+                assert!(
+                    cell.within_round_budget,
+                    "{}: rounds {} > budget {}",
+                    spec.name, cell.rounds, cell.round_budget
+                );
+                assert_eq!(
+                    cell.budget_violations, 0,
+                    "{}: CONGEST bandwidth violated",
+                    spec.name
+                );
+            }
+            assert!(
+                cell.ratio >= 0.0 && cell.opt_estimate > 0.0,
+                "{}",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn planted_scenarios_use_planted_reference_in_reports() {
+    let spec = arbodom_scenarios::find("compare-planted").expect("registered");
+    let report = run_scenario(&spec, &cfg(2)).expect("runs");
+    for cell in &report.cells {
+        assert_eq!(
+            cell.reference,
+            arbodom_scenarios::quality::RefKind::Planted,
+            "planted cells must be accounted against the planted optimum"
+        );
+        // k = 5% of n at unit weights: the reference is exactly k.
+        assert_eq!(cell.opt_estimate, (cell.n / 20) as f64);
+    }
+}
+
+#[test]
+fn filters_select_by_name_and_tag() {
+    let specs = registry();
+    let by_tag = run_matching(&specs, "new-family", &cfg(1), |_| {});
+    // `new-family` tags at least 3 scenarios (acceptance criterion).
+    assert!(by_tag.expect("runs").len() >= 3);
+    let none: Vec<_> = specs
+        .iter()
+        .filter(|s| s.matches("definitely-not-a-scenario"))
+        .collect();
+    assert!(none.is_empty());
+}

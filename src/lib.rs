@@ -11,7 +11,11 @@
 //!   bit-faithful message-passing node programs;
 //! * [`baselines`] — greedy, parallel greedy, LP rounding, exact solvers;
 //! * [`lowerbound`] — the Theorem 1.4 construction `H(G)` and its
-//!   verification.
+//!   verification;
+//! * [`scenarios`] — the declarative experiment matrix: a typed registry
+//!   of named scenarios over graph families × algorithms × fault models,
+//!   run through the parallel simulator into quality-tracked reports
+//!   (`BENCH_scenarios.json`).
 //!
 //! # Quickstart
 //!
@@ -43,6 +47,7 @@ pub use arbodom_congest as congest;
 pub use arbodom_core as core;
 pub use arbodom_graph as graph;
 pub use arbodom_lowerbound as lowerbound;
+pub use arbodom_scenarios as scenarios;
 
 /// The most common imports, for examples and quick scripts.
 pub mod prelude {
