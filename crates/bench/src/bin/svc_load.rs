@@ -1,0 +1,90 @@
+//! `svc_load` — the `arbodomd` load generator.
+//!
+//! ```text
+//! svc_load [--addr HOST:PORT] [--quick|--full] [--clients N] [--no-write]
+//! ```
+//!
+//! Without `--addr`, boots an in-process daemon on an ephemeral port
+//! (still a real TCP loopback instance). Records sustained queries/sec
+//! into `BENCH_service.json` at the workspace root and exits nonzero on
+//! job errors, quality flags, or zero throughput, so CI gates on a
+//! healthy serving layer.
+
+use arbodom_bench::service_load::{render_artifact, run_load, LoadConfig, ARTIFACT_NAME};
+use arbodom_bench::Scale;
+use arbodom_scenarios::write_workspace_artifact;
+use arbodom_service::cliargs::{parsed, usage_error};
+
+fn main() {
+    // Collect overrides first, then build the config, so flag meaning
+    // does not depend on argument order.
+    let mut addr: Option<String> = None;
+    let mut scale = Scale::from_env();
+    let mut clients: Option<usize> = None;
+    let mut write = true;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter().map(String::as_str);
+    while let Some(arg) = it.next() {
+        match arg {
+            "--addr" => {
+                addr = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage_error("--addr needs a value"))
+                        .to_string(),
+                );
+            }
+            "--quick" => scale = Scale::Quick,
+            "--full" => scale = Scale::Full,
+            "--clients" => clients = Some(parsed(it.next(), "--clients")),
+            "--no-write" => write = false,
+            "--help" | "help" => {
+                eprintln!(
+                    "USAGE: svc_load [--addr HOST:PORT] [--quick|--full] [--clients N] [--no-write]"
+                );
+                std::process::exit(0);
+            }
+            other => usage_error(&format!("unknown option: {other}")),
+        }
+    }
+    let mut cfg = LoadConfig::for_scale(scale);
+    cfg.addr = addr;
+    if let Some(clients) = clients {
+        cfg.clients = clients.max(1);
+    }
+    println!(
+        "svc_load: {} clients × {} batches × {} jobs against {}",
+        cfg.clients,
+        cfg.batches_per_client,
+        cfg.jobs_per_batch,
+        cfg.addr.as_deref().unwrap_or("an in-process daemon"),
+    );
+    let outcome = run_load(&cfg).unwrap_or_else(|e| {
+        eprintln!("svc_load: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "svc_load: {} jobs in {:.2}s — {:.1} queries/sec ({} errors, {} flagged; cache {} hits / {} misses / {} evictions)",
+        outcome.jobs,
+        outcome.wall_secs,
+        outcome.queries_per_sec,
+        outcome.job_errors,
+        outcome.flagged,
+        outcome.cache.hits,
+        outcome.cache.misses,
+        outcome.cache.evictions,
+    );
+    if write {
+        let json = render_artifact(&outcome, &cfg);
+        match write_workspace_artifact(ARTIFACT_NAME, &json) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("svc_load: could not write artifact: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if outcome.job_errors > 0 || outcome.flagged > 0 || outcome.queries_per_sec <= 0.0 {
+        eprintln!("svc_load: unhealthy run");
+        std::process::exit(1);
+    }
+}

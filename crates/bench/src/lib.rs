@@ -26,6 +26,7 @@
 
 pub mod experiments;
 pub mod report;
+pub mod service_load;
 pub mod workloads;
 
 use rand::rngs::StdRng;

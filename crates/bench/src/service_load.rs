@@ -1,0 +1,314 @@
+//! Load generator for the `arbodomd` serving layer.
+//!
+//! Drives a live daemon (external via `--addr`, or an in-process one on
+//! an ephemeral port) with a deterministic mix of batched jobs from
+//! several client threads and records the **sustained queries/sec** into
+//! `BENCH_service.json` at the workspace root — the serving-layer
+//! counterpart of `BENCH_sim.json` (raw simulator throughput) and
+//! `BENCH_scenarios.json` (solution quality).
+//!
+//! The job mix is mostly repeated sources, so after warm-up the graph
+//! cache answers construction and the measurement isolates the
+//! orchestration path: framing, scheduling, simulator runs, quality
+//! accounting. A slice of cold sources keeps eviction and construction
+//! in the loop.
+
+use std::time::Instant;
+
+use arbodom_scenarios::json::JsonObj;
+use arbodom_service::{
+    CacheStats, Client, GraphSource, JobSpec, Server, ServerConfig, ServiceError,
+};
+
+use crate::Scale;
+
+/// The artifact file name at the workspace root.
+pub const ARTIFACT_NAME: &str = "BENCH_service.json";
+
+/// Shape of one load run.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Address of a live daemon; `None` boots an in-process server on an
+    /// ephemeral port (still real TCP loopback).
+    pub addr: Option<String>,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Batches each client submits.
+    pub batches_per_client: usize,
+    /// Jobs per batch.
+    pub jobs_per_batch: usize,
+    /// Workload scale (graph sizes; also the in-process server's scale).
+    pub scale: Scale,
+}
+
+impl LoadConfig {
+    /// The load shape for a scale: quick for CI smoke, full for the
+    /// recorded artifact.
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Quick => LoadConfig {
+                addr: None,
+                clients: 2,
+                batches_per_client: 4,
+                jobs_per_batch: 8,
+                scale,
+            },
+            Scale::Full => LoadConfig {
+                addr: None,
+                clients: 8,
+                batches_per_client: 12,
+                jobs_per_batch: 16,
+                scale,
+            },
+        }
+    }
+
+    fn total_jobs(&self) -> usize {
+        self.clients * self.batches_per_client * self.jobs_per_batch
+    }
+}
+
+/// The measured outcome of one load run.
+#[derive(Clone, Debug)]
+pub struct LoadOutcome {
+    /// Client threads driven.
+    pub clients: usize,
+    /// Total batches submitted.
+    pub batches: usize,
+    /// Total jobs answered.
+    pub jobs: usize,
+    /// Wall-clock seconds from first submission to last reply.
+    pub wall_secs: f64,
+    /// Sustained queries (jobs) per second across all clients.
+    pub queries_per_sec: f64,
+    /// Jobs that returned an error (0 in a healthy run).
+    pub job_errors: usize,
+    /// Jobs whose quality accounting raised a flag (0 in a healthy run).
+    pub flagged: usize,
+    /// Daemon cache counters after the run.
+    pub cache: CacheStats,
+}
+
+/// The four warm sources of the job mix — repeated verbatim across the
+/// run, so after warm-up the cache answers their construction. One per
+/// ingestion path (inline, two generators, a registered scenario cell).
+fn warm_sources(scale: Scale) -> [GraphSource; 4] {
+    let n_small = scale.pick(60, 400) as u32;
+    let n_tree = scale.pick(150, 2_000) as u32;
+    [
+        GraphSource::Inline {
+            n: n_small,
+            edges: (0..n_small - 1).map(|v| (v, v + 1)).collect(),
+            weights: None,
+        },
+        GraphSource::Generator {
+            family: arbodom_scenarios::Family::RandomTree,
+            n: n_tree,
+            weights: arbodom_graph::weights::WeightModel::Unit,
+            seed: 42,
+        },
+        GraphSource::Generator {
+            family: arbodom_scenarios::Family::ForestUnion {
+                alpha: 3,
+                keep: 1.0,
+            },
+            n: n_tree,
+            weights: arbodom_graph::weights::WeightModel::Uniform { lo: 1, hi: 100 },
+            seed: 7,
+        },
+        GraphSource::ScenarioCell {
+            name: "trees-exact".into(),
+            size_idx: 0,
+            weight_idx: 0,
+            loss_idx: 0,
+            seed_idx: 0,
+        },
+    ]
+}
+
+/// The deterministic job mix: index `i` of a client's whole job stream
+/// maps to a source. Three of every four jobs reuse one of the four warm
+/// sources (rotating through all of them across blocks — cache hits
+/// after warm-up); every fourth is a cold generator seed so construction
+/// and eviction stay exercised.
+fn job_for(scale: Scale, client: usize, i: usize) -> JobSpec {
+    let source = if i % 4 == 3 {
+        GraphSource::Generator {
+            family: arbodom_scenarios::Family::RandomTree,
+            n: scale.pick(150, 2_000) as u32,
+            weights: arbodom_graph::weights::WeightModel::Unit,
+            seed: (client * 1_000 + i) as u64, // cold: unique per job
+        }
+    } else {
+        let warm = warm_sources(scale);
+        // `i % 4` alone never reaches warm[3]; rotating by the block
+        // index cycles every warm source into the mix.
+        warm[(i + i / 4) % warm.len()].clone()
+    };
+    JobSpec::new(source)
+}
+
+/// Runs the load and measures sustained throughput.
+///
+/// # Errors
+///
+/// Propagates daemon boot and transport errors; job-level failures are
+/// counted in [`LoadOutcome::job_errors`] instead.
+pub fn run_load(cfg: &LoadConfig) -> Result<LoadOutcome, ServiceError> {
+    // An in-process daemon when no live address was given. Scale quick
+    // keeps scenario cells at CI size.
+    let local_server = match &cfg.addr {
+        Some(_) => None,
+        None => Some(Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                scale: cfg.scale.to_scenarios(),
+                ..ServerConfig::default()
+            },
+        )?),
+    };
+    let addr = match (&cfg.addr, &local_server) {
+        (Some(addr), _) => addr.clone(),
+        (None, Some(server)) => server.local_addr().to_string(),
+        (None, None) => unreachable!(),
+    };
+
+    // Warm-up: one untimed batch covering every warm source.
+    let mut probe = Client::connect(addr.as_str())?;
+    probe.ping()?;
+    let warmup: Vec<JobSpec> = warm_sources(cfg.scale)
+        .into_iter()
+        .map(JobSpec::new)
+        .collect();
+    probe.submit(&warmup)?;
+
+    let started = Instant::now();
+    let per_client: Vec<(usize, usize)> =
+        std::thread::scope(|scope| -> Result<Vec<(usize, usize)>, ServiceError> {
+            let handles: Vec<_> = (0..cfg.clients)
+                .map(|client| {
+                    let addr = addr.clone();
+                    scope.spawn(move || -> Result<(usize, usize), ServiceError> {
+                        let mut conn = Client::connect(addr.as_str())?;
+                        let mut errors = 0;
+                        let mut flagged = 0;
+                        for batch in 0..cfg.batches_per_client {
+                            let jobs: Vec<JobSpec> = (0..cfg.jobs_per_batch)
+                                .map(|j| job_for(cfg.scale, client, batch * cfg.jobs_per_batch + j))
+                                .collect();
+                            for outcome in conn.submit(&jobs)? {
+                                match outcome {
+                                    Ok(result) if result.flagged => flagged += 1,
+                                    Ok(_) => {}
+                                    Err(_) => errors += 1,
+                                }
+                            }
+                        }
+                        Ok((errors, flagged))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread panicked"))
+                .collect()
+        })?;
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    let cache = probe.stats()?;
+    if let Some(server) = local_server {
+        server.shutdown();
+    }
+    let jobs = cfg.total_jobs();
+    Ok(LoadOutcome {
+        clients: cfg.clients,
+        batches: cfg.clients * cfg.batches_per_client,
+        jobs,
+        wall_secs,
+        queries_per_sec: jobs as f64 / wall_secs.max(1e-9),
+        job_errors: per_client.iter().map(|(e, _)| e).sum(),
+        flagged: per_client.iter().map(|(_, f)| f).sum(),
+        cache,
+    })
+}
+
+/// Renders the `BENCH_service.json` document.
+pub fn render_artifact(outcome: &LoadOutcome, cfg: &LoadConfig) -> String {
+    JsonObj::new()
+        .str("schema", "arbodom-service/v1")
+        .str("scale", cfg.scale.to_scenarios().label())
+        .str(
+            "target",
+            cfg.addr.as_deref().unwrap_or("in-process ephemeral daemon"),
+        )
+        .int("clients", outcome.clients)
+        .int("batches", outcome.batches)
+        .int("jobs_per_batch", cfg.jobs_per_batch)
+        .int("jobs", outcome.jobs)
+        .num("wall_secs", outcome.wall_secs)
+        .num("queries_per_sec", outcome.queries_per_sec)
+        .int("job_errors", outcome.job_errors)
+        .int("flagged", outcome.flagged)
+        .raw(
+            "cache",
+            JsonObj::new()
+                .u64("entries", outcome.cache.entries)
+                .u64("capacity", outcome.cache.capacity)
+                .u64("hits", outcome.cache.hits)
+                .u64("misses", outcome.cache.misses)
+                .u64("evictions", outcome.cache.evictions)
+                .render(),
+        )
+        .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_mix_exercises_every_warm_source_and_cold_seeds() {
+        let sources: Vec<GraphSource> = (0..16)
+            .map(|i| job_for(Scale::Quick, 0, i).source)
+            .collect();
+        for warm in warm_sources(Scale::Quick) {
+            assert!(
+                sources.contains(&warm),
+                "warm source {warm:?} never enters the mix"
+            );
+        }
+        assert_eq!(
+            sources
+                .iter()
+                .filter(|s| !warm_sources(Scale::Quick).contains(s))
+                .count(),
+            4,
+            "one cold source per block of four"
+        );
+    }
+
+    #[test]
+    fn artifact_shape_is_stable() {
+        let cfg = LoadConfig::for_scale(Scale::Quick);
+        let outcome = LoadOutcome {
+            clients: 2,
+            batches: 8,
+            jobs: 64,
+            wall_secs: 0.5,
+            queries_per_sec: 128.0,
+            job_errors: 0,
+            flagged: 0,
+            cache: CacheStats {
+                entries: 5,
+                capacity: 64,
+                hits: 50,
+                misses: 14,
+                evictions: 0,
+            },
+        };
+        let json = render_artifact(&outcome, &cfg);
+        assert!(json.starts_with("{\"schema\":\"arbodom-service/v1\""));
+        assert!(json.contains("\"queries_per_sec\":128"));
+        assert!(json.contains("\"hits\":50"));
+    }
+}

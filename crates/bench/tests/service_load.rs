@@ -1,0 +1,35 @@
+//! The quick-mode load generator against an in-process daemon must
+//! record nonzero sustained throughput with a clean bill of health —
+//! the test behind the `BENCH_service.json` acceptance criterion.
+
+use arbodom_bench::service_load::{render_artifact, run_load, LoadConfig};
+use arbodom_bench::Scale;
+
+#[test]
+fn quick_load_run_sustains_nonzero_qps_without_errors() {
+    let cfg = LoadConfig {
+        // Trimmed quick shape so the test stays fast in debug builds.
+        clients: 2,
+        batches_per_client: 2,
+        jobs_per_batch: 6,
+        ..LoadConfig::for_scale(Scale::Quick)
+    };
+    let outcome = run_load(&cfg).expect("load run completes");
+    assert_eq!(outcome.jobs, 24);
+    assert_eq!(outcome.job_errors, 0, "no job may fail");
+    assert_eq!(outcome.flagged, 0, "no job may trip quality accounting");
+    assert!(
+        outcome.queries_per_sec > 0.0,
+        "sustained throughput must be nonzero, got {}",
+        outcome.queries_per_sec
+    );
+    assert!(
+        outcome.cache.hits > 0,
+        "the warm job mix must hit the graph cache, stats {:?}",
+        outcome.cache
+    );
+    let json = render_artifact(&outcome, &cfg);
+    assert!(json.contains("\"schema\":\"arbodom-service/v1\""));
+    assert!(json.contains("\"queries_per_sec\":"));
+    assert!(!json.contains("\"queries_per_sec\":0,"));
+}

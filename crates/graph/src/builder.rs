@@ -30,13 +30,34 @@ pub struct GraphBuilder {
 
 impl GraphBuilder {
     /// Creates a builder for a graph with `n` nodes, all of weight 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` exceeds the `u32` node-id limit. Callers that must
+    /// never panic on untrusted input (the `arbodomd` service ingestion
+    /// path, [`crate::io::read_edge_list`]) use [`GraphBuilder::try_new`].
     pub fn new(n: usize) -> Self {
-        assert!(n <= u32::MAX as usize, "graphs are limited to u32 node ids");
-        GraphBuilder {
+        Self::try_new(n).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a builder for a graph with `n` nodes, all of weight 1,
+    /// rejecting sizes beyond the `u32` node-id space instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidParameter`] when `n > u32::MAX`.
+    pub fn try_new(n: usize) -> Result<Self> {
+        if n > u32::MAX as usize {
+            return Err(GraphError::InvalidParameter(format!(
+                "graphs are limited to u32 node ids, got n = {n}"
+            )));
+        }
+        Ok(GraphBuilder {
             n,
             edges: Vec::new(),
             weights: vec![1; n],
-        }
+        })
     }
 
     /// Number of nodes the built graph will have.
@@ -138,6 +159,15 @@ impl GraphBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn try_new_rejects_oversized_graphs_without_panicking() {
+        let err = GraphBuilder::try_new(u32::MAX as usize + 1).unwrap_err();
+        assert!(matches!(err, GraphError::InvalidParameter(_)), "{err:?}");
+        assert!(err.to_string().contains("u32"));
+        // The boundary itself is fine.
+        assert_eq!(GraphBuilder::try_new(0).unwrap().n(), 0);
+    }
 
     #[test]
     fn builder_rejects_bad_input() {

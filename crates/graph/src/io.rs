@@ -67,7 +67,7 @@ pub fn read_edge_list(reader: impl BufRead) -> Result<Graph> {
         .ok_or_else(|| bad("missing m"))?
         .parse()
         .map_err(|_| bad("m is not a number"))?;
-    let mut b = GraphBuilder::new(n);
+    let mut b = GraphBuilder::try_new(n)?;
     for _ in 0..m {
         let line = lines
             .next()
@@ -89,12 +89,30 @@ pub fn read_edge_list(reader: impl BufRead) -> Result<Graph> {
     if g.m() != m {
         return Err(bad("duplicate edges in input"));
     }
-    // Optional weight line.
+    // Optional weight line. The reader accepts exactly what the writer
+    // produces: at most one weights line, with exactly `n` entries, only
+    // on a non-unit-weighted graph — anything else is trailing garbage
+    // and rejected so a truncated or concatenated file can never be
+    // silently mis-read.
     if let Some(line) = lines.next() {
         let line = line?;
         let weights: std::result::Result<Vec<u64>, _> =
             line.split_whitespace().map(str::parse).collect();
         let weights = weights.map_err(|_| bad("weight is not a number"))?;
+        if weights.len() != n {
+            return Err(bad(&format!(
+                "weights line has {} entries, expected n = {n}",
+                weights.len()
+            )));
+        }
+        if weights.iter().all(|&w| w == 1) {
+            return Err(bad(
+                "weights line on a unit-weight graph (the writer omits it)",
+            ));
+        }
+        if lines.next().is_some() {
+            return Err(bad("trailing content after the weights line"));
+        }
         return g.with_weights(weights);
     }
     Ok(g)
@@ -160,6 +178,62 @@ mod tests {
                 read_edge_list(text.as_bytes()).is_err(),
                 "accepted malformed input: {text:?}"
             );
+        }
+    }
+
+    #[test]
+    fn trailing_content_after_weights_rejected() {
+        // Valid weighted file with one extra line: previously the extra
+        // line was silently ignored.
+        let text = "2 1\n0 1\n5 6\n7 8\n";
+        let err = read_edge_list(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::InvalidParameter(_)), "{err:?}");
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn all_ones_weights_line_rejected() {
+        // The writer omits the weights line on unit-weight graphs, so an
+        // all-ones line is not round-trippable input: previously accepted.
+        let text = "2 1\n0 1\n1 1\n";
+        let err = read_edge_list(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::InvalidParameter(_)), "{err:?}");
+        assert!(err.to_string().contains("unit-weight"), "{err}");
+    }
+
+    #[test]
+    fn wrong_weight_count_is_a_typed_invalid_parameter() {
+        // Previously surfaced as GraphError::WeightCount from
+        // Graph::with_weights; the format-level contract is a parse error.
+        for text in ["2 1\n0 1\n1\n", "2 1\n0 1\n2 3 4\n"] {
+            let err = read_edge_list(text.as_bytes()).unwrap_err();
+            assert!(matches!(err, GraphError::InvalidParameter(_)), "{err:?}");
+            assert!(err.to_string().contains("expected n"), "{err}");
+        }
+    }
+
+    #[test]
+    fn oversized_header_is_an_error_not_a_panic() {
+        let text = format!("{} 0\n", u64::from(u32::MAX) + 1);
+        let err = read_edge_list(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::InvalidParameter(_)), "{err:?}");
+    }
+
+    #[test]
+    fn roundtrip_is_bit_identical_including_digest() {
+        use crate::digest::edge_digest;
+        let mut rng = StdRng::seed_from_u64(403);
+        let unit = generators::forest_union(60, 3, &mut rng);
+        let weighted = WeightModel::Uniform { lo: 1, hi: 50 }.assign(&unit, &mut rng);
+        for g in [unit, weighted] {
+            let mut first = Vec::new();
+            write_edge_list(&g, &mut first).unwrap();
+            let back = read_edge_list(first.as_slice()).unwrap();
+            assert_eq!(back, g);
+            assert_eq!(edge_digest(&back), edge_digest(&g));
+            let mut second = Vec::new();
+            write_edge_list(&back, &mut second).unwrap();
+            assert_eq!(first, second, "write → read → write must be bit-identical");
         }
     }
 }

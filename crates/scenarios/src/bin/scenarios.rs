@@ -102,27 +102,33 @@ fn run(args: &[String]) {
     }
     let cfg = RunConfig { scale, threads };
     let specs = registry();
-    if !specs.iter().any(|s| s.matches(&filter)) {
-        eprintln!("no scenario matches `{filter}` — try `scenarios list`");
-        std::process::exit(2);
+    let matched_cells: usize = specs
+        .iter()
+        .filter(|s| s.matches(&filter))
+        .map(|s| s.cell_count(scale))
+        .sum();
+    if matched_cells > 0 {
+        println!(
+            "running {matched_cells} cells at {} scale on {threads} thread(s)\n",
+            scale.label(),
+        );
     }
-    println!(
-        "running {} cells at {} scale on {} thread(s)\n",
-        specs
-            .iter()
-            .filter(|s| s.matches(&filter))
-            .map(|s| s.cell_count(scale))
-            .sum::<usize>(),
-        scale.label(),
-        threads,
-    );
     let t0 = std::time::Instant::now();
+    // A zero-match filter is a hard error from the runner itself
+    // (`RunError::NoMatch`), so the artifact is never clobbered by an
+    // empty-but-valid report.
     let reports = run_matching(&specs, &filter, &cfg, |spec| {
         println!("  {:<22} {:>3} cells … ", spec.name, spec.cell_count(scale));
     })
-    .unwrap_or_else(|e| {
-        eprintln!("scenario run failed: {e}");
-        std::process::exit(1);
+    .unwrap_or_else(|e| match e {
+        arbodom_scenarios::RunError::NoMatch(_) => {
+            eprintln!("{e} — try `scenarios list`");
+            std::process::exit(2);
+        }
+        other => {
+            eprintln!("scenario run failed: {other}");
+            std::process::exit(1);
+        }
     });
     println!("\n{}", summary_table(&reports));
     println!(

@@ -45,6 +45,10 @@ pub enum RunError {
     Graph(arbodom_graph::GraphError),
     /// An algorithm or the simulator failed.
     Core(arbodom_core::CoreError),
+    /// A filter matched zero scenarios. Surfaced as a hard error so no
+    /// caller can run an empty matrix and silently clobber the report
+    /// artifact with an empty-but-valid document.
+    NoMatch(String),
 }
 
 impl std::fmt::Display for RunError {
@@ -52,6 +56,7 @@ impl std::fmt::Display for RunError {
         match self {
             RunError::Graph(e) => write!(f, "graph generation failed: {e}"),
             RunError::Core(e) => write!(f, "algorithm run failed: {e}"),
+            RunError::NoMatch(filter) => write!(f, "no scenarios matched `{filter}`"),
         }
     }
 }
@@ -172,7 +177,9 @@ pub fn run_first_cell(spec: &ScenarioSpec, cfg: &RunConfig) -> Result<CellReport
 ///
 /// # Errors
 ///
-/// Returns the first scenario failure.
+/// Returns [`RunError::NoMatch`] when `filter` selects zero scenarios
+/// (an empty matrix must never silently produce an empty artifact), and
+/// otherwise the first scenario failure.
 pub fn run_matching(
     specs: &[ScenarioSpec],
     filter: &str,
@@ -183,6 +190,9 @@ pub fn run_matching(
     for spec in specs.iter().filter(|s| s.matches(filter)) {
         progress(spec);
         reports.push(run_scenario(spec, cfg)?);
+    }
+    if reports.is_empty() {
+        return Err(RunError::NoMatch(filter.to_string()));
     }
     Ok(reports)
 }
@@ -261,4 +271,29 @@ fn run_cell(
         budget_violations: telemetry.budget_violations,
         dropped_messages: telemetry.dropped_messages,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry;
+
+    #[test]
+    fn zero_match_filter_is_a_hard_error() {
+        let specs = registry();
+        let err = run_matching(
+            &specs,
+            "no-such-scenario-xyz",
+            &RunConfig::default(),
+            |_| {},
+        )
+        .unwrap_err();
+        assert!(matches!(err, RunError::NoMatch(_)), "{err:?}");
+        assert!(err.to_string().contains("no scenarios matched"), "{err}");
+        // An empty registry is an empty matrix too, whatever the filter.
+        assert!(matches!(
+            run_matching(&[], "", &RunConfig::default(), |_| {}),
+            Err(RunError::NoMatch(_))
+        ));
+    }
 }

@@ -1,0 +1,288 @@
+//! The `arbodom-client` CLI: drive a running `arbodomd`.
+//!
+//! ```text
+//! arbodom-client ping     [--addr A]
+//! arbodom-client stats    [--addr A]
+//! arbodom-client shutdown [--addr A]
+//! arbodom-client run      [--addr A] [--members] [--alg SPEC] [--seed S]
+//!                         (--edge-list FILE
+//!                          | --generator FAMILY --n N [--gen-seed S]
+//!                          | --cell NAME SIZE WEIGHT LOSS SEED)
+//! ```
+//!
+//! `FAMILY` ∈ `random-tree | forest-union:<α> | gnp:<avg-degree> |
+//! planar:<p> | ktree:<k>`; `SPEC` ∈ `weighted:<ε> | unknown-delta:<ε> |
+//! randomized:<t> | general:<k>`.
+
+use arbodom_scenarios::{Algorithm, Family};
+use arbodom_service::cliargs::{parsed, required};
+use arbodom_service::{Client, GraphSource, JobSpec};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(String::as_str) else {
+        usage(2)
+    };
+    match command {
+        "ping" => control(&args[1..], |c| {
+            c.ping()?;
+            println!("pong");
+            Ok(())
+        }),
+        "stats" => control(&args[1..], |c| {
+            let s = c.stats()?;
+            println!(
+                "cache: {}/{} entries, {} hits, {} misses, {} evictions",
+                s.entries, s.capacity, s.hits, s.misses, s.evictions
+            );
+            Ok(())
+        }),
+        "shutdown" => control(&args[1..], |c| {
+            c.shutdown_server()?;
+            println!("daemon shutting down");
+            Ok(())
+        }),
+        "run" => run(&args[1..]),
+        "help" | "--help" => usage(0),
+        other => {
+            eprintln!("unknown command: {other}\n");
+            usage(2);
+        }
+    }
+}
+
+fn control(
+    args: &[String],
+    op: impl FnOnce(&mut Client) -> Result<(), arbodom_service::ServiceError>,
+) {
+    let mut addr = default_addr();
+    let mut it = args.iter().map(String::as_str);
+    while let Some(arg) = it.next() {
+        match arg {
+            "--addr" => addr = required(it.next(), "--addr").to_string(),
+            other => {
+                eprintln!("unknown option: {other}\n");
+                usage(2);
+            }
+        }
+    }
+    let mut client = connect(&addr);
+    if let Err(e) = op(&mut client) {
+        eprintln!("arbodom-client: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(args: &[String]) {
+    let mut addr = default_addr();
+    let mut members = false;
+    let mut algorithm = None;
+    let mut seed = 0u64;
+    let mut gen_seed = 42u64;
+    let mut edge_list: Option<String> = None;
+    let mut generator: Option<String> = None;
+    let mut n: Option<u32> = None;
+    let mut cell: Option<(String, u32, u32, u32, u64)> = None;
+    let mut it = args.iter().map(String::as_str);
+    while let Some(arg) = it.next() {
+        match arg {
+            "--addr" => addr = required(it.next(), "--addr").to_string(),
+            "--members" => members = true,
+            "--alg" => algorithm = Some(parse_algorithm(required(it.next(), "--alg"))),
+            "--seed" => seed = parsed(it.next(), "--seed"),
+            "--gen-seed" => gen_seed = parsed(it.next(), "--gen-seed"),
+            "--edge-list" => edge_list = Some(required(it.next(), "--edge-list").to_string()),
+            "--generator" => generator = Some(required(it.next(), "--generator").to_string()),
+            "--n" => n = Some(parsed(it.next(), "--n")),
+            "--cell" => {
+                let name = required(it.next(), "--cell").to_string();
+                cell = Some((
+                    name,
+                    parsed(it.next(), "--cell SIZE"),
+                    parsed(it.next(), "--cell WEIGHT"),
+                    parsed(it.next(), "--cell LOSS"),
+                    parsed(it.next(), "--cell SEED"),
+                ));
+            }
+            other => {
+                eprintln!("unknown option: {other}\n");
+                usage(2);
+            }
+        }
+    }
+    let source = match (edge_list, generator, cell) {
+        (Some(path), None, None) => inline_from_file(&path),
+        (None, Some(family), None) => GraphSource::Generator {
+            family: parse_family(&family),
+            n: n.unwrap_or_else(|| {
+                eprintln!("--generator needs --n\n");
+                usage(2)
+            }),
+            weights: arbodom_graph::weights::WeightModel::Unit,
+            seed: gen_seed,
+        },
+        (None, None, Some((name, size_idx, weight_idx, loss_idx, seed_idx))) => {
+            GraphSource::ScenarioCell {
+                name,
+                size_idx,
+                weight_idx,
+                loss_idx,
+                seed_idx,
+            }
+        }
+        _ => {
+            eprintln!("run needs exactly one of --edge-list, --generator, --cell\n");
+            usage(2);
+        }
+    };
+    let job = JobSpec {
+        source,
+        algorithm,
+        seed,
+        return_members: members,
+    };
+    let mut client = connect(&addr);
+    let replies = client
+        .submit(std::slice::from_ref(&job))
+        .unwrap_or_else(|e| {
+            eprintln!("arbodom-client: {e}");
+            std::process::exit(1);
+        });
+    match &replies[0] {
+        Err(msg) => {
+            eprintln!("job failed: {msg}");
+            std::process::exit(1);
+        }
+        Ok(r) => {
+            println!(
+                "n={} m={} Δ={} α={} digest={:#018x}",
+                r.n, r.m, r.max_degree, r.alpha, r.graph_digest
+            );
+            println!(
+                "ds: size={} weight={} valid={} undominated={}",
+                r.ds_size, r.ds_weight, r.valid, r.undominated
+            );
+            println!(
+                "quality: ratio={:.4} vs {} reference {:.2} (guarantee {:.2}, within={}, flagged={})",
+                r.ratio,
+                r.reference.label(),
+                r.opt_estimate,
+                r.guarantee,
+                r.within_guarantee,
+                r.flagged
+            );
+            println!(
+                "rounds: {}/{} budget; messages={} bits={} max_msg_bits={} budget_violations={} dropped={}",
+                r.rounds,
+                r.round_budget,
+                r.messages,
+                r.total_bits,
+                r.max_message_bits,
+                r.budget_violations,
+                r.dropped_messages
+            );
+            if let Some(ms) = &r.members {
+                println!(
+                    "members: {}",
+                    ms.iter().map(u32::to_string).collect::<Vec<_>>().join(" ")
+                );
+            }
+        }
+    }
+}
+
+fn inline_from_file(path: &str) -> GraphSource {
+    let file = std::fs::File::open(path).unwrap_or_else(|e| {
+        eprintln!("cannot open {path}: {e}");
+        std::process::exit(1);
+    });
+    // The strict reader: malformed files are rejected client-side with
+    // the same typed errors the daemon would produce.
+    let g = arbodom_graph::io::read_edge_list(std::io::BufReader::new(file)).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(1);
+    });
+    GraphSource::Inline {
+        n: g.n() as u32,
+        edges: g.edges().map(|(u, v)| (u.get(), v.get())).collect(),
+        weights: (!g.is_unit_weighted()).then(|| g.weights().to_vec()),
+    }
+}
+
+fn parse_family(text: &str) -> Family {
+    let (kind, param) = text.split_once(':').unwrap_or((text, ""));
+    let num = |what: &str| -> f64 {
+        param.parse().unwrap_or_else(|_| {
+            eprintln!("family `{kind}` needs a numeric {what}, e.g. `{kind}:2`\n");
+            usage(2)
+        })
+    };
+    match kind {
+        "random-tree" => Family::RandomTree,
+        "forest-union" => Family::ForestUnion {
+            alpha: num("α") as usize,
+            keep: 1.0,
+        },
+        "gnp" => Family::Gnp {
+            avg_degree: num("average degree"),
+        },
+        "planar" => Family::RandomPlanar { diag_p: num("p") },
+        "ktree" => Family::KTree {
+            k: num("k") as usize,
+        },
+        other => {
+            eprintln!("unknown family: {other}\n");
+            usage(2);
+        }
+    }
+}
+
+fn parse_algorithm(text: &str) -> Algorithm {
+    let (kind, param) = text.split_once(':').unwrap_or((text, ""));
+    let num = |what: &str| -> f64 {
+        param.parse().unwrap_or_else(|_| {
+            eprintln!("algorithm `{kind}` needs a numeric {what}, e.g. `{kind}:0.2`\n");
+            usage(2)
+        })
+    };
+    match kind {
+        "weighted" => Algorithm::Weighted { eps: num("ε") },
+        "unknown-delta" => Algorithm::UnknownDelta { eps: num("ε") },
+        "randomized" => Algorithm::Randomized {
+            t: num("t") as usize,
+        },
+        "general" => Algorithm::General {
+            k: num("k") as usize,
+        },
+        other => {
+            eprintln!("unknown algorithm: {other}\n");
+            usage(2);
+        }
+    }
+}
+
+fn connect(addr: &str) -> Client {
+    Client::connect(addr).unwrap_or_else(|e| {
+        eprintln!("arbodom-client: cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn default_addr() -> String {
+    std::env::var("ARBODOMD_ADDR").unwrap_or_else(|_| "127.0.0.1:4310".to_string())
+}
+
+fn usage(code: i32) -> ! {
+    eprintln!(
+        "arbodom-client — query a running arbodomd\n\n\
+         USAGE:\n  \
+         arbodom-client ping|stats|shutdown [--addr A]\n  \
+         arbodom-client run [--addr A] [--members] [--alg SPEC] [--seed S]\n      \
+         (--edge-list FILE | --generator FAMILY --n N [--gen-seed S]\n       \
+         | --cell NAME SIZE_IDX WEIGHT_IDX LOSS_IDX SEED_IDX)\n\n\
+         FAMILY: random-tree | forest-union:<α> | gnp:<deg> | planar:<p> | ktree:<k>\n\
+         SPEC:   weighted:<ε> | unknown-delta:<ε> | randomized:<t> | general:<k>\n\
+         The default address is 127.0.0.1:4310 (override with --addr or ARBODOMD_ADDR)."
+    );
+    std::process::exit(code)
+}

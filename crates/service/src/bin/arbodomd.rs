@@ -1,0 +1,68 @@
+//! The `arbodomd` daemon binary.
+//!
+//! ```text
+//! arbodomd [--addr HOST:PORT] [--workers N] [--sim-threads N]
+//!          [--cache N] [--quick|--full]
+//! ```
+//!
+//! Runs until a client sends a `Shutdown` request (`arbodom-client
+//! shutdown`). `--quick` resolves scenario-cell jobs against the quick
+//! size sweeps (the CI convention, also via `ARBODOM_QUICK=1`).
+
+use arbodom_scenarios::Scale;
+use arbodom_service::cliargs::{parsed, required};
+use arbodom_service::{Server, ServerConfig};
+
+fn main() {
+    let mut addr = "127.0.0.1:4310".to_string();
+    let mut cfg = ServerConfig {
+        scale: Scale::from_env(),
+        ..ServerConfig::default()
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter().map(String::as_str);
+    while let Some(arg) = it.next() {
+        match arg {
+            "--addr" => addr = required(it.next(), "--addr").to_string(),
+            "--workers" => cfg.workers = parsed(it.next(), "--workers"),
+            "--sim-threads" => cfg.sim_threads = parsed(it.next(), "--sim-threads"),
+            "--cache" => cfg.cache_capacity = parsed(it.next(), "--cache"),
+            "--quick" => cfg.scale = Scale::Quick,
+            "--full" => cfg.scale = Scale::Full,
+            "--help" | "help" => usage(0),
+            other => {
+                eprintln!("unknown option: {other}\n");
+                usage(2);
+            }
+        }
+    }
+    let server = Server::bind(&addr, cfg).unwrap_or_else(|e| {
+        eprintln!("arbodomd: cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "arbodomd listening on {} ({} workers, {} sim thread(s), cache {}, {} scale)",
+        server.local_addr(),
+        cfg.workers,
+        cfg.sim_threads,
+        cfg.cache_capacity,
+        cfg.scale.label(),
+    );
+    server.wait();
+    println!("arbodomd: shutdown complete");
+}
+
+fn usage(code: i32) -> ! {
+    eprintln!(
+        "arbodomd — threaded batch-query dominating-set daemon\n\n\
+         USAGE:\n  arbodomd [OPTIONS]\n\n\
+         OPTIONS:\n  \
+         --addr HOST:PORT   bind address (default 127.0.0.1:4310; port 0 = ephemeral)\n  \
+         --workers N        scheduler worker threads (default 4)\n  \
+         --sim-threads N    simulator threads per job (default 1; results identical)\n  \
+         --cache N          graph-cache capacity in instances (default 64)\n  \
+         --quick            resolve scenario cells at quick scale (CI; also ARBODOM_QUICK=1)\n  \
+         --full             resolve scenario cells at full scale (default)"
+    );
+    std::process::exit(code)
+}

@@ -1,0 +1,313 @@
+//! The daemon's graph cache: LRU over built instances, keyed by
+//! [`arbodom_graph::digest::edge_digest`] folded with the instance's
+//! metadata (α, planted set).
+//!
+//! Building a graph (generator run, weight assignment, CSR freeze,
+//! degeneracy ordering for the α fallback) dominates the cost of small
+//! queries, so the daemon caches whole built instances. Two maps make a
+//! lookup cheap for every source kind:
+//!
+//! * `by_instance` — the canonical store,
+//!   `instance key → Arc<CachedGraph>`, with LRU eviction at `capacity`.
+//!   The key is the edge digest folded with α and the planted set:
+//!   two sources describing the same edge structure but carrying
+//!   different metadata (a `PlantedDs` generator vs the same edges
+//!   shipped inline) must **not** converge, or a job's reported
+//!   reference/guarantee would depend on what ran before it.
+//! * `by_source` — a spec index, hash of the encoded
+//!   [`crate::protocol::GraphSource`] `→ instance key`, so a repeated
+//!   generator/scenario query resolves without rebuilding (the digest is
+//!   only computable *after* construction).
+//!
+//! Lookups bump recency; eviction removes the least-recently-used
+//! instance along with every spec key pointing at it. The cache never
+//! stores failures: a source that fails to build is re-attempted (and
+//! re-fails) on every query. Every hit is verified against the stored
+//! encoded source bytes and the stored instance metadata, so hash
+//! collisions of either 64-bit key degrade to a rebuild — never to a
+//! wrong or state-dependent answer.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use arbodom_graph::{Graph, NodeId};
+
+use crate::protocol::CacheStats;
+
+/// A built instance, shareable across worker threads.
+#[derive(Debug)]
+pub struct CachedGraph {
+    /// The built (and weighted) graph.
+    pub graph: Graph,
+    /// The planted dominating set, when the family provides one.
+    pub planted: Option<Vec<NodeId>>,
+    /// The arboricity parameter queries on this graph run with (the
+    /// family's constructive bound, or the measured degeneracy).
+    pub alpha: usize,
+    /// The instance's edge digest — the structural half of its cache
+    /// identity (α and the planted set are the other half).
+    pub digest: u64,
+}
+
+impl CachedGraph {
+    /// Whether two built instances are interchangeable: same structure
+    /// *and* same accounting metadata.
+    fn same_instance(&self, other: &CachedGraph) -> bool {
+        self.digest == other.digest && self.alpha == other.alpha && self.planted == other.planted
+    }
+}
+
+/// The canonical store key: the edge digest folded with α and the
+/// planted set, so same-structure instances with different metadata get
+/// distinct entries.
+fn instance_key(built: &CachedGraph) -> u64 {
+    let mut h = built.digest;
+    let mut fold = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    fold(built.alpha as u64);
+    match &built.planted {
+        None => fold(u64::MAX),
+        Some(set) => {
+            fold(set.len() as u64);
+            for v in set {
+                fold(u64::from(v.get()));
+            }
+        }
+    }
+    h
+}
+
+struct Entry {
+    graph: Arc<CachedGraph>,
+    last_used: u64,
+    /// Spec keys resolving to this instance, removed together on
+    /// eviction.
+    sources: Vec<u64>,
+}
+
+/// What a spec key resolved from and to. The encoded source bytes are
+/// kept so a 64-bit key collision between two distinct sources is
+/// *detected* on lookup (miss + rebuild) instead of silently serving the
+/// wrong graph.
+struct SourceRef {
+    bytes: Vec<u8>,
+    instance: u64,
+}
+
+/// An LRU cache of built graphs. Not internally synchronized — the server
+/// wraps it in a mutex and keeps build work *outside* the lock.
+pub struct GraphCache {
+    capacity: usize,
+    tick: u64,
+    by_instance: HashMap<u64, Entry>,
+    by_source: HashMap<u64, SourceRef>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl GraphCache {
+    /// A cache evicting beyond `capacity` graphs (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        GraphCache {
+            capacity: capacity.max(1),
+            tick: 0,
+            by_instance: HashMap::new(),
+            by_source: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks up the instance a source resolved to earlier, bumping
+    /// recency and the hit counter. `source_bytes` is the encoded source
+    /// the key was derived from: a stored entry only hits when the bytes
+    /// match, so key collisions degrade to a rebuild, never to a wrong
+    /// answer.
+    pub fn lookup(&mut self, source_key: u64, source_bytes: &[u8]) -> Option<Arc<CachedGraph>> {
+        let sref = self.by_source.get(&source_key)?;
+        if sref.bytes != source_bytes {
+            return None; // 64-bit key collision between distinct sources
+        }
+        let instance = sref.instance;
+        let Some(entry) = self.by_instance.get_mut(&instance) else {
+            // The instance was evicted but this spec key survived
+            // (possible only transiently); treat as a miss and drop the
+            // dangler.
+            self.by_source.remove(&source_key);
+            return None;
+        };
+        self.tick += 1;
+        entry.last_used = self.tick;
+        self.hits += 1;
+        Some(Arc::clone(&entry.graph))
+    }
+
+    /// Inserts a freshly built instance under its instance key and the
+    /// source key (+ encoded bytes) that produced it, evicting the
+    /// least-recently-used entry when over capacity. Returns the
+    /// canonical `Arc`: an existing entry with the same instance key
+    /// *and* matching metadata wins, so concurrent duplicate builds
+    /// converge; on the (hash-collision) chance the stored entry is a
+    /// *different* instance, the fresh build is returned uncached so the
+    /// answer is still correct.
+    pub fn insert(
+        &mut self,
+        source_key: u64,
+        source_bytes: Vec<u8>,
+        built: CachedGraph,
+    ) -> Arc<CachedGraph> {
+        self.misses += 1;
+        self.tick += 1;
+        let instance = instance_key(&built);
+        if let Some(existing) = self.by_instance.get(&instance) {
+            if !existing.graph.same_instance(&built) {
+                return Arc::new(built);
+            }
+        }
+        let tick = self.tick;
+        let entry = self.by_instance.entry(instance).or_insert_with(|| Entry {
+            graph: Arc::new(built),
+            last_used: tick,
+            sources: Vec::new(),
+        });
+        entry.last_used = tick;
+        if !entry.sources.contains(&source_key) {
+            entry.sources.push(source_key);
+        }
+        let graph = Arc::clone(&entry.graph);
+        self.by_source.insert(
+            source_key,
+            SourceRef {
+                bytes: source_bytes,
+                instance,
+            },
+        );
+        while self.by_instance.len() > self.capacity {
+            let lru = self
+                .by_instance
+                .iter()
+                .filter(|(k, _)| **k != instance)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            let Some(victim) = lru else { break };
+            if let Some(evicted) = self.by_instance.remove(&victim) {
+                for key in evicted.sources {
+                    self.by_source.remove(&key);
+                }
+                self.evictions += 1;
+            }
+        }
+        graph
+    }
+
+    /// Aggregate counters for the `Stats` request.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            entries: self.by_instance.len() as u64,
+            capacity: self.capacity as u64,
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arbodom_graph::digest::edge_digest;
+    use arbodom_graph::generators;
+
+    fn cached(n: usize) -> CachedGraph {
+        let g = generators::path(n);
+        let digest = edge_digest(&g);
+        CachedGraph {
+            graph: g,
+            planted: None,
+            alpha: 1,
+            digest,
+        }
+    }
+
+    #[test]
+    fn hit_after_insert_and_stats_counting() {
+        let mut cache = GraphCache::new(4);
+        assert!(cache.lookup(11, &[11]).is_none());
+        cache.insert(11, vec![11], cached(5));
+        let hit = cache.lookup(11, &[11]).expect("cached");
+        assert_eq!(hit.graph.n(), 5);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn two_sources_share_one_digest_entry() {
+        let mut cache = GraphCache::new(4);
+        cache.insert(1, vec![1], cached(6));
+        cache.insert(2, vec![2], cached(6));
+        assert_eq!(cache.stats().entries, 1);
+        assert!(cache.lookup(1, &[1]).is_some());
+        assert!(cache.lookup(2, &[2]).is_some());
+    }
+
+    #[test]
+    fn lru_eviction_drops_the_coldest_and_its_source_keys() {
+        let mut cache = GraphCache::new(2);
+        cache.insert(1, vec![1], cached(3));
+        cache.insert(2, vec![2], cached(4));
+        cache.lookup(1, &[1]); // 3-path is now the most recent
+        cache.insert(3, vec![3], cached(5)); // evicts the 4-path
+        assert!(cache.lookup(1, &[1]).is_some());
+        assert!(cache.lookup(3, &[3]).is_some());
+        assert!(
+            cache.lookup(2, &[2]).is_none(),
+            "evicted entry must be gone"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+    }
+
+    #[test]
+    fn same_structure_different_metadata_do_not_converge() {
+        // A planted-generator instance and an inline copy of the same
+        // edges share an edge digest but not α/planted: each must keep
+        // its own entry, or job results would depend on cache state.
+        let mut cache = GraphCache::new(4);
+        let plain = cached(5);
+        let mut with_meta = cached(5);
+        with_meta.alpha = 3;
+        with_meta.planted = Some(vec![NodeId::new(0), NodeId::new(3)]);
+        cache.insert(1, vec![1], plain);
+        let got = cache.insert(2, vec![2], with_meta);
+        assert_eq!(got.alpha, 3, "second insert must keep its own metadata");
+        assert_eq!(cache.stats().entries, 2, "two distinct instances");
+        assert_eq!(cache.lookup(1, &[1]).unwrap().alpha, 1);
+        assert_eq!(cache.lookup(2, &[2]).unwrap().alpha, 3);
+        assert!(cache.lookup(2, &[2]).unwrap().planted.is_some());
+    }
+
+    #[test]
+    fn key_collisions_between_distinct_sources_miss_instead_of_lying() {
+        // Two different encoded sources hashing to the same 64-bit key:
+        // the second must NOT be served the first one's graph.
+        let mut cache = GraphCache::new(4);
+        cache.insert(99, vec![1, 2, 3], cached(5));
+        assert!(
+            cache.lookup(99, &[4, 5, 6]).is_none(),
+            "collision must degrade to a rebuild, not a wrong answer"
+        );
+        // The colliding source rebuilds and takes over the key; the
+        // original source now misses (correctness over retention).
+        cache.insert(99, vec![4, 5, 6], cached(7));
+        assert_eq!(cache.lookup(99, &[4, 5, 6]).unwrap().graph.n(), 7);
+        assert!(cache.lookup(99, &[1, 2, 3]).is_none());
+    }
+}

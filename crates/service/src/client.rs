@@ -1,0 +1,147 @@
+//! Blocking client for `arbodomd` — used by the CLI, the load
+//! generator, and the end-to-end tests.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{
+    decode_payload, read_frame, write_message, CacheStats, JobResult, JobSpec, Request, Response,
+};
+use crate::ServiceError;
+
+/// One connection to a daemon. Requests are strictly sequential per
+/// connection; open several clients for concurrency.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServiceError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream })
+    }
+
+    fn read_response(&mut self) -> Result<Response, ServiceError> {
+        match decode_payload::<Response>(&read_frame(&mut self.stream)?)? {
+            Response::Error(msg) => Err(ServiceError::Remote(msg)),
+            other => Ok(other),
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or an unexpected response.
+    pub fn ping(&mut self) -> Result<(), ServiceError> {
+        write_message(&mut self.stream, &Request::Ping)?;
+        match self.read_response()? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// Fetches the daemon's graph-cache counters.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or an unexpected response.
+    pub fn stats(&mut self) -> Result<CacheStats, ServiceError> {
+        write_message(&mut self.stream, &Request::Stats)?;
+        match self.read_response()? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// Asks the daemon to shut down.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or an unexpected response.
+    pub fn shutdown_server(&mut self) -> Result<(), ServiceError> {
+        write_message(&mut self.stream, &Request::Shutdown)?;
+        match self.read_response()? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("ShuttingDown", &other)),
+        }
+    }
+
+    /// Submits a batch and returns the **raw response frame payloads** in
+    /// arrival order (every `Job` frame, then the `BatchDone` trailer).
+    /// This is the byte stream the determinism tests compare.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or a server-reported connection error.
+    pub fn submit_raw(&mut self, jobs: &[JobSpec]) -> Result<Vec<Vec<u8>>, ServiceError> {
+        write_message(&mut self.stream, &Request::Batch(jobs.to_vec()))?;
+        let mut frames = Vec::new();
+        loop {
+            let payload = read_frame(&mut self.stream)?;
+            let done = match decode_payload::<Response>(&payload)? {
+                Response::Error(msg) => return Err(ServiceError::Remote(msg)),
+                Response::BatchDone { .. } => true,
+                Response::Job { .. } => false,
+                other => return Err(unexpected("Job/BatchDone", &other)),
+            };
+            frames.push(payload);
+            if done {
+                return Ok(frames);
+            }
+        }
+    }
+
+    /// Submits a batch and returns one outcome per job, in submission
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors, a server-reported connection error, or
+    /// a protocol violation (job indices out of order or miscounted).
+    pub fn submit(
+        &mut self,
+        jobs: &[JobSpec],
+    ) -> Result<Vec<Result<JobResult, String>>, ServiceError> {
+        let frames = self.submit_raw(jobs)?;
+        let mut outcomes = Vec::with_capacity(jobs.len());
+        for payload in &frames {
+            match decode_payload::<Response>(payload)? {
+                Response::Job { index, outcome } => {
+                    if index as usize != outcomes.len() {
+                        return Err(ServiceError::Protocol(format!(
+                            "job index {index} arrived out of order"
+                        )));
+                    }
+                    outcomes.push(outcome);
+                }
+                Response::BatchDone { jobs: count } => {
+                    if count as usize != outcomes.len() {
+                        return Err(ServiceError::Protocol(format!(
+                            "batch trailer counts {count} jobs, received {}",
+                            outcomes.len()
+                        )));
+                    }
+                }
+                other => return Err(unexpected("Job/BatchDone", &other)),
+            }
+        }
+        if outcomes.len() != jobs.len() {
+            return Err(ServiceError::Protocol(format!(
+                "submitted {} jobs, received {} replies",
+                jobs.len(),
+                outcomes.len()
+            )));
+        }
+        Ok(outcomes)
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ServiceError {
+    ServiceError::Protocol(format!("expected {wanted}, got {got:?}"))
+}

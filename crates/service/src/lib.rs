@@ -1,0 +1,95 @@
+//! `arbodomd` — the serving layer over the scenario engine.
+//!
+//! Everything below PR 4 was batch: one-shot CLIs building a graph,
+//! running an algorithm, exiting. This crate turns the stack into a
+//! long-running **batch-query daemon**: a std-only threaded TCP server
+//! that amortizes graph construction across queries (an LRU cache keyed
+//! by [`arbodom_graph::digest::edge_digest`]) and fans jobs across a
+//! work-stealing pool driving the thread-capable `run_*_on` simulator
+//! entry points.
+//!
+//! # Service cookbook
+//!
+//! **Run the daemon.**
+//!
+//! ```text
+//! cargo run --release -p arbodom-service --bin arbodomd -- --addr 127.0.0.1:4310 --workers 8
+//! ```
+//!
+//! **Talk to it** with the bundled CLI:
+//!
+//! ```text
+//! arbodom-client ping      --addr 127.0.0.1:4310
+//! arbodom-client run       --addr 127.0.0.1:4310 --generator random-tree --n 1000
+//! arbodom-client run       --addr 127.0.0.1:4310 --edge-list my_graph.txt --members
+//! arbodom-client run       --addr 127.0.0.1:4310 --cell trees-exact 0 0 0 0
+//! arbodom-client stats     --addr 127.0.0.1:4310
+//! arbodom-client shutdown  --addr 127.0.0.1:4310
+//! ```
+//!
+//! **Or programmatically** — boot an in-process daemon on an ephemeral
+//! port and submit a batch:
+//!
+//! ```
+//! use arbodom_service::{Client, GraphSource, JobSpec, Server, ServerConfig};
+//!
+//! let server = Server::bind("127.0.0.1:0", ServerConfig::default())?;
+//! let mut client = Client::connect(server.local_addr())?;
+//! let jobs = vec![JobSpec::new(GraphSource::Inline {
+//!     n: 4,
+//!     edges: vec![(0, 1), (1, 2), (2, 3)],
+//!     weights: None,
+//! })];
+//! let replies = client.submit(&jobs)?;
+//! let result = replies[0].as_ref().expect("job succeeds");
+//! assert!(result.valid && !result.flagged);
+//! server.shutdown();
+//! # Ok::<(), arbodom_service::ServiceError>(())
+//! ```
+//!
+//! # Protocol
+//!
+//! Length-prefixed frames (4-byte little-endian payload length, then the
+//! payload encoded with the CONGEST [`arbodom_congest::Wire`] codecs);
+//! see [`protocol`] for the message grammar. A batch request is answered
+//! with one [`protocol::Response::Job`] frame per job **in submission
+//! order** plus a `BatchDone` trailer, which makes the response stream
+//! byte-deterministic: identical batches yield identical bytes at any
+//! server worker count (the end-to-end tests compare raw frames).
+//!
+//! # Job specs
+//!
+//! A job names a graph ([`GraphSource`]: inline edge list, named
+//! generator + params + seed, or a registered scenario cell), optionally
+//! an algorithm override, a seed, and whether to return the member list.
+//! Results carry the solution, the certified approximation ratio from
+//! [`arbodom_scenarios::quality`] (exact / planted / packing-lb
+//! reference), the round count against the theorem budget, and the full
+//! simulator telemetry.
+//!
+//! # Cache semantics
+//!
+//! Graphs are cached by edge digest with LRU eviction
+//! ([`cache::GraphCache`]); a spec index maps encoded sources to digests
+//! so repeated generator/scenario queries skip construction entirely.
+//! Caching changes *when* work happens, never *what* a job returns —
+//! results are pure functions of the job spec and the server scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod cliargs;
+mod client;
+mod error;
+pub mod jobs;
+pub mod protocol;
+pub mod scheduler;
+mod server;
+
+pub use client::Client;
+pub use error::ServiceError;
+pub use jobs::{execute_job, ExecContext};
+pub use protocol::{CacheStats, GraphSource, JobResult, JobSpec, Request, Response};
+pub use scheduler::Scheduler;
+pub use server::{Server, ServerConfig};

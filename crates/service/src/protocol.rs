@@ -1,0 +1,938 @@
+//! The `arbodomd` wire protocol: framing plus typed requests/responses.
+//!
+//! Every message is one **frame**: a 4-byte little-endian payload length
+//! followed by the payload, which is the [`Wire`] encoding of exactly one
+//! [`Request`] or [`Response`]. The payload codecs are the same varint
+//! helpers the CONGEST simulator meters with ([`arbodom_congest::wire`]),
+//! so the protocol inherits their conformance contract: encodings
+//! round-trip, consume exactly their own bytes, and fail on any strict
+//! prefix (checkable with
+//! [`arbodom_congest::assert_wire_conformance`]).
+//!
+//! A conversation is strictly client-driven: the client writes one
+//! request frame, the server answers with one or more response frames —
+//! [`Response::Pong`]/[`Response::Stats`]/[`Response::ShuttingDown`] for
+//! the control requests, and for a [`Request::Batch`] one
+//! [`Response::Job`] frame **per job in submission order** followed by a
+//! [`Response::BatchDone`] trailer. In-order delivery is what makes the
+//! response byte stream deterministic: identical batches produce
+//! byte-identical response streams at any server worker count.
+
+use arbodom_congest::{
+    get_bool, get_u32, get_u64, get_uvarint, put_bool, put_u32, put_u64, put_uvarint, Wire,
+    WireError,
+};
+use arbodom_graph::weights::WeightModel;
+use arbodom_scenarios::quality::RefKind;
+use arbodom_scenarios::{Algorithm, Family};
+use bytes::BytesMut;
+
+use crate::ServiceError;
+use std::io::{Read, Write};
+
+/// Frame header size: a `u32` little-endian payload length.
+pub const FRAME_HEADER_LEN: usize = 4;
+
+/// Hard cap on a frame payload; larger declared lengths are rejected
+/// before any allocation so a corrupt or hostile header cannot balloon
+/// memory.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Hard cap on jobs per batch.
+pub const MAX_BATCH_JOBS: usize = 10_000;
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Writes one frame: length header plus payload.
+///
+/// # Errors
+///
+/// Propagates I/O errors; rejects payloads above [`MAX_FRAME_LEN`].
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), ServiceError> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(ServiceError::FrameTooLarge(payload.len() as u64));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Reads one frame payload.
+///
+/// # Errors
+///
+/// Returns [`ServiceError::Closed`] on a clean EOF before the header,
+/// [`ServiceError::FrameTooLarge`] for oversized declared lengths, and
+/// I/O errors otherwise (including EOF mid-frame).
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, ServiceError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    let mut got = 0;
+    while got < FRAME_HEADER_LEN {
+        match r.read(&mut header[got..])? {
+            0 if got == 0 => return Err(ServiceError::Closed),
+            0 => {
+                return Err(ServiceError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "eof inside frame header",
+                )))
+            }
+            k => got += k,
+        }
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(ServiceError::FrameTooLarge(len as u64));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// Encodes one message into a standalone payload buffer.
+pub fn encode_payload<M: Wire>(msg: &M) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    msg.encode(&mut buf);
+    buf.to_vec()
+}
+
+/// Decodes one message from a payload, requiring full consumption.
+///
+/// # Errors
+///
+/// Returns [`ServiceError::Wire`] on malformed bytes and
+/// [`ServiceError::Protocol`] when trailing bytes remain (a desynced or
+/// corrupted stream).
+pub fn decode_payload<M: Wire>(payload: &[u8]) -> Result<M, ServiceError> {
+    let mut slice = payload;
+    let msg = M::decode(&mut slice)?;
+    if !slice.is_empty() {
+        return Err(ServiceError::Protocol(format!(
+            "{} trailing bytes after message",
+            slice.len()
+        )));
+    }
+    Ok(msg)
+}
+
+/// Writes one message as a frame.
+///
+/// # Errors
+///
+/// Propagates framing errors.
+pub fn write_message<M: Wire>(w: &mut impl Write, msg: &M) -> Result<(), ServiceError> {
+    write_frame(w, &encode_payload(msg))
+}
+
+/// Reads one message from a frame.
+///
+/// # Errors
+///
+/// Propagates framing and decoding errors.
+pub fn read_message<M: Wire>(r: &mut impl Read) -> Result<M, ServiceError> {
+    decode_payload(&read_frame(r)?)
+}
+
+// ---------------------------------------------------------------------------
+// Scalar helpers over the congest codecs
+// ---------------------------------------------------------------------------
+
+fn put_f64(buf: &mut BytesMut, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+fn get_f64(buf: &mut &[u8]) -> Result<f64, WireError> {
+    Ok(f64::from_bits(get_u64(buf)?))
+}
+
+fn put_usize(buf: &mut BytesMut, v: usize) {
+    put_uvarint(buf, v as u64);
+}
+
+fn get_usize(buf: &mut &[u8]) -> Result<usize, WireError> {
+    usize::try_from(get_uvarint(buf)?).map_err(|_| WireError::Invalid("usize out of range"))
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    put_usize(buf, s.len());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn get_string(buf: &mut &[u8]) -> Result<String, WireError> {
+    let len = get_usize(buf)?;
+    if len > buf.len() {
+        return Err(WireError::Truncated);
+    }
+    let (head, tail) = buf.split_at(len);
+    let s = std::str::from_utf8(head)
+        .map_err(|_| WireError::Invalid("string is not UTF-8"))?
+        .to_string();
+    *buf = tail;
+    Ok(s)
+}
+
+/// Guards a declared sequence length against the remaining buffer so a
+/// corrupt count cannot trigger a huge allocation: every encoded element
+/// occupies at least one byte.
+fn get_seq_len(buf: &mut &[u8]) -> Result<usize, WireError> {
+    let len = get_usize(buf)?;
+    if len > buf.len() {
+        return Err(WireError::Truncated);
+    }
+    Ok(len)
+}
+
+// ---------------------------------------------------------------------------
+// Foreign enums (orphan rule: encode through helpers, not `Wire` impls)
+// ---------------------------------------------------------------------------
+
+fn put_weight_model(buf: &mut BytesMut, m: &WeightModel) {
+    match m {
+        WeightModel::Unit => buf.extend_from_slice(&[0]),
+        WeightModel::Uniform { lo, hi } => {
+            buf.extend_from_slice(&[1]);
+            put_u64(buf, *lo);
+            put_u64(buf, *hi);
+        }
+        WeightModel::Exponential { max_exp } => {
+            buf.extend_from_slice(&[2]);
+            put_u32(buf, *max_exp);
+        }
+        WeightModel::DegreeCorrelated => buf.extend_from_slice(&[3]),
+        WeightModel::InverseDegree => buf.extend_from_slice(&[4]),
+        _ => unreachable!("non-exhaustive WeightModel variant without a wire tag"),
+    }
+}
+
+fn get_weight_model(buf: &mut &[u8]) -> Result<WeightModel, WireError> {
+    match get_tag(buf)? {
+        0 => Ok(WeightModel::Unit),
+        1 => Ok(WeightModel::Uniform {
+            lo: get_u64(buf)?,
+            hi: get_u64(buf)?,
+        }),
+        2 => Ok(WeightModel::Exponential {
+            max_exp: get_u32(buf)?,
+        }),
+        3 => Ok(WeightModel::DegreeCorrelated),
+        4 => Ok(WeightModel::InverseDegree),
+        _ => Err(WireError::Invalid("unknown weight-model tag")),
+    }
+}
+
+fn put_family(buf: &mut BytesMut, f: &Family) {
+    match f {
+        Family::ForestUnion { alpha, keep } => {
+            buf.extend_from_slice(&[0]);
+            put_usize(buf, *alpha);
+            put_f64(buf, *keep);
+        }
+        Family::PrefAttach { m_per_node } => {
+            buf.extend_from_slice(&[1]);
+            put_usize(buf, *m_per_node);
+        }
+        Family::PlantedDs {
+            k_per_mille,
+            extra_per_node,
+        } => {
+            buf.extend_from_slice(&[2]);
+            put_usize(buf, *k_per_mille);
+            put_usize(buf, *extra_per_node);
+        }
+        Family::Grid2d { torus } => {
+            buf.extend_from_slice(&[3]);
+            put_bool(buf, *torus);
+        }
+        Family::Gnp { avg_degree } => {
+            buf.extend_from_slice(&[4]);
+            put_f64(buf, *avg_degree);
+        }
+        Family::RandomTree => buf.extend_from_slice(&[5]),
+        Family::RandomPlanar { diag_p } => {
+            buf.extend_from_slice(&[6]);
+            put_f64(buf, *diag_p);
+        }
+        Family::KTree { k } => {
+            buf.extend_from_slice(&[7]);
+            put_usize(buf, *k);
+        }
+        Family::PowerLawCapped { exponent, cap } => {
+            buf.extend_from_slice(&[8]);
+            put_f64(buf, *exponent);
+            put_usize(buf, *cap);
+        }
+        Family::UnitDisk { avg_degree } => {
+            buf.extend_from_slice(&[9]);
+            put_f64(buf, *avg_degree);
+        }
+    }
+}
+
+fn get_family(buf: &mut &[u8]) -> Result<Family, WireError> {
+    match get_tag(buf)? {
+        0 => Ok(Family::ForestUnion {
+            alpha: get_usize(buf)?,
+            keep: get_f64(buf)?,
+        }),
+        1 => Ok(Family::PrefAttach {
+            m_per_node: get_usize(buf)?,
+        }),
+        2 => Ok(Family::PlantedDs {
+            k_per_mille: get_usize(buf)?,
+            extra_per_node: get_usize(buf)?,
+        }),
+        3 => Ok(Family::Grid2d {
+            torus: get_bool(buf)?,
+        }),
+        4 => Ok(Family::Gnp {
+            avg_degree: get_f64(buf)?,
+        }),
+        5 => Ok(Family::RandomTree),
+        6 => Ok(Family::RandomPlanar {
+            diag_p: get_f64(buf)?,
+        }),
+        7 => Ok(Family::KTree { k: get_usize(buf)? }),
+        8 => Ok(Family::PowerLawCapped {
+            exponent: get_f64(buf)?,
+            cap: get_usize(buf)?,
+        }),
+        9 => Ok(Family::UnitDisk {
+            avg_degree: get_f64(buf)?,
+        }),
+        _ => Err(WireError::Invalid("unknown family tag")),
+    }
+}
+
+fn put_algorithm(buf: &mut BytesMut, a: &Algorithm) {
+    match a {
+        Algorithm::Weighted { eps } => {
+            buf.extend_from_slice(&[0]);
+            put_f64(buf, *eps);
+        }
+        Algorithm::UnknownDelta { eps } => {
+            buf.extend_from_slice(&[1]);
+            put_f64(buf, *eps);
+        }
+        Algorithm::Randomized { t } => {
+            buf.extend_from_slice(&[2]);
+            put_usize(buf, *t);
+        }
+        Algorithm::General { k } => {
+            buf.extend_from_slice(&[3]);
+            put_usize(buf, *k);
+        }
+    }
+}
+
+fn get_algorithm(buf: &mut &[u8]) -> Result<Algorithm, WireError> {
+    match get_tag(buf)? {
+        0 => Ok(Algorithm::Weighted { eps: get_f64(buf)? }),
+        1 => Ok(Algorithm::UnknownDelta { eps: get_f64(buf)? }),
+        2 => Ok(Algorithm::Randomized { t: get_usize(buf)? }),
+        3 => Ok(Algorithm::General { k: get_usize(buf)? }),
+        _ => Err(WireError::Invalid("unknown algorithm tag")),
+    }
+}
+
+fn put_ref_kind(buf: &mut BytesMut, r: RefKind) {
+    buf.extend_from_slice(&[match r {
+        RefKind::Exact => 0,
+        RefKind::Planted => 1,
+        RefKind::PackingLb => 2,
+    }]);
+}
+
+fn get_ref_kind(buf: &mut &[u8]) -> Result<RefKind, WireError> {
+    match get_tag(buf)? {
+        0 => Ok(RefKind::Exact),
+        1 => Ok(RefKind::Planted),
+        2 => Ok(RefKind::PackingLb),
+        _ => Err(WireError::Invalid("unknown reference-kind tag")),
+    }
+}
+
+fn get_tag(buf: &mut &[u8]) -> Result<u8, WireError> {
+    if buf.is_empty() {
+        return Err(WireError::Truncated);
+    }
+    let (tag, tail) = buf.split_first().expect("non-empty");
+    *buf = tail;
+    Ok(*tag)
+}
+
+// ---------------------------------------------------------------------------
+// Job specs
+// ---------------------------------------------------------------------------
+
+/// Where a job's graph comes from — the three ingestion paths of the
+/// daemon.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GraphSource {
+    /// An explicit edge list shipped in the request.
+    Inline {
+        /// Number of nodes.
+        n: u32,
+        /// Undirected edges as `(u, v)` pairs.
+        edges: Vec<(u32, u32)>,
+        /// Node weights (`None` = all weight 1).
+        weights: Option<Vec<u64>>,
+    },
+    /// A named generator run server-side: repeated queries with the same
+    /// parameters and seed hit the graph cache.
+    Generator {
+        /// The graph family with its parameters.
+        family: Family,
+        /// Target node count.
+        n: u32,
+        /// Node-weight model applied after generation.
+        weights: WeightModel,
+        /// Structural RNG seed.
+        seed: u64,
+    },
+    /// One cell of a registered scenario, addressed exactly as the matrix
+    /// runner addresses it: the instance (graph, weights, loss, seed) is
+    /// reproduced bit-for-bit via the scenario's derived cell seed.
+    ScenarioCell {
+        /// Registry name of the scenario.
+        name: String,
+        /// Index into the scenario's size sweep (at the server's scale).
+        size_idx: u32,
+        /// Index into the weight-model sweep.
+        weight_idx: u32,
+        /// Index into the loss sweep.
+        loss_idx: u32,
+        /// Seed replica index.
+        seed_idx: u64,
+    },
+}
+
+impl Wire for GraphSource {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            GraphSource::Inline { n, edges, weights } => {
+                buf.extend_from_slice(&[0]);
+                put_u32(buf, *n);
+                put_usize(buf, edges.len());
+                for &(u, v) in edges {
+                    put_u32(buf, u);
+                    put_u32(buf, v);
+                }
+                match weights {
+                    None => put_bool(buf, false),
+                    Some(ws) => {
+                        put_bool(buf, true);
+                        put_usize(buf, ws.len());
+                        for &w in ws {
+                            put_u64(buf, w);
+                        }
+                    }
+                }
+            }
+            GraphSource::Generator {
+                family,
+                n,
+                weights,
+                seed,
+            } => {
+                buf.extend_from_slice(&[1]);
+                put_family(buf, family);
+                put_u32(buf, *n);
+                put_weight_model(buf, weights);
+                put_u64(buf, *seed);
+            }
+            GraphSource::ScenarioCell {
+                name,
+                size_idx,
+                weight_idx,
+                loss_idx,
+                seed_idx,
+            } => {
+                buf.extend_from_slice(&[2]);
+                put_string(buf, name);
+                put_u32(buf, *size_idx);
+                put_u32(buf, *weight_idx);
+                put_u32(buf, *loss_idx);
+                put_u64(buf, *seed_idx);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match get_tag(buf)? {
+            0 => {
+                let n = get_u32(buf)?;
+                let edge_count = get_seq_len(buf)?;
+                let mut edges = Vec::with_capacity(edge_count);
+                for _ in 0..edge_count {
+                    edges.push((get_u32(buf)?, get_u32(buf)?));
+                }
+                let weights = if get_bool(buf)? {
+                    let count = get_seq_len(buf)?;
+                    let mut ws = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        ws.push(get_u64(buf)?);
+                    }
+                    Some(ws)
+                } else {
+                    None
+                };
+                Ok(GraphSource::Inline { n, edges, weights })
+            }
+            1 => Ok(GraphSource::Generator {
+                family: get_family(buf)?,
+                n: get_u32(buf)?,
+                weights: get_weight_model(buf)?,
+                seed: get_u64(buf)?,
+            }),
+            2 => Ok(GraphSource::ScenarioCell {
+                name: get_string(buf)?,
+                size_idx: get_u32(buf)?,
+                weight_idx: get_u32(buf)?,
+                loss_idx: get_u32(buf)?,
+                seed_idx: get_u64(buf)?,
+            }),
+            _ => Err(WireError::Invalid("unknown graph-source tag")),
+        }
+    }
+}
+
+/// One dominating-set job: a graph source plus how to solve it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpec {
+    /// The graph to solve on.
+    pub source: GraphSource,
+    /// Algorithm override. `None` uses the registered scenario's algorithm
+    /// for [`GraphSource::ScenarioCell`] jobs and Theorem 1.1 with
+    /// ε = 0.2 for ad-hoc jobs.
+    pub algorithm: Option<Algorithm>,
+    /// Algorithm seed for ad-hoc jobs (scenario cells derive theirs).
+    pub seed: u64,
+    /// Whether the reply should carry the full member list.
+    pub return_members: bool,
+}
+
+impl JobSpec {
+    /// An ad-hoc job over `source` with the default algorithm and seed.
+    pub fn new(source: GraphSource) -> Self {
+        JobSpec {
+            source,
+            algorithm: None,
+            seed: 0,
+            return_members: false,
+        }
+    }
+}
+
+impl Wire for JobSpec {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.source.encode(buf);
+        match &self.algorithm {
+            None => put_bool(buf, false),
+            Some(a) => {
+                put_bool(buf, true);
+                put_algorithm(buf, a);
+            }
+        }
+        put_u64(buf, self.seed);
+        put_bool(buf, self.return_members);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(JobSpec {
+            source: GraphSource::decode(buf)?,
+            algorithm: if get_bool(buf)? {
+                Some(get_algorithm(buf)?)
+            } else {
+                None
+            },
+            seed: get_u64(buf)?,
+            return_members: get_bool(buf)?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// A client → server message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness probe; answered with [`Response::Pong`].
+    Ping,
+    /// A batch of jobs; answered with one [`Response::Job`] per job in
+    /// submission order, then [`Response::BatchDone`].
+    Batch(Vec<JobSpec>),
+    /// Cache statistics probe; answered with [`Response::Stats`].
+    Stats,
+    /// Orderly daemon shutdown; answered with [`Response::ShuttingDown`].
+    Shutdown,
+}
+
+impl Wire for Request {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Request::Ping => buf.extend_from_slice(&[0]),
+            Request::Batch(jobs) => {
+                buf.extend_from_slice(&[1]);
+                put_usize(buf, jobs.len());
+                for job in jobs {
+                    job.encode(buf);
+                }
+            }
+            Request::Stats => buf.extend_from_slice(&[2]),
+            Request::Shutdown => buf.extend_from_slice(&[3]),
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match get_tag(buf)? {
+            0 => Ok(Request::Ping),
+            1 => {
+                let count = get_seq_len(buf)?;
+                if count > MAX_BATCH_JOBS {
+                    return Err(WireError::Invalid("batch exceeds MAX_BATCH_JOBS"));
+                }
+                let mut jobs = Vec::with_capacity(count);
+                for _ in 0..count {
+                    jobs.push(JobSpec::decode(buf)?);
+                }
+                Ok(Request::Batch(jobs))
+            }
+            2 => Ok(Request::Stats),
+            3 => Ok(Request::Shutdown),
+            _ => Err(WireError::Invalid("unknown request tag")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// The measured outcome of one job — the service counterpart of a
+/// scenario [`arbodom_scenarios::CellReport`] row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobResult {
+    /// Nodes in the solved graph.
+    pub n: u64,
+    /// Edges in the solved graph.
+    pub m: u64,
+    /// Maximum degree Δ.
+    pub max_degree: u64,
+    /// The arboricity parameter the algorithm ran with.
+    pub alpha: u64,
+    /// [`arbodom_graph::digest::edge_digest`] of the instance (also the
+    /// graph-cache key).
+    pub graph_digest: u64,
+    /// Nodes in the computed dominating set.
+    pub ds_size: u64,
+    /// Weight of the computed dominating set.
+    pub ds_weight: u64,
+    /// Whether the output is a dominating set.
+    pub valid: bool,
+    /// Number of undominated nodes (0 when `valid`).
+    pub undominated: u64,
+    /// Reference kind of the certified ratio.
+    pub reference: RefKind,
+    /// Reference value the ratio is measured against.
+    pub opt_estimate: f64,
+    /// `ds_weight / opt_estimate`, unclamped.
+    pub ratio: f64,
+    /// The theorem bound for this parameterization.
+    pub guarantee: f64,
+    /// Whether `ratio <= guarantee`.
+    pub within_guarantee: bool,
+    /// Quality-accounting alarm (see [`arbodom_scenarios::quality`]).
+    pub flagged: bool,
+    /// Executed CONGEST rounds.
+    pub rounds: u64,
+    /// The round budget of the theorem's complexity statement.
+    pub round_budget: u64,
+    /// Messages delivered by the simulator.
+    pub messages: u64,
+    /// Payload bits delivered.
+    pub total_bits: u64,
+    /// Largest single message in bits.
+    pub max_message_bits: u64,
+    /// Messages exceeding the CONGEST bandwidth budget.
+    pub budget_violations: u64,
+    /// Messages dropped by fault injection.
+    pub dropped_messages: u64,
+    /// The dominating set itself, when the job asked for it.
+    pub members: Option<Vec<u32>>,
+}
+
+impl Wire for JobResult {
+    fn encode(&self, buf: &mut BytesMut) {
+        for v in [
+            self.n,
+            self.m,
+            self.max_degree,
+            self.alpha,
+            self.graph_digest,
+            self.ds_size,
+            self.ds_weight,
+        ] {
+            put_u64(buf, v);
+        }
+        put_bool(buf, self.valid);
+        put_u64(buf, self.undominated);
+        put_ref_kind(buf, self.reference);
+        put_f64(buf, self.opt_estimate);
+        put_f64(buf, self.ratio);
+        put_f64(buf, self.guarantee);
+        put_bool(buf, self.within_guarantee);
+        put_bool(buf, self.flagged);
+        for v in [
+            self.rounds,
+            self.round_budget,
+            self.messages,
+            self.total_bits,
+            self.max_message_bits,
+            self.budget_violations,
+            self.dropped_messages,
+        ] {
+            put_u64(buf, v);
+        }
+        match &self.members {
+            None => put_bool(buf, false),
+            Some(ms) => {
+                put_bool(buf, true);
+                put_usize(buf, ms.len());
+                for &v in ms {
+                    put_u32(buf, v);
+                }
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(JobResult {
+            n: get_u64(buf)?,
+            m: get_u64(buf)?,
+            max_degree: get_u64(buf)?,
+            alpha: get_u64(buf)?,
+            graph_digest: get_u64(buf)?,
+            ds_size: get_u64(buf)?,
+            ds_weight: get_u64(buf)?,
+            valid: get_bool(buf)?,
+            undominated: get_u64(buf)?,
+            reference: get_ref_kind(buf)?,
+            opt_estimate: get_f64(buf)?,
+            ratio: get_f64(buf)?,
+            guarantee: get_f64(buf)?,
+            within_guarantee: get_bool(buf)?,
+            flagged: get_bool(buf)?,
+            rounds: get_u64(buf)?,
+            round_budget: get_u64(buf)?,
+            messages: get_u64(buf)?,
+            total_bits: get_u64(buf)?,
+            max_message_bits: get_u64(buf)?,
+            budget_violations: get_u64(buf)?,
+            dropped_messages: get_u64(buf)?,
+            members: if get_bool(buf)? {
+                let count = get_seq_len(buf)?;
+                let mut ms = Vec::with_capacity(count);
+                for _ in 0..count {
+                    ms.push(get_u32(buf)?);
+                }
+                Some(ms)
+            } else {
+                None
+            },
+        })
+    }
+}
+
+/// Aggregate graph-cache counters, served by [`Request::Stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Graphs currently cached.
+    pub entries: u64,
+    /// Eviction threshold.
+    pub capacity: u64,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to build the graph.
+    pub misses: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+}
+
+impl Wire for CacheStats {
+    fn encode(&self, buf: &mut BytesMut) {
+        for v in [
+            self.entries,
+            self.capacity,
+            self.hits,
+            self.misses,
+            self.evictions,
+        ] {
+            put_u64(buf, v);
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(CacheStats {
+            entries: get_u64(buf)?,
+            capacity: get_u64(buf)?,
+            hits: get_u64(buf)?,
+            misses: get_u64(buf)?,
+            evictions: get_u64(buf)?,
+        })
+    }
+}
+
+/// A server → client message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// One job's outcome; `index` is the job's position in its batch.
+    Job {
+        /// Position of the job in the submitted batch.
+        index: u32,
+        /// The result, or a job-level error message.
+        outcome: Result<JobResult, String>,
+    },
+    /// Batch trailer: all `jobs` job frames have been sent.
+    BatchDone {
+        /// Number of jobs answered.
+        jobs: u32,
+    },
+    /// Answer to [`Request::Stats`].
+    Stats(CacheStats),
+    /// Answer to [`Request::Shutdown`]: the daemon is stopping.
+    ShuttingDown,
+    /// Connection-level protocol error (the server closes afterwards).
+    Error(String),
+}
+
+impl Wire for Response {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Response::Pong => buf.extend_from_slice(&[0]),
+            Response::Job { index, outcome } => {
+                buf.extend_from_slice(&[1]);
+                put_u32(buf, *index);
+                match outcome {
+                    Ok(result) => {
+                        put_bool(buf, true);
+                        result.encode(buf);
+                    }
+                    Err(msg) => {
+                        put_bool(buf, false);
+                        put_string(buf, msg);
+                    }
+                }
+            }
+            Response::BatchDone { jobs } => {
+                buf.extend_from_slice(&[2]);
+                put_u32(buf, *jobs);
+            }
+            Response::Stats(stats) => {
+                buf.extend_from_slice(&[3]);
+                stats.encode(buf);
+            }
+            Response::ShuttingDown => buf.extend_from_slice(&[4]),
+            Response::Error(msg) => {
+                buf.extend_from_slice(&[5]);
+                put_string(buf, msg);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match get_tag(buf)? {
+            0 => Ok(Response::Pong),
+            1 => Ok(Response::Job {
+                index: get_u32(buf)?,
+                outcome: if get_bool(buf)? {
+                    Ok(JobResult::decode(buf)?)
+                } else {
+                    Err(get_string(buf)?)
+                },
+            }),
+            2 => Ok(Response::BatchDone {
+                jobs: get_u32(buf)?,
+            }),
+            3 => Ok(Response::Stats(CacheStats::decode(buf)?)),
+            4 => Ok(Response::ShuttingDown),
+            5 => Ok(Response::Error(get_string(buf)?)),
+            _ => Err(WireError::Invalid("unknown response tag")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arbodom_congest::assert_wire_conformance;
+
+    #[test]
+    fn control_messages_conform() {
+        assert_wire_conformance(&Request::Ping);
+        assert_wire_conformance(&Request::Stats);
+        assert_wire_conformance(&Request::Shutdown);
+        assert_wire_conformance(&Response::Pong);
+        assert_wire_conformance(&Response::ShuttingDown);
+        assert_wire_conformance(&Response::BatchDone { jobs: 17 });
+        assert_wire_conformance(&Response::Error("bad frame".into()));
+        assert_wire_conformance(&Response::Stats(CacheStats {
+            entries: 3,
+            capacity: 64,
+            hits: 10,
+            misses: 4,
+            evictions: 1,
+        }));
+    }
+
+    #[test]
+    fn framing_roundtrips() {
+        let mut wire = Vec::new();
+        write_message(&mut wire, &Request::Ping).unwrap();
+        write_message(&mut wire, &Request::Stats).unwrap();
+        let mut reader = wire.as_slice();
+        assert_eq!(read_message::<Request>(&mut reader).unwrap(), Request::Ping);
+        assert_eq!(
+            read_message::<Request>(&mut reader).unwrap(),
+            Request::Stats
+        );
+        assert!(matches!(
+            read_message::<Request>(&mut reader),
+            Err(ServiceError::Closed)
+        ));
+    }
+
+    #[test]
+    fn oversized_frame_header_rejected_before_allocation() {
+        let header = (u32::MAX).to_le_bytes();
+        assert!(matches!(
+            read_frame(&mut header.as_slice()),
+            Err(ServiceError::FrameTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_frame_body_is_an_error() {
+        let mut wire = Vec::new();
+        write_message(&mut wire, &Request::Shutdown).unwrap();
+        wire.pop(); // header still declares 1 payload byte
+        assert!(matches!(
+            read_frame(&mut wire.as_slice()),
+            Err(ServiceError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_after_message_rejected() {
+        let mut payload = encode_payload(&Request::Ping);
+        payload.push(0);
+        assert!(matches!(
+            decode_payload::<Request>(&payload),
+            Err(ServiceError::Protocol(_))
+        ));
+    }
+}

@@ -1,0 +1,238 @@
+//! The `arbodomd` daemon: a threaded TCP server over the job executor.
+//!
+//! One thread accepts connections; each connection gets a handler thread
+//! speaking the frame protocol; batch jobs fan out onto the shared
+//! work-stealing [`Scheduler`] and their replies are reassembled **in
+//! submission order** before hitting the socket — out-of-order completion
+//! is buffered, so the response stream is byte-deterministic at any
+//! worker count.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+use arbodom_scenarios::Scale;
+
+use crate::cache::GraphCache;
+use crate::jobs::{execute_job, ExecContext};
+use crate::protocol::{read_message, write_message, JobResult, JobSpec, Request, Response};
+use crate::scheduler::Scheduler;
+use crate::ServiceError;
+
+/// Daemon tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Worker threads in the job scheduler.
+    pub workers: usize,
+    /// Simulator threads per job (`run_*_on`; results identical at any
+    /// value).
+    pub sim_threads: usize,
+    /// Graph-cache capacity in instances.
+    pub cache_capacity: usize,
+    /// Scale scenario-cell jobs resolve their size sweeps at.
+    pub scale: Scale,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            sim_threads: 1,
+            cache_capacity: 64,
+            scale: Scale::Full,
+        }
+    }
+}
+
+/// Shared state of a running daemon. Handler threads hold an `Arc` of
+/// this; job closures deliberately get only the [`ExecContext`] slice of
+/// it (see [`Scheduler`] for why).
+struct ServerState {
+    exec: ExecContext,
+    scheduler: Scheduler,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl ServerState {
+    /// Flags shutdown and pokes the accept loop awake with a throwaway
+    /// connection so it observes the flag immediately.
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running daemon, stoppable from the owning thread or via a client's
+/// [`Request::Shutdown`].
+pub struct Server {
+    state: Arc<ServerState>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind(addr: &str, cfg: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            exec: ExecContext {
+                cache: Arc::new(Mutex::new(GraphCache::new(cfg.cache_capacity))),
+                sim_threads: cfg.sim_threads.max(1),
+                scale: cfg.scale,
+            },
+            scheduler: Scheduler::new(cfg.workers),
+            shutdown: AtomicBool::new(false),
+            addr: local,
+        });
+        let accept_state = Arc::clone(&state);
+        let accept = std::thread::Builder::new()
+            .name("arbodomd-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_state))?;
+        Ok(Server {
+            state,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Blocks until the daemon shuts down (via a client's `Shutdown`
+    /// request). Used by the `arbodomd` binary.
+    pub fn wait(mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Stops accepting and joins the accept thread. Live connections
+    /// finish their current batch and close on their own.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if let Some(handle) = self.accept.take() {
+            self.state.request_shutdown();
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
+    for stream in listener.incoming() {
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let conn_state = Arc::clone(state);
+        let _ = std::thread::Builder::new()
+            .name("arbodomd-conn".into())
+            .spawn(move || handle_connection(stream, &conn_state));
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
+    let _ = stream.set_nodelay(true);
+    loop {
+        let request = match read_message::<Request>(&mut stream) {
+            Ok(request) => request,
+            Err(ServiceError::Closed) => return,
+            Err(e) => {
+                // Framing or decoding failed: the stream is desynced, so
+                // report once and drop the connection.
+                let _ = write_message(&mut stream, &Response::Error(e.to_string()));
+                return;
+            }
+        };
+        let outcome = match request {
+            Request::Ping => write_message(&mut stream, &Response::Pong),
+            Request::Stats => {
+                let stats = state.exec.cache.lock().expect("cache poisoned").stats();
+                write_message(&mut stream, &Response::Stats(stats))
+            }
+            Request::Shutdown => {
+                let _ = write_message(&mut stream, &Response::ShuttingDown);
+                state.request_shutdown();
+                return;
+            }
+            Request::Batch(jobs) => handle_batch(&mut stream, state, jobs),
+        };
+        if outcome.is_err() {
+            return; // client went away mid-reply
+        }
+    }
+}
+
+/// Fans a batch onto the scheduler and streams replies back in
+/// submission order: completions arriving early are parked in a buffer
+/// until their turn.
+fn handle_batch(
+    stream: &mut TcpStream,
+    state: &Arc<ServerState>,
+    jobs: Vec<JobSpec>,
+) -> Result<(), ServiceError> {
+    let total = jobs.len() as u32;
+    let (tx, rx) = mpsc::channel::<(u32, Result<JobResult, String>)>();
+    for (index, job) in jobs.into_iter().enumerate() {
+        let tx = tx.clone();
+        let exec = state.exec.clone();
+        state.scheduler.spawn(move || {
+            // Every job sends exactly one reply, even if it panics —
+            // otherwise the in-order writer below would stall forever on
+            // the missing index. The message is fixed (not the panic
+            // payload) to keep the response stream deterministic.
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute_job(&exec, &job)))
+                    .unwrap_or_else(|_| Err("job panicked inside the worker".to_string()));
+            let _ = tx.send((index as u32, outcome));
+        });
+    }
+    drop(tx);
+    let mut parked: BTreeMap<u32, Result<JobResult, String>> = BTreeMap::new();
+    let mut next = 0u32;
+    for (index, outcome) in rx {
+        parked.insert(index, outcome);
+        while let Some(outcome) = parked.remove(&next) {
+            let mut reply = Response::Job {
+                index: next,
+                outcome,
+            };
+            // A legal job can still produce an over-limit frame (a huge
+            // member list): degrade that one job to a deterministic error
+            // instead of killing the whole connection mid-batch.
+            let mut payload = crate::protocol::encode_payload(&reply);
+            if payload.len() > crate::protocol::MAX_FRAME_LEN {
+                reply = Response::Job {
+                    index: next,
+                    outcome: Err(format!(
+                        "result exceeds the {}-byte frame limit (retry without return_members)",
+                        crate::protocol::MAX_FRAME_LEN
+                    )),
+                };
+                payload = crate::protocol::encode_payload(&reply);
+            }
+            crate::protocol::write_frame(stream, &payload)?;
+            next += 1;
+        }
+    }
+    debug_assert_eq!(next, total, "every job must be answered exactly once");
+    write_message(stream, &Response::BatchDone { jobs: total })
+}

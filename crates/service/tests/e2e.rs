@@ -1,0 +1,227 @@
+//! End-to-end daemon tests: boot `arbodomd` on an ephemeral port, submit
+//! mixed batches, and check the serving layer's headline guarantees —
+//! byte-identical response streams across resubmission, concurrent
+//! clients, and 1/2/4 server worker threads; cache hits on repeats;
+//! clean quality accounting.
+
+use arbodom_scenarios::{Algorithm, Family, Scale};
+use arbodom_service::{Client, GraphSource, JobSpec, Response, Server, ServerConfig};
+
+fn config(workers: usize) -> ServerConfig {
+    ServerConfig {
+        workers,
+        sim_threads: 1,
+        cache_capacity: 32,
+        scale: Scale::Quick,
+    }
+}
+
+/// A batch exercising all three ingestion paths, an algorithm override,
+/// a member-list request, and one deliberately malformed job (whose
+/// error reply must be deterministic too).
+fn mixed_batch() -> Vec<JobSpec> {
+    let path = GraphSource::Inline {
+        n: 40,
+        edges: (0..39).map(|i| (i, i + 1)).collect(),
+        weights: None,
+    };
+    let weighted_star = GraphSource::Inline {
+        n: 12,
+        edges: (1..12).map(|i| (0, i)).collect(),
+        weights: Some((0..12).map(|i| 1 + (i % 5) as u64 * 7).collect()),
+    };
+    let forest = GraphSource::Generator {
+        family: Family::ForestUnion {
+            alpha: 2,
+            keep: 1.0,
+        },
+        n: 150,
+        weights: arbodom_graph::weights::WeightModel::Unit,
+        seed: 5,
+    };
+    let tree = GraphSource::Generator {
+        family: Family::RandomTree,
+        n: 120,
+        weights: arbodom_graph::weights::WeightModel::Uniform { lo: 1, hi: 30 },
+        seed: 9,
+    };
+    let bad = GraphSource::Inline {
+        n: 2,
+        edges: vec![(0, 7)],
+        weights: None,
+    };
+    vec![
+        JobSpec {
+            return_members: true,
+            ..JobSpec::new(path)
+        },
+        JobSpec::new(weighted_star),
+        JobSpec::new(forest),
+        JobSpec {
+            algorithm: Some(Algorithm::UnknownDelta { eps: 0.3 }),
+            ..JobSpec::new(tree)
+        },
+        JobSpec::new(GraphSource::ScenarioCell {
+            name: "trees-exact".into(),
+            size_idx: 0,
+            weight_idx: 0,
+            loss_idx: 0,
+            seed_idx: 0,
+        }),
+        JobSpec::new(GraphSource::ScenarioCell {
+            name: "compare-planted".into(),
+            size_idx: 0,
+            weight_idx: 0,
+            loss_idx: 0,
+            seed_idx: 1,
+        }),
+        JobSpec::new(bad),
+    ]
+}
+
+/// Decodes a raw frame stream and asserts it is well-formed: jobs in
+/// order, exactly one failure (the malformed job, with a typed message),
+/// everything else valid and quality-unflagged.
+fn assert_batch_is_healthy(frames: &[Vec<u8>], jobs: usize) {
+    assert_eq!(frames.len(), jobs + 1, "one frame per job plus the trailer");
+    for (i, payload) in frames.iter().enumerate() {
+        match arbodom_service::protocol::decode_payload::<Response>(payload).unwrap() {
+            Response::Job { index, outcome } => {
+                assert_eq!(index as usize, i, "jobs must arrive in submission order");
+                if index as usize == jobs - 1 {
+                    let err = outcome.expect_err("malformed job must fail");
+                    assert!(err.contains("out of range"), "{err}");
+                } else {
+                    let result = outcome.expect("job succeeds");
+                    assert!(result.valid, "job {index} produced an invalid set");
+                    assert!(!result.flagged, "job {index} tripped quality accounting");
+                }
+            }
+            Response::BatchDone { jobs: count } => {
+                assert_eq!(i, jobs, "trailer must come last");
+                assert_eq!(count as usize, jobs);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn concurrent_clients_get_identical_byte_streams_and_repeats_hit_the_cache() {
+    let server = Server::bind("127.0.0.1:0", config(4)).unwrap();
+    let addr = server.local_addr();
+    let jobs = mixed_batch();
+
+    // Two client threads submit the same batch concurrently.
+    let streams: Vec<Vec<Vec<u8>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let jobs = jobs.clone();
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    client.submit_raw(&jobs).unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(
+        streams[0], streams[1],
+        "concurrent clients must receive byte-identical response streams"
+    );
+    assert_batch_is_healthy(&streams[0], jobs.len());
+
+    // A third, sequential submission: byte-identical again, and now every
+    // source is warm — the cache must answer it.
+    let mut client = Client::connect(addr).unwrap();
+    let before = client.stats().unwrap();
+    let repeat = client.submit_raw(&jobs).unwrap();
+    assert_eq!(streams[0], repeat, "cache hits must not change responses");
+    let after = client.stats().unwrap();
+    // Every job that builds a graph (all but the malformed one) must hit.
+    let buildable = (jobs.len() - 1) as u64;
+    assert!(
+        after.hits >= before.hits + buildable,
+        "expected ≥ {buildable} new cache hits, stats {before:?} → {after:?}"
+    );
+    assert!(after.entries >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn responses_are_identical_across_1_2_4_worker_threads() {
+    let jobs = mixed_batch();
+    let mut streams = Vec::new();
+    for workers in [1, 2, 4] {
+        let server = Server::bind("127.0.0.1:0", config(workers)).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let first = client.submit_raw(&jobs).unwrap();
+        let second = client.submit_raw(&jobs).unwrap();
+        assert_eq!(
+            first, second,
+            "{workers} workers: resubmission must be byte-identical"
+        );
+        let stats = client.stats().unwrap();
+        assert!(
+            stats.hits > 0,
+            "{workers} workers: second submission must hit the cache"
+        );
+        streams.push(first);
+        server.shutdown();
+    }
+    assert_eq!(streams[0], streams[1], "1 vs 2 workers");
+    assert_eq!(streams[1], streams[2], "2 vs 4 workers");
+    assert_batch_is_healthy(&streams[0], jobs.len());
+}
+
+#[test]
+fn control_requests_and_client_driven_shutdown() {
+    let server = Server::bind("127.0.0.1:0", config(2)).unwrap();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    client.ping().unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.capacity, 32);
+    client.shutdown_server().unwrap();
+    // The daemon stops accepting: wait() must return promptly.
+    server.wait();
+    // New connections are refused once the listener is gone (allow a few
+    // retries for the OS to tear the socket down).
+    for _ in 0..50 {
+        if Client::connect(addr).is_err() {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    panic!("daemon kept accepting after shutdown");
+}
+
+#[test]
+fn scenario_cells_respect_the_server_scale() {
+    // The same cell address resolves to different instances at quick vs
+    // full scale; the daemon's scale knob decides.
+    let quick = Server::bind("127.0.0.1:0", config(2)).unwrap();
+    let spec = JobSpec::new(GraphSource::ScenarioCell {
+        name: "trees-exact".into(),
+        size_idx: 0,
+        weight_idx: 0,
+        loss_idx: 0,
+        seed_idx: 0,
+    });
+    let mut client = Client::connect(quick.local_addr()).unwrap();
+    let reply = client.submit(std::slice::from_ref(&spec)).unwrap();
+    let result = reply[0].as_ref().unwrap();
+    assert_eq!(result.n, 400, "trees-exact quick size is 400");
+    // Out-of-range cell indices are job errors, not daemon crashes.
+    let bad = JobSpec::new(GraphSource::ScenarioCell {
+        name: "trees-exact".into(),
+        size_idx: 0,
+        weight_idx: 9,
+        loss_idx: 0,
+        seed_idx: 0,
+    });
+    let reply = client.submit(std::slice::from_ref(&bad)).unwrap();
+    let err = reply[0].as_ref().unwrap_err();
+    assert!(err.contains("weight_idx"), "{err}");
+    quick.shutdown();
+}
