@@ -1,0 +1,54 @@
+//! CI gate: validates a freshly produced `BENCH_sim.json` against the
+//! committed full-scale baseline. See `arbodom_bench::ratchet` for what
+//! is (and deliberately is not) gated.
+//!
+//! ```text
+//! bench_ratchet --current BENCH_sim.json --baseline baseline.json
+//! ```
+//!
+//! Prints the markdown summary to stdout (CI appends it to
+//! `$GITHUB_STEP_SUMMARY`), violations to stderr, and exits nonzero on
+//! any violation.
+
+use arbodom_bench::ratchet;
+use arbodom_scenarios::json::JsonValue;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut current = None;
+    let mut baseline = None;
+    let mut it = args.iter().map(String::as_str);
+    while let Some(arg) = it.next() {
+        match arg {
+            "--current" => current = it.next(),
+            "--baseline" => baseline = it.next(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_ratchet --current PATH --baseline PATH");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (Some(current), Some(baseline)) = (current, baseline) else {
+        eprintln!("usage: bench_ratchet --current PATH --baseline PATH");
+        std::process::exit(2);
+    };
+    let read = |label: &str, path: &str| -> JsonValue {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {label} artifact {path}: {e}");
+            std::process::exit(2);
+        });
+        JsonValue::parse(&text).unwrap_or_else(|e| {
+            eprintln!("{label} artifact {path} is not valid JSON: {e}");
+            std::process::exit(1);
+        })
+    };
+    let report = ratchet::check(&read("current", current), &read("baseline", baseline));
+    println!("{}", report.summary_md);
+    if !report.ok() {
+        for v in &report.violations {
+            eprintln!("ratchet violation: {v}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -71,8 +71,8 @@ pub fn run(scale: Scale) -> Vec<Table> {
          the paper's whole point; contrast with the O(α log n) rounds of [MSW21] \
          or O(log n) of [LW10]'s randomized algorithm.",
     );
-    let sim_table = sim_bench(scale);
-    vec![delta_table, n_table, sim_table]
+    let (sim_table, huge_table) = sim_bench(scale);
+    vec![delta_table, n_table, sim_table, huge_table]
 }
 
 // ---------------------------------------------------------------------------
@@ -85,6 +85,11 @@ const SIM_BENCH_FULL_N: usize = 50_000;
 const SIM_BENCH_QUICK_N: usize = 5_000;
 /// Broadcast rounds of the flood workload.
 const FLOOD_ROUNDS: u32 = 20;
+/// The million-node trajectory workload at full scale.
+const HUGE_BENCH_FULL_N: usize = 1_000_000;
+/// CI / quick scale of the million-node trajectory: same code path
+/// (streamed generation, sharded parallel runner), CI-sized.
+const HUGE_BENCH_QUICK_N: usize = 25_000;
 
 /// Pre-rework throughput baseline (messages/second), measured at the
 /// commit before the arena-mailbox simulator core landed
@@ -145,9 +150,52 @@ fn time_best(
     }
 }
 
-/// Runs the simulator throughput workloads, writes `BENCH_sim.json`, and
-/// returns the human-readable table.
-fn sim_bench(scale: Scale) -> Table {
+/// One timed flood execution over `g`: pure simulator throughput.
+///
+/// Times the raw runner (`run`/`run_parallel`) only — never
+/// result-assembly wrappers — so every row is pure simulator time and
+/// sequential/parallel rows compare apples to apples.
+fn flood_once(g: &Graph, globals: &Globals, meter: MeterMode, threads: usize) -> (usize, usize) {
+    let opts = RunOptions {
+        meter,
+        ..RunOptions::default()
+    };
+    let mk = |_: arbodom_graph::NodeId, _: &Graph| Flood::new(FLOOD_ROUNDS);
+    let out = if threads <= 1 {
+        congest_run(g, globals, mk, &opts).expect("flood runs")
+    } else {
+        run_parallel(g, globals, mk, &opts, threads).expect("flood runs")
+    };
+    (out.telemetry.rounds, out.telemetry.total_messages)
+}
+
+/// One timed Theorem 1.1 node-program execution over `g` (see
+/// [`flood_once`] for what is and is not inside the timed window).
+fn thm11_once(
+    g: &Graph,
+    wglobals: &Globals,
+    cfg: weighted::Config,
+    meter: MeterMode,
+    threads: usize,
+) -> (usize, usize) {
+    let opts = RunOptions {
+        meter,
+        ..RunOptions::default()
+    };
+    let mk =
+        |v: arbodom_graph::NodeId, g: &Graph| distributed::WeightedProgram::new(cfg, g.degree(v));
+    let out = if threads <= 1 {
+        congest_run(g, wglobals, mk, &opts).expect("thm11 runs")
+    } else {
+        run_parallel(g, wglobals, mk, &opts, threads).expect("thm11 runs")
+    };
+    (out.telemetry.rounds, out.telemetry.total_messages)
+}
+
+/// Runs the simulator throughput workloads (the 50k trajectory and the
+/// million-node tier), writes `BENCH_sim.json`, and returns the
+/// human-readable tables.
+fn sim_bench(scale: Scale) -> (Table, Table) {
     let n = scale.pick(SIM_BENCH_QUICK_N, SIM_BENCH_FULL_N);
     // Best-of-5 at full scale: the parallel rows are scheduling-noise
     // sensitive, and the trajectory should record capability, not load.
@@ -158,43 +206,12 @@ fn sim_bench(scale: Scale) -> Table {
     let cfg = weighted::Config::new(3, 0.3).expect("valid");
     let globals = Globals::new(&g, 0);
     let wglobals = Globals::new(&g, 0).with_arboricity(cfg.alpha);
-    let mk_flood = |_: arbodom_graph::NodeId, _: &Graph| Flood::new(FLOOD_ROUNDS);
-    let mk_thm11 =
-        |v: arbodom_graph::NodeId, g: &Graph| distributed::WeightedProgram::new(cfg, g.degree(v));
-    let meter_opts = |meter: MeterMode| RunOptions {
-        meter,
-        ..RunOptions::default()
-    };
     // Shared borrows so the workload factories below stay callable
     // repeatedly (their `move` closures capture these `Copy` references).
-    let g = &g;
-    let globals = &globals;
-    let wglobals = &wglobals;
-    // Both workloads time the raw runner (`run`/`run_parallel`) only —
-    // never result-assembly wrappers — so every row is pure simulator
-    // time and sequential/parallel rows compare apples to apples.
-    let flood = |meter: MeterMode, threads: usize| {
-        let opts = meter_opts(meter);
-        move || {
-            let out = if threads <= 1 {
-                congest_run(g, globals, mk_flood, &opts).expect("flood runs")
-            } else {
-                run_parallel(g, globals, mk_flood, &opts, threads).expect("flood runs")
-            };
-            (out.telemetry.rounds, out.telemetry.total_messages)
-        }
-    };
-    let thm11 = |meter: MeterMode, threads: usize| {
-        let opts = meter_opts(meter);
-        move || {
-            let out = if threads <= 1 {
-                congest_run(g, wglobals, mk_thm11, &opts).expect("thm11 runs")
-            } else {
-                run_parallel(g, wglobals, mk_thm11, &opts, threads).expect("thm11 runs")
-            };
-            (out.telemetry.rounds, out.telemetry.total_messages)
-        }
-    };
+    let (g, globals, wglobals) = (&g, &globals, &wglobals);
+    let flood = |meter: MeterMode, threads: usize| move || flood_once(g, globals, meter, threads);
+    let thm11 =
+        |meter: MeterMode, threads: usize| move || thm11_once(g, wglobals, cfg, meter, threads);
     let rows = [
         time_best("flood_measure_seq", reps, flood(MeterMode::Measure, 1)),
         time_best("flood_off_seq", reps, flood(MeterMode::Off, 1)),
@@ -204,6 +221,49 @@ fn sim_bench(scale: Scale) -> Table {
         time_best("thm11_off_seq", reps, thm11(MeterMode::Off, 1)),
         time_best("thm11_strict_seq", reps, thm11(MeterMode::Strict, 1)),
         time_best("thm11_measure_par4", reps, thm11(MeterMode::Measure, 4)),
+    ];
+
+    // --- the million-node tier (E-SCALE-d / BENCH_sim.json "huge") ---
+    // Streamed generation (no intermediate per-tree graphs), then the
+    // same two workloads through the sharded parallel runner. Quick scale
+    // downsizes the graph but keeps the code path identical, so the CI
+    // artifact has the same shape as the committed full-scale one.
+    let huge_n = scale.pick(HUGE_BENCH_QUICK_N, HUGE_BENCH_FULL_N);
+    let huge_reps = scale.pick(1, 2);
+    let mut hrng = crate::seeded_rng(1051);
+    let t_build = Instant::now();
+    let hg = generators::forest_union(huge_n, 3, &mut hrng);
+    let hg = WeightModel::Uniform { lo: 1, hi: 20 }.assign(&hg, &mut hrng);
+    let build_secs = t_build.elapsed().as_secs_f64();
+    let hfp = hg.memory_footprint();
+    let hglobals = Globals::new(&hg, 0);
+    let hwglobals = Globals::new(&hg, 0).with_arboricity(cfg.alpha);
+    let (hg, hglobals, hwglobals) = (&hg, &hglobals, &hwglobals);
+    let hflood =
+        |meter: MeterMode, threads: usize| move || flood_once(hg, hglobals, meter, threads);
+    let hthm11 =
+        |meter: MeterMode, threads: usize| move || thm11_once(hg, hwglobals, cfg, meter, threads);
+    let huge_rows = [
+        time_best(
+            "flood_measure_seq",
+            huge_reps,
+            hflood(MeterMode::Measure, 1),
+        ),
+        time_best(
+            "flood_measure_par4",
+            huge_reps,
+            hflood(MeterMode::Measure, 4),
+        ),
+        time_best(
+            "thm11_measure_seq",
+            huge_reps,
+            hthm11(MeterMode::Measure, 1),
+        ),
+        time_best(
+            "thm11_measure_par4",
+            huge_reps,
+            hthm11(MeterMode::Measure, 4),
+        ),
     ];
 
     let baseline = |name: &str| -> Option<f64> {
@@ -246,6 +306,29 @@ fn sim_bench(scale: Scale) -> Table {
          thm11 = the Theorem 1.1 node program end to end."
     ));
 
+    let mut huge_table = Table::new(
+        "E-SCALE-d",
+        format!("million-node tier, n = {huge_n} forest union (α = 3, streamed)"),
+        &["workload", "rounds", "messages", "wall ms", "Mmsg/s"],
+    );
+    for r in huge_rows.iter() {
+        huge_table.row(vec![
+            r.name.to_string(),
+            r.rounds.to_string(),
+            r.messages.to_string(),
+            f2(r.wall_s * 1e3),
+            f2(r.msgs_per_sec() / 1e6),
+        ]);
+    }
+    huge_table.note(format!(
+        "written to BENCH_sim.json under \"huge\"; graph streamed in \
+         {build_secs:.2}s, frozen CSR footprint {} MB ({} edges). Full \
+         scale is n = {HUGE_BENCH_FULL_N}; quick scale downsizes the graph \
+         but keeps the code path.",
+        hfp.total() / (1024 * 1024),
+        hg.m(),
+    ));
+
     // --- BENCH_sim.json ---
     // Rendered with the tiny JSON builder below (keys and values here are
     // plain identifiers and finite numbers, nothing needs escaping), so
@@ -272,8 +355,42 @@ fn sim_bench(scale: Scale) -> Table {
             )
         })
     }));
+    let huge_current = JsonObj::new().entries(huge_rows.iter().map(|r| {
+        (
+            r.name.to_string(),
+            JsonObj::new()
+                .int("rounds", r.rounds)
+                .int("messages", r.messages)
+                .num("wall_seconds", r.wall_s)
+                .num("msgs_per_sec", r.msgs_per_sec().round())
+                .render(),
+        )
+    }));
+    let huge_json = JsonObj::new()
+        .raw(
+            "workload",
+            JsonObj::new()
+                .str("graph", "forest_union")
+                .int("alpha", 3)
+                .int("n", huge_n)
+                .int("m", hg.m())
+                .int("flood_rounds", FLOOD_ROUNDS as usize)
+                .str(
+                    "scale",
+                    if scale == Scale::Full {
+                        "full"
+                    } else {
+                        "quick"
+                    },
+                )
+                .int("reps_best_of", huge_reps)
+                .num("build_seconds", build_secs)
+                .int("graph_bytes", hfp.total())
+                .render(),
+        )
+        .raw("current", huge_current.render());
     let json = JsonObj::new()
-        .str("schema", "arbodom-sim-bench/v1")
+        .str("schema", "arbodom-sim-bench/v2")
         .raw(
             "workload",
             JsonObj::new()
@@ -311,6 +428,7 @@ fn sim_bench(scale: Scale) -> Table {
         )
         .raw("current", current.render())
         .raw("speedup_vs_pre_pr", speedups.render())
+        .raw("huge", huge_json.render())
         .render();
     // Write the trajectory file for real invocations only: full-scale
     // runs, or explicitly downscaled ones (CI sets `ARBODOM_QUICK=1` and
@@ -330,7 +448,7 @@ fn sim_bench(scale: Scale) -> Table {
             eprintln!("warning: could not write {}: {e}", path.display());
         }
     }
-    table
+    (table, huge_table)
 }
 
 // The JSON builder previously defined here moved to

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod ratchet;
 pub mod report;
 pub mod service_load;
 pub mod workloads;

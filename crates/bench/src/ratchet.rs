@@ -1,0 +1,228 @@
+//! The CI bench ratchet: a **structure gate** over `BENCH_sim.json`.
+//!
+//! CI runs `exp_scaling` in quick mode and compares the produced artifact
+//! against the committed full-scale baseline. Wall-clock numbers on a
+//! shared runner are noise, so the ratchet deliberately does **not** gate
+//! on throughput values; it gates on the artifact's *shape*:
+//!
+//! * the schema version must match the committed baseline (schema drift
+//!   means a writer/consumer change that must land together with a
+//!   regenerated baseline);
+//! * every workload row recorded in the committed baseline — both the
+//!   50k trajectory and the million-node `huge` tier — must still be
+//!   produced, with nonzero rounds/messages/throughput (a missing or
+//!   zero row is a silently-dropped measurement, exactly the regression
+//!   the trajectory exists to prevent);
+//! * the frozen pre-PR reference block must be carried forward unchanged
+//!   in shape, so the before/after pair stays readable forever.
+//!
+//! [`check`] returns the violations plus a markdown summary table the CI
+//! job appends to `$GITHUB_STEP_SUMMARY`.
+
+use arbodom_scenarios::json::JsonValue;
+
+/// The outcome of one ratchet evaluation.
+#[derive(Clone, Debug)]
+pub struct RatchetReport {
+    /// Everything that failed the structure gate; empty = pass.
+    pub violations: Vec<String>,
+    /// Markdown summary (baseline vs current, per workload row).
+    pub summary_md: String,
+}
+
+impl RatchetReport {
+    /// Whether the gate passed.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The per-row fields every workload measurement must carry, with the
+/// zero-check applied to each.
+const ROW_FIELDS: &[&str] = &["rounds", "messages", "wall_seconds", "msgs_per_sec"];
+
+/// Evaluates the structure gate of `current` (the quick-mode artifact CI
+/// just produced) against `baseline` (the committed full-scale artifact).
+pub fn check(current: &JsonValue, baseline: &JsonValue) -> RatchetReport {
+    let mut violations = Vec::new();
+    let mut rows_md = String::new();
+
+    let cur_schema = current.get("schema").and_then(JsonValue::as_str);
+    let base_schema = baseline.get("schema").and_then(JsonValue::as_str);
+    match (cur_schema, base_schema) {
+        (Some(c), Some(b)) if c == b => {}
+        (c, b) => violations.push(format!(
+            "schema drift: baseline {b:?}, current {c:?} — regenerate the committed \
+             baseline together with the writer change"
+        )),
+    }
+
+    // (section label, path through the document)
+    let sections: [(&str, &[&str]); 2] = [("50k", &["current"]), ("huge", &["huge", "current"])];
+    for (label, path) in sections {
+        fn walk<'a>(mut v: &'a JsonValue, path: &[&str]) -> Option<&'a JsonValue> {
+            for key in path {
+                v = v.get(key)?;
+            }
+            Some(v)
+        }
+        let (Some(base_rows), cur_rows) = (walk(baseline, path), walk(current, path)) else {
+            violations.push(format!(
+                "baseline has no `{}` section — committed artifact is malformed",
+                path.join(".")
+            ));
+            continue;
+        };
+        let Some(cur_rows) = cur_rows else {
+            violations.push(format!(
+                "current artifact lost the `{}` section",
+                path.join(".")
+            ));
+            continue;
+        };
+        for name in base_rows.keys() {
+            let Some(row) = cur_rows.get(name) else {
+                violations.push(format!("{label}: workload `{name}` disappeared"));
+                continue;
+            };
+            let mut row_ok = true;
+            for field in ROW_FIELDS {
+                match row.get(field).and_then(JsonValue::as_f64) {
+                    Some(v) if v > 0.0 => {}
+                    Some(v) => {
+                        row_ok = false;
+                        violations.push(format!("{label}: `{name}.{field}` is {v} (must be > 0)"));
+                    }
+                    None => {
+                        row_ok = false;
+                        violations.push(format!("{label}: `{name}.{field}` missing"));
+                    }
+                }
+            }
+            let mmsg = |rows: &JsonValue| {
+                rows.get(name)
+                    .and_then(|r| r.get("msgs_per_sec"))
+                    .and_then(JsonValue::as_f64)
+                    .map(|v| format!("{:.2}", v / 1e6))
+                    .unwrap_or_else(|| "—".into())
+            };
+            rows_md.push_str(&format!(
+                "| {label} | {name} | {} | {} | {} |\n",
+                mmsg(base_rows),
+                mmsg(cur_rows),
+                if row_ok { "✅" } else { "❌" },
+            ));
+        }
+    }
+
+    // The frozen pre-PR reference must survive in shape.
+    let pre_pr = |v: &JsonValue| -> Vec<String> {
+        v.get("baseline_pre_pr")
+            .and_then(|b| b.get("msgs_per_sec"))
+            .map(|rows| rows.keys().map(str::to_string).collect())
+            .unwrap_or_default()
+    };
+    for name in pre_pr(baseline) {
+        if !pre_pr(current).contains(&name) {
+            violations.push(format!(
+                "frozen pre-PR reference row `{name}` disappeared from baseline_pre_pr"
+            ));
+        }
+    }
+
+    let verdict = if violations.is_empty() {
+        "**pass** — every committed workload row is present and nonzero".to_string()
+    } else {
+        format!("**fail** — {} violation(s)", violations.len())
+    };
+    let summary_md = format!(
+        "### bench ratchet (`BENCH_sim.json` structure gate)\n\n\
+         {verdict}\n\n\
+         | tier | workload | committed full Mmsg/s | this run Mmsg/s | gate |\n\
+         | --- | --- | --- | --- | --- |\n\
+         {rows_md}\n\
+         The \"this run\" column is quick-mode on a CI runner: informational \
+         only, never gated. The gate checks structure — schema, row presence, \
+         nonzero measurements.\n"
+    );
+    RatchetReport {
+        violations,
+        summary_md,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal artifact with the real shape.
+    fn artifact(schema: &str, seq_rate: f64, with_huge: bool) -> String {
+        let huge = if with_huge {
+            r#","huge":{"workload":{"n":1000000},"current":{"flood_measure_seq":{"rounds":21,"messages":119999760,"wall_seconds":5.0,"msgs_per_sec":23980000}}}"#
+        } else {
+            ""
+        };
+        format!(
+            r#"{{"schema":"{schema}","baseline_pre_pr":{{"commit":"92bbb82","msgs_per_sec":{{"flood_measure_seq":6780170}}}},"current":{{"flood_measure_seq":{{"rounds":21,"messages":5999560,"wall_seconds":0.14,"msgs_per_sec":{seq_rate}}}}}{huge}}}"#
+        )
+    }
+
+    fn parse(s: &str) -> JsonValue {
+        JsonValue::parse(s).expect("test artifact parses")
+    }
+
+    #[test]
+    fn identical_structure_passes_whatever_the_numbers_are() {
+        let base = parse(&artifact("arbodom-sim-bench/v2", 42e6, true));
+        // A 100× slower quick run still passes: the ratchet is a
+        // structure gate, not a wall-clock gate.
+        let cur = parse(&artifact("arbodom-sim-bench/v2", 0.4e6, true));
+        let report = check(&cur, &base);
+        assert!(report.ok(), "{:?}", report.violations);
+        assert!(report.summary_md.contains("flood_measure_seq"));
+        assert!(report.summary_md.contains("**pass**"));
+    }
+
+    #[test]
+    fn schema_drift_fails() {
+        let base = parse(&artifact("arbodom-sim-bench/v2", 42e6, true));
+        let cur = parse(&artifact("arbodom-sim-bench/v3", 42e6, true));
+        let report = check(&cur, &base);
+        assert!(!report.ok());
+        assert!(report.violations[0].contains("schema drift"));
+    }
+
+    #[test]
+    fn missing_workload_and_missing_huge_section_fail() {
+        let base = parse(&artifact("arbodom-sim-bench/v2", 42e6, true));
+        let cur = parse(&artifact("arbodom-sim-bench/v2", 42e6, false));
+        let report = check(&cur, &base);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("lost the `huge.current` section")));
+    }
+
+    #[test]
+    fn zero_throughput_fails() {
+        let base = parse(&artifact("arbodom-sim-bench/v2", 42e6, true));
+        let cur = parse(&artifact("arbodom-sim-bench/v2", 0.0, true));
+        let report = check(&cur, &base);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("msgs_per_sec` is 0")));
+        assert!(report.summary_md.contains("❌"));
+    }
+
+    #[test]
+    fn the_committed_artifact_passes_against_itself() {
+        let committed = std::fs::read_to_string(
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sim.json"),
+        )
+        .expect("committed BENCH_sim.json exists");
+        let v = JsonValue::parse(&committed).expect("committed artifact parses");
+        let report = check(&v, &v);
+        assert!(report.ok(), "{:?}", report.violations);
+    }
+}

@@ -77,7 +77,11 @@ pub struct LoadOutcome {
     pub batches: usize,
     /// Total jobs answered.
     pub jobs: usize,
-    /// Wall-clock seconds from first submission to last reply.
+    /// Wall-clock seconds of the **submit → last-reply window only**:
+    /// every batch is built and every connection established before the
+    /// clock starts, so client-side job construction cannot dilute the
+    /// daemon's measured throughput (it used to — see
+    /// [`measure_submit_window`]).
     pub wall_secs: f64,
     /// Sustained queries (jobs) per second across all clients.
     pub queries_per_sec: f64,
@@ -148,6 +152,80 @@ fn job_for(scale: Scale, client: usize, i: usize) -> JobSpec {
     JobSpec::new(source)
 }
 
+/// Builds every client's batches up front. Job construction is client
+/// work, not daemon work — it happens **before** the measured window so
+/// `queries_per_sec` reports what the daemon sustained, not how fast the
+/// load generator assembled its inputs.
+fn prepare_batches(cfg: &LoadConfig) -> Vec<Vec<Vec<JobSpec>>> {
+    (0..cfg.clients)
+        .map(|client| {
+            (0..cfg.batches_per_client)
+                .map(|batch| {
+                    (0..cfg.jobs_per_batch)
+                        .map(|j| job_for(cfg.scale, client, batch * cfg.jobs_per_batch + j))
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Submits pre-built batches — one thread per connection — and measures
+/// the **submit → last-reply window only**. Connections are established
+/// and batches are built by the caller, outside the window; the clock
+/// starts when the first submission can go out and stops when the last
+/// client has read its last reply. Returns
+/// `(wall seconds, job errors, flagged jobs)`.
+///
+/// This function is the regression boundary for the historical
+/// measurement bug where `queries_per_sec` was computed over a window
+/// that *included* client-side batch construction: a slow batch build
+/// diluted the daemon's reported throughput.
+///
+/// # Errors
+///
+/// Propagates transport errors; job-level failures are counted instead.
+pub fn measure_submit_window(
+    conns: Vec<Client>,
+    batches: Vec<Vec<Vec<JobSpec>>>,
+) -> Result<(f64, usize, usize), ServiceError> {
+    assert_eq!(conns.len(), batches.len(), "one connection per client");
+    let started = Instant::now();
+    let per_client: Vec<(usize, usize)> =
+        std::thread::scope(|scope| -> Result<Vec<(usize, usize)>, ServiceError> {
+            let handles: Vec<_> = conns
+                .into_iter()
+                .zip(batches)
+                .map(|(mut conn, client_batches)| {
+                    scope.spawn(move || -> Result<(usize, usize), ServiceError> {
+                        let mut errors = 0;
+                        let mut flagged = 0;
+                        for jobs in &client_batches {
+                            for outcome in conn.submit(jobs)? {
+                                match outcome {
+                                    Ok(result) if result.flagged => flagged += 1,
+                                    Ok(_) => {}
+                                    Err(_) => errors += 1,
+                                }
+                            }
+                        }
+                        Ok((errors, flagged))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread panicked"))
+                .collect()
+        })?;
+    let wall_secs = started.elapsed().as_secs_f64();
+    Ok((
+        wall_secs,
+        per_client.iter().map(|(e, _)| e).sum(),
+        per_client.iter().map(|(_, f)| f).sum(),
+    ))
+}
+
 /// Runs the load and measures sustained throughput.
 ///
 /// # Errors
@@ -182,38 +260,13 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadOutcome, ServiceError> {
         .collect();
     probe.submit(&warmup)?;
 
-    let started = Instant::now();
-    let per_client: Vec<(usize, usize)> =
-        std::thread::scope(|scope| -> Result<Vec<(usize, usize)>, ServiceError> {
-            let handles: Vec<_> = (0..cfg.clients)
-                .map(|client| {
-                    let addr = addr.clone();
-                    scope.spawn(move || -> Result<(usize, usize), ServiceError> {
-                        let mut conn = Client::connect(addr.as_str())?;
-                        let mut errors = 0;
-                        let mut flagged = 0;
-                        for batch in 0..cfg.batches_per_client {
-                            let jobs: Vec<JobSpec> = (0..cfg.jobs_per_batch)
-                                .map(|j| job_for(cfg.scale, client, batch * cfg.jobs_per_batch + j))
-                                .collect();
-                            for outcome in conn.submit(&jobs)? {
-                                match outcome {
-                                    Ok(result) if result.flagged => flagged += 1,
-                                    Ok(_) => {}
-                                    Err(_) => errors += 1,
-                                }
-                            }
-                        }
-                        Ok((errors, flagged))
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("client thread panicked"))
-                .collect()
-        })?;
-    let wall_secs = started.elapsed().as_secs_f64();
+    // Everything client-side — batch construction, connection setup —
+    // happens before the clock starts.
+    let batches = prepare_batches(cfg);
+    let conns: Vec<Client> = (0..cfg.clients)
+        .map(|_| Client::connect(addr.as_str()))
+        .collect::<Result<_, _>>()?;
+    let (wall_secs, job_errors, flagged) = measure_submit_window(conns, batches)?;
 
     let cache = probe.stats()?;
     if let Some(server) = local_server {
@@ -226,8 +279,8 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadOutcome, ServiceError> {
         jobs,
         wall_secs,
         queries_per_sec: jobs as f64 / wall_secs.max(1e-9),
-        job_errors: per_client.iter().map(|(e, _)| e).sum(),
-        flagged: per_client.iter().map(|(_, f)| f).sum(),
+        job_errors,
+        flagged,
         cache,
     })
 }
@@ -284,6 +337,49 @@ mod tests {
                 .count(),
             4,
             "one cold source per block of four"
+        );
+    }
+
+    /// Regression pin for the measurement bug this module used to have:
+    /// `queries_per_sec` was computed over a wall clock that *included*
+    /// client-side batch construction. With a deliberately delayed batch
+    /// build, the old-style window (clock around build + submit) and the
+    /// new submit→last-reply window must visibly differ — the measured
+    /// window excludes the build delay entirely.
+    #[test]
+    fn submit_window_excludes_delayed_batch_construction() {
+        let cfg = LoadConfig {
+            addr: None,
+            clients: 1,
+            batches_per_client: 1,
+            jobs_per_batch: 2,
+            scale: Scale::Quick,
+        };
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                scale: cfg.scale.to_scenarios(),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("in-process daemon boots");
+        let addr = server.local_addr().to_string();
+
+        let old_style_clock = Instant::now();
+        // A delayed build: simulates expensive client-side job assembly.
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        let batches = prepare_batches(&cfg);
+        let conns = vec![Client::connect(addr.as_str()).expect("connects")];
+        let (wall_secs, errors, flagged) =
+            measure_submit_window(conns, batches).expect("load runs");
+        let old_style_secs = old_style_clock.elapsed().as_secs_f64();
+        server.shutdown();
+
+        assert_eq!((errors, flagged), (0, 0));
+        assert!(
+            old_style_secs >= wall_secs + 0.25,
+            "the submit window ({wall_secs:.3}s) must exclude the delayed \
+             batch build (old-style window: {old_style_secs:.3}s)"
         );
     }
 

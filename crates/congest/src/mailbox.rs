@@ -115,11 +115,67 @@ impl<'a, M> Iterator for InboxIter<'a, M> {
 
 impl<M> ExactSizeIterator for InboxIter<'_, M> {}
 
+/// Stable in-place grouping of `staged` into `buckets` buckets keyed by
+/// `key` — the counting-sort core shared by [`MailArena::refill`]
+/// (bucket = destination node) and the sharded parallel runner
+/// (bucket = destination shard).
+///
+/// Fills `offsets` so bucket `b` is `staged[offsets[b]..offsets[b + 1]]`.
+/// The sort is **stable**: entries of equal key keep their staging order,
+/// which is how the parallel runner reproduces the sequential runner's
+/// inbox order bit for bit. The permutation is applied in place by
+/// cycle-following — O(m) swaps, no per-message allocation — and
+/// `pos`/`cursors` are caller-owned scratch whose capacity is recycled
+/// across rounds.
+pub(crate) fn group_stable<M>(
+    staged: &mut [Delivery<M>],
+    buckets: usize,
+    key: impl Fn(&Delivery<M>) -> usize,
+    offsets: &mut Vec<u32>,
+    pos: &mut Vec<u32>,
+    cursors: &mut Vec<u32>,
+) {
+    offsets.clear();
+    offsets.resize(buckets + 1, 0);
+    for d in staged.iter() {
+        offsets[key(d) + 1] += 1;
+    }
+    for b in 0..buckets {
+        offsets[b + 1] += offsets[b];
+    }
+    // Rank each send: position = next free slot of its bucket.
+    cursors.clear();
+    cursors.extend_from_slice(&offsets[..buckets]);
+    pos.clear();
+    pos.reserve(staged.len());
+    for d in staged.iter() {
+        let c = &mut cursors[key(d)];
+        pos.push(*c);
+        *c += 1;
+    }
+    // Apply the permutation in place.
+    for i in 0..staged.len() {
+        while pos[i] as usize != i {
+            let j = pos[i] as usize;
+            staged.swap(i, j);
+            pos.swap(i, j);
+        }
+    }
+}
+
 /// The double-buffered round arena: one flat entry array plus an offset
 /// table, rebuilt from the round's staged sends by [`MailArena::refill`].
+///
+/// An arena covers a contiguous node-id range `base..base + len` — the
+/// whole graph in the sequential runner ([`MailArena::new`]), one shard of
+/// it in the sharded parallel runner ([`MailArena::with_range`]). Inboxes
+/// are addressed by *local* index (`v - base`).
 pub(crate) struct MailArena<M> {
     entries: Vec<Delivery<M>>,
-    /// `offsets[v]..offsets[v + 1]` indexes node `v`'s inbox in `entries`.
+    /// First node id this arena covers.
+    base: u32,
+    /// `offsets[v]..offsets[v + 1]` indexes local node `v`'s inbox in
+    /// `entries`.
     offsets: Vec<u32>,
     /// Scratch: target position of each staged send (counting-sort ranks).
     pos: Vec<u32>,
@@ -128,55 +184,44 @@ pub(crate) struct MailArena<M> {
 }
 
 impl<M> MailArena<M> {
+    /// A whole-graph arena covering nodes `0..n`.
     pub(crate) fn new(n: usize) -> Self {
+        Self::with_range(0, n)
+    }
+
+    /// A shard arena covering nodes `base..base + len`.
+    pub(crate) fn with_range(base: u32, len: usize) -> Self {
         MailArena {
             entries: Vec::new(),
-            offsets: vec![0; n + 1],
+            base,
+            offsets: vec![0; len + 1],
             pos: Vec::new(),
             cursors: Vec::new(),
         }
     }
 
-    /// Node `v`'s inbox for the current round.
+    /// Local node `v`'s inbox for the current round (`v` is relative to
+    /// the arena's base).
     pub(crate) fn inbox(&self, v: usize) -> Inbox<'_, M> {
         Inbox::new(&self.entries[self.offsets[v] as usize..self.offsets[v + 1] as usize])
     }
 
     /// Replaces the arena contents with the staged sends of the finished
-    /// round, grouped by destination via a **stable** counting sort (equal
-    /// destinations keep their staging order, which is how the parallel
-    /// runner reproduces the sequential runner's inbox order bit for bit).
-    ///
-    /// The sort permutes `staged` in place by cycle-following — O(m) swaps,
-    /// no per-message allocation — then swaps buffers with the arena, so
-    /// both vectors' capacities are recycled every round.
+    /// round, grouped by destination via the **stable** counting sort of
+    /// [`group_stable`]. Every staged destination must lie in this arena's
+    /// node range. The sorted buffer and the arena swap storage, so both
+    /// vectors' capacities are recycled every round.
     pub(crate) fn refill(&mut self, staged: &mut Vec<Delivery<M>>) {
         let n = self.offsets.len() - 1;
-        self.offsets.fill(0);
-        for d in staged.iter() {
-            self.offsets[d.dest as usize + 1] += 1;
-        }
-        for v in 0..n {
-            self.offsets[v + 1] += self.offsets[v];
-        }
-        // Rank each send: position = next free slot of its destination.
-        self.cursors.clear();
-        self.cursors.extend_from_slice(&self.offsets[..n]);
-        self.pos.clear();
-        self.pos.reserve(staged.len());
-        for d in staged.iter() {
-            let c = &mut self.cursors[d.dest as usize];
-            self.pos.push(*c);
-            *c += 1;
-        }
-        // Apply the permutation in place.
-        for i in 0..staged.len() {
-            while self.pos[i] as usize != i {
-                let j = self.pos[i] as usize;
-                staged.swap(i, j);
-                self.pos.swap(i, j);
-            }
-        }
+        let base = self.base;
+        group_stable(
+            staged,
+            n,
+            |d| (d.dest - base) as usize,
+            &mut self.offsets,
+            &mut self.pos,
+            &mut self.cursors,
+        );
         std::mem::swap(&mut self.entries, staged);
         staged.clear();
     }

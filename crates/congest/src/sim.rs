@@ -14,11 +14,16 @@
 //! * **CSR fan-out** — [`Recipients::Broadcast`] expands through the
 //!   graph's flat CSR adjacency ([`Graph::csr`]) and a flat reverse-port
 //!   table sharing the same offsets.
-//! * **Round-batched work queue** — [`run_parallel`] splits each round
-//!   into many more batches than threads and lets workers claim batches
-//!   from an atomic queue, so skewed-degree graphs keep every thread
-//!   busy; batch outputs are merged in batch (= node id) order, which is
-//!   why its results are bit-identical to [`run`]'s.
+//! * **Sharded two-phase schedule** — [`run_parallel`] partitions the
+//!   node ids into contiguous cache-sized shards, each owning its node
+//!   programs, staged-send buffer, and mailbox arena. Every round,
+//!   workers first claim shards to *compute* (step nodes, stage sends,
+//!   group them by destination shard), then claim shards to *deliver*
+//!   (gather each destination's slices from every source shard —
+//!   sources ascending = senders ascending — and rebuild its arena).
+//!   Both phases drain atomic work queues, so skewed-degree graphs keep
+//!   every thread busy, and all grouping is stable, which is why the
+//!   results are bit-identical to [`run`]'s at any shard/thread count.
 
 use arbodom_graph::{Graph, NodeId};
 use bytes::BytesMut;
@@ -70,6 +75,14 @@ pub struct RunOptions {
     pub track_rounds: bool,
     /// Optional message-loss fault injection.
     pub loss: Option<LossModel>,
+    /// Nodes per shard in [`run_parallel`]. `None` picks a cache-sized
+    /// shard automatically; explicit values are rounded up to the next
+    /// power of two (the destination-shard lookup is a shift). Results
+    /// are bit-identical at **any** value — only wall clock and peak
+    /// per-shard memory change. Tiny explicit shards on huge graphs cost
+    /// `O((n / shard_size)²)` bucket memory — the auto choice keeps the
+    /// shard count small.
+    pub shard_size: Option<usize>,
 }
 
 impl Default for RunOptions {
@@ -79,6 +92,7 @@ impl Default for RunOptions {
             meter: MeterMode::Measure,
             track_rounds: false,
             loss: None,
+            shard_size: None,
         }
     }
 }
@@ -137,6 +151,9 @@ impl Router<'_> {
     /// `Measure`/`Strict` modes, skipped entirely in `Off` — then fanned
     /// out to its recipients through the CSR adjacency slice. Dropped
     /// messages (fault injection) are metered as sent but never staged.
+    /// Surviving deliveries are handed to `stage` in deterministic order
+    /// (the sequential runner pushes onto one buffer; the sharded runner
+    /// appends to the destination shard's bucket).
     fn expand<M: Wire + Clone>(
         &self,
         v: NodeId,
@@ -144,7 +161,7 @@ impl Router<'_> {
         outgoing: Vec<Outgoing<M>>,
         scratch: &mut BytesMut,
         stats: &mut SendStats,
-        staged: &mut Vec<Delivery<M>>,
+        mut stage: impl FnMut(Delivery<M>),
     ) -> Result<(), SimError> {
         if outgoing.is_empty() {
             return Ok(());
@@ -179,10 +196,7 @@ impl Router<'_> {
             // Strict mode delivers the round-tripped value, proving the
             // decoded bytes — not the in-memory original — drive the run.
             let payload = roundtripped.as_ref().unwrap_or(&out.msg);
-            let send_one = |port: usize,
-                            stats: &mut SendStats,
-                            staged: &mut Vec<Delivery<M>>|
-             -> Result<(), SimError> {
+            let mut send_one = |port: usize, stats: &mut SendStats| -> Result<(), SimError> {
                 if port >= deg {
                     return Err(SimError::BadPort {
                         node: v.get(),
@@ -201,7 +215,7 @@ impl Router<'_> {
                         return Ok(());
                     }
                 }
-                staged.push(Delivery {
+                stage(Delivery {
                     dest: nbrs[port].get(),
                     port: rev[port],
                     msg: payload.clone(),
@@ -211,13 +225,13 @@ impl Router<'_> {
             match out.to {
                 Recipients::Broadcast => {
                     for port in 0..deg {
-                        send_one(port, stats, staged)?;
+                        send_one(port, stats)?;
                     }
                 }
-                Recipients::Port(port) => send_one(port, stats, staged)?,
+                Recipients::Port(port) => send_one(port, stats)?,
                 Recipients::Ports(ports) => {
                     for port in ports {
-                        send_one(port, stats, staged)?;
+                        send_one(port, stats)?;
                     }
                 }
             }
@@ -284,14 +298,9 @@ pub fn run<P: NodeProgram>(
                 active[vi] = false;
                 active_count -= 1;
             }
-            router.expand(
-                v,
-                round,
-                step.outgoing,
-                &mut scratch,
-                &mut stats,
-                &mut staged,
-            )?;
+            router.expand(v, round, step.outgoing, &mut scratch, &mut stats, |d| {
+                staged.push(d)
+            })?;
         }
         telemetry.absorb(round, &stats, opts.track_rounds);
         arena.refill(&mut staged);
@@ -304,17 +313,86 @@ pub fn run<P: NodeProgram>(
     })
 }
 
+/// Upper bound on the automatically chosen shard size: a shard's node
+/// programs, inbox arena, and staged sends should stay cache-resident.
+const AUTO_SHARD_MAX: usize = 32_768;
+
+/// Lower bound on the automatically chosen shard size: claiming a shard
+/// (an atomic increment plus an uncontended lock) must be noise next to
+/// stepping its nodes.
+const AUTO_SHARD_MIN: usize = 64;
+
+/// The cache-sized shard the parallel runner picks when
+/// [`RunOptions::shard_size`] is `None`: several shards per thread so the
+/// work queue can rebalance skewed-degree graphs, capped so a shard's
+/// working set stays cache-resident and the shard count stays small
+/// enough that the per-shard routing tables are negligible.
+fn auto_shard_size(n: usize, threads: usize) -> usize {
+    n.div_ceil(threads * 4)
+        .clamp(AUTO_SHARD_MIN, AUTO_SHARD_MAX)
+}
+
+/// Per-shard compute output: the shard's staged sends, bucketed by
+/// destination shard as they are expanded, plus the nodes that halted and
+/// the shard's send statistics. Double-buffered across rounds (`prev` is
+/// read by everyone delivering, `cur` is written by the claiming worker)
+/// and all buckets persist, so steady-state rounds allocate nothing.
+struct ShardOut<M> {
+    /// `staged[d]` holds this shard's deliveries to destination shard
+    /// `d`, in expansion order (= ascending sender id within the shard).
+    staged: Vec<Vec<Delivery<M>>>,
+    /// Node ids that halted this round, ascending.
+    halted: Vec<usize>,
+    /// This shard's send statistics for the round.
+    stats: SendStats,
+}
+
+impl<M> ShardOut<M> {
+    fn new(num_shards: usize) -> Self {
+        ShardOut {
+            staged: (0..num_shards).map(|_| Vec::new()).collect(),
+            halted: Vec::new(),
+            stats: SendStats::default(),
+        }
+    }
+}
+
+/// Per-shard delivery state: the shard's inbox arena plus the gather
+/// buffer it swaps storage with every round.
+struct ShardIn<M> {
+    arena: MailArena<M>,
+    gather: Vec<Delivery<M>>,
+}
+
 /// Thread-parallel variant of [`run`], producing identical outputs and
 /// telemetry (totals, maxima, and per-round stats are all merged
 /// order-independently or in node order).
 ///
-/// Each round, nodes are split into batches — several per thread — and
-/// worker threads claim batches from an atomic work queue, so a few
-/// heavyweight nodes (skewed-degree graphs) do not leave the other
-/// threads idle the way fixed contiguous chunks would. Every batch
-/// buffers its outgoing messages locally; buffers are merged in batch
-/// order (= ascending node id), so each inbox sees the same arrival
-/// order as in the sequential runner.
+/// The node ids are partitioned into contiguous cache-sized **shards**
+/// (several per thread; size tunable via [`RunOptions::shard_size`]),
+/// each owning its node programs, per-destination-shard send buckets, and
+/// its own mailbox arena. Every round, workers claim shards from an
+/// atomic queue and run a two-phase deliver/compute schedule per shard:
+///
+/// 1. **deliver** — gather the shard's bucket from every source shard's
+///    *previous-round* output (sources in ascending order = ascending
+///    sender id, exactly the sequential staging order) and rebuild the
+///    shard's arena with the same stable per-node counting sort the
+///    sequential runner uses;
+/// 2. **compute** — step the shard's active nodes against the freshly
+///    rebuilt arena, expanding each send straight into the destination
+///    shard's bucket of the shard's *current-round* output.
+///
+/// The previous-round outputs are immutable while a round runs (shard
+/// outputs are double-buffered), which is what lets the two phases fuse
+/// into a single pass per shard — one thread-scope per round, no global
+/// merge, no global sort. All per-shard buffers persist and swap storage
+/// across rounds, so steady-state rounds allocate nothing and peak
+/// memory stays `O(edges + live messages)` at any graph size. Because
+/// bucketing and gathering preserve staging order and shards are walked
+/// in ascending order, each inbox sees the same arrival order as in the
+/// sequential runner — which is why the results are bit-identical at any
+/// shard size and thread count.
 ///
 /// # Errors
 ///
@@ -349,20 +427,37 @@ where
         opts,
         budget: globals.congest_bits(),
     };
-    let mut arena: MailArena<P::Message> = MailArena::new(n);
-    let mut staged: Vec<Delivery<P::Message>> = Vec::new();
     let mut telemetry = Telemetry {
         bandwidth_budget_bits: router.budget,
         ..Telemetry::default()
     };
-    // More batches than threads so the work queue can rebalance; large
-    // enough batches that claiming one (an atomic increment + an
-    // uncontended lock) is noise next to stepping its nodes.
-    let batch_size = n.div_ceil(threads * 4).max(64);
-    let num_batches = n.div_ceil(batch_size);
-    // Capacity hint for per-batch send buffers: last round's traffic,
-    // split evenly, with headroom.
-    let mut send_hint = 0usize;
+    // Shard sizes are rounded up to a power of two so the per-message
+    // destination-shard lookup in the staging hot path is a shift, not an
+    // integer division (measurably faster at millions of messages/round).
+    let shard_size = opts
+        .shard_size
+        .unwrap_or_else(|| auto_shard_size(n, threads))
+        .max(1)
+        .next_power_of_two();
+    let shard_shift = shard_size.trailing_zeros();
+    let num_shards = n.div_ceil(shard_size);
+    // Double-buffered shard outputs: `prev` holds the finished round's
+    // sends (read-shared by every delivering shard), `cur` collects the
+    // running round's (written by the claiming worker). Swapped at the
+    // end of each round, capacities recycled.
+    let mut prev_outs: Vec<ShardOut<P::Message>> =
+        (0..num_shards).map(|_| ShardOut::new(num_shards)).collect();
+    let mut cur_outs: Vec<ShardOut<P::Message>> =
+        (0..num_shards).map(|_| ShardOut::new(num_shards)).collect();
+    let mut shard_ins: Vec<ShardIn<P::Message>> = (0..num_shards)
+        .map(|s| {
+            let base = s * shard_size;
+            ShardIn {
+                arena: MailArena::with_range(base as u32, shard_size.min(n - base)),
+                gather: Vec::new(),
+            }
+        })
+        .collect();
     let mut round = 0usize;
     loop {
         if active_count == 0 {
@@ -374,38 +469,53 @@ where
                 active: active_count,
             });
         }
-        // (staged deliveries, halted node ids, send statistics) per batch;
-        // a worker returns the batches it claimed, tagged by batch index.
-        type BatchOut<M> = (Vec<Delivery<M>>, Vec<usize>, SendStats);
-        type WorkerOut<M> = Vec<(usize, BatchOut<M>)>;
-        let mut batch_outs: WorkerOut<P::Message> = {
+        // One fused pass per shard: deliver the previous round's sends
+        // into the shard's arena, then step its nodes. Errors are tagged
+        // with their shard index so the merge can propagate the fault of
+        // the *lowest* shard — shards step their nodes in ascending id
+        // order, so that is exactly the error the sequential runner would
+        // have hit first, regardless of which worker claimed which shard.
+        {
             let queue = AtomicUsize::new(0);
             let queue = &queue;
-            let batches: Vec<Mutex<&mut [P]>> =
-                nodes.chunks_mut(batch_size).map(Mutex::new).collect();
-            let batches = &batches;
+            type ShardSlot<'a, P, M> =
+                Mutex<((&'a mut [P], &'a mut ShardOut<M>), &'a mut ShardIn<M>)>;
+            let shards: Vec<ShardSlot<'_, P, P::Message>> = nodes
+                .chunks_mut(shard_size)
+                .zip(cur_outs.iter_mut())
+                .zip(shard_ins.iter_mut())
+                .map(Mutex::new)
+                .collect();
+            let shards = &shards;
             let router = &router;
-            let arena = &arena;
             let active = &active;
-            // Errors are tagged with their batch index so the merge can
-            // propagate the fault of the *lowest* batch — batches step
-            // their nodes in ascending id order and the queue hands out
-            // batches in ascending order, so that is exactly the error
-            // the sequential runner would have hit first, regardless of
-            // which worker happened to claim which batch.
-            let worker = move || -> Result<WorkerOut<P::Message>, (usize, SimError)> {
-                let mut outs = Vec::new();
+            let prev_outs = &prev_outs;
+            let worker = move || -> Result<(), (usize, SimError)> {
                 let mut scratch = BytesMut::new();
                 loop {
-                    let b = queue.fetch_add(1, Ordering::Relaxed);
-                    if b >= num_batches {
-                        return Ok(outs);
+                    let s = queue.fetch_add(1, Ordering::Relaxed);
+                    if s >= num_shards {
+                        return Ok(());
                     }
-                    let mut chunk = batches[b].lock().expect("batch claimed once");
-                    let base = b * batch_size;
-                    let mut batch_staged = Vec::with_capacity(send_hint);
-                    let mut halted = Vec::new();
-                    let mut stats = SendStats::default();
+                    let mut guard = shards[s].lock().expect("shard claimed once");
+                    let ((chunk, out), shard_in) = &mut *guard;
+                    // Deliver: gather this shard's bucket from every
+                    // source (ascending = sequential staging order) and
+                    // rebuild the arena. Round 0 gathers nothing.
+                    let ShardIn { arena, gather } = shard_in;
+                    gather.clear();
+                    for src in prev_outs.iter() {
+                        gather.extend_from_slice(&src.staged[s]);
+                    }
+                    arena.refill(gather);
+                    // Compute: step the shard's nodes against the fresh
+                    // arena, bucketing sends by destination shard.
+                    for bucket in &mut out.staged {
+                        bucket.clear();
+                    }
+                    out.halted.clear();
+                    out.stats = SendStats::default();
+                    let base = s * shard_size;
                     for (i, node) in chunk.iter_mut().enumerate() {
                         let vi = base + i;
                         if !active[vi] {
@@ -419,62 +529,51 @@ where
                             globals,
                             round,
                         };
-                        let step = node.round(&ctx, arena.inbox(vi));
+                        let step = node.round(&ctx, arena.inbox(i));
                         if step.done {
-                            halted.push(vi);
+                            out.halted.push(vi);
                         }
+                        let staged = &mut out.staged;
                         router
-                            .expand(
-                                v,
-                                round,
-                                step.outgoing,
-                                &mut scratch,
-                                &mut stats,
-                                &mut batch_staged,
-                            )
-                            .map_err(|e| (b, e))?;
+                            .expand(v, round, step.outgoing, &mut scratch, &mut out.stats, |d| {
+                                staged[(d.dest >> shard_shift) as usize].push(d)
+                            })
+                            .map_err(|e| (s, e))?;
                     }
-                    outs.push((b, (batch_staged, halted, stats)));
                 }
             };
-            let results: Vec<Result<_, (usize, SimError)>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..threads).map(|_| scope.spawn(worker)).collect();
+            let results: Vec<Result<(), (usize, SimError)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads.min(num_shards))
+                    .map(|_| scope.spawn(worker))
+                    .collect();
                 handles
                     .into_iter()
                     .map(|h| h.join().expect("worker panicked"))
                     .collect()
             });
-            let mut all = Vec::new();
             let mut first_err: Option<(usize, SimError)> = None;
             for res in results {
-                match res {
-                    Ok(mut outs) => all.append(&mut outs),
-                    Err((b, e)) => {
-                        if first_err.as_ref().is_none_or(|(fb, _)| b < *fb) {
-                            first_err = Some((b, e));
-                        }
+                if let Err((s, e)) = res {
+                    if first_err.as_ref().is_none_or(|(fs, _)| s < *fs) {
+                        first_err = Some((s, e));
                     }
                 }
             }
             if let Some((_, e)) = first_err {
                 return Err(e);
             }
-            all
-        };
-        // Merge in batch order: bit-identical inbox order to `run`.
-        batch_outs.sort_unstable_by_key(|&(b, _)| b);
+        }
+        // Merge bookkeeping in shard order (= ascending node id).
         let mut round_stats = SendStats::default();
-        for (_, (mut batch_staged, halted, stats)) in batch_outs {
-            staged.append(&mut batch_staged);
-            round_stats.merge(&stats);
-            for vi in halted {
+        for out in &mut cur_outs {
+            round_stats.merge(&out.stats);
+            for &vi in &out.halted {
                 active[vi] = false;
                 active_count -= 1;
             }
         }
         telemetry.absorb(round, &round_stats, opts.track_rounds);
-        send_hint = staged.len() / num_batches + staged.len() / (num_batches * 4) + 8;
-        arena.refill(&mut staged);
+        std::mem::swap(&mut prev_outs, &mut cur_outs);
         round += 1;
     }
     telemetry.rounds = round;
@@ -937,6 +1036,35 @@ mod tests {
             let par = run_parallel(&g, &globals, |_, _| Echo { sum: 0 }, &opts, threads).unwrap();
             assert_eq!(seq.outputs, par.outputs, "threads={threads}");
             assert_eq!(seq.telemetry, par.telemetry, "threads={threads}");
+        }
+    }
+
+    /// Explicit shard sizes — degenerate 1-node shards, a mid size, and a
+    /// single whole-graph shard — all reproduce the sequential runner
+    /// exactly, outputs and telemetry.
+    #[test]
+    fn parallel_matches_sequential_at_any_shard_size() {
+        let g = generators::grid2d(15, 15, true);
+        let globals = Globals::new(&g, 2);
+        let base = RunOptions {
+            track_rounds: true,
+            ..RunOptions::default()
+        };
+        let seq = run(&g, &globals, |_, _| Echo { sum: 0 }, &base).unwrap();
+        for shard in [1usize, 64, g.n()] {
+            let opts = RunOptions {
+                shard_size: Some(shard),
+                ..base.clone()
+            };
+            for threads in [2usize, 4] {
+                let par =
+                    run_parallel(&g, &globals, |_, _| Echo { sum: 0 }, &opts, threads).unwrap();
+                assert_eq!(seq.outputs, par.outputs, "shard={shard} threads={threads}");
+                assert_eq!(
+                    seq.telemetry, par.telemetry,
+                    "shard={shard} threads={threads}"
+                );
+            }
         }
     }
 

@@ -2,6 +2,49 @@
 
 use crate::{Graph, GraphError, NodeId, Result};
 
+/// A sink accepting a stream of undirected edges — the target of the
+/// streaming `try_*_into` generator variants in [`crate::generators`].
+///
+/// The point of the abstraction is *memory*: a streaming generator emits
+/// each edge straight into the sink as it is decided, so building a huge
+/// instance never materializes an intermediate edge `Vec<(u32, u32)>` (or
+/// worse, intermediate [`Graph`]s) between the generator and the
+/// [`GraphBuilder`] that will freeze it. A non-building sink (e.g.
+/// [`EdgeCounter`]) can dry-run a generator to size an instance without
+/// allocating it at all.
+pub trait EdgeSink {
+    /// Accepts the undirected edge `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations reject edges they cannot accept — the builder
+    /// propagates [`GraphError::SelfLoop`] / [`GraphError::NodeOutOfRange`].
+    fn accept_edge(&mut self, u: u32, v: u32) -> Result<()>;
+}
+
+impl EdgeSink for GraphBuilder {
+    fn accept_edge(&mut self, u: u32, v: u32) -> Result<()> {
+        self.add_edge_u32(u, v).map(|_| ())
+    }
+}
+
+/// An [`EdgeSink`] that only counts the edges streamed into it (before
+/// deduplication). Lets callers dry-run a streaming generator to estimate
+/// an instance's size — and lets tests prove a generator really streams
+/// through the sink interface instead of buffering edges.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EdgeCounter {
+    /// Edges accepted so far.
+    pub edges: usize,
+}
+
+impl EdgeSink for EdgeCounter {
+    fn accept_edge(&mut self, _u: u32, _v: u32) -> Result<()> {
+        self.edges += 1;
+        Ok(())
+    }
+}
+
 /// Incremental builder for [`Graph`].
 ///
 /// Collects undirected edges, then sorts, deduplicates, and freezes them into

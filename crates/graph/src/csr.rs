@@ -262,6 +262,23 @@ impl Graph {
         })
     }
 
+    /// The heap footprint of the frozen representation, by component.
+    ///
+    /// The CSR arrays are sized exactly at [`GraphBuilder::build`] time,
+    /// so this is the steady-state cost of *holding* the graph:
+    /// `4(n + 1)` offset bytes, `8m` neighbor bytes (each undirected edge
+    /// appears in both endpoints' lists), and `8n` weight bytes —
+    /// about `12n + 8m` bytes total. Million-node planning math lives on
+    /// top of this accessor; see the workspace README's million-node
+    /// section.
+    pub fn memory_footprint(&self) -> MemoryFootprint {
+        MemoryFootprint {
+            offsets_bytes: self.offsets.len() * std::mem::size_of::<u32>(),
+            neighbors_bytes: self.neighbors.len() * std::mem::size_of::<NodeId>(),
+            weights_bytes: self.weights.len() * std::mem::size_of::<u64>(),
+        }
+    }
+
     /// The minimum weight over the closed neighborhood of `v`:
     /// `τ_v = min_{u ∈ N⁺(v)} w_u`, the cheapest node that can dominate `v`.
     pub fn tau(&self, v: NodeId) -> u64 {
@@ -277,6 +294,25 @@ impl Graph {
         self.closed_neighbors(v)
             .min_by_key(|&u| (self.weight(u), u))
             .expect("closed neighborhood is nonempty")
+    }
+}
+
+/// Heap bytes of a frozen [`Graph`], by component — see
+/// [`Graph::memory_footprint`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemoryFootprint {
+    /// The `n + 1` CSR offset table (`u32` each).
+    pub offsets_bytes: usize,
+    /// The `2m` flat neighbor array (`u32` node ids).
+    pub neighbors_bytes: usize,
+    /// The `n` node weights (`u64` each).
+    pub weights_bytes: usize,
+}
+
+impl MemoryFootprint {
+    /// Total heap bytes across all components.
+    pub fn total(&self) -> usize {
+        self.offsets_bytes + self.neighbors_bytes + self.weights_bytes
     }
 }
 

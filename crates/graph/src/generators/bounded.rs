@@ -7,7 +7,7 @@
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use crate::{Graph, GraphBuilder, GraphError, NodeId, Result};
+use crate::{EdgeSink, Graph, GraphBuilder, GraphError, NodeId, Result};
 
 /// The union of `alpha` independent uniformly random spanning trees on the
 /// same `n` nodes. The edge set decomposes into `alpha` forests by
@@ -69,6 +69,35 @@ pub fn try_forest_union_partial(
     keep: f64,
     rng: &mut impl Rng,
 ) -> Result<Graph> {
+    let mut b = GraphBuilder::new(n);
+    try_forest_union_into(n, alpha, keep, rng, &mut b)?;
+    Ok(b.build())
+}
+
+/// Streaming form of [`try_forest_union_partial`]: emits each kept tree
+/// edge straight into `sink`, so building a huge union never materializes
+/// per-tree graphs. Draws exactly the same random values in the same
+/// order as the historical builder path — the per-seed output of
+/// [`try_forest_union_partial`] is frozen by the seed-stability pins —
+/// so both forms produce the same graph for the same `rng` state.
+///
+/// With `keep ≥ 1` the trees stream with **no intermediate edge storage**
+/// at all. With `keep < 1` each tree's edges are buffered and sorted
+/// (one `n − 1`-entry scratch, an order of magnitude smaller than a
+/// materialized tree graph) because the keep-coins have always been
+/// drawn in sorted edge order and the digests pin that.
+///
+/// # Errors
+///
+/// Same parameter validation as [`try_forest_union_partial`], plus sink
+/// rejections.
+pub fn try_forest_union_into(
+    n: usize,
+    alpha: usize,
+    keep: f64,
+    rng: &mut impl Rng,
+    sink: &mut impl EdgeSink,
+) -> Result<()> {
     if n == 0 {
         return Err(GraphError::InvalidParameter(
             "forest_union: n must be at least 1".into(),
@@ -84,16 +113,36 @@ pub fn try_forest_union_partial(
             "forest_union: keep must be in [0, 1], got {keep}"
         )));
     }
-    let mut b = GraphBuilder::new(n);
+    if keep >= 1.0 {
+        for _ in 0..alpha {
+            super::try_random_tree_into(n, rng, sink)?;
+        }
+        return Ok(());
+    }
+    let mut tree: Vec<(u32, u32)> = Vec::with_capacity(n.saturating_sub(1));
     for _ in 0..alpha {
-        let tree = super::random_tree(n, rng);
-        for (u, v) in tree.edges() {
-            if keep >= 1.0 || rng.random_bool(keep) {
-                b.add_edge(u, v).expect("forest edges are valid");
+        tree.clear();
+        super::try_random_tree_into(n, rng, &mut SortedScratch(&mut tree))?;
+        tree.sort_unstable();
+        for &(u, v) in &tree {
+            if rng.random_bool(keep) {
+                sink.accept_edge(u, v)?;
             }
         }
     }
-    Ok(b.build())
+    Ok(())
+}
+
+/// Collects canonicalized `(min, max)` pairs for the partial-union path,
+/// which must draw its keep-coins in sorted edge order (the frozen
+/// historical behavior).
+struct SortedScratch<'a>(&'a mut Vec<(u32, u32)>);
+
+impl EdgeSink for SortedScratch<'_> {
+    fn accept_edge(&mut self, u: u32, v: u32) -> Result<()> {
+        self.0.push((u.min(v), u.max(v)));
+        Ok(())
+    }
 }
 
 /// Preferential attachment (Barabási–Albert): nodes arrive one by one and

@@ -21,6 +21,15 @@
 //! for out-of-domain parameters, and the historical panicking form
 //! delegating to it. The scenario-matrix families are new enough to have
 //! only the fallible form.
+//!
+//! The million-node families additionally have **streaming** `try_*_into`
+//! forms ([`try_random_tree_into`], [`try_forest_union_into`],
+//! [`try_random_planar_into`], [`try_power_law_capped_into`]) that emit
+//! edges straight into an [`crate::EdgeSink`] — usually a
+//! [`crate::GraphBuilder`] — so a huge instance builds without transient
+//! per-tree graphs or intermediate edge vectors. The builder-returning
+//! forms are thin wrappers over the streaming cores and draw the same
+//! random values, so the seed-stability pins cover both.
 
 mod basic;
 mod bounded;
@@ -32,10 +41,14 @@ pub use basic::{
 };
 pub use bounded::{
     forest_union, forest_union_partial, planted_ds, preferential_attachment, try_forest_union,
-    try_forest_union_partial, try_planted_ds, try_preferential_attachment, PlantedInstance,
+    try_forest_union_into, try_forest_union_partial, try_planted_ds, try_preferential_attachment,
+    PlantedInstance,
 };
 pub use random::{
     bipartite_random, gnm, gnp, random_regular, random_tree, try_bipartite_random, try_gnm,
-    try_gnp, try_random_regular,
+    try_gnp, try_random_regular, try_random_tree_into,
 };
-pub use structured::{k_tree, power_law_capped, random_planar, unit_disk};
+pub use structured::{
+    k_tree, power_law_capped, random_planar, try_power_law_capped_into, try_random_planar_into,
+    unit_disk,
+};

@@ -3,7 +3,7 @@
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use crate::{Graph, GraphBuilder, GraphError, Result};
+use crate::{EdgeSink, Graph, GraphBuilder, GraphError, Result};
 
 /// Erdős–Rényi `G(n, p)`: every pair is an edge independently with
 /// probability `p`.
@@ -131,12 +131,26 @@ pub fn try_gnm(n: usize, m: usize, rng: &mut impl Rng) -> Result<Graph> {
 /// (arboricity 1).
 pub fn random_tree(n: usize, rng: &mut impl Rng) -> Graph {
     let mut b = GraphBuilder::new(n);
+    try_random_tree_into(n, rng, &mut b).expect("tree edges are valid");
+    b.build()
+}
+
+/// Streaming form of [`random_tree`]: emits the tree's `n − 1` edges
+/// straight into `sink` (in Prüfer-elimination order) without building an
+/// intermediate graph. Draws exactly the same random values as
+/// [`random_tree`], so for the same `rng` state both produce the same
+/// edge *set*.
+///
+/// # Errors
+///
+/// Propagates sink rejections (a [`GraphBuilder`] sink of at least `n`
+/// nodes never rejects tree edges).
+pub fn try_random_tree_into(n: usize, rng: &mut impl Rng, sink: &mut impl EdgeSink) -> Result<()> {
     if n < 2 {
-        return b.build();
+        return Ok(());
     }
     if n == 2 {
-        b.add_edge_u32(0, 1).expect("tree edge is valid");
-        return b.build();
+        return sink.accept_edge(0, 1);
     }
     let seq: Vec<usize> = (0..n - 2).map(|_| rng.random_range(0..n)).collect();
     let mut degree = vec![1u32; n];
@@ -150,8 +164,7 @@ pub fn random_tree(n: usize, rng: &mut impl Rng) -> Graph {
         .collect();
     for &s in &seq {
         let std::cmp::Reverse(leaf) = heap.pop().expect("a leaf always exists");
-        b.add_edge_u32(leaf as u32, s as u32)
-            .expect("tree edges are valid");
+        sink.accept_edge(leaf as u32, s as u32)?;
         degree[s] -= 1;
         if degree[s] == 1 {
             heap.push(std::cmp::Reverse(s));
@@ -159,9 +172,7 @@ pub fn random_tree(n: usize, rng: &mut impl Rng) -> Graph {
     }
     let std::cmp::Reverse(u) = heap.pop().expect("two nodes remain");
     let std::cmp::Reverse(v) = heap.pop().expect("two nodes remain");
-    b.add_edge_u32(u as u32, v as u32)
-        .expect("tree edges are valid");
-    b.build()
+    sink.accept_edge(u as u32, v as u32)
 }
 
 /// A random `d`-regular multigraph flattened to a simple graph, via the

@@ -18,7 +18,7 @@
 
 use rand::Rng;
 
-use crate::{Graph, GraphBuilder, GraphError, Result};
+use crate::{EdgeSink, Graph, GraphBuilder, GraphError, Result};
 
 /// A random planar graph: a near-square grid on exactly `n` nodes with a
 /// random diagonal chord added in each unit cell independently with
@@ -34,6 +34,25 @@ use crate::{Graph, GraphBuilder, GraphError, Result};
 /// Returns [`GraphError::InvalidParameter`] if `n == 0` or `diag_p` is not
 /// in `[0, 1]`.
 pub fn random_planar(n: usize, diag_p: f64, rng: &mut impl Rng) -> Result<Graph> {
+    let mut b = GraphBuilder::new(n);
+    try_random_planar_into(n, diag_p, rng, &mut b)?;
+    Ok(b.build())
+}
+
+/// Streaming form of [`random_planar`]: emits grid and chord edges
+/// straight into `sink` with no intermediate storage. Draws exactly the
+/// same random values in the same order as [`random_planar`], so both
+/// forms produce the same graph for the same `rng` state.
+///
+/// # Errors
+///
+/// Same parameter validation as [`random_planar`], plus sink rejections.
+pub fn try_random_planar_into(
+    n: usize,
+    diag_p: f64,
+    rng: &mut impl Rng,
+    sink: &mut impl EdgeSink,
+) -> Result<()> {
     if n == 0 {
         return Err(GraphError::InvalidParameter(
             "random_planar: n must be at least 1".into(),
@@ -45,15 +64,14 @@ pub fn random_planar(n: usize, diag_p: f64, rng: &mut impl Rng) -> Result<Graph>
         )));
     }
     let cols = (n as f64).sqrt().ceil() as usize;
-    let mut b = GraphBuilder::new(n);
     let at = |r: usize, c: usize| r * cols + c;
     for v in 0..n {
         let (r, c) = (v / cols, v % cols);
         if c + 1 < cols && at(r, c + 1) < n {
-            b.add_edge_u32(v as u32, at(r, c + 1) as u32)?;
+            sink.accept_edge(v as u32, at(r, c + 1) as u32)?;
         }
         if at(r + 1, c) < n {
-            b.add_edge_u32(v as u32, at(r + 1, c) as u32)?;
+            sink.accept_edge(v as u32, at(r + 1, c) as u32)?;
         }
     }
     // One chord per complete unit cell: the ⟍ or ⟋ diagonal, at random.
@@ -64,13 +82,13 @@ pub fn random_planar(n: usize, diag_p: f64, rng: &mut impl Rng) -> Result<Graph>
         }
         if diag_p > 0.0 && (diag_p >= 1.0 || rng.random_bool(diag_p)) {
             if rng.random_bool(0.5) {
-                b.add_edge_u32(at(r, c) as u32, at(r + 1, c + 1) as u32)?;
+                sink.accept_edge(at(r, c) as u32, at(r + 1, c + 1) as u32)?;
             } else {
-                b.add_edge_u32(at(r, c + 1) as u32, at(r + 1, c) as u32)?;
+                sink.accept_edge(at(r, c + 1) as u32, at(r + 1, c) as u32)?;
             }
         }
     }
-    Ok(b.build())
+    Ok(())
 }
 
 /// A uniformly grown `k`-tree: a `(k+1)`-clique, then each new node joins
@@ -140,6 +158,29 @@ pub fn k_tree(n: usize, k: usize, rng: &mut impl Rng) -> Result<Graph> {
 /// Returns [`GraphError::InvalidParameter`] if `n < 2`, `cap == 0`, or
 /// `exponent` is not finite and `> 1`.
 pub fn power_law_capped(n: usize, exponent: f64, cap: usize, rng: &mut impl Rng) -> Result<Graph> {
+    let mut b = GraphBuilder::new(n);
+    try_power_law_capped_into(n, exponent, cap, rng, &mut b)?;
+    Ok(b.build())
+}
+
+/// Streaming form of [`power_law_capped`]: emits each attachment edge
+/// straight into `sink` as it is drawn (the degree-proportional endpoint
+/// multiset is the construction's state, not an edge buffer). Draws
+/// exactly the same random values in the same order as
+/// [`power_law_capped`], so both forms produce the same graph for the
+/// same `rng` state.
+///
+/// # Errors
+///
+/// Same parameter validation as [`power_law_capped`], plus sink
+/// rejections.
+pub fn try_power_law_capped_into(
+    n: usize,
+    exponent: f64,
+    cap: usize,
+    rng: &mut impl Rng,
+    sink: &mut impl EdgeSink,
+) -> Result<()> {
     if n < 2 {
         return Err(GraphError::InvalidParameter(format!(
             "power_law_capped: need n >= 2, got {n}"
@@ -164,7 +205,6 @@ pub fn power_law_capped(n: usize, exponent: f64, cap: usize, rng: &mut impl Rng)
         acc += w / total;
         cdf.push(acc);
     }
-    let mut b = GraphBuilder::new(n);
     // Endpoint multiset for degree-proportional target choice (as in
     // preferential attachment), seeded so node 0 is drawable.
     let mut chances: Vec<u32> = vec![0];
@@ -191,12 +231,12 @@ pub fn power_law_capped(n: usize, exponent: f64, cap: usize, rng: &mut impl Rng)
         let mut targets: Vec<u32> = targets.into_iter().collect();
         targets.sort_unstable();
         for t in targets {
-            b.add_edge_u32(v as u32, t)?;
+            sink.accept_edge(v as u32, t)?;
             chances.push(t);
             chances.push(v as u32);
         }
     }
-    Ok(b.build())
+    Ok(())
 }
 
 /// A unit-disk-style geometric graph: `n` uniform points in the unit

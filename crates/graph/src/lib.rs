@@ -47,8 +47,8 @@ pub mod pseudoarboricity;
 pub mod traversal;
 pub mod weights;
 
-pub use builder::GraphBuilder;
-pub use csr::{Graph, NodeId};
+pub use builder::{EdgeCounter, EdgeSink, GraphBuilder};
+pub use csr::{Graph, MemoryFootprint, NodeId};
 pub use error::GraphError;
 
 /// Convenience alias for results returned by fallible graph operations.

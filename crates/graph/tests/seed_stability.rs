@@ -120,6 +120,77 @@ fn pin_planted_ds() {
     );
 }
 
+/// The streaming `try_*_into` forms must be *the same stream* as the
+/// builder-returning forms: identical rng consumption, identical edge
+/// set, hence identical digest — that is what lets the scenario engine
+/// build huge instances through a sink while every pin above stays valid.
+#[test]
+fn streaming_forms_match_builder_forms_digest_for_digest() {
+    use arbodom_graph::{EdgeSink, Graph, GraphBuilder};
+
+    fn via_sink(n: usize, f: impl FnOnce(&mut GraphBuilder)) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        f(&mut b);
+        b.build()
+    }
+
+    let direct = generators::forest_union_partial(250, 3, 0.6, &mut rng());
+    let streamed = via_sink(250, |b| {
+        generators::try_forest_union_into(250, 3, 0.6, &mut rng(), b).unwrap()
+    });
+    assert_eq!(edge_digest(&direct), edge_digest(&streamed), "forest_union");
+
+    let direct = generators::random_planar(200, 0.4, &mut rng()).unwrap();
+    let streamed = via_sink(200, |b| {
+        generators::try_random_planar_into(200, 0.4, &mut rng(), b).unwrap()
+    });
+    assert_eq!(
+        edge_digest(&direct),
+        edge_digest(&streamed),
+        "random_planar"
+    );
+
+    let direct = generators::power_law_capped(400, 2.5, 3, &mut rng()).unwrap();
+    let streamed = via_sink(400, |b| {
+        generators::try_power_law_capped_into(400, 2.5, 3, &mut rng(), b).unwrap()
+    });
+    assert_eq!(edge_digest(&direct), edge_digest(&streamed), "power_law");
+
+    let direct = generators::random_tree(300, &mut rng());
+    let streamed = via_sink(300, |b| {
+        generators::try_random_tree_into(300, &mut rng(), b).unwrap()
+    });
+    assert_eq!(edge_digest(&direct), edge_digest(&streamed), "random_tree");
+
+    // A non-building sink proves the generators stream through the
+    // `EdgeSink` interface (and sizes the instance without allocating it).
+    let mut counter = arbodom_graph::EdgeCounter::default();
+    counter.accept_edge(0, 1).unwrap();
+    assert_eq!(counter.edges, 1);
+    let mut counter = arbodom_graph::EdgeCounter::default();
+    generators::try_forest_union_into(250, 3, 1.0, &mut rng(), &mut counter).unwrap();
+    assert_eq!(counter.edges, 3 * 249, "α trees of n − 1 edges each");
+}
+
+/// Memory-footprint pin for the streaming path: the frozen CSR arrays of
+/// a streamed million-scale family cost exactly `4(n + 1) + 8m + 8n`
+/// bytes — the steady-state planning number the million-node docs quote.
+/// (The *peak* during construction is the builder's edge vector plus
+/// these arrays; streaming removed the per-tree intermediate graphs on
+/// top of that.)
+#[test]
+fn streamed_graph_memory_footprint_is_pinned() {
+    let g = generators::forest_union(10_000, 3, &mut rng());
+    let fp = g.memory_footprint();
+    assert_eq!(fp.offsets_bytes, 4 * (g.n() + 1));
+    assert_eq!(fp.neighbors_bytes, 8 * g.m());
+    assert_eq!(fp.weights_bytes, 8 * g.n());
+    assert_eq!(fp.total(), 4 * (g.n() + 1) + 8 * g.m() + 8 * g.n());
+    // forest_union(α = 3) on 10k nodes: m ≤ 3(n − 1), so the whole frozen
+    // instance stays under the 12n + 24n ≈ 36n-byte envelope.
+    assert!(fp.total() <= 36 * g.n() + 4);
+}
+
 /// The pins above freeze one parameterization each; this guard freezes the
 /// *relationship*: the same seed twice is identical, different seeds
 /// differ. Catches an RNG that ignores its seed.

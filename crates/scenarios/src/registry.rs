@@ -39,6 +39,41 @@ const fn thm11_forest(name: &'static str, alpha: usize) -> ScenarioSpec {
     }
 }
 
+/// The million-node tier sizes: every `huge` scenario sweeps these at
+/// full scale. The quick sweep keeps the smallest cell so CI exercises
+/// the streamed-generation + sharded-simulation path on every PR.
+pub const HUGE_SIZES: &[usize] = &[250_000, 500_000, 1_000_000];
+
+/// Quick sweep of the million-node tier (the smallest full cell).
+pub const HUGE_QUICK_SIZES: &[usize] = &[250_000];
+
+/// A million-node-tier scenario: one of the paper's sparse families at
+/// n ∈ {2.5e5, 5e5, 1e6}, unit weights, single seed. All `huge` cells are
+/// accounted against the packing lower bound (no exact reference exists
+/// at this scale) and checked against the theorem's round budget like
+/// every other cell. Tagged `huge` so debug-mode test harnesses can skip
+/// the tier while release CI runs its smallest cell on every PR.
+const fn huge_tier(
+    name: &'static str,
+    title: &'static str,
+    tags: &'static [&'static str],
+    family: Family,
+) -> ScenarioSpec {
+    ScenarioSpec {
+        name,
+        title,
+        tags,
+        family,
+        quick_sizes: HUGE_QUICK_SIZES,
+        full_sizes: HUGE_SIZES,
+        weights: UNIT,
+        loss: LOSSLESS,
+        seeds: 1,
+        algorithm: Algorithm::Weighted { eps: 0.3 },
+        meter: MeterMode::Measure,
+    }
+}
+
 /// Every registered scenario, in display order.
 pub fn registry() -> Vec<ScenarioSpec> {
     vec![
@@ -201,6 +236,30 @@ pub fn registry() -> Vec<ScenarioSpec> {
             algorithm: Algorithm::Weighted { eps: 0.3 },
             meter: MeterMode::Measure,
         },
+        huge_tier(
+            "huge-forest-union",
+            "Million-node tier: Theorem 1.1 on streamed forest unions (α = 3)",
+            &["huge", "forest-union", "million"],
+            Family::ForestUnion {
+                alpha: 3,
+                keep: 1.0,
+            },
+        ),
+        huge_tier(
+            "huge-planar",
+            "Million-node tier: Theorem 1.1 on streamed random planar graphs",
+            &["huge", "planar", "million"],
+            Family::RandomPlanar { diag_p: 0.5 },
+        ),
+        huge_tier(
+            "huge-power-law",
+            "Million-node tier: Theorem 1.1 on streamed degeneracy-capped power-law graphs",
+            &["huge", "power-law", "million"],
+            Family::PowerLawCapped {
+                exponent: 2.5,
+                cap: 3,
+            },
+        ),
         ScenarioSpec {
             name: "faults-forest-loss",
             title: "Theorem 1.1 under i.i.d. message loss (the E-FAULT sweep)",
@@ -266,6 +325,25 @@ mod tests {
             new_families.len() >= 3,
             "need ≥ 3 newly added generators, have {new_families:?}"
         );
+    }
+
+    #[test]
+    fn huge_tier_covers_three_families_up_to_a_million_nodes() {
+        let huge: Vec<_> = registry()
+            .into_iter()
+            .filter(|s| s.tags.contains(&"huge"))
+            .collect();
+        assert!(huge.len() >= 3, "need ≥ 3 huge scenarios, have {huge:?}");
+        let families: HashSet<&str> = huge.iter().map(|s| s.family.generator()).collect();
+        assert!(
+            families.len() >= 3,
+            "huge tier needs ≥ 3 distinct families, have {families:?}"
+        );
+        for s in &huge {
+            assert_eq!(s.full_sizes, HUGE_SIZES, "{}", s.name);
+            assert_eq!(s.quick_sizes, HUGE_QUICK_SIZES, "{}", s.name);
+            assert_eq!(s.full_sizes.last(), Some(&1_000_000), "{}", s.name);
+        }
     }
 
     #[test]

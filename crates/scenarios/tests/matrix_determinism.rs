@@ -48,7 +48,12 @@ fn artifact_is_bit_deterministic_across_thread_counts() {
 
 #[test]
 fn every_registered_scenario_runs_clean_at_quick_scale() {
-    for spec in registry() {
+    // The `huge` tier's quick cell is 250k nodes — sized for the release
+    // CI smoke job, not for a debug-profile test binary (it would take
+    // minutes here). Its code path is covered at a reduced size by
+    // `huge_tier_families_run_clean_when_downscaled` below and at full
+    // quick size by the `scenarios-smoke` CI job on every PR.
+    for spec in registry().into_iter().filter(|s| !s.tags.contains(&"huge")) {
         let report = run_scenario(&spec, &cfg(4)).unwrap_or_else(|e| {
             panic!("{}: {e}", spec.name);
         });
@@ -79,6 +84,43 @@ fn every_registered_scenario_runs_clean_at_quick_scale() {
             assert!(
                 cell.ratio >= 0.0 && cell.opt_estimate > 0.0,
                 "{}",
+                spec.name
+            );
+        }
+    }
+}
+
+/// The million-node tier, shrunk to test size: same families, same
+/// algorithm, same accounting — every cell must be valid, unflagged,
+/// within the round budget, and accounted against the packing lower
+/// bound (the only certified reference at huge scale).
+#[test]
+fn huge_tier_families_run_clean_when_downscaled() {
+    let huge: Vec<_> = registry()
+        .into_iter()
+        .filter(|s| s.tags.contains(&"huge"))
+        .collect();
+    assert!(huge.len() >= 3, "huge tier must be registered");
+    for spec in huge {
+        let small = arbodom_scenarios::ScenarioSpec {
+            quick_sizes: &[2_000],
+            ..spec
+        };
+        let report = run_scenario(&small, &cfg(4)).unwrap_or_else(|e| {
+            panic!("{}: {e}", spec.name);
+        });
+        for cell in &report.cells {
+            assert!(cell.valid, "{}: invalid cell", spec.name);
+            assert!(!cell.flagged, "{}: flagged cell", spec.name);
+            assert!(
+                cell.within_round_budget,
+                "{}: rounds {} > budget {}",
+                spec.name, cell.rounds, cell.round_budget
+            );
+            assert_eq!(
+                cell.reference,
+                arbodom_scenarios::quality::RefKind::PackingLb,
+                "{}: huge cells are accounted against the packing LB",
                 spec.name
             );
         }

@@ -1,9 +1,11 @@
 //! Differential property tests for the simulator core: on random
-//! bounded-arboricity graphs, the sequential and parallel runners must be
-//! observationally identical — same outputs *and* same telemetry, down to
-//! the per-round breakdown — at every thread count and in every
-//! [`MeterMode`]; and the Theorem 1.1 node program must match its
-//! centralized counterpart node for node.
+//! bounded-arboricity graphs, the sequential and sharded parallel
+//! runners must be observationally identical — same outputs *and* same
+//! telemetry, down to the per-round breakdown — at every thread count,
+//! at every shard size (one-node shards, a mid size, one whole-graph
+//! shard, and the automatic choice), and in every [`MeterMode`]; and the
+//! Theorem 1.1 node program must match its centralized counterpart node
+//! for node.
 //!
 //! These tests are the safety net under the simulator's performance work:
 //! any scheduling, arena, or metering change that perturbs observable
@@ -33,8 +35,11 @@ fn opts(meter: MeterMode) -> RunOptions {
     }
 }
 
-/// Runs Theorem 1.1's node program under both runners and asserts they
-/// are indistinguishable; returns the sequential result for further use.
+/// Runs Theorem 1.1's node program under both runners — across thread
+/// counts **and shard sizes**, from degenerate one-node shards through
+/// the automatic cache-sized choice to a single whole-graph shard — and
+/// asserts they are indistinguishable; returns the sequential result for
+/// further use.
 fn assert_runners_agree(
     g: &Graph,
     cfg: weighted::Config,
@@ -46,33 +51,42 @@ fn assert_runners_agree(
         |v: arbodom::graph::NodeId, g: &Graph| distributed::WeightedProgram::new(cfg, g.degree(v));
     let o = opts(meter);
     let seq = run(g, &globals, make, &o).expect("sequential run succeeds");
-    for threads in [1usize, 2, 4] {
-        let par = run_parallel(g, &globals, make, &o, threads).expect("parallel run succeeds");
-        let seq_ds: Vec<bool> = seq.outputs.iter().map(|out| out.in_ds).collect();
-        let par_ds: Vec<bool> = par.outputs.iter().map(|out| out.in_ds).collect();
-        prop_assert_eq!(
-            seq_ds,
-            par_ds,
-            "{:?} threads={} set differs",
-            meter,
-            threads
-        );
-        let seq_x: Vec<f64> = seq.outputs.iter().map(|out| out.x).collect();
-        let par_x: Vec<f64> = par.outputs.iter().map(|out| out.x).collect();
-        prop_assert_eq!(
-            seq_x,
-            par_x,
-            "{:?} threads={}: packing values differ",
-            meter,
-            threads
-        );
-        prop_assert_eq!(
-            &seq.telemetry,
-            &par.telemetry,
-            "{:?} threads={}: telemetry differs",
-            meter,
-            threads
-        );
+    for shard_size in [None, Some(1), Some(64), Some(g.n())] {
+        let o = RunOptions {
+            shard_size,
+            ..opts(meter)
+        };
+        for threads in [1usize, 2, 4] {
+            let par = run_parallel(g, &globals, make, &o, threads).expect("parallel run succeeds");
+            let seq_ds: Vec<bool> = seq.outputs.iter().map(|out| out.in_ds).collect();
+            let par_ds: Vec<bool> = par.outputs.iter().map(|out| out.in_ds).collect();
+            prop_assert_eq!(
+                seq_ds,
+                par_ds,
+                "{:?} threads={} shard={:?} set differs",
+                meter,
+                threads,
+                shard_size
+            );
+            let seq_x: Vec<f64> = seq.outputs.iter().map(|out| out.x).collect();
+            let par_x: Vec<f64> = par.outputs.iter().map(|out| out.x).collect();
+            prop_assert_eq!(
+                seq_x,
+                par_x,
+                "{:?} threads={} shard={:?}: packing values differ",
+                meter,
+                threads,
+                shard_size
+            );
+            prop_assert_eq!(
+                &seq.telemetry,
+                &par.telemetry,
+                "{:?} threads={} shard={:?}: telemetry differs",
+                meter,
+                threads,
+                shard_size
+            );
+        }
     }
     Ok((
         seq.outputs.iter().map(|out| out.in_ds).collect(),
@@ -84,10 +98,11 @@ fn assert_runners_agree(
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
-    /// `run` and `run_parallel` (1/2/4 threads) are observationally
-    /// identical for every meter mode. Sizes straddle the parallel
-    /// runner's sequential-fallback threshold (128 nodes), so both the
-    /// fallback and the real work-queue path are exercised.
+    /// `run` and `run_parallel` (1/2/4 threads × shard sizes
+    /// {auto, 1, 64, whole-graph}) are observationally identical for
+    /// every meter mode. Sizes straddle the parallel runner's
+    /// sequential-fallback threshold (128 nodes), so both the fallback
+    /// and the real sharded path are exercised.
     #[test]
     fn parallel_is_indistinguishable_from_sequential(
         n in 100usize..350,
