@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod certificates;
+pub mod churn;
 pub mod compare;
 pub mod faults;
 pub mod remarks;
@@ -31,6 +32,7 @@ pub fn all(scale: Scale) -> Vec<Table> {
     tables.extend(certificates::run(scale));
     tables.extend(ablation::run(scale));
     tables.extend(faults::run(scale));
+    tables.extend(churn::run(scale));
     tables
 }
 

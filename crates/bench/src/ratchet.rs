@@ -1,23 +1,29 @@
-//! The CI bench ratchet: a **structure gate** over `BENCH_sim.json`.
+//! The CI bench ratchet: **structure gates** over the committed bench
+//! artifacts.
 //!
-//! CI runs `exp_scaling` in quick mode and compares the produced artifact
-//! against the committed full-scale baseline. Wall-clock numbers on a
-//! shared runner are noise, so the ratchet deliberately does **not** gate
-//! on throughput values; it gates on the artifact's *shape*:
+//! CI runs the quick-mode producers and compares each produced artifact
+//! against its committed full-scale baseline. Wall-clock numbers on a
+//! shared runner are noise, so no gate ever compares throughput values;
+//! every gate checks the artifact's *shape*:
 //!
-//! * the schema version must match the committed baseline (schema drift
-//!   means a writer/consumer change that must land together with a
-//!   regenerated baseline);
-//! * every workload row recorded in the committed baseline — both the
-//!   50k trajectory and the million-node `huge` tier — must still be
-//!   produced, with nonzero rounds/messages/throughput (a missing or
-//!   zero row is a silently-dropped measurement, exactly the regression
-//!   the trajectory exists to prevent);
-//! * the frozen pre-PR reference block must be carried forward unchanged
-//!   in shape, so the before/after pair stays readable forever.
+//! * [`check`] gates `BENCH_sim.json`: schema version, every workload row
+//!   of the 50k trajectory and the million-node `huge` tier present with
+//!   nonzero rounds/messages/throughput, and the frozen pre-PR reference
+//!   block carried forward;
+//! * [`check_scenarios`] gates `BENCH_scenarios.json`: schema version,
+//!   every baseline scenario — static matrix *and* the dynamic `churn`
+//!   family — still produced with a nonzero cell count, zero quality
+//!   flags, and (churn only) both maintenance policies present with every
+//!   batch leaving a valid dominating set;
+//! * [`check_service`] gates `BENCH_service.json`: schema version,
+//!   nonzero jobs and sustained queries/sec, zero job errors and quality
+//!   flags, and the full byte-budgeted cache counter block.
 //!
-//! [`check`] returns the violations plus a markdown summary table the CI
-//! job appends to `$GITHUB_STEP_SUMMARY`.
+//! A schema mismatch always fails: schema drift means a writer/consumer
+//! change that must land together with a regenerated baseline. Each
+//! checker returns the violations plus a markdown summary table the CI
+//! job appends to `$GITHUB_STEP_SUMMARY`; `bench_ratchet --kind
+//! sim|scenarios|service` dispatches between them.
 
 use arbodom_scenarios::json::JsonValue;
 
@@ -151,6 +157,244 @@ pub fn check(current: &JsonValue, baseline: &JsonValue) -> RatchetReport {
     }
 }
 
+/// Pushes a violation unless `current` and `baseline` agree on the
+/// `schema` field (shared by all three gates).
+fn check_schema(current: &JsonValue, baseline: &JsonValue, violations: &mut Vec<String>) {
+    let cur = current.get("schema").and_then(JsonValue::as_str);
+    let base = baseline.get("schema").and_then(JsonValue::as_str);
+    match (cur, base) {
+        (Some(c), Some(b)) if c == b => {}
+        (c, b) => violations.push(format!(
+            "schema drift: baseline {b:?}, current {c:?} — regenerate the committed \
+             baseline together with the writer change"
+        )),
+    }
+}
+
+/// The scenario blocks of one `BENCH_scenarios.json` document, as
+/// `name → report` in document order. `block` is `"scenarios"` or
+/// `"churn"`.
+fn scenario_index<'a>(doc: &'a JsonValue, block: &str) -> Vec<(&'a str, &'a JsonValue)> {
+    doc.get(block)
+        .and_then(JsonValue::as_arr)
+        .map(|items| {
+            items
+                .iter()
+                .filter_map(|s| s.get("name").and_then(JsonValue::as_str).map(|n| (n, s)))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Evaluates the structure gate of a quick-mode `BENCH_scenarios.json`
+/// against the committed full-scale artifact. Cell *counts* differ by
+/// scale (quick sweeps are smaller), so the gate checks presence and
+/// nonzeroness per scenario, never equality of counts.
+pub fn check_scenarios(current: &JsonValue, baseline: &JsonValue) -> RatchetReport {
+    let mut violations = Vec::new();
+    let mut rows_md = String::new();
+    check_schema(current, baseline, &mut violations);
+
+    // Quality gate: the scenario engine's own harness already failed the
+    // producing process on flags, but the artifact is the record — a
+    // nonzero counter here means a flagged artifact was handed to the
+    // ratchet, which must never pass.
+    match current.get("flagged_cells").and_then(JsonValue::as_f64) {
+        Some(0.0) => {}
+        Some(v) => violations.push(format!("flagged_cells is {v} (must be 0)")),
+        None => violations.push("current artifact has no `flagged_cells` counter".into()),
+    }
+
+    for block in ["scenarios", "churn"] {
+        let base_index = scenario_index(baseline, block);
+        if base_index.is_empty() {
+            violations.push(format!(
+                "baseline has no `{block}` scenarios — committed artifact is malformed"
+            ));
+            continue;
+        }
+        let cur_index = scenario_index(current, block);
+        for (name, base_scenario) in base_index {
+            let cells = |s: &JsonValue| {
+                s.get("cells")
+                    .and_then(JsonValue::as_arr)
+                    .map_or(0, |cells| cells.len())
+            };
+            let Some((_, cur_scenario)) = cur_index.iter().find(|(n, _)| *n == name) else {
+                violations.push(format!("{block}: scenario `{name}` disappeared"));
+                rows_md.push_str(&format!(
+                    "| {block} | {name} | {} | — | ❌ |\n",
+                    cells(base_scenario)
+                ));
+                continue;
+            };
+            let cur_cells = cells(cur_scenario);
+            let mut ok = cur_cells > 0;
+            if cur_cells == 0 {
+                violations.push(format!("{block}: scenario `{name}` produced no cells"));
+            }
+            if block == "churn" {
+                ok &= check_churn_scenario(name, cur_scenario, &mut violations);
+            }
+            rows_md.push_str(&format!(
+                "| {block} | {name} | {} | {cur_cells} | {} |\n",
+                cells(base_scenario),
+                if ok { "✅" } else { "❌" },
+            ));
+        }
+    }
+
+    let verdict = if violations.is_empty() {
+        "**pass** — every committed scenario is present, unflagged, and nonempty".to_string()
+    } else {
+        format!("**fail** — {} violation(s)", violations.len())
+    };
+    let summary_md = format!(
+        "### bench ratchet (`BENCH_scenarios.json` structure gate)\n\n\
+         {verdict}\n\n\
+         | block | scenario | committed full cells | this run cells | gate |\n\
+         | --- | --- | --- | --- | --- |\n\
+         {rows_md}\n\
+         Cell counts differ by scale (the \"this run\" column is quick-mode); \
+         the gate checks presence, zero quality flags, and — for churn — both \
+         maintenance policies with every batch valid.\n"
+    );
+    RatchetReport {
+        violations,
+        summary_md,
+    }
+}
+
+/// The churn-specific leg of [`check_scenarios`]: one churn scenario must
+/// carry both maintenance policies, and every batch of every cell must
+/// have left a valid dominating set. Returns whether the scenario passed.
+fn check_churn_scenario(name: &str, scenario: &JsonValue, violations: &mut Vec<String>) -> bool {
+    let before = violations.len();
+    let cells = scenario
+        .get("cells")
+        .and_then(JsonValue::as_arr)
+        .unwrap_or_default();
+    for policy in ["repair", "resolve"] {
+        if !cells
+            .iter()
+            .any(|c| c.get("policy").and_then(JsonValue::as_str) == Some(policy))
+        {
+            violations.push(format!(
+                "churn: scenario `{name}` has no `{policy}`-policy cell"
+            ));
+        }
+    }
+    for (idx, cell) in cells.iter().enumerate() {
+        if cell.get("all_valid").and_then(JsonValue::as_bool) != Some(true) {
+            violations.push(format!(
+                "churn: `{name}` cell {idx} is not all_valid — a batch broke domination"
+            ));
+        }
+        let batches = cell
+            .get("batch_reports")
+            .and_then(JsonValue::as_arr)
+            .map_or(0, |cells| cells.len());
+        if batches == 0 {
+            violations.push(format!(
+                "churn: `{name}` cell {idx} recorded no per-batch trajectory"
+            ));
+        }
+    }
+    violations.len() == before
+}
+
+/// The service artifact counters that must be **nonzero** (a zero means
+/// the load run silently measured nothing).
+const SERVICE_NONZERO: &[&str] = &["clients", "batches", "jobs", "wall_secs", "queries_per_sec"];
+
+/// The service artifact counters that must be **zero** (a nonzero means
+/// the daemon served wrong answers under load).
+const SERVICE_ZERO: &[&str] = &["job_errors", "flagged"];
+
+/// The byte-budgeted cache counters every service artifact must carry.
+const SERVICE_CACHE_FIELDS: &[&str] = &[
+    "entries",
+    "capacity",
+    "bytes",
+    "hits",
+    "misses",
+    "evictions",
+];
+
+/// Evaluates the structure gate of a quick-mode `BENCH_service.json`
+/// against the committed full-scale artifact: schema, nonzero load and
+/// sustained throughput, zero errors/flags, and the full cache block.
+pub fn check_service(current: &JsonValue, baseline: &JsonValue) -> RatchetReport {
+    let mut violations = Vec::new();
+    let mut rows_md = String::new();
+    check_schema(current, baseline, &mut violations);
+
+    let mut field = |name: &str, want_zero: bool| {
+        let (cur, base) = (
+            current.get(name).and_then(JsonValue::as_f64),
+            baseline.get(name).and_then(JsonValue::as_f64),
+        );
+        let ok = match cur {
+            Some(v) if want_zero => v == 0.0,
+            Some(v) => v > 0.0,
+            None => false,
+        };
+        if !ok {
+            violations.push(match cur {
+                Some(v) => format!(
+                    "`{name}` is {v} (must be {})",
+                    if want_zero { "0" } else { "> 0" }
+                ),
+                None => format!("`{name}` missing"),
+            });
+        }
+        let show = |v: Option<f64>| v.map_or("—".into(), |v| format!("{v:.2}"));
+        rows_md.push_str(&format!(
+            "| {name} | {} | {} | {} |\n",
+            show(base),
+            show(cur),
+            if ok { "✅" } else { "❌" },
+        ));
+    };
+    for name in SERVICE_NONZERO {
+        field(name, false);
+    }
+    for name in SERVICE_ZERO {
+        field(name, true);
+    }
+
+    match current.get("cache") {
+        Some(cache) => {
+            for name in SERVICE_CACHE_FIELDS {
+                if cache.get(name).and_then(JsonValue::as_f64).is_none() {
+                    violations.push(format!("cache counter `{name}` missing"));
+                }
+            }
+        }
+        None => violations.push("current artifact has no `cache` block".into()),
+    }
+
+    let verdict = if violations.is_empty() {
+        "**pass** — load sustained, zero errors, full cache block".to_string()
+    } else {
+        format!("**fail** — {} violation(s)", violations.len())
+    };
+    let summary_md = format!(
+        "### bench ratchet (`BENCH_service.json` structure gate)\n\n\
+         {verdict}\n\n\
+         | counter | committed full | this run | gate |\n\
+         | --- | --- | --- | --- |\n\
+         {rows_md}\n\
+         The \"this run\" column is quick-mode on a CI runner: informational \
+         only, never gated on magnitude. The gate checks nonzero load, zero \
+         errors/flags, and the cache counter block.\n"
+    );
+    RatchetReport {
+        violations,
+        summary_md,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,6 +467,145 @@ mod tests {
         .expect("committed BENCH_sim.json exists");
         let v = JsonValue::parse(&committed).expect("committed artifact parses");
         let report = check(&v, &v);
+        assert!(report.ok(), "{:?}", report.violations);
+    }
+
+    /// A minimal scenarios artifact with the real shape: one static
+    /// scenario and one churn scenario with both policies.
+    fn scenarios_artifact(schema: &str, flagged: usize, all_valid: bool, policies: &str) -> String {
+        let cell = |policy: &str| {
+            format!(
+                r#"{{"n":180,"policy":"{policy}","all_valid":{all_valid},"flagged":false,"batch_reports":[{{"batch":0,"rounds":7,"valid":{all_valid}}}]}}"#
+            )
+        };
+        let churn_cells: Vec<String> = match policies {
+            "both" => vec![cell("repair"), cell("resolve")],
+            one => vec![cell(one)],
+        };
+        format!(
+            r#"{{"schema":"{schema}","scale":"full","flagged_cells":{flagged},"scenarios":[{{"name":"thm11-forest-a1","cells":[{{"n":30000,"valid":true}}]}}],"churn":[{{"name":"churn-forest-a2","cells":[{}]}}]}}"#,
+            churn_cells.join(",")
+        )
+    }
+
+    #[test]
+    fn scenarios_gate_passes_on_identical_structure() {
+        let base = parse(&scenarios_artifact("arbodom-scenarios/v2", 0, true, "both"));
+        let report = check_scenarios(&base, &base);
+        assert!(report.ok(), "{:?}", report.violations);
+        assert!(report.summary_md.contains("churn-forest-a2"));
+        assert!(report.summary_md.contains("**pass**"));
+    }
+
+    #[test]
+    fn scenarios_gate_fails_on_flags_missing_policy_and_lost_scenario() {
+        let base = parse(&scenarios_artifact("arbodom-scenarios/v2", 0, true, "both"));
+
+        let flagged = parse(&scenarios_artifact("arbodom-scenarios/v2", 3, true, "both"));
+        assert!(check_scenarios(&flagged, &base)
+            .violations
+            .iter()
+            .any(|v| v.contains("flagged_cells is 3")));
+
+        let one_policy = parse(&scenarios_artifact(
+            "arbodom-scenarios/v2",
+            0,
+            true,
+            "repair",
+        ));
+        assert!(check_scenarios(&one_policy, &base)
+            .violations
+            .iter()
+            .any(|v| v.contains("no `resolve`-policy cell")));
+
+        let invalid = parse(&scenarios_artifact(
+            "arbodom-scenarios/v2",
+            0,
+            false,
+            "both",
+        ));
+        assert!(check_scenarios(&invalid, &base)
+            .violations
+            .iter()
+            .any(|v| v.contains("not all_valid")));
+
+        let lost = parse(
+            r#"{"schema":"arbodom-scenarios/v2","flagged_cells":0,"scenarios":[{"name":"thm11-forest-a1","cells":[{"n":1}]}],"churn":[]}"#,
+        );
+        let report = check_scenarios(&lost, &base);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("`churn-forest-a2` disappeared")));
+        assert!(report.summary_md.contains("❌"));
+    }
+
+    /// A minimal service artifact with the real shape.
+    fn service_artifact(schema: &str, qps: f64, errors: usize, with_bytes: bool) -> String {
+        let bytes = if with_bytes {
+            r#""bytes":1048576,"#
+        } else {
+            ""
+        };
+        format!(
+            r#"{{"schema":"{schema}","scale":"full","clients":8,"batches":96,"jobs":1536,"wall_secs":4.4,"queries_per_sec":{qps},"job_errors":{errors},"flagged":0,"cache":{{"entries":5,"capacity":67108864,{bytes}"hits":50,"misses":14,"evictions":0}}}}"#
+        )
+    }
+
+    #[test]
+    fn service_gate_passes_and_allows_slow_runs() {
+        let base = parse(&service_artifact("arbodom-service/v2", 346.5, 0, true));
+        // 1000× slower still passes: never a wall-clock gate.
+        let cur = parse(&service_artifact("arbodom-service/v2", 0.3, 0, true));
+        let report = check_service(&cur, &base);
+        assert!(report.ok(), "{:?}", report.violations);
+        assert!(report.summary_md.contains("queries_per_sec"));
+    }
+
+    #[test]
+    fn service_gate_fails_on_zero_qps_errors_and_missing_cache_bytes() {
+        let base = parse(&service_artifact("arbodom-service/v2", 346.5, 0, true));
+
+        let stalled = parse(&service_artifact("arbodom-service/v2", 0.0, 0, true));
+        assert!(check_service(&stalled, &base)
+            .violations
+            .iter()
+            .any(|v| v.contains("`queries_per_sec` is 0")));
+
+        let erred = parse(&service_artifact("arbodom-service/v2", 346.5, 2, true));
+        assert!(check_service(&erred, &base)
+            .violations
+            .iter()
+            .any(|v| v.contains("`job_errors` is 2")));
+
+        let old = parse(&service_artifact("arbodom-service/v1", 346.5, 0, false));
+        let report = check_service(&old, &base);
+        assert!(report.violations.iter().any(|v| v.contains("schema drift")));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("cache counter `bytes` missing")));
+    }
+
+    #[test]
+    fn the_committed_scenarios_artifact_passes_against_itself() {
+        let committed = std::fs::read_to_string(
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_scenarios.json"),
+        )
+        .expect("committed BENCH_scenarios.json exists");
+        let v = JsonValue::parse(&committed).expect("committed artifact parses");
+        let report = check_scenarios(&v, &v);
+        assert!(report.ok(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn the_committed_service_artifact_passes_against_itself() {
+        let committed = std::fs::read_to_string(
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_service.json"),
+        )
+        .expect("committed BENCH_service.json exists");
+        let v = JsonValue::parse(&committed).expect("committed artifact parses");
+        let report = check_service(&v, &v);
         assert!(report.ok(), "{:?}", report.violations);
     }
 }

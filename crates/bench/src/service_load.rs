@@ -288,7 +288,7 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadOutcome, ServiceError> {
 /// Renders the `BENCH_service.json` document.
 pub fn render_artifact(outcome: &LoadOutcome, cfg: &LoadConfig) -> String {
     JsonObj::new()
-        .str("schema", "arbodom-service/v1")
+        .str("schema", "arbodom-service/v2")
         .str("scale", cfg.scale.to_scenarios().label())
         .str(
             "target",
@@ -307,6 +307,7 @@ pub fn render_artifact(outcome: &LoadOutcome, cfg: &LoadConfig) -> String {
             JsonObj::new()
                 .u64("entries", outcome.cache.entries)
                 .u64("capacity", outcome.cache.capacity)
+                .u64("bytes", outcome.cache.bytes)
                 .u64("hits", outcome.cache.hits)
                 .u64("misses", outcome.cache.misses)
                 .u64("evictions", outcome.cache.evictions)
@@ -396,15 +397,17 @@ mod tests {
             flagged: 0,
             cache: CacheStats {
                 entries: 5,
-                capacity: 64,
+                capacity: 64 << 20,
+                bytes: 1 << 20,
                 hits: 50,
                 misses: 14,
                 evictions: 0,
             },
         };
         let json = render_artifact(&outcome, &cfg);
-        assert!(json.starts_with("{\"schema\":\"arbodom-service/v1\""));
+        assert!(json.starts_with("{\"schema\":\"arbodom-service/v2\""));
         assert!(json.contains("\"queries_per_sec\":128"));
         assert!(json.contains("\"hits\":50"));
+        assert!(json.contains("\"bytes\":1048576"));
     }
 }

@@ -29,7 +29,11 @@ fn quick_load_run_sustains_nonzero_qps_without_errors() {
         outcome.cache
     );
     let json = render_artifact(&outcome, &cfg);
-    assert!(json.contains("\"schema\":\"arbodom-service/v1\""));
+    assert!(json.contains("\"schema\":\"arbodom-service/v2\""));
     assert!(json.contains("\"queries_per_sec\":"));
     assert!(!json.contains("\"queries_per_sec\":0,"));
+    // The produced artifact must clear its own CI ratchet gate.
+    let v = arbodom_scenarios::json::JsonValue::parse(&json).expect("artifact parses");
+    let report = arbodom_bench::ratchet::check_service(&v, &v);
+    assert!(report.ok(), "{:?}", report.violations);
 }

@@ -29,22 +29,32 @@
 //! unknown-Δ variant, whose termination is by *local stabilization*
 //! rather than a precomputed round count).
 
+mod config;
 mod msg;
 mod randomized;
 mod trees;
 mod unknown_delta;
 mod weighted;
 
+pub use config::RunConfig;
 pub use msg::ProtocolMsg;
 pub use randomized::{
-    run_general, run_general_on, run_randomized, run_randomized_on,
+    run_general, run_general_with, run_randomized, run_randomized_with,
     NodeOutput as RandomizedNodeOutput, RandomizedProgram,
 };
-pub use trees::{run_trees, run_trees_on, TreeProgram};
+#[allow(deprecated)]
+pub use randomized::{run_general_on, run_randomized_on};
+#[allow(deprecated)]
+pub use trees::run_trees_on;
+pub use trees::{run_trees, run_trees_with, TreeProgram};
+#[allow(deprecated)]
+pub use unknown_delta::run_unknown_delta_on;
 pub use unknown_delta::{
-    run_unknown_delta, run_unknown_delta_on, NodeOutput as UnknownDeltaNodeOutput,
+    run_unknown_delta, run_unknown_delta_with, NodeOutput as UnknownDeltaNodeOutput,
     UnknownDeltaProgram,
 };
+#[allow(deprecated)]
+pub use weighted::run_weighted_on;
 pub use weighted::{
-    run_weighted, run_weighted_on, NodeOutput as WeightedNodeOutput, WeightedProgram,
+    run_weighted, run_weighted_with, NodeOutput as WeightedNodeOutput, WeightedProgram,
 };

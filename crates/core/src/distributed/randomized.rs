@@ -25,6 +25,7 @@ use arbodom_congest::{
 use arbodom_graph::{Graph, NodeId};
 
 use super::msg::ProtocolMsg;
+use super::RunConfig;
 use crate::extend::{sampling_probability, ExtendConfig, EXTEND_RAND_TAG};
 use crate::partial::PartialConfig;
 use crate::randomized::Config;
@@ -358,23 +359,42 @@ impl NodeProgram for RandomizedProgram {
 ///
 /// Propagates configuration validation and simulation errors.
 pub fn run_randomized(g: &Graph, cfg: &Config, opts: &RunOptions) -> Result<(DsResult, Telemetry)> {
-    run_randomized_on(g, cfg, opts, 1)
+    run_randomized_with(g, cfg, &RunConfig::from_options(opts))
 }
 
-/// Like [`run_randomized`], executed on `threads` worker threads through
-/// [`run_parallel`] (`threads <= 1` falls back to the sequential [`run`]).
-/// Randomness is drawn through [`det_rand`], so outputs and telemetry are
-/// bit-identical at any thread count.
+/// Positional-parameter variant of [`run_randomized_with`].
 ///
 /// # Errors
 ///
 /// Propagates configuration validation and simulation errors.
+#[deprecated(
+    since = "0.1.0",
+    note = "use run_randomized_with and the RunConfig builder"
+)]
 pub fn run_randomized_on(
     g: &Graph,
     cfg: &Config,
     opts: &RunOptions,
     threads: usize,
 ) -> Result<(DsResult, Telemetry)> {
+    run_randomized_with(g, cfg, &RunConfig::from_options(opts).threads(threads))
+}
+
+/// Like [`run_randomized`], driven by a [`RunConfig`]: executed on
+/// [`RunConfig::thread_count`] worker threads through [`run_parallel`]
+/// (one thread falls back to the sequential [`run`]). Randomness is drawn
+/// through [`det_rand`], so outputs and telemetry are bit-identical at
+/// any thread count.
+///
+/// # Errors
+///
+/// Propagates configuration validation and simulation errors.
+pub fn run_randomized_with(
+    g: &Graph,
+    cfg: &Config,
+    run_cfg: &RunConfig,
+) -> Result<(DsResult, Telemetry)> {
+    let (opts, threads) = (run_cfg.options(), run_cfg.thread_count());
     let pcfg = PartialConfig::new(cfg.epsilon(), cfg.lambda())?;
     let ecfg = ExtendConfig::new(cfg.lambda(), cfg.gamma(), cfg.seed)?;
     let globals = Globals::new(g, cfg.seed).with_arboricity(cfg.alpha);
@@ -406,22 +426,41 @@ pub fn run_general(
     cfg: &crate::general::Config,
     opts: &RunOptions,
 ) -> Result<(DsResult, Telemetry)> {
-    run_general_on(g, cfg, opts, 1)
+    run_general_with(g, cfg, &RunConfig::from_options(opts))
 }
 
-/// Like [`run_general`], executed on `threads` worker threads through
-/// [`run_parallel`] (`threads <= 1` falls back to the sequential [`run`]).
-/// Outputs and telemetry are bit-identical at any thread count.
+/// Positional-parameter variant of [`run_general_with`].
 ///
 /// # Errors
 ///
 /// Propagates configuration validation and simulation errors.
+#[deprecated(
+    since = "0.1.0",
+    note = "use run_general_with and the RunConfig builder"
+)]
 pub fn run_general_on(
     g: &Graph,
     cfg: &crate::general::Config,
     opts: &RunOptions,
     threads: usize,
 ) -> Result<(DsResult, Telemetry)> {
+    run_general_with(g, cfg, &RunConfig::from_options(opts).threads(threads))
+}
+
+/// Like [`run_general`], driven by a [`RunConfig`]: executed on
+/// [`RunConfig::thread_count`] worker threads through [`run_parallel`]
+/// (one thread falls back to the sequential [`run`]). Outputs and
+/// telemetry are bit-identical at any thread count.
+///
+/// # Errors
+///
+/// Propagates configuration validation and simulation errors.
+pub fn run_general_with(
+    g: &Graph,
+    cfg: &crate::general::Config,
+    run_cfg: &RunConfig,
+) -> Result<(DsResult, Telemetry)> {
+    let (opts, threads) = (run_cfg.options(), run_cfg.thread_count());
     let ecfg = ExtendConfig::new(
         1.0 / (g.max_degree() + 1) as f64,
         cfg.gamma(g.max_degree()),

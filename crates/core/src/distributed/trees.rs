@@ -11,6 +11,7 @@ use arbodom_congest::{
 use arbodom_graph::Graph;
 
 use super::msg::ProtocolMsg;
+use super::RunConfig;
 use crate::{DsResult, Result};
 
 /// The Observation A.1 node program.
@@ -66,17 +67,29 @@ impl NodeProgram for TreeProgram {
 ///
 /// Propagates simulation errors.
 pub fn run_trees(g: &Graph, opts: &RunOptions) -> Result<(DsResult, Telemetry)> {
-    run_trees_on(g, opts, 1)
+    run_trees_with(g, &RunConfig::from_options(opts))
 }
 
-/// Like [`run_trees`], executed on `threads` worker threads through
-/// [`run_parallel`] (`threads <= 1` falls back to the sequential [`run`]).
-/// Outputs and telemetry are bit-identical at any thread count.
+/// Positional-parameter variant of [`run_trees_with`].
 ///
 /// # Errors
 ///
 /// Propagates simulation errors.
+#[deprecated(since = "0.1.0", note = "use run_trees_with and the RunConfig builder")]
 pub fn run_trees_on(g: &Graph, opts: &RunOptions, threads: usize) -> Result<(DsResult, Telemetry)> {
+    run_trees_with(g, &RunConfig::from_options(opts).threads(threads))
+}
+
+/// Like [`run_trees`], driven by a [`RunConfig`]: executed on
+/// [`RunConfig::thread_count`] worker threads through [`run_parallel`]
+/// (one thread falls back to the sequential [`run`]). Outputs and
+/// telemetry are bit-identical at any thread count.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run_trees_with(g: &Graph, run_cfg: &RunConfig) -> Result<(DsResult, Telemetry)> {
+    let (opts, threads) = (run_cfg.options(), run_cfg.thread_count());
     let globals = Globals::new(g, 0).with_arboricity(1);
     let make = |_, _: &Graph| TreeProgram::default();
     let run_out = if threads <= 1 {

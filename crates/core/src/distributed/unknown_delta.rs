@@ -25,6 +25,7 @@ use arbodom_congest::{
 use arbodom_graph::{Graph, NodeId};
 
 use super::msg::ProtocolMsg;
+use super::RunConfig;
 use crate::unknown_delta::Config;
 use crate::{DsResult, PackingCertificate, Result};
 
@@ -315,16 +316,18 @@ pub fn run_unknown_delta(
     seed: u64,
     opts: &RunOptions,
 ) -> Result<(DsResult, Telemetry)> {
-    run_unknown_delta_on(g, cfg, seed, opts, 1)
+    run_unknown_delta_with(g, cfg, seed, &RunConfig::from_options(opts))
 }
 
-/// Like [`run_unknown_delta`], executed on `threads` worker threads
-/// through [`run_parallel`] (`threads <= 1` falls back to the sequential
-/// [`run`]). Outputs and telemetry are bit-identical at any thread count.
+/// Positional-parameter variant of [`run_unknown_delta_with`].
 ///
 /// # Errors
 ///
 /// Propagates configuration validation and simulation errors.
+#[deprecated(
+    since = "0.1.0",
+    note = "use run_unknown_delta_with and the RunConfig builder"
+)]
 pub fn run_unknown_delta_on(
     g: &Graph,
     cfg: &Config,
@@ -332,6 +335,29 @@ pub fn run_unknown_delta_on(
     opts: &RunOptions,
     threads: usize,
 ) -> Result<(DsResult, Telemetry)> {
+    run_unknown_delta_with(
+        g,
+        cfg,
+        seed,
+        &RunConfig::from_options(opts).threads(threads),
+    )
+}
+
+/// Like [`run_unknown_delta`], driven by a [`RunConfig`]: executed on
+/// [`RunConfig::thread_count`] worker threads through [`run_parallel`]
+/// (one thread falls back to the sequential [`run`]). Outputs and
+/// telemetry are bit-identical at any thread count.
+///
+/// # Errors
+///
+/// Propagates configuration validation and simulation errors.
+pub fn run_unknown_delta_with(
+    g: &Graph,
+    cfg: &Config,
+    seed: u64,
+    run_cfg: &RunConfig,
+) -> Result<(DsResult, Telemetry)> {
+    let (opts, threads) = (run_cfg.options(), run_cfg.thread_count());
     let globals = Globals::new(g, seed).with_arboricity(cfg.alpha);
     let make = |v: NodeId, g: &Graph| UnknownDeltaProgram::new(*cfg, g.degree(v));
     let run_out = if threads <= 1 {

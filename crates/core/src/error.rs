@@ -16,6 +16,9 @@ pub enum CoreError {
     },
     /// The CONGEST simulation failed.
     Simulation(String),
+    /// A graph operation failed — a [`crate::repair`] delta conflicted
+    /// with the maintained graph, or an endpoint was out of range.
+    Graph(arbodom_graph::GraphError),
 }
 
 impl CoreError {
@@ -34,6 +37,7 @@ impl fmt::Display for CoreError {
                 write!(f, "invalid parameter `{name}`: {reason}")
             }
             CoreError::Simulation(msg) => write!(f, "simulation failed: {msg}"),
+            CoreError::Graph(e) => write!(f, "graph operation failed: {e}"),
         }
     }
 }
@@ -43,6 +47,12 @@ impl Error for CoreError {}
 impl From<arbodom_congest::SimError> for CoreError {
     fn from(e: arbodom_congest::SimError) -> Self {
         CoreError::Simulation(e.to_string())
+    }
+}
+
+impl From<arbodom_graph::GraphError> for CoreError {
+    fn from(e: arbodom_graph::GraphError) -> Self {
+        CoreError::Graph(e)
     }
 }
 

@@ -59,6 +59,7 @@ pub mod extend;
 pub mod general;
 pub mod partial;
 pub mod randomized;
+pub mod repair;
 mod result;
 pub mod trees;
 pub mod unknown_alpha;

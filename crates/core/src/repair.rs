@@ -1,0 +1,479 @@
+//! Incremental dominating-set repair under edge churn.
+//!
+//! The paper solves a *frozen* instance; this module keeps a solved
+//! instance valid while the graph mutates. The key locality fact: after
+//! applying a [`GraphDelta`], only the **endpoints of deleted edges** can
+//! lose domination (an insertion only grows closed neighborhoods, and a
+//! set member is never removed), so validity is restored by re-running
+//! the paper's completion step — elect `tau_argmin`, the cheapest
+//! `(weight, id)` node of the closed neighborhood, exactly the rule of
+//! Theorem 1.1's completion — around the touched vertices only. That is
+//! `O(Σ deg)` over the touched set, against `O(n + m)` plus simulation
+//! rounds for a full re-solve.
+//!
+//! Local repair never *removes* nodes, so quality decays monotonically
+//! between re-solves. [`Maintainer`] tracks the decay as a **drift
+//! estimate** — current weight over the weight of the last full solve —
+//! and falls back to a caller-supplied certified re-solve when the
+//! estimate exceeds [`RepairConfig::max_drift`]. The churn scenarios
+//! (`arbodom-scenarios`) run the equivalence harness on top of this:
+//! every batch, the repaired set is checked valid and its weight compared
+//! against a fresh certified reference, so measured (not just estimated)
+//! drift is recorded per batch.
+//!
+//! The maintained state also carries the
+//! [`chain digest`](arbodom_graph::digest::chain_digest) of its mutation
+//! history, giving every dynamic instance a stable identity:
+//! base [`edge_digest`] plus the exact delta sequence applied.
+//!
+//! # Example
+//!
+//! ```
+//! use arbodom_core::repair::{Maintainer, RepairConfig};
+//! use arbodom_core::{verify, weighted};
+//! use arbodom_graph::{generators, GraphDelta};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let g = generators::forest_union(300, 2, &mut rng);
+//! let cfg = weighted::Config::new(2, 0.2)?;
+//! let sol = weighted::solve(&g, &cfg)?;
+//! let mut state = Maintainer::new(g, &sol, RepairConfig::default());
+//!
+//! let delta = GraphDelta::new([], [(0, state.graph().neighbors(0.into())[0].get())])?;
+//! let outcome = state.apply(&delta, |g| weighted::solve(g, &cfg))?;
+//! assert!(verify::is_dominating_set(state.graph(), state.in_ds()));
+//! assert!(outcome.drift_estimate >= 1.0);
+//! # Ok::<(), arbodom_core::CoreError>(())
+//! ```
+
+use arbodom_graph::digest::{chain_digest, edge_digest};
+use arbodom_graph::{Graph, GraphDelta, NodeId};
+
+use crate::{verify, CoreError, DsResult, Result};
+
+/// Policy knobs for [`Maintainer`].
+#[derive(Clone, Copy, Debug)]
+pub struct RepairConfig {
+    /// Maximum tolerated *estimated* drift before [`Maintainer::apply`]
+    /// falls back to a full re-solve: the fallback fires when
+    /// `weight > (1 + max_drift) · anchor_weight`, where the anchor is
+    /// the weight right after the last full solve.
+    pub max_drift: f64,
+    /// Force a full re-solve after this many consecutive repaired
+    /// batches regardless of drift (`0` disables the limit). Guards
+    /// against slow quality decay that individual batches hide.
+    pub max_batches: usize,
+}
+
+impl Default for RepairConfig {
+    fn default() -> Self {
+        RepairConfig {
+            max_drift: 0.25,
+            max_batches: 0,
+        }
+    }
+}
+
+/// What one [`Maintainer::apply`] call did.
+#[derive(Clone, Debug)]
+pub struct BatchOutcome {
+    /// `true` when local repair was kept; `false` when the drift bound
+    /// tripped and the certified fallback re-solved from scratch.
+    pub repaired: bool,
+    /// Nodes the local repair added (empty when the batch re-solved).
+    pub added: Vec<NodeId>,
+    /// Touched vertices that had lost domination before the repair.
+    pub undominated_before: usize,
+    /// Set weight after the batch.
+    pub weight: u64,
+    /// `weight / anchor_weight` after the batch — 1.0 right after a full
+    /// solve, growing as repairs accumulate.
+    pub drift_estimate: f64,
+    /// Chain digest of the mutation history after this batch.
+    pub chain: u64,
+    /// Iterations reported by the fallback solve (`0` when repaired —
+    /// local repair runs no simulation rounds at all).
+    pub solve_iterations: usize,
+}
+
+/// Restores validity of `in_ds` on `g` after a mutation that touched the
+/// given vertices: every touched vertex that lost domination elects its
+/// `tau_argmin` (the completion rule of Theorem 1.1) into the set.
+///
+/// Correct under the locality fact in the module docs: if `in_ds` was
+/// valid before an edge-only mutation, every invalid vertex afterwards is
+/// an endpoint of a deleted edge, hence in `touched`. Vertices are
+/// processed in the order given (keep it sorted for determinism); the
+/// nodes added are returned in that order.
+pub fn repair_step(g: &Graph, in_ds: &mut [bool], touched: &[NodeId]) -> Vec<NodeId> {
+    assert_eq!(in_ds.len(), g.n(), "flag vector must cover all nodes");
+    let mut added = Vec::new();
+    for &u in touched {
+        if !g.closed_neighbors(u).any(|w| in_ds[w.index()]) {
+            let dominator = g.tau_argmin(u);
+            in_ds[dominator.index()] = true;
+            added.push(dominator);
+        }
+    }
+    added
+}
+
+/// Owned solve state for one dynamic instance: the current graph, the
+/// maintained dominating set, the drift anchor, and the digest chain of
+/// the mutation history. This is the state an `arbodomd` session holds.
+#[derive(Clone, Debug)]
+pub struct Maintainer {
+    graph: Graph,
+    in_ds: Vec<bool>,
+    weight: u64,
+    anchor_weight: u64,
+    chain: u64,
+    cfg: RepairConfig,
+    batches_since_solve: usize,
+}
+
+impl Maintainer {
+    /// Adopts a solved instance. `solution` must be a valid dominating
+    /// set of `graph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the solution's flag vector does not cover the graph or
+    /// does not dominate it — the maintainer's invariant is validity, and
+    /// adopting an invalid set would silently break every later batch.
+    pub fn new(graph: Graph, solution: &DsResult, cfg: RepairConfig) -> Self {
+        assert!(
+            verify::is_dominating_set(&graph, &solution.in_ds),
+            "maintainer requires a valid dominating set to start from"
+        );
+        let chain = edge_digest(&graph);
+        Maintainer {
+            in_ds: solution.in_ds.clone(),
+            weight: solution.weight,
+            anchor_weight: solution.weight.max(1),
+            chain,
+            graph,
+            cfg,
+            batches_since_solve: 0,
+        }
+    }
+
+    /// The current graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Membership flags of the maintained dominating set.
+    pub fn in_ds(&self) -> &[bool] {
+        &self.in_ds
+    }
+
+    /// Total weight of the maintained set.
+    pub fn weight(&self) -> u64 {
+        self.weight
+    }
+
+    /// Chain digest of the mutation history: the base graph's
+    /// [`edge_digest`] folded with every applied delta, in order.
+    pub fn chain(&self) -> u64 {
+        self.chain
+    }
+
+    /// Batches repaired since the last full solve.
+    pub fn batches_since_solve(&self) -> usize {
+        self.batches_since_solve
+    }
+
+    /// Current drift estimate: maintained weight over the last full
+    /// solve's weight.
+    pub fn drift_estimate(&self) -> f64 {
+        self.weight as f64 / self.anchor_weight as f64
+    }
+
+    /// Applies one delta batch: mutates the graph (overlay apply),
+    /// advances the digest chain, repairs validity locally, and — when
+    /// the drift estimate exceeds [`RepairConfig::max_drift`] or the
+    /// batch budget [`RepairConfig::max_batches`] is spent — replaces the
+    /// set with a fresh certified solution from `resolve`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Graph`] when the delta conflicts with the maintained
+    /// graph (the state is left unchanged), any error of `resolve`, and
+    /// [`CoreError::Simulation`] when `resolve` returns a non-dominating
+    /// set.
+    pub fn apply<F>(&mut self, delta: &GraphDelta, resolve: F) -> Result<BatchOutcome>
+    where
+        F: FnOnce(&Graph) -> Result<DsResult>,
+    {
+        let next = delta.apply(&self.graph)?;
+        self.graph = next;
+        self.chain = chain_digest(self.chain, delta);
+
+        let touched = delta.touched();
+        let undominated_before = touched
+            .iter()
+            .filter(|&&u| {
+                !self
+                    .graph
+                    .closed_neighbors(u)
+                    .any(|w| self.in_ds[w.index()])
+            })
+            .count();
+        let added = repair_step(&self.graph, &mut self.in_ds, &touched);
+        self.weight += self.graph.set_weight(added.iter().copied());
+        self.batches_since_solve += 1;
+
+        let over_drift = self.drift_estimate() > 1.0 + self.cfg.max_drift;
+        let over_budget =
+            self.cfg.max_batches > 0 && self.batches_since_solve >= self.cfg.max_batches;
+        if !(over_drift || over_budget) {
+            return Ok(BatchOutcome {
+                repaired: true,
+                added,
+                undominated_before,
+                weight: self.weight,
+                drift_estimate: self.drift_estimate(),
+                chain: self.chain,
+                solve_iterations: 0,
+            });
+        }
+        let iterations = self.resolve_with(resolve)?;
+        Ok(BatchOutcome {
+            repaired: false,
+            added: Vec::new(),
+            undominated_before,
+            weight: self.weight,
+            drift_estimate: 1.0,
+            chain: self.chain,
+            solve_iterations: iterations,
+        })
+    }
+
+    /// Forces a full re-solve through `resolve`, re-anchoring the drift
+    /// estimate at the fresh solution's weight. Returns the solve's
+    /// iteration count.
+    ///
+    /// # Errors
+    ///
+    /// Any error of `resolve`, and [`CoreError::Simulation`] when the
+    /// returned set does not dominate the current graph.
+    pub fn resolve_with<F>(&mut self, resolve: F) -> Result<usize>
+    where
+        F: FnOnce(&Graph) -> Result<DsResult>,
+    {
+        let fresh = resolve(&self.graph)?;
+        if !verify::is_dominating_set(&self.graph, &fresh.in_ds) {
+            return Err(CoreError::Simulation(
+                "fallback re-solve produced a non-dominating set".into(),
+            ));
+        }
+        self.in_ds = fresh.in_ds;
+        self.weight = fresh.weight;
+        self.anchor_weight = fresh.weight.max(1);
+        self.batches_since_solve = 0;
+        Ok(fresh.iterations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weighted;
+    use arbodom_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn solver(alpha: usize) -> impl Fn(&Graph) -> Result<DsResult> {
+        move |g: &Graph| weighted::solve(g, &weighted::Config::new(alpha, 0.2)?)
+    }
+
+    /// A deterministic valid delta against `g`: delete a few existing
+    /// edges, insert a few absent ones.
+    fn churn(g: &Graph, seed: u64, dels: usize, inss: usize) -> GraphDelta {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let edges: Vec<_> = g.edges().collect();
+        let mut deletes = Vec::new();
+        for _ in 0..dels.min(edges.len()) {
+            let (u, v) = edges[(next() % edges.len() as u64) as usize];
+            deletes.push((u.get(), v.get()));
+        }
+        let mut inserts = Vec::new();
+        while inserts.len() < inss {
+            let (u, v) = (
+                (next() % g.n() as u64) as u32,
+                (next() % g.n() as u64) as u32,
+            );
+            if u != v && !g.has_edge(NodeId::new(u), NodeId::new(v)) {
+                inserts.push((u, v));
+            }
+        }
+        GraphDelta::new(inserts, deletes).unwrap()
+    }
+
+    #[test]
+    fn repair_step_restores_validity_on_deletion() {
+        // Path 0-1-2-3-4 dominated by {1, 3}; delete (3, 4): node 4
+        // loses its only dominator and must elect tau_argmin.
+        let g = generators::path(5);
+        let mut in_ds = vec![false, true, false, true, false];
+        let d = GraphDelta::new([], [(3, 4)]).unwrap();
+        let g2 = d.apply(&g).unwrap();
+        let added = repair_step(&g2, &mut in_ds, &d.touched());
+        assert!(verify::is_dominating_set(&g2, &in_ds));
+        assert_eq!(added, vec![NodeId::new(4)], "isolated node self-elects");
+    }
+
+    #[test]
+    fn maintainer_stays_valid_over_many_batches() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = generators::forest_union(400, 2, &mut rng);
+        let sol = solver(2)(&g).unwrap();
+        let mut state = Maintainer::new(g, &sol, RepairConfig::default());
+        for batch in 0..30 {
+            let delta = churn(state.graph(), batch, 5, 5);
+            let out = state.apply(&delta, solver(3)).unwrap();
+            assert!(
+                verify::is_dominating_set(state.graph(), state.in_ds()),
+                "batch {batch} left an invalid set"
+            );
+            assert_eq!(out.weight, state.weight());
+            assert!(out.drift_estimate >= 1.0 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn drift_bound_triggers_fallback() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = generators::forest_union(300, 2, &mut rng);
+        let sol = solver(2)(&g).unwrap();
+        let mut state = Maintainer::new(
+            g,
+            &sol,
+            RepairConfig {
+                max_drift: 0.05,
+                max_batches: 0,
+            },
+        );
+        let mut resolved = 0;
+        for batch in 0..40 {
+            let out = state
+                .apply(&churn(state.graph(), 1000 + batch, 6, 6), solver(3))
+                .unwrap();
+            if !out.repaired {
+                resolved += 1;
+                assert!((out.drift_estimate - 1.0).abs() < 1e-12);
+                assert_eq!(state.batches_since_solve(), 0);
+            }
+        }
+        assert!(
+            resolved > 0,
+            "tight drift bound never tripped in 40 batches"
+        );
+    }
+
+    #[test]
+    fn batch_budget_forces_periodic_resolve() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let g = generators::forest_union(200, 2, &mut rng);
+        let sol = solver(2)(&g).unwrap();
+        let mut state = Maintainer::new(
+            g,
+            &sol,
+            RepairConfig {
+                max_drift: f64::INFINITY,
+                max_batches: 4,
+            },
+        );
+        for batch in 0..8 {
+            let out = state
+                .apply(&churn(state.graph(), 99 + batch, 2, 2), solver(3))
+                .unwrap();
+            let expect_resolve = (batch + 1) % 4 == 0;
+            assert_eq!(out.repaired, !expect_resolve, "batch {batch}");
+        }
+    }
+
+    #[test]
+    fn conflicting_delta_leaves_state_unchanged() {
+        let g = generators::path(6);
+        let sol = solver(1)(&g).unwrap();
+        let mut state = Maintainer::new(g, &sol, RepairConfig::default());
+        let chain = state.chain();
+        let weight = state.weight();
+        // (0, 5) is absent in a path: deleting it must fail cleanly.
+        let bad = GraphDelta::new([], [(0, 5)]).unwrap();
+        let err = state.apply(&bad, solver(1)).unwrap_err();
+        assert!(matches!(err, CoreError::Graph(_)), "{err:?}");
+        assert_eq!(state.chain(), chain, "failed batch must not advance chain");
+        assert_eq!(state.weight(), weight);
+        assert!(verify::is_dominating_set(state.graph(), state.in_ds()));
+    }
+
+    #[test]
+    fn equivalence_harness_repair_tracks_certified_reference() {
+        // The acceptance harness in miniature: after every batch the
+        // repaired set is valid, and its weight stays within the drift
+        // bound of a fresh certified re-solve on the same graph.
+        let mut rng = StdRng::seed_from_u64(17);
+        let g = generators::forest_union(350, 3, &mut rng);
+        let sol = solver(3)(&g).unwrap();
+        let cfg = RepairConfig {
+            max_drift: 0.30,
+            max_batches: 0,
+        };
+        let mut state = Maintainer::new(g, &sol, cfg);
+        for batch in 0..20 {
+            let delta = churn(state.graph(), 31 * batch + 5, 4, 4);
+            state.apply(&delta, solver(4)).unwrap();
+            assert!(verify::is_dominating_set(state.graph(), state.in_ds()));
+            let reference = solver(4)(state.graph()).unwrap();
+            assert!(verify::is_dominating_set(state.graph(), &reference.in_ds));
+            let measured_drift = state.weight() as f64 / reference.weight.max(1) as f64;
+            // Repair is allowed to be worse than a fresh solve, but the
+            // maintainer's own anchor keeps the decay bounded; allow the
+            // anchor slack on top of the configured bound.
+            assert!(
+                measured_drift <= (1.0 + cfg.max_drift) * 1.5,
+                "batch {batch}: measured drift {measured_drift} out of bounds"
+            );
+        }
+    }
+
+    #[test]
+    fn chain_digest_identifies_history() {
+        let g = generators::path(8);
+        let sol = solver(1)(&g).unwrap();
+        let d1 = GraphDelta::new([(0, 2)], []).unwrap();
+        let d2 = GraphDelta::new([(0, 3)], []).unwrap();
+        let mut a = Maintainer::new(g.clone(), &sol, RepairConfig::default());
+        let mut b = Maintainer::new(g, &sol, RepairConfig::default());
+        a.apply(&d1, solver(1)).unwrap();
+        a.apply(&d2, solver(1)).unwrap();
+        b.apply(&d2, solver(1)).unwrap();
+        b.apply(&d1, solver(1)).unwrap();
+        // Same final structure, different history: digests must differ.
+        assert_eq!(
+            arbodom_graph::digest::edge_digest(a.graph()),
+            arbodom_graph::digest::edge_digest(b.graph())
+        );
+        assert_ne!(a.chain(), b.chain());
+    }
+
+    #[test]
+    #[should_panic(expected = "valid dominating set")]
+    fn adopting_invalid_solution_panics() {
+        let g = generators::path(4);
+        let mut sol = solver(1)(&g).unwrap();
+        sol.in_ds.iter_mut().for_each(|b| *b = false);
+        let _ = Maintainer::new(g, &sol, RepairConfig::default());
+    }
+}

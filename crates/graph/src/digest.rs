@@ -13,7 +13,7 @@
 //! order, then the weight vector when it is not all-ones. It is a
 //! change-detector, not a cryptographic commitment.
 
-use crate::Graph;
+use crate::{Graph, GraphDelta};
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -56,6 +56,43 @@ pub fn edge_digest(g: &Graph) -> u64 {
         for &w in g.weights() {
             h = fold(h, w);
         }
+    }
+    h
+}
+
+/// Advances a digest chain by one [`GraphDelta`] hop.
+///
+/// A dynamic instance is identified by its *history*: the
+/// [`edge_digest`] of the base graph folded with every delta batch
+/// applied since, in order. Two sessions hold byte-identical graphs iff
+/// they started from the same base and applied the same batches in the
+/// same sequence — which is exactly what the chain certifies. Note the
+/// chain digest is **not** the `edge_digest` of the mutated graph (two
+/// histories can reach the same structure); it identifies the path, not
+/// just the endpoint, and every hop — even an empty batch — advances it.
+///
+/// # Example
+///
+/// ```
+/// use arbodom_graph::{digest, Graph, GraphDelta};
+///
+/// let g = Graph::from_edges(3, [(0, 1)])?;
+/// let d = GraphDelta::new([(1, 2)], [])?;
+/// let chained = digest::chain_digest(digest::edge_digest(&g), &d);
+/// assert_ne!(chained, digest::edge_digest(&g));
+/// # Ok::<(), arbodom_graph::GraphError>(())
+/// ```
+pub fn chain_digest(parent: u64, delta: &GraphDelta) -> u64 {
+    let mut h = fold(FNV_OFFSET, parent);
+    h = fold(h, delta.inserts().len() as u64);
+    for &(u, v) in delta.inserts() {
+        h = fold(h, u.get() as u64);
+        h = fold(h, v.get() as u64);
+    }
+    h = fold(h, delta.deletes().len() as u64);
+    for &(u, v) in delta.deletes() {
+        h = fold(h, u.get() as u64);
+        h = fold(h, v.get() as u64);
     }
     h
 }

@@ -28,6 +28,18 @@ pub enum GraphError {
     },
     /// A generator was called with parameters outside its documented domain.
     InvalidParameter(String),
+    /// A [`crate::GraphDelta`] mutation disagreed with the base graph:
+    /// inserting an edge that is already present, or deleting one that is
+    /// absent. Deltas are strict so mutation histories stay honest.
+    EdgeConflict {
+        /// Smaller endpoint of the conflicting edge.
+        u: NodeId,
+        /// Larger endpoint of the conflicting edge.
+        v: NodeId,
+        /// Whether the edge was present in the base graph (`true` for a
+        /// conflicting insert, `false` for a conflicting delete).
+        present: bool,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -42,6 +54,13 @@ impl fmt::Display for GraphError {
                 write!(f, "expected {expected} weights, got {got}")
             }
             GraphError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            GraphError::EdgeConflict { u, v, present } => {
+                if *present {
+                    write!(f, "delta inserts edge ({u}, {v}) which is already present")
+                } else {
+                    write!(f, "delta deletes edge ({u}, {v}) which is absent")
+                }
+            }
         }
     }
 }
@@ -66,6 +85,16 @@ mod tests {
                 got: 1,
             },
             GraphError::InvalidParameter("p must be in [0, 1]".into()),
+            GraphError::EdgeConflict {
+                u: NodeId::new(0),
+                v: NodeId::new(1),
+                present: true,
+            },
+            GraphError::EdgeConflict {
+                u: NodeId::new(0),
+                v: NodeId::new(1),
+                present: false,
+            },
         ];
         for e in errors {
             let s = e.to_string();

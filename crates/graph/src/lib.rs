@@ -10,6 +10,10 @@
 //!   Erdős–Rényi, random trees, unions of random forests (arboricity ≤ α by
 //!   construction), grids, preferential attachment, planted dominating sets,
 //!   and more.
+//! * [`delta`] — canonical edge insert/delete batches ([`GraphDelta`]) for
+//!   dynamic-graph workloads: overlay application is byte-identical to a
+//!   from-scratch rebuild, and [`digest::chain_digest`] fingerprints whole
+//!   mutation histories.
 //! * [`orientation`] — degeneracy (core) decompositions and low out-degree
 //!   orientations, the combinatorial tool behind every bound in the paper.
 //! * [`arboricity`] — lower/upper bounds and an exact Nash–Williams solver
@@ -38,6 +42,7 @@
 pub mod arboricity;
 mod builder;
 mod csr;
+pub mod delta;
 pub mod digest;
 mod error;
 pub mod generators;
@@ -49,6 +54,7 @@ pub mod weights;
 
 pub use builder::{EdgeCounter, EdgeSink, GraphBuilder};
 pub use csr::{Graph, MemoryFootprint, NodeId};
+pub use delta::GraphDelta;
 pub use error::GraphError;
 
 /// Convenience alias for results returned by fallible graph operations.

@@ -6,11 +6,13 @@
 //! ```
 //!
 //! `FILTER` is a name substring or an exact tag; omitted = everything.
-//! `run` prints one summary row per scenario and writes
+//! Both the static matrix and the churn (dynamic-graph) registry are
+//! listed and run; `run` prints one summary row per scenario and writes
 //! `BENCH_scenarios.json` to the workspace root (suppress with
 //! `--no-write`). Exit status is nonzero if any cell's quality
 //! accounting raised a flag, so CI can gate on it.
 
+use arbodom_scenarios::churn::{churn_registry, run_churn_matching, ChurnPolicy, ChurnReport};
 use arbodom_scenarios::runner::{run_matching, RunConfig};
 use arbodom_scenarios::spec::Scale;
 use arbodom_scenarios::{registry, render_artifact, write_workspace_artifact, ScenarioReport};
@@ -39,7 +41,7 @@ fn usage(code: i32) -> ! {
          --threads N    simulator worker threads (default 4; output identical)\n  \
          --no-write     skip writing BENCH_scenarios.json\n\n\
          FILTER matches a name substring or an exact tag, e.g. `thm11`,\n\
-         `new-family`, `faults-forest-loss`."
+         `new-family`, `faults-forest-loss`, `churn`."
     );
     std::process::exit(code)
 }
@@ -47,9 +49,11 @@ fn usage(code: i32) -> ! {
 fn list(filter: &str) {
     let specs = registry();
     let matching: Vec<_> = specs.iter().filter(|s| s.matches(filter)).collect();
+    let churn_specs = churn_registry();
+    let churn_matching: Vec<_> = churn_specs.iter().filter(|s| s.matches(filter)).collect();
     println!(
         "{} scenario(s){}:\n",
-        matching.len(),
+        matching.len() + churn_matching.len(),
         if filter.is_empty() {
             String::new()
         } else {
@@ -61,6 +65,18 @@ fn list(filter: &str) {
             "  {:<22} {:<28} {:<14} cells {:>3} quick / {:>3} full  [{}]",
             s.name,
             s.family.label(),
+            s.algorithm.label(),
+            s.cell_count(Scale::Quick),
+            s.cell_count(Scale::Full),
+            s.tags.join(", "),
+        );
+        println!("  {:<22} {}", "", s.title);
+    }
+    for s in &churn_matching {
+        println!(
+            "  {:<22} {:<28} {:<14} cells {:>3} quick / {:>3} full  [{}]",
+            s.name,
+            format!("{} ⟳churn", s.family.label()),
             s.algorithm.label(),
             s.cell_count(Scale::Quick),
             s.cell_count(Scale::Full),
@@ -102,42 +118,67 @@ fn run(args: &[String]) {
     }
     let cfg = RunConfig { scale, threads };
     let specs = registry();
+    let churn_specs = churn_registry();
     let matched_cells: usize = specs
         .iter()
         .filter(|s| s.matches(&filter))
         .map(|s| s.cell_count(scale))
         .sum();
-    if matched_cells > 0 {
-        println!(
-            "running {matched_cells} cells at {} scale on {threads} thread(s)\n",
-            scale.label(),
-        );
+    let matched_churn_cells: usize = churn_specs
+        .iter()
+        .filter(|s| s.matches(&filter))
+        .map(|s| s.cell_count(scale))
+        .sum();
+    // A zero-match filter is a hard error so the artifact is never
+    // clobbered by an empty-but-valid report — but a filter that selects
+    // only churn (or only static) scenarios is fine.
+    if matched_cells + matched_churn_cells == 0 {
+        eprintln!("no scenarios matched `{filter}` — try `scenarios list`");
+        std::process::exit(2);
     }
+    println!(
+        "running {matched_cells} static + {matched_churn_cells} churn cells at {} scale on {threads} thread(s)\n",
+        scale.label(),
+    );
     let t0 = std::time::Instant::now();
-    // A zero-match filter is a hard error from the runner itself
-    // (`RunError::NoMatch`), so the artifact is never clobbered by an
-    // empty-but-valid report.
-    let reports = run_matching(&specs, &filter, &cfg, |spec| {
+    let reports = if matched_cells == 0 {
+        Vec::new()
+    } else {
+        run_matching(&specs, &filter, &cfg, |spec| {
+            println!("  {:<22} {:>3} cells … ", spec.name, spec.cell_count(scale));
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("scenario run failed: {e}");
+            std::process::exit(1);
+        })
+    };
+    let churn_reports = run_churn_matching(&churn_specs, &filter, &cfg, |spec| {
         println!("  {:<22} {:>3} cells … ", spec.name, spec.cell_count(scale));
     })
-    .unwrap_or_else(|e| match e {
-        arbodom_scenarios::RunError::NoMatch(_) => {
-            eprintln!("{e} — try `scenarios list`");
-            std::process::exit(2);
-        }
-        other => {
-            eprintln!("scenario run failed: {other}");
-            std::process::exit(1);
-        }
+    .unwrap_or_else(|e| {
+        eprintln!("churn scenario run failed: {e}");
+        std::process::exit(1);
     });
-    println!("\n{}", summary_table(&reports));
+    if !reports.is_empty() {
+        println!("\n{}", summary_table(&reports));
+    }
+    if !churn_reports.is_empty() {
+        println!("\n{}", churn_table(&churn_reports));
+    }
     println!(
         "wall time: {:.1}s (not recorded in the artifact)",
         t0.elapsed().as_secs_f64()
     );
-    let flagged: usize = reports.iter().map(ScenarioReport::flagged_cells).sum();
+    let flagged: usize = reports
+        .iter()
+        .map(ScenarioReport::flagged_cells)
+        .sum::<usize>()
+        + churn_reports
+            .iter()
+            .map(ChurnReport::flagged_cells)
+            .sum::<usize>();
     if write {
-        let json = render_artifact(&reports, scale);
+        let json = render_artifact(&reports, &churn_reports, scale);
         match write_workspace_artifact(arbodom_scenarios::report::ARTIFACT_NAME, &json) {
             Ok(path) => println!("wrote {}", path.display()),
             Err(e) => {
@@ -179,6 +220,40 @@ fn summary_table(reports: &[ScenarioReport]) -> String {
             bound,
             in_budget,
             r.cells.len(),
+            r.flagged_cells(),
+        ));
+    }
+    out
+}
+
+/// One human-readable summary row per churn scenario: the repair-vs-
+/// resolve comparison at a glance.
+fn churn_table(reports: &[ChurnReport]) -> String {
+    let mut out = String::from(
+        "churn scenario         cells  valid  worst drift  repair rounds  resolve rounds  flagged\n",
+    );
+    for r in reports {
+        let valid = r.cells.iter().filter(|c| c.all_valid).count();
+        let worst = r
+            .cells
+            .iter()
+            .map(|c| c.max_measured_drift)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let rounds = |p: ChurnPolicy| {
+            r.cells
+                .iter()
+                .filter(|c| c.policy == p)
+                .map(|c| c.total_rounds)
+                .sum::<usize>()
+        };
+        out.push_str(&format!(
+            "{:<22} {:>5}  {:>5}  {:>11.3}  {:>13}  {:>14}  {:>7}\n",
+            r.name,
+            r.cells.len(),
+            valid,
+            worst,
+            rounds(ChurnPolicy::Repair),
+            rounds(ChurnPolicy::Resolve),
             r.flagged_cells(),
         ));
     }

@@ -83,10 +83,21 @@
 //! `graph_digest` column ties each cell to the seed-stability pins in
 //! `arbodom-graph`, and [`runner::cell_instance`] rebuilds the exact
 //! instance of any cell for offline inspection.
+//!
+//! **Dynamic graphs.** The [`churn`] module is the dynamic sibling of
+//! the static matrix: named [`churn::ChurnSpec`]s drive a solved
+//! instance through deterministic [`arbodom_graph::GraphDelta`] streams
+//! (update-rate sweep × batch-count sweep × repair-vs-resolve policy),
+//! check validity and measure quality drift against a certified
+//! re-solve after **every** batch, and land in the `churn` block of the
+//! same artifact. `scenarios run` executes both registries; filters
+//! apply to both (`scenarios run churn` selects just the dynamic
+//! family).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod json;
 pub mod quality;
 pub mod registry;
@@ -94,6 +105,7 @@ pub mod report;
 pub mod runner;
 pub mod spec;
 
+pub use churn::{churn_registry, run_churn_matching, run_churn_scenario, ChurnReport, ChurnSpec};
 pub use registry::{find, registry};
 pub use report::{render_artifact, write_workspace_artifact, CellReport, ScenarioReport};
 pub use runner::{run_matching, run_scenario, RunConfig, RunError};

@@ -11,6 +11,7 @@
 //! cell data, which is how the engine's thread-count-independence is
 //! tested end to end.
 
+use crate::churn::ChurnReport;
 use crate::json::{JsonArr, JsonObj};
 use crate::quality::RefKind;
 use crate::spec::{Scale, ScenarioSpec};
@@ -171,13 +172,14 @@ impl ScenarioReport {
     }
 }
 
-/// Renders the full artifact. Deterministic: byte-identical for identical
-/// reports — deliberately **excluding** anything execution-environment
-/// dependent (thread count, wall clock), so the artifact itself witnesses
-/// the engine's thread-count independence.
-pub fn render_artifact(reports: &[ScenarioReport], scale: Scale) -> String {
+/// Renders the full artifact: the static matrix plus the `churn` block
+/// of dynamic-graph scenarios. Deterministic: byte-identical for
+/// identical reports — deliberately **excluding** anything
+/// execution-environment dependent (thread count, wall clock), so the
+/// artifact itself witnesses the engine's thread-count independence.
+pub fn render_artifact(reports: &[ScenarioReport], churn: &[ChurnReport], scale: Scale) -> String {
     JsonObj::new()
-        .str("schema", "arbodom-scenarios/v1")
+        .str("schema", "arbodom-scenarios/v2")
         .str("scale", scale.label())
         .int("scenario_count", reports.len())
         .int(
@@ -186,11 +188,21 @@ pub fn render_artifact(reports: &[ScenarioReport], scale: Scale) -> String {
         )
         .int(
             "flagged_cells",
-            reports.iter().map(|r| r.flagged_cells()).sum::<usize>(),
+            reports.iter().map(|r| r.flagged_cells()).sum::<usize>()
+                + churn.iter().map(|r| r.flagged_cells()).sum::<usize>(),
+        )
+        .int("churn_scenario_count", churn.len())
+        .int(
+            "churn_cell_count",
+            churn.iter().map(|r| r.cells.len()).sum::<usize>(),
         )
         .raw(
             "scenarios",
             JsonArr::from_raw(reports.iter().map(|r| r.to_json())).render(),
+        )
+        .raw(
+            "churn",
+            JsonArr::from_raw(churn.iter().map(|r| r.to_json())).render(),
         )
         .render()
 }
@@ -261,12 +273,13 @@ mod tests {
             algorithm: "thm1.1(ε=0.3)".into(),
             cells: vec![demo_cell()],
         };
-        let a = render_artifact(std::slice::from_ref(&report), Scale::Quick);
-        let b = render_artifact(&[report], Scale::Quick);
+        let a = render_artifact(std::slice::from_ref(&report), &[], Scale::Quick);
+        let b = render_artifact(&[report], &[], Scale::Quick);
         assert_eq!(a, b);
-        assert!(a.starts_with("{\"schema\":\"arbodom-scenarios/v1\""));
+        assert!(a.starts_with("{\"schema\":\"arbodom-scenarios/v2\""));
         assert!(a.contains("\"reference\":\"exact\""));
         assert!(a.contains("\"cell_seed\":\"0x0000000000001234\""));
+        assert!(a.contains("\"churn\":[]"));
     }
 
     #[test]
@@ -283,7 +296,7 @@ mod tests {
             cells: vec![demo_cell(), cell],
         };
         assert_eq!(report.flagged_cells(), 1);
-        let json = render_artifact(&[report], Scale::Full);
+        let json = render_artifact(&[report], &[], Scale::Full);
         assert!(json.contains("\"flagged_cells\":1"));
         assert!(json.contains("\"scale\":\"full\""));
     }

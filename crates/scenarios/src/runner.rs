@@ -75,8 +75,10 @@ impl From<arbodom_core::CoreError> for RunError {
     }
 }
 
-/// SplitMix64 — the scenario engine's seed derivation.
-fn splitmix64(mut z: u64) -> u64 {
+/// SplitMix64 — the scenario engine's seed derivation. Shared with the
+/// churn runner ([`crate::churn`]) so every seed in the engine comes
+/// from the same chain construction.
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -84,7 +86,7 @@ fn splitmix64(mut z: u64) -> u64 {
 }
 
 /// FNV-1a over a scenario name.
-fn name_hash(name: &str) -> u64 {
+pub(crate) fn name_hash(name: &str) -> u64 {
     name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
         (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
     })

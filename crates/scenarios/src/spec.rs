@@ -301,22 +301,39 @@ impl Algorithm {
         opts: &RunOptions,
         threads: usize,
     ) -> arbodom_core::Result<(DsResult, Telemetry)> {
+        let run = distributed::RunConfig::from_options(opts).threads(threads);
+        self.execute_with(g, alpha, seed, &run)
+    }
+
+    /// Executes the algorithm's node program over `g`, driven by a
+    /// [`distributed::RunConfig`]. Identical output at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation and simulation errors.
+    pub fn execute_with(
+        &self,
+        g: &Graph,
+        alpha: usize,
+        seed: u64,
+        run: &distributed::RunConfig,
+    ) -> arbodom_core::Result<(DsResult, Telemetry)> {
         match self {
             Algorithm::Weighted { eps } => {
                 let cfg = weighted::Config::new(alpha, *eps)?;
-                distributed::run_weighted_on(g, &cfg, seed, opts, threads)
+                distributed::run_weighted_with(g, &cfg, seed, run)
             }
             Algorithm::UnknownDelta { eps } => {
                 let cfg = unknown_delta::Config::new(alpha, *eps)?;
-                distributed::run_unknown_delta_on(g, &cfg, seed, opts, threads)
+                distributed::run_unknown_delta_with(g, &cfg, seed, run)
             }
             Algorithm::Randomized { t } => {
                 let cfg = randomized::Config::new(alpha, *t, seed)?;
-                distributed::run_randomized_on(g, &cfg, opts, threads)
+                distributed::run_randomized_with(g, &cfg, run)
             }
             Algorithm::General { k } => {
                 let cfg = general::Config::new(*k, seed)?;
-                distributed::run_general_on(g, &cfg, opts, threads)
+                distributed::run_general_with(g, &cfg, run)
             }
         }
     }

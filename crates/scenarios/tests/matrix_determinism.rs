@@ -37,13 +37,13 @@ fn artifact_is_bit_deterministic_across_thread_counts() {
     let mut renders = Vec::new();
     for threads in [1usize, 2, 4] {
         let reports = run_matching(&specs, "", &cfg(threads), |_| {}).expect("runs");
-        renders.push(render_artifact(&reports, Scale::Quick));
+        renders.push(render_artifact(&reports, &[], Scale::Quick));
     }
     assert_eq!(renders[0], renders[1], "1 vs 2 threads");
     assert_eq!(renders[1], renders[2], "2 vs 4 threads");
     // And across repeated runs at the same thread count.
     let again = run_matching(&specs, "", &cfg(4), |_| {}).expect("runs");
-    assert_eq!(renders[2], render_artifact(&again, Scale::Quick));
+    assert_eq!(renders[2], render_artifact(&again, &[], Scale::Quick));
 }
 
 #[test]

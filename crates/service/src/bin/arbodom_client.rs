@@ -32,8 +32,8 @@ fn main() {
         "stats" => control(&args[1..], |c| {
             let s = c.stats()?;
             println!(
-                "cache: {}/{} entries, {} hits, {} misses, {} evictions",
-                s.entries, s.capacity, s.hits, s.misses, s.evictions
+                "cache: {} entries, {}/{} bytes, {} hits, {} misses, {} evictions",
+                s.entries, s.bytes, s.capacity, s.hits, s.misses, s.evictions
             );
             Ok(())
         }),

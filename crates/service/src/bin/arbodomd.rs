@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! arbodomd [--addr HOST:PORT] [--workers N] [--sim-threads N]
-//!          [--cache N] [--quick|--full]
+//!          [--cache-mb N] [--quick|--full]
 //! ```
 //!
 //! Runs until a client sends a `Shutdown` request (`arbodom-client
@@ -26,7 +26,7 @@ fn main() {
             "--addr" => addr = required(it.next(), "--addr").to_string(),
             "--workers" => cfg.workers = parsed(it.next(), "--workers"),
             "--sim-threads" => cfg.sim_threads = parsed(it.next(), "--sim-threads"),
-            "--cache" => cfg.cache_capacity = parsed(it.next(), "--cache"),
+            "--cache-mb" => cfg.cache_bytes = parsed::<usize>(it.next(), "--cache-mb") << 20,
             "--quick" => cfg.scale = Scale::Quick,
             "--full" => cfg.scale = Scale::Full,
             "--help" | "help" => usage(0),
@@ -41,11 +41,11 @@ fn main() {
         std::process::exit(1);
     });
     println!(
-        "arbodomd listening on {} ({} workers, {} sim thread(s), cache {}, {} scale)",
+        "arbodomd listening on {} ({} workers, {} sim thread(s), cache {} MiB, {} scale)",
         server.local_addr(),
         cfg.workers,
         cfg.sim_threads,
-        cfg.cache_capacity,
+        cfg.cache_bytes >> 20,
         cfg.scale.label(),
     );
     server.wait();
@@ -60,7 +60,7 @@ fn usage(code: i32) -> ! {
          --addr HOST:PORT   bind address (default 127.0.0.1:4310; port 0 = ephemeral)\n  \
          --workers N        scheduler worker threads (default 4)\n  \
          --sim-threads N    simulator threads per job (default 1; results identical)\n  \
-         --cache N          graph-cache capacity in instances (default 64)\n  \
+         --cache-mb N       graph-cache budget in MiB of instance memory (default 256)\n  \
          --quick            resolve scenario cells at quick scale (CI; also ARBODOM_QUICK=1)\n  \
          --full             resolve scenario cells at full scale (default)"
     );

@@ -1,6 +1,6 @@
-//! The daemon's graph cache: LRU over built instances, keyed by
-//! [`arbodom_graph::digest::edge_digest`] folded with the instance's
-//! metadata (α, planted set).
+//! The daemon's graph cache: byte-budgeted LRU over built instances,
+//! keyed by [`arbodom_graph::digest::edge_digest`] folded with the
+//! instance's metadata (α, planted set).
 //!
 //! Building a graph (generator run, weight assignment, CSR freeze,
 //! degeneracy ordering for the α fallback) dominates the cost of small
@@ -8,24 +8,31 @@
 //! lookup cheap for every source kind:
 //!
 //! * `by_instance` — the canonical store,
-//!   `instance key → Arc<CachedGraph>`, with LRU eviction at `capacity`.
-//!   The key is the edge digest folded with α and the planted set:
-//!   two sources describing the same edge structure but carrying
-//!   different metadata (a `PlantedDs` generator vs the same edges
-//!   shipped inline) must **not** converge, or a job's reported
-//!   reference/guarantee would depend on what ran before it.
+//!   `instance key → Arc<CachedGraph>`, with LRU eviction once the
+//!   **bytes held** ([`arbodom_graph::MemoryFootprint`] totals of the
+//!   cached CSRs) exceed the byte budget. Budgeting by bytes instead of
+//!   entry count means one million-node instance and a thousand toy
+//!   graphs are charged what they actually cost — the old entry-counted
+//!   policy let a handful of huge graphs pin gigabytes. The key is the
+//!   edge digest folded with α and the planted set: two sources
+//!   describing the same edge structure but carrying different metadata
+//!   (a `PlantedDs` generator vs the same edges shipped inline) must
+//!   **not** converge, or a job's reported reference/guarantee would
+//!   depend on what ran before it.
 //! * `by_source` — a spec index, hash of the encoded
 //!   [`crate::protocol::GraphSource`] `→ instance key`, so a repeated
 //!   generator/scenario query resolves without rebuilding (the digest is
 //!   only computable *after* construction).
 //!
-//! Lookups bump recency; eviction removes the least-recently-used
-//! instance along with every spec key pointing at it. The cache never
-//! stores failures: a source that fails to build is re-attempted (and
-//! re-fails) on every query. Every hit is verified against the stored
-//! encoded source bytes and the stored instance metadata, so hash
-//! collisions of either 64-bit key degrade to a rebuild — never to a
-//! wrong or state-dependent answer.
+//! Lookups bump recency; eviction removes least-recently-used instances
+//! (oldest `last_used` first) until the budget is met, along with every
+//! spec key pointing at them — the entry just inserted is never the
+//! victim, so an over-budget instance is still served to the job that
+//! built it. The cache never stores failures: a source that fails to
+//! build is re-attempted (and re-fails) on every query. Every hit is
+//! verified against the stored encoded source bytes and the stored
+//! instance metadata, so hash collisions of either 64-bit key degrade to
+//! a rebuild — never to a wrong or state-dependent answer.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -55,6 +62,16 @@ impl CachedGraph {
     fn same_instance(&self, other: &CachedGraph) -> bool {
         self.digest == other.digest && self.alpha == other.alpha && self.planted == other.planted
     }
+
+    /// What this instance charges against the cache's byte budget: the
+    /// CSR footprint plus the planted set.
+    fn cost_bytes(&self) -> usize {
+        self.graph.memory_footprint().total()
+            + self
+                .planted
+                .as_ref()
+                .map_or(0, |set| set.len() * std::mem::size_of::<NodeId>())
+    }
 }
 
 /// The canonical store key: the edge digest folded with α and the
@@ -82,6 +99,8 @@ fn instance_key(built: &CachedGraph) -> u64 {
 struct Entry {
     graph: Arc<CachedGraph>,
     last_used: u64,
+    /// Bytes this entry charges against the budget (fixed at insert).
+    bytes: usize,
     /// Spec keys resolving to this instance, removed together on
     /// eviction.
     sources: Vec<u64>,
@@ -96,10 +115,12 @@ struct SourceRef {
     instance: u64,
 }
 
-/// An LRU cache of built graphs. Not internally synchronized — the server
-/// wraps it in a mutex and keeps build work *outside* the lock.
+/// A byte-budgeted LRU cache of built graphs. Not internally
+/// synchronized — the server wraps it in a mutex and keeps build work
+/// *outside* the lock.
 pub struct GraphCache {
-    capacity: usize,
+    budget_bytes: usize,
+    held_bytes: usize,
     tick: u64,
     by_instance: HashMap<u64, Entry>,
     by_source: HashMap<u64, SourceRef>,
@@ -109,10 +130,13 @@ pub struct GraphCache {
 }
 
 impl GraphCache {
-    /// A cache evicting beyond `capacity` graphs (minimum 1).
-    pub fn new(capacity: usize) -> Self {
+    /// A cache evicting down to `budget_bytes` of held instances
+    /// (minimum 1 — a zero budget degenerates to "evict everything but
+    /// the latest insert").
+    pub fn new(budget_bytes: usize) -> Self {
         GraphCache {
-            capacity: capacity.max(1),
+            budget_bytes: budget_bytes.max(1),
+            held_bytes: 0,
             tick: 0,
             by_instance: HashMap::new(),
             by_source: HashMap::new(),
@@ -147,13 +171,13 @@ impl GraphCache {
     }
 
     /// Inserts a freshly built instance under its instance key and the
-    /// source key (+ encoded bytes) that produced it, evicting the
-    /// least-recently-used entry when over capacity. Returns the
-    /// canonical `Arc`: an existing entry with the same instance key
-    /// *and* matching metadata wins, so concurrent duplicate builds
-    /// converge; on the (hash-collision) chance the stored entry is a
-    /// *different* instance, the fresh build is returned uncached so the
-    /// answer is still correct.
+    /// source key (+ encoded bytes) that produced it, evicting
+    /// least-recently-used entries while the byte budget is exceeded.
+    /// Returns the canonical `Arc`: an existing entry with the same
+    /// instance key *and* matching metadata wins, so concurrent
+    /// duplicate builds converge; on the (hash-collision) chance the
+    /// stored entry is a *different* instance, the fresh build is
+    /// returned uncached so the answer is still correct.
     pub fn insert(
         &mut self,
         source_key: u64,
@@ -169,10 +193,16 @@ impl GraphCache {
             }
         }
         let tick = self.tick;
-        let entry = self.by_instance.entry(instance).or_insert_with(|| Entry {
-            graph: Arc::new(built),
-            last_used: tick,
-            sources: Vec::new(),
+        let cost = built.cost_bytes();
+        let held = &mut self.held_bytes;
+        let entry = self.by_instance.entry(instance).or_insert_with(|| {
+            *held += cost;
+            Entry {
+                graph: Arc::new(built),
+                last_used: tick,
+                bytes: cost,
+                sources: Vec::new(),
+            }
         });
         entry.last_used = tick;
         if !entry.sources.contains(&source_key) {
@@ -186,7 +216,7 @@ impl GraphCache {
                 instance,
             },
         );
-        while self.by_instance.len() > self.capacity {
+        while self.held_bytes > self.budget_bytes {
             let lru = self
                 .by_instance
                 .iter()
@@ -195,6 +225,7 @@ impl GraphCache {
                 .map(|(k, _)| *k);
             let Some(victim) = lru else { break };
             if let Some(evicted) = self.by_instance.remove(&victim) {
+                self.held_bytes -= evicted.bytes;
                 for key in evicted.sources {
                     self.by_source.remove(&key);
                 }
@@ -208,7 +239,8 @@ impl GraphCache {
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             entries: self.by_instance.len() as u64,
-            capacity: self.capacity as u64,
+            capacity: self.budget_bytes as u64,
+            bytes: self.held_bytes as u64,
             hits: self.hits,
             misses: self.misses,
             evictions: self.evictions,
@@ -233,15 +265,21 @@ mod tests {
         }
     }
 
+    /// The budget that holds exactly these path graphs, nothing more.
+    fn budget_for(sizes: &[usize]) -> usize {
+        sizes.iter().map(|&n| cached(n).cost_bytes()).sum()
+    }
+
     #[test]
     fn hit_after_insert_and_stats_counting() {
-        let mut cache = GraphCache::new(4);
+        let mut cache = GraphCache::new(budget_for(&[5, 6, 7, 8]));
         assert!(cache.lookup(11, &[11]).is_none());
         cache.insert(11, vec![11], cached(5));
         let hit = cache.lookup(11, &[11]).expect("cached");
         assert_eq!(hit.graph.n(), 5);
         let stats = cache.stats();
         assert_eq!(stats.entries, 1);
+        assert_eq!(stats.bytes, cached(5).cost_bytes() as u64);
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.evictions, 0);
@@ -249,21 +287,28 @@ mod tests {
 
     #[test]
     fn two_sources_share_one_digest_entry() {
-        let mut cache = GraphCache::new(4);
+        let mut cache = GraphCache::new(budget_for(&[6, 6]));
         cache.insert(1, vec![1], cached(6));
         cache.insert(2, vec![2], cached(6));
-        assert_eq!(cache.stats().entries, 1);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(
+            stats.bytes,
+            cached(6).cost_bytes() as u64,
+            "a shared instance is charged once"
+        );
         assert!(cache.lookup(1, &[1]).is_some());
         assert!(cache.lookup(2, &[2]).is_some());
     }
 
     #[test]
-    fn lru_eviction_drops_the_coldest_and_its_source_keys() {
-        let mut cache = GraphCache::new(2);
+    fn byte_budget_evicts_the_coldest_and_its_source_keys() {
+        // Budget fits the 3- and 5-path together but not a third graph.
+        let mut cache = GraphCache::new(budget_for(&[3, 5]));
         cache.insert(1, vec![1], cached(3));
         cache.insert(2, vec![2], cached(4));
         cache.lookup(1, &[1]); // 3-path is now the most recent
-        cache.insert(3, vec![3], cached(5)); // evicts the 4-path
+        cache.insert(3, vec![3], cached(5)); // over budget: evicts the 4-path
         assert!(cache.lookup(1, &[1]).is_some());
         assert!(cache.lookup(3, &[3]).is_some());
         assert!(
@@ -273,6 +318,58 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.entries, 2);
         assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.bytes, budget_for(&[3, 5]) as u64);
+    }
+
+    /// Regression pin for the eviction *order* under a byte budget:
+    /// victims leave strictly least-recently-used first, recency is set
+    /// by lookups (not insertion order), and one oversized insert evicts
+    /// however many cold entries the budget demands — never the entry
+    /// being inserted.
+    #[test]
+    fn byte_budget_eviction_order_is_lru_by_last_touch() {
+        let mut cache = GraphCache::new(budget_for(&[3, 4, 5]));
+        cache.insert(1, vec![1], cached(3));
+        cache.insert(2, vec![2], cached(4));
+        cache.insert(3, vec![3], cached(5));
+        assert_eq!(cache.stats().evictions, 0, "budget holds all three");
+        // Touch in the order 2, 1: graph 3 is now the coldest, then 1.
+        cache.lookup(2, &[2]);
+        cache.lookup(1, &[1]);
+        // A graph as big as 3+4 together forces two evictions: first the
+        // 5-path (coldest), then the 4-path — NOT the 3-path, which was
+        // touched last, and NOT the incoming graph.
+        let big = generators::path(3 + 4);
+        let big = CachedGraph {
+            digest: edge_digest(&big),
+            graph: big,
+            planted: None,
+            alpha: 1,
+        };
+        cache.insert(4, vec![4], big);
+        assert!(cache.lookup(3, &[3]).is_none(), "coldest evicted first");
+        assert!(cache.lookup(2, &[2]).is_none(), "second-coldest next");
+        assert!(cache.lookup(1, &[1]).is_some(), "warmest survives");
+        assert!(
+            cache.lookup(4, &[4]).is_some(),
+            "insert is never the victim"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.bytes, budget_for(&[3, 7]) as u64);
+    }
+
+    #[test]
+    fn oversized_insert_is_kept_and_served() {
+        // A single instance above the whole budget: everything else is
+        // evicted, but the instance itself is stored and returned — the
+        // job that built it must be answered.
+        let mut cache = GraphCache::new(1);
+        let got = cache.insert(1, vec![1], cached(10));
+        assert_eq!(got.graph.n(), 10);
+        assert!(cache.lookup(1, &[1]).is_some());
+        assert_eq!(cache.stats().entries, 1);
     }
 
     #[test]
@@ -280,7 +377,7 @@ mod tests {
         // A planted-generator instance and an inline copy of the same
         // edges share an edge digest but not α/planted: each must keep
         // its own entry, or job results would depend on cache state.
-        let mut cache = GraphCache::new(4);
+        let mut cache = GraphCache::new(budget_for(&[5, 5, 5]));
         let plain = cached(5);
         let mut with_meta = cached(5);
         with_meta.alpha = 3;
@@ -298,7 +395,7 @@ mod tests {
     fn key_collisions_between_distinct_sources_miss_instead_of_lying() {
         // Two different encoded sources hashing to the same 64-bit key:
         // the second must NOT be served the first one's graph.
-        let mut cache = GraphCache::new(4);
+        let mut cache = GraphCache::new(budget_for(&[5, 7]));
         cache.insert(99, vec![1, 2, 3], cached(5));
         assert!(
             cache.lookup(99, &[4, 5, 6]).is_none(),

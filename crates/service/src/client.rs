@@ -4,33 +4,68 @@
 use std::net::{TcpStream, ToSocketAddrs};
 
 use crate::protocol::{
-    decode_payload, read_frame, write_message, CacheStats, JobResult, JobSpec, Request, Response,
+    decode_payload, read_frame, write_message, CacheStats, DeltaSpec, JobResult, JobSpec, Request,
+    Response, SessionPolicy, SessionUpdate, PROTOCOL_V2,
 };
 use crate::ServiceError;
 
 /// One connection to a daemon. Requests are strictly sequential per
 /// connection; open several clients for concurrency.
+///
+/// Every frame the client sends carries its protocol version byte; the
+/// server pins the connection to the first one it sees. [`Client::connect`]
+/// speaks the newest version ([`PROTOCOL_V2`]) — use
+/// [`Client::connect_with_version`] to emulate an older client.
 pub struct Client {
     stream: TcpStream,
+    version: u8,
 }
 
 impl Client {
-    /// Connects to a daemon.
+    /// Connects to a daemon speaking the newest protocol version.
     ///
     /// # Errors
     ///
     /// Propagates socket errors.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServiceError> {
+        Self::connect_with_version(addr, PROTOCOL_V2)
+    }
+
+    /// Connects speaking an explicit protocol version (the first frame
+    /// pins it server-side). Useful for compatibility testing; a version
+    /// the server does not speak gets a typed
+    /// [`ServiceError::UnsupportedVersion`] on the first request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn connect_with_version(
+        addr: impl ToSocketAddrs,
+        version: u8,
+    ) -> Result<Self, ServiceError> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
-        Ok(Client { stream })
+        Ok(Client { stream, version })
+    }
+
+    /// The protocol version this connection speaks.
+    pub fn version(&self) -> u8 {
+        self.version
     }
 
     fn read_response(&mut self) -> Result<Response, ServiceError> {
-        match decode_payload::<Response>(&read_frame(&mut self.stream)?)? {
+        let (_, payload) = read_frame(&mut self.stream)?;
+        match decode_payload::<Response>(&payload)? {
             Response::Error(msg) => Err(ServiceError::Remote(msg)),
+            Response::UnsupportedVersion { got, min, max } => {
+                Err(ServiceError::UnsupportedVersion { got, min, max })
+            }
             other => Ok(other),
         }
+    }
+
+    fn send(&mut self, request: &Request) -> Result<(), ServiceError> {
+        write_message(&mut self.stream, self.version, request)
     }
 
     /// Liveness probe.
@@ -39,7 +74,7 @@ impl Client {
     ///
     /// Fails on transport errors or an unexpected response.
     pub fn ping(&mut self) -> Result<(), ServiceError> {
-        write_message(&mut self.stream, &Request::Ping)?;
+        self.send(&Request::Ping)?;
         match self.read_response()? {
             Response::Pong => Ok(()),
             other => Err(unexpected("Pong", &other)),
@@ -52,7 +87,7 @@ impl Client {
     ///
     /// Fails on transport errors or an unexpected response.
     pub fn stats(&mut self) -> Result<CacheStats, ServiceError> {
-        write_message(&mut self.stream, &Request::Stats)?;
+        self.send(&Request::Stats)?;
         match self.read_response()? {
             Response::Stats(stats) => Ok(stats),
             other => Err(unexpected("Stats", &other)),
@@ -65,27 +100,118 @@ impl Client {
     ///
     /// Fails on transport errors or an unexpected response.
     pub fn shutdown_server(&mut self) -> Result<(), ServiceError> {
-        write_message(&mut self.stream, &Request::Shutdown)?;
+        self.send(&Request::Shutdown)?;
         match self.read_response()? {
             Response::ShuttingDown => Ok(()),
             other => Err(unexpected("ShuttingDown", &other)),
         }
     }
 
+    /// Opens a session: solves `spec` and keeps the instance alive
+    /// server-side. Returns the session id and the opening solve's
+    /// result.
+    ///
+    /// # Errors
+    ///
+    /// Job-level failures (bad source, lossy cell, invalid initial
+    /// solution) surface as [`ServiceError::Remote`] — no session was
+    /// created. v1 connections get
+    /// [`ServiceError::UnsupportedVersion`].
+    pub fn open(&mut self, spec: &JobSpec) -> Result<(u64, JobResult), ServiceError> {
+        self.send(&Request::Open(spec.clone()))?;
+        match self.read_response()? {
+            Response::Session { id, outcome } => match outcome {
+                Ok(result) => Ok((id, result)),
+                Err(msg) => Err(ServiceError::Remote(msg)),
+            },
+            other => Err(unexpected("Session", &other)),
+        }
+    }
+
+    /// Applies an edge-delta batch to a session under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Job-level failures (unknown session, conflicting delta, failed
+    /// fallback solve) surface as [`ServiceError::Remote`]; the session
+    /// survives unless the message says otherwise.
+    pub fn mutate(
+        &mut self,
+        session: u64,
+        delta: &DeltaSpec,
+        policy: SessionPolicy,
+    ) -> Result<SessionUpdate, ServiceError> {
+        self.send(&Request::Mutate {
+            session,
+            delta: delta.clone(),
+            policy,
+        })?;
+        self.read_mutated(session)
+    }
+
+    /// Forces a certified full re-solve on a session's current graph,
+    /// re-anchoring its drift estimate.
+    ///
+    /// # Errors
+    ///
+    /// Job-level failures surface as [`ServiceError::Remote`].
+    pub fn resolve_session(&mut self, session: u64) -> Result<SessionUpdate, ServiceError> {
+        self.send(&Request::Resolve { session })?;
+        self.read_mutated(session)
+    }
+
+    fn read_mutated(&mut self, session: u64) -> Result<SessionUpdate, ServiceError> {
+        match self.read_response()? {
+            Response::Mutated { id, outcome } => {
+                if id != session {
+                    return Err(ServiceError::Protocol(format!(
+                        "reply addresses session {id}, expected {session}"
+                    )));
+                }
+                outcome.map_err(ServiceError::Remote)
+            }
+            other => Err(unexpected("Mutated", &other)),
+        }
+    }
+
+    /// Releases a session (idempotent). Returns whether it existed.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or an unexpected response.
+    pub fn release(&mut self, session: u64) -> Result<bool, ServiceError> {
+        self.send(&Request::Release { session })?;
+        match self.read_response()? {
+            Response::Released { id, existed } => {
+                if id != session {
+                    return Err(ServiceError::Protocol(format!(
+                        "reply addresses session {id}, expected {session}"
+                    )));
+                }
+                Ok(existed)
+            }
+            other => Err(unexpected("Released", &other)),
+        }
+    }
+
     /// Submits a batch and returns the **raw response frame payloads** in
     /// arrival order (every `Job` frame, then the `BatchDone` trailer).
-    /// This is the byte stream the determinism tests compare.
+    /// This is the byte stream the determinism tests compare (the frame
+    /// version byte is constant per connection and excluded).
     ///
     /// # Errors
     ///
     /// Fails on transport errors or a server-reported connection error.
     pub fn submit_raw(&mut self, jobs: &[JobSpec]) -> Result<Vec<Vec<u8>>, ServiceError> {
-        write_message(&mut self.stream, &Request::Batch(jobs.to_vec()))?;
+        self.send(&Request::Batch(jobs.to_vec()))?;
         let mut frames = Vec::new();
         loop {
-            let payload = read_frame(&mut self.stream)?;
+            let (_, payload) = read_frame(&mut self.stream)?;
             let done = match decode_payload::<Response>(&payload)? {
                 Response::Error(msg) => return Err(ServiceError::Remote(msg)),
+                Response::UnsupportedVersion { got, min, max } => {
+                    return Err(ServiceError::UnsupportedVersion { got, min, max })
+                }
                 Response::BatchDone { .. } => true,
                 Response::Job { .. } => false,
                 other => return Err(unexpected("Job/BatchDone", &other)),

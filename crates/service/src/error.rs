@@ -18,6 +18,18 @@ pub enum ServiceError {
     /// A frame header declared a payload above
     /// [`crate::protocol::MAX_FRAME_LEN`].
     FrameTooLarge(u64),
+    /// The server rejected the connection's protocol version, or a
+    /// request gated behind a newer version than the connection pinned
+    /// (typed counterpart of
+    /// [`crate::protocol::Response::UnsupportedVersion`]).
+    UnsupportedVersion {
+        /// The version byte the client sent.
+        got: u8,
+        /// Oldest version the server speaks.
+        min: u8,
+        /// Newest version the server speaks.
+        max: u8,
+    },
     /// The peer closed the connection cleanly between frames.
     Closed,
 }
@@ -30,6 +42,10 @@ impl fmt::Display for ServiceError {
             ServiceError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             ServiceError::Remote(msg) => write!(f, "server error: {msg}"),
             ServiceError::FrameTooLarge(len) => write!(f, "frame too large: {len} bytes"),
+            ServiceError::UnsupportedVersion { got, min, max } => write!(
+                f,
+                "unsupported protocol version {got} (server speaks {min}..={max})"
+            ),
             ServiceError::Closed => write!(f, "connection closed"),
         }
     }

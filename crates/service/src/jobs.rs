@@ -12,7 +12,7 @@
 use std::sync::{Arc, Mutex};
 
 use arbodom_congest::{LossModel, MeterMode, RunOptions};
-use arbodom_core::verify;
+use arbodom_core::{verify, DsResult};
 use arbodom_graph::digest::edge_digest;
 use arbodom_graph::weights::WeightModel;
 use arbodom_graph::{orientation, GraphBuilder, NodeId};
@@ -24,6 +24,7 @@ use rand::SeedableRng;
 
 use crate::cache::{CachedGraph, GraphCache};
 use crate::protocol::{encode_payload, GraphSource, JobResult, JobSpec};
+use crate::session::{Session, SessionTable};
 
 /// The algorithm ad-hoc jobs run when the spec does not name one:
 /// Theorem 1.1 with ε = 0.2.
@@ -48,6 +49,8 @@ pub const MAX_DENSITY_PARAM: usize = 512;
 pub struct ExecContext {
     /// The shared graph cache.
     pub cache: Arc<Mutex<GraphCache>>,
+    /// The shared session registry (v2 dynamic-graph state).
+    pub sessions: Arc<SessionTable>,
     /// Threads handed to the `run_*_on` simulator entry points per job
     /// (results are identical at any value).
     pub sim_threads: usize,
@@ -85,6 +88,58 @@ pub fn source_key(bytes: &[u8]) -> u64 {
 pub fn execute_job(ctx: &ExecContext, spec: &JobSpec) -> Result<JobResult, String> {
     let instance = resolve_instance(ctx, &spec.source)?;
     let run = run_parameters(ctx, spec)?;
+    let (result, _) = solve_on(ctx, &instance, &run, spec.return_members)?;
+    Ok(result)
+}
+
+/// Opens a session: resolves and solves the spec like a regular job, then
+/// registers the solved instance with the session table so later `Mutate`
+/// / `Resolve` / `Release` requests (and `GraphSource::Session` jobs) can
+/// address its live state.
+///
+/// # Errors
+///
+/// Everything [`execute_job`] can report, plus: the source is itself a
+/// session snapshot, the cell is lossy, or the initial solve came back
+/// non-dominating — a session's maintained set must start valid.
+pub fn open_session(ctx: &ExecContext, spec: &JobSpec) -> Result<(u64, JobResult), String> {
+    if matches!(spec.source, GraphSource::Session { .. }) {
+        return Err("open: a session cannot be seeded from another session snapshot".into());
+    }
+    let instance = resolve_instance(ctx, &spec.source)?;
+    let run = run_parameters(ctx, spec)?;
+    if run.drop_p > 0.0 {
+        return Err(
+            "open: lossy scenario cells cannot seed a session (the maintained set must start valid)"
+                .into(),
+        );
+    }
+    let (result, sol) = solve_on(ctx, &instance, &run, false)?;
+    if !result.valid {
+        return Err(format!(
+            "open: initial solve left {} undominated nodes",
+            result.undominated
+        ));
+    }
+    let session = Session::new(
+        instance.graph.clone(),
+        &sol,
+        run.algorithm,
+        instance.alpha,
+        run.seed,
+    );
+    Ok((ctx.sessions.insert(session), result))
+}
+
+/// The shared solve-and-account core: runs `run` on `instance` and
+/// returns both the wire result and the raw solution (sessions keep the
+/// latter).
+fn solve_on(
+    ctx: &ExecContext,
+    instance: &CachedGraph,
+    run: &RunParameters,
+    return_members: bool,
+) -> Result<(JobResult, DsResult), String> {
     let g = &instance.graph;
     let opts = RunOptions {
         meter: run.meter,
@@ -109,10 +164,8 @@ pub fn execute_job(ctx: &ExecContext, spec: &JobSpec) -> Result<JobResult, Strin
         valid,
         run.drop_p > 0.0,
     );
-    let members = spec
-        .return_members
-        .then(|| sol.members().iter().map(|v| v.get()).collect());
-    Ok(JobResult {
+    let members = return_members.then(|| sol.members().iter().map(|v| v.get()).collect());
+    let result = JobResult {
         n: g.n() as u64,
         m: g.m() as u64,
         max_degree: g.max_degree() as u64,
@@ -136,7 +189,8 @@ pub fn execute_job(ctx: &ExecContext, spec: &JobSpec) -> Result<JobResult, Strin
         budget_violations: telemetry.budget_violations as u64,
         dropped_messages: telemetry.dropped_messages as u64,
         members,
-    })
+    };
+    Ok((result, sol))
 }
 
 /// How one job runs: algorithm, seed, loss, metering.
@@ -184,7 +238,25 @@ fn run_parameters(ctx: &ExecContext, spec: &JobSpec) -> Result<RunParameters, St
                 meter: scenario.meter,
             })
         }
+        GraphSource::Session { id } => {
+            // Default to the algorithm the session was opened with, so a
+            // bare snapshot job reproduces the session's own solve.
+            let session = find_session(ctx, *id)?;
+            let default = session.lock().expect("session poisoned").algorithm();
+            Ok(RunParameters {
+                algorithm: spec.algorithm.unwrap_or(default),
+                seed: spec.seed,
+                drop_p: 0.0,
+                meter: MeterMode::Measure,
+            })
+        }
     }
+}
+
+fn find_session(ctx: &ExecContext, id: u64) -> Result<Arc<Mutex<Session>>, String> {
+    ctx.sessions
+        .get(id)
+        .ok_or_else(|| format!("unknown session {id} (released or never opened)"))
 }
 
 fn find_scenario(name: &str) -> Result<ScenarioSpec, String> {
@@ -221,7 +293,25 @@ fn check_cell_bounds(
 /// outside it (construction can be expensive and must not serialize the
 /// pool), insert on completion. Concurrent identical misses may build
 /// twice; the insert converges them onto one canonical `Arc`.
+///
+/// Session snapshots bypass the cache entirely: the graph behind a
+/// session id changes with every `Mutate`, so caching by source bytes
+/// would serve stale state.
 fn resolve_instance(ctx: &ExecContext, source: &GraphSource) -> Result<Arc<CachedGraph>, String> {
+    if let GraphSource::Session { id } = source {
+        let session = find_session(ctx, *id)?;
+        let guard = session.lock().expect("session poisoned");
+        let graph = guard.graph_snapshot();
+        let alpha = guard.alpha();
+        drop(guard);
+        let digest = edge_digest(&graph);
+        return Ok(Arc::new(CachedGraph {
+            graph,
+            planted: None,
+            alpha,
+            digest,
+        }));
+    }
     let bytes = source_bytes(source, ctx.scale);
     let key = source_key(&bytes);
     if let Some(cached) = ctx
@@ -353,6 +443,9 @@ fn build_instance(source: &GraphSource, scale: Scale) -> Result<CachedGraph, Str
                 scenario.family.alpha_bound(),
             ))
         }
+        // Session snapshots are materialized (and never cached) in
+        // `resolve_instance`; they cannot be "built" from scratch.
+        GraphSource::Session { id } => Err(format!("session {id} cannot be rebuilt from a spec")),
     }
 }
 
@@ -380,7 +473,8 @@ mod tests {
 
     fn ctx() -> ExecContext {
         ExecContext {
-            cache: Arc::new(Mutex::new(GraphCache::new(8))),
+            cache: Arc::new(Mutex::new(GraphCache::new(64 << 20))),
+            sessions: Arc::new(SessionTable::new()),
             sim_threads: 1,
             scale: Scale::Quick,
         }
@@ -453,6 +547,52 @@ mod tests {
         assert_eq!(result.rounds, cell.rounds as u64);
         assert_eq!(result.ratio, cell.ratio);
         assert!(!result.flagged);
+    }
+
+    #[test]
+    fn session_jobs_snapshot_live_state() {
+        use crate::protocol::{DeltaSpec, SessionPolicy};
+        let ctx = ctx();
+        let (id, opened) = open_session(&ctx, &JobSpec::new(inline_path(30))).expect("opens");
+        assert!(opened.valid);
+        // A job addressing the session reproduces the opening solve.
+        let snap = execute_job(&ctx, &JobSpec::new(GraphSource::Session { id })).unwrap();
+        assert_eq!(snap.graph_digest, opened.graph_digest);
+        assert_eq!(snap.ds_weight, opened.ds_weight);
+        // Mutating the session changes what later snapshot jobs see.
+        let delta = DeltaSpec {
+            inserts: vec![(0, 29)],
+            deletes: vec![],
+        };
+        let session = ctx.sessions.get(id).unwrap();
+        let (after, stats) = session
+            .lock()
+            .unwrap()
+            .mutate(&delta, SessionPolicy::Repair, 1)
+            .expect("mutates");
+        assert!(after.valid);
+        assert!(
+            stats.repaired,
+            "a single insert must not trip the drift bound"
+        );
+        assert_eq!(stats.batches_since_solve, 1);
+        let snap2 = execute_job(&ctx, &JobSpec::new(GraphSource::Session { id })).unwrap();
+        assert_eq!(snap2.graph_digest, after.graph_digest);
+        assert_ne!(snap2.graph_digest, snap.graph_digest);
+        assert_eq!(snap2.m, snap.m + 1);
+        // Session snapshots never touch the cache.
+        assert_eq!(ctx.cache.lock().unwrap().stats().entries, 1);
+        // Release makes the id unresolvable.
+        assert!(ctx.sessions.remove(id));
+        let err = execute_job(&ctx, &JobSpec::new(GraphSource::Session { id })).unwrap_err();
+        assert!(err.contains("unknown session"), "{err:?}");
+    }
+
+    #[test]
+    fn open_rejects_sources_that_cannot_seed_a_session() {
+        let ctx = ctx();
+        let err = open_session(&ctx, &JobSpec::new(GraphSource::Session { id: 1 })).unwrap_err();
+        assert!(err.contains("cannot be seeded"), "{err:?}");
     }
 
     #[test]

@@ -3,10 +3,15 @@
 //! Everything below PR 4 was batch: one-shot CLIs building a graph,
 //! running an algorithm, exiting. This crate turns the stack into a
 //! long-running **batch-query daemon**: a std-only threaded TCP server
-//! that amortizes graph construction across queries (an LRU cache keyed
-//! by [`arbodom_graph::digest::edge_digest`]) and fans jobs across a
-//! work-stealing pool driving the thread-capable `run_*_on` simulator
-//! entry points.
+//! that amortizes graph construction across queries (a byte-budgeted
+//! LRU cache keyed by [`arbodom_graph::digest::edge_digest`]) and fans
+//! jobs across a work-stealing pool driving the thread-capable
+//! `run_*_on` simulator entry points. Since protocol v2 it also serves
+//! **dynamic graphs**: a session protocol holds `(graph, solution,
+//! quality)` state server-side and maintains the dominating set under
+//! edge churn by incremental local repair
+//! ([`arbodom_core::repair`]), falling back to a certified full
+//! re-solve when the quality drift bound trips.
 //!
 //! # Service cookbook
 //!
@@ -47,31 +52,81 @@
 //! # Ok::<(), arbodom_service::ServiceError>(())
 //! ```
 //!
+//! **Serve a mutating graph** — open a session, stream edge churn at it,
+//! and let the server keep the dominating set valid (local repair per
+//! batch, certified re-solve on demand or when drift accumulates):
+//!
+//! ```
+//! use arbodom_service::{
+//!     Client, DeltaSpec, GraphSource, JobSpec, Server, ServerConfig, SessionPolicy,
+//! };
+//!
+//! let server = Server::bind("127.0.0.1:0", ServerConfig::default())?;
+//! let mut client = Client::connect(server.local_addr())?;
+//! let spec = JobSpec::new(GraphSource::Inline {
+//!     n: 6,
+//!     edges: vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)],
+//!     weights: None,
+//! });
+//! let (session, opened) = client.open(&spec)?;
+//! assert!(opened.valid);
+//!
+//! // One churn batch: drop an edge, add another. Repair keeps the set
+//! // valid without re-running the distributed algorithm.
+//! let delta = DeltaSpec {
+//!     inserts: vec![(0, 5)],
+//!     deletes: vec![(2, 3)],
+//! };
+//! let update = client.mutate(session, &delta, SessionPolicy::Repair)?;
+//! assert!(update.result.valid);
+//! assert_eq!(update.result.rounds, 0, "local repair simulates nothing");
+//!
+//! // Regular jobs can query the session's live graph...
+//! let snap = client.submit(&[JobSpec::new(GraphSource::Session { id: session })])?;
+//! assert_eq!(snap[0].as_ref().unwrap().graph_digest, update.result.graph_digest);
+//!
+//! // ...and a certified re-solve re-anchors the drift estimate.
+//! let resolved = client.resolve_session(session)?;
+//! assert!(!resolved.repair.repaired);
+//! assert!(client.release(session)?);
+//! server.shutdown();
+//! # Ok::<(), arbodom_service::ServiceError>(())
+//! ```
+//!
 //! # Protocol
 //!
-//! Length-prefixed frames (4-byte little-endian payload length, then the
-//! payload encoded with the CONGEST [`arbodom_congest::Wire`] codecs);
-//! see [`protocol`] for the message grammar. A batch request is answered
-//! with one [`protocol::Response::Job`] frame per job **in submission
-//! order** plus a `BatchDone` trailer, which makes the response stream
-//! byte-deterministic: identical batches yield identical bytes at any
-//! server worker count (the end-to-end tests compare raw frames).
+//! Versioned length-prefixed frames (a version byte, a 4-byte
+//! little-endian payload length, then the payload encoded with the
+//! CONGEST [`arbodom_congest::Wire`] codecs); see [`protocol`] for the
+//! message grammar and the negotiation rules (the first frame pins a
+//! connection's version; session requests are v2-only and v1
+//! connections get a typed `UnsupportedVersion` reply). A batch request
+//! is answered with one [`protocol::Response::Job`] frame per job **in
+//! submission order** plus a `BatchDone` trailer, which makes the
+//! response stream byte-deterministic: identical batches yield
+//! identical bytes at any server worker count (the end-to-end tests
+//! compare raw frames).
 //!
 //! # Job specs
 //!
 //! A job names a graph ([`GraphSource`]: inline edge list, named
-//! generator + params + seed, or a registered scenario cell), optionally
-//! an algorithm override, a seed, and whether to return the member list.
-//! Results carry the solution, the certified approximation ratio from
-//! [`arbodom_scenarios::quality`] (exact / planted / packing-lb
-//! reference), the round count against the theorem budget, and the full
-//! simulator telemetry.
+//! generator + params + seed, a registered scenario cell, or a live
+//! session snapshot), optionally an algorithm override, a seed, and
+//! whether to return the member list. Results carry the solution, the
+//! certified approximation ratio from [`arbodom_scenarios::quality`]
+//! (exact / planted / packing-lb reference), the round count against
+//! the theorem budget, and the full simulator telemetry.
 //!
 //! # Cache semantics
 //!
-//! Graphs are cached by edge digest with LRU eviction
-//! ([`cache::GraphCache`]); a spec index maps encoded sources to digests
-//! so repeated generator/scenario queries skip construction entirely.
+//! Graphs are cached by edge digest with **byte-budgeted** LRU eviction
+//! ([`cache::GraphCache`]): each entry is charged its
+//! [`arbodom_graph::Graph::memory_footprint`] (plus any planted set)
+//! and least-recently-used instances are evicted until resident bytes
+//! fit the budget, so one million-node instance and a thousand toy
+//! graphs are accounted at their true cost. A spec index maps encoded
+//! sources to digests so repeated generator/scenario queries skip
+//! construction entirely. Session graphs are never cached — they mutate.
 //! Caching changes *when* work happens, never *what* a job returns —
 //! results are pure functions of the job spec and the server scale.
 
@@ -86,10 +141,15 @@ pub mod jobs;
 pub mod protocol;
 pub mod scheduler;
 mod server;
+pub mod session;
 
 pub use client::Client;
 pub use error::ServiceError;
-pub use jobs::{execute_job, ExecContext};
-pub use protocol::{CacheStats, GraphSource, JobResult, JobSpec, Request, Response};
+pub use jobs::{execute_job, open_session, ExecContext};
+pub use protocol::{
+    CacheStats, DeltaSpec, GraphSource, JobResult, JobSpec, RepairStats, Request, Response,
+    SessionPolicy, SessionUpdate, PROTOCOL_V1, PROTOCOL_V2,
+};
 pub use scheduler::Scheduler;
 pub use server::{Server, ServerConfig};
+pub use session::{Session, SessionTable};

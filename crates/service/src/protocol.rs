@@ -1,22 +1,35 @@
 //! The `arbodomd` wire protocol: framing plus typed requests/responses.
 //!
-//! Every message is one **frame**: a 4-byte little-endian payload length
-//! followed by the payload, which is the [`Wire`] encoding of exactly one
-//! [`Request`] or [`Response`]. The payload codecs are the same varint
-//! helpers the CONGEST simulator meters with ([`arbodom_congest::wire`]),
-//! so the protocol inherits their conformance contract: encodings
-//! round-trip, consume exactly their own bytes, and fail on any strict
-//! prefix (checkable with
+//! Every message is one **frame**: a 1-byte protocol version, a 4-byte
+//! little-endian payload length, then the payload, which is the [`Wire`]
+//! encoding of exactly one [`Request`] or [`Response`]. The payload
+//! codecs are the same varint helpers the CONGEST simulator meters with
+//! ([`arbodom_congest::wire`]), so the protocol inherits their
+//! conformance contract: encodings round-trip, consume exactly their own
+//! bytes, and fail on any strict prefix (checkable with
 //! [`arbodom_congest::assert_wire_conformance`]).
+//!
+//! # Version negotiation
+//!
+//! The **first frame** of a connection pins its protocol version; every
+//! later frame must carry the same byte. A version outside
+//! [`PROTOCOL_MIN`]`..=`[`PROTOCOL_MAX`] is answered with a typed
+//! [`Response::UnsupportedVersion`] and the connection closes. A v1
+//! connection keeps the original batch-query surface; the **session
+//! requests** ([`Request::Open`]/[`Request::Mutate`]/[`Request::Resolve`]
+//! /[`Request::Release`]) and [`GraphSource::Session`] are v2-only — a
+//! v1 client issuing them gets `UnsupportedVersion` (the connection
+//! stays usable for v1 traffic).
 //!
 //! A conversation is strictly client-driven: the client writes one
 //! request frame, the server answers with one or more response frames —
 //! [`Response::Pong`]/[`Response::Stats`]/[`Response::ShuttingDown`] for
-//! the control requests, and for a [`Request::Batch`] one
-//! [`Response::Job`] frame **per job in submission order** followed by a
-//! [`Response::BatchDone`] trailer. In-order delivery is what makes the
-//! response byte stream deterministic: identical batches produce
-//! byte-identical response streams at any server worker count.
+//! the control requests, one session-scoped reply for each session
+//! request, and for a [`Request::Batch`] one [`Response::Job`] frame
+//! **per job in submission order** followed by a [`Response::BatchDone`]
+//! trailer. In-order delivery is what makes the response byte stream
+//! deterministic: identical batches produce byte-identical response
+//! streams at any server worker count.
 
 use arbodom_congest::{
     get_bool, get_u32, get_u64, get_uvarint, put_bool, put_u32, put_u64, put_uvarint, Wire,
@@ -30,8 +43,23 @@ use bytes::BytesMut;
 use crate::ServiceError;
 use std::io::{Read, Write};
 
-/// Frame header size: a `u32` little-endian payload length.
-pub const FRAME_HEADER_LEN: usize = 4;
+/// Frame header size: a protocol-version byte followed by a `u32`
+/// little-endian payload length.
+pub const FRAME_HEADER_LEN: usize = 5;
+
+/// Protocol v1: the original batch-query surface (`Ping`/`Batch`/
+/// `Stats`/`Shutdown`).
+pub const PROTOCOL_V1: u8 = 1;
+
+/// Protocol v2: v1 plus the session surface (`Open`/`Mutate`/`Resolve`/
+/// `Release` and [`GraphSource::Session`]).
+pub const PROTOCOL_V2: u8 = 2;
+
+/// Oldest protocol version the daemon speaks.
+pub const PROTOCOL_MIN: u8 = PROTOCOL_V1;
+
+/// Newest protocol version the daemon speaks.
+pub const PROTOCOL_MAX: u8 = PROTOCOL_V2;
 
 /// Hard cap on a frame payload; larger declared lengths are rejected
 /// before any allocation so a corrupt or hostile header cannot balloon
@@ -45,28 +73,33 @@ pub const MAX_BATCH_JOBS: usize = 10_000;
 // Framing
 // ---------------------------------------------------------------------------
 
-/// Writes one frame: length header plus payload.
+/// Writes one frame: version byte, length header, payload.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors; rejects payloads above [`MAX_FRAME_LEN`].
-pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), ServiceError> {
+pub fn write_frame(w: &mut impl Write, version: u8, payload: &[u8]) -> Result<(), ServiceError> {
     if payload.len() > MAX_FRAME_LEN {
         return Err(ServiceError::FrameTooLarge(payload.len() as u64));
     }
-    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    header[0] = version;
+    header[1..].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    w.write_all(&header)?;
     w.write_all(payload)?;
     Ok(())
 }
 
-/// Reads one frame payload.
+/// Reads one frame, returning its version byte and payload. The version
+/// is **not** validated here — the connection layer decides whether to
+/// pin it or answer [`Response::UnsupportedVersion`].
 ///
 /// # Errors
 ///
 /// Returns [`ServiceError::Closed`] on a clean EOF before the header,
 /// [`ServiceError::FrameTooLarge`] for oversized declared lengths, and
 /// I/O errors otherwise (including EOF mid-frame).
-pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, ServiceError> {
+pub fn read_frame(r: &mut impl Read) -> Result<(u8, Vec<u8>), ServiceError> {
     let mut header = [0u8; FRAME_HEADER_LEN];
     let mut got = 0;
     while got < FRAME_HEADER_LEN {
@@ -81,13 +114,14 @@ pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, ServiceError> {
             k => got += k,
         }
     }
-    let len = u32::from_le_bytes(header) as usize;
+    let version = header[0];
+    let len = u32::from_le_bytes(header[1..].try_into().expect("4 length bytes")) as usize;
     if len > MAX_FRAME_LEN {
         return Err(ServiceError::FrameTooLarge(len as u64));
     }
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
-    Ok(payload)
+    Ok((version, payload))
 }
 
 /// Encodes one message into a standalone payload buffer.
@@ -116,22 +150,28 @@ pub fn decode_payload<M: Wire>(payload: &[u8]) -> Result<M, ServiceError> {
     Ok(msg)
 }
 
-/// Writes one message as a frame.
+/// Writes one message as a frame carrying `version`.
 ///
 /// # Errors
 ///
 /// Propagates framing errors.
-pub fn write_message<M: Wire>(w: &mut impl Write, msg: &M) -> Result<(), ServiceError> {
-    write_frame(w, &encode_payload(msg))
+pub fn write_message<M: Wire>(
+    w: &mut impl Write,
+    version: u8,
+    msg: &M,
+) -> Result<(), ServiceError> {
+    write_frame(w, version, &encode_payload(msg))
 }
 
-/// Reads one message from a frame.
+/// Reads one message from a frame, returning the frame's version byte
+/// alongside it.
 ///
 /// # Errors
 ///
 /// Propagates framing and decoding errors.
-pub fn read_message<M: Wire>(r: &mut impl Read) -> Result<M, ServiceError> {
-    decode_payload(&read_frame(r)?)
+pub fn read_message<M: Wire>(r: &mut impl Read) -> Result<(u8, M), ServiceError> {
+    let (version, payload) = read_frame(r)?;
+    Ok((version, decode_payload(&payload)?))
 }
 
 // ---------------------------------------------------------------------------
@@ -405,6 +445,13 @@ pub enum GraphSource {
         /// Seed replica index.
         seed_idx: u64,
     },
+    /// The **current** graph of an open session (protocol v2). Session
+    /// graphs mutate, so jobs over this source are never cached — the
+    /// job snapshots the session state at execution time.
+    Session {
+        /// Session id returned by [`Response::Session`].
+        id: u64,
+    },
 }
 
 impl Wire for GraphSource {
@@ -455,6 +502,10 @@ impl Wire for GraphSource {
                 put_u32(buf, *loss_idx);
                 put_u64(buf, *seed_idx);
             }
+            GraphSource::Session { id } => {
+                buf.extend_from_slice(&[3]);
+                put_u64(buf, *id);
+            }
         }
     }
 
@@ -492,6 +543,7 @@ impl Wire for GraphSource {
                 loss_idx: get_u32(buf)?,
                 seed_idx: get_u64(buf)?,
             }),
+            3 => Ok(GraphSource::Session { id: get_u64(buf)? }),
             _ => Err(WireError::Invalid("unknown graph-source tag")),
         }
     }
@@ -553,10 +605,179 @@ impl Wire for JobSpec {
 }
 
 // ---------------------------------------------------------------------------
+// Session messages (protocol v2)
+// ---------------------------------------------------------------------------
+
+/// An edge-delta batch shipped over the wire: the inserts and deletes a
+/// [`Request::Mutate`] applies to a session's graph. Validated
+/// server-side against the session's current edge set (strict
+/// [`arbodom_graph::GraphDelta`] semantics: inserting a present edge or
+/// deleting an absent one is a job-level error).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DeltaSpec {
+    /// Edges to insert, as `(u, v)` pairs.
+    pub inserts: Vec<(u32, u32)>,
+    /// Edges to delete, as `(u, v)` pairs.
+    pub deletes: Vec<(u32, u32)>,
+}
+
+fn put_edge_list(buf: &mut BytesMut, edges: &[(u32, u32)]) {
+    put_usize(buf, edges.len());
+    for &(u, v) in edges {
+        put_u32(buf, u);
+        put_u32(buf, v);
+    }
+}
+
+fn get_edge_list(buf: &mut &[u8]) -> Result<Vec<(u32, u32)>, WireError> {
+    let count = get_seq_len(buf)?;
+    let mut edges = Vec::with_capacity(count);
+    for _ in 0..count {
+        edges.push((get_u32(buf)?, get_u32(buf)?));
+    }
+    Ok(edges)
+}
+
+impl Wire for DeltaSpec {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_edge_list(buf, &self.inserts);
+        put_edge_list(buf, &self.deletes);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(DeltaSpec {
+            inserts: get_edge_list(buf)?,
+            deletes: get_edge_list(buf)?,
+        })
+    }
+}
+
+/// How a [`Request::Mutate`] maintains the session's dominating set.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SessionPolicy {
+    /// Local incremental repair, with the certified full re-solve as a
+    /// fallback when the drift bound trips.
+    #[default]
+    Repair,
+    /// Force a full re-solve for this batch.
+    Resolve,
+}
+
+impl Wire for SessionPolicy {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.extend_from_slice(&[match self {
+            SessionPolicy::Repair => 0,
+            SessionPolicy::Resolve => 1,
+        }]);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match get_tag(buf)? {
+            0 => Ok(SessionPolicy::Repair),
+            1 => Ok(SessionPolicy::Resolve),
+            _ => Err(WireError::Invalid("unknown session-policy tag")),
+        }
+    }
+}
+
+/// What the maintainer did for one mutation batch — the wire counterpart
+/// of [`arbodom_core::repair::BatchOutcome`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RepairStats {
+    /// `true` when local repair was kept; `false` when the batch ran the
+    /// certified full re-solve (drift bound, batch budget, or
+    /// [`SessionPolicy::Resolve`]).
+    pub repaired: bool,
+    /// Nodes the local repair added.
+    pub added: u64,
+    /// Touched vertices that had lost domination before the repair.
+    pub undominated_before: u64,
+    /// Maintained weight over the weight of the last full solve.
+    pub drift_estimate: f64,
+    /// Batches repaired since the last full solve.
+    pub batches_since_solve: u64,
+    /// Chain digest of the session's mutation history (base edge digest
+    /// folded with every applied delta).
+    pub chain: u64,
+}
+
+impl Wire for RepairStats {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_bool(buf, self.repaired);
+        put_u64(buf, self.added);
+        put_u64(buf, self.undominated_before);
+        put_f64(buf, self.drift_estimate);
+        put_u64(buf, self.batches_since_solve);
+        put_u64(buf, self.chain);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(RepairStats {
+            repaired: get_bool(buf)?,
+            added: get_u64(buf)?,
+            undominated_before: get_u64(buf)?,
+            drift_estimate: get_f64(buf)?,
+            batches_since_solve: get_u64(buf)?,
+            chain: get_u64(buf)?,
+        })
+    }
+}
+
+/// The successful outcome of a [`Request::Mutate`] or
+/// [`Request::Resolve`]: the session's post-batch quality accounting
+/// plus what the maintainer did to get there.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SessionUpdate {
+    /// Quality-accounted state of the maintained set on the mutated
+    /// graph (rounds = simulation rounds this batch spent: 0 when the
+    /// local repair was kept).
+    pub result: JobResult,
+    /// Maintainer telemetry for the batch.
+    pub repair: RepairStats,
+}
+
+impl Wire for SessionUpdate {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.result.encode(buf);
+        self.repair.encode(buf);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(SessionUpdate {
+            result: JobResult::decode(buf)?,
+            repair: RepairStats::decode(buf)?,
+        })
+    }
+}
+
+fn put_outcome<T: Wire>(buf: &mut BytesMut, outcome: &Result<T, String>) {
+    match outcome {
+        Ok(value) => {
+            put_bool(buf, true);
+            value.encode(buf);
+        }
+        Err(msg) => {
+            put_bool(buf, false);
+            put_string(buf, msg);
+        }
+    }
+}
+
+fn get_outcome<T: Wire>(buf: &mut &[u8]) -> Result<Result<T, String>, WireError> {
+    Ok(if get_bool(buf)? {
+        Ok(T::decode(buf)?)
+    } else {
+        Err(get_string(buf)?)
+    })
+}
+
+// ---------------------------------------------------------------------------
 // Requests
 // ---------------------------------------------------------------------------
 
-/// A client → server message.
+/// A client → server message. The session requests (`Open`, `Mutate`,
+/// `Resolve`, `Release`) are protocol-v2-only; a v1 connection issuing
+/// them is answered with [`Response::UnsupportedVersion`].
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
     /// Liveness probe; answered with [`Response::Pong`].
@@ -568,6 +789,53 @@ pub enum Request {
     Stats,
     /// Orderly daemon shutdown; answered with [`Response::ShuttingDown`].
     Shutdown,
+    /// Solves the job and keeps the instance **alive server-side** as a
+    /// session owning `(graph, solution, quality)` state; answered with
+    /// [`Response::Session`].
+    Open(JobSpec),
+    /// Applies an edge-delta batch to a session's graph, maintaining the
+    /// dominating set under `policy`; answered with
+    /// [`Response::Mutated`].
+    Mutate {
+        /// Target session.
+        session: u64,
+        /// The edge batch to apply.
+        delta: DeltaSpec,
+        /// Repair-vs-resolve maintenance policy for this batch.
+        policy: SessionPolicy,
+    },
+    /// Forces a certified full re-solve on a session's current graph,
+    /// re-anchoring its drift estimate; answered with
+    /// [`Response::Mutated`].
+    Resolve {
+        /// Target session.
+        session: u64,
+    },
+    /// Drops a session and frees its owned state; answered with
+    /// [`Response::Released`] (idempotent).
+    Release {
+        /// Target session.
+        session: u64,
+    },
+}
+
+impl Request {
+    /// Whether this request is gated behind protocol v2: the session
+    /// requests, and batches whose jobs address session snapshots. The
+    /// server answers v2-only requests on a v1 connection with
+    /// [`Response::UnsupportedVersion`] and keeps the connection open.
+    pub fn needs_v2(&self) -> bool {
+        match self {
+            Request::Open(_)
+            | Request::Mutate { .. }
+            | Request::Resolve { .. }
+            | Request::Release { .. } => true,
+            Request::Batch(jobs) => jobs
+                .iter()
+                .any(|job| matches!(job.source, GraphSource::Session { .. })),
+            Request::Ping | Request::Stats | Request::Shutdown => false,
+        }
+    }
 }
 
 impl Wire for Request {
@@ -583,6 +851,28 @@ impl Wire for Request {
             }
             Request::Stats => buf.extend_from_slice(&[2]),
             Request::Shutdown => buf.extend_from_slice(&[3]),
+            Request::Open(spec) => {
+                buf.extend_from_slice(&[4]);
+                spec.encode(buf);
+            }
+            Request::Mutate {
+                session,
+                delta,
+                policy,
+            } => {
+                buf.extend_from_slice(&[5]);
+                put_u64(buf, *session);
+                delta.encode(buf);
+                policy.encode(buf);
+            }
+            Request::Resolve { session } => {
+                buf.extend_from_slice(&[6]);
+                put_u64(buf, *session);
+            }
+            Request::Release { session } => {
+                buf.extend_from_slice(&[7]);
+                put_u64(buf, *session);
+            }
         }
     }
 
@@ -602,6 +892,18 @@ impl Wire for Request {
             }
             2 => Ok(Request::Stats),
             3 => Ok(Request::Shutdown),
+            4 => Ok(Request::Open(JobSpec::decode(buf)?)),
+            5 => Ok(Request::Mutate {
+                session: get_u64(buf)?,
+                delta: DeltaSpec::decode(buf)?,
+                policy: SessionPolicy::decode(buf)?,
+            }),
+            6 => Ok(Request::Resolve {
+                session: get_u64(buf)?,
+            }),
+            7 => Ok(Request::Release {
+                session: get_u64(buf)?,
+            }),
             _ => Err(WireError::Invalid("unknown request tag")),
         }
     }
@@ -751,8 +1053,11 @@ impl Wire for JobResult {
 pub struct CacheStats {
     /// Graphs currently cached.
     pub entries: u64,
-    /// Eviction threshold.
+    /// Byte budget the LRU evicts down to.
     pub capacity: u64,
+    /// Bytes currently held ([`arbodom_graph::MemoryFootprint`] totals
+    /// of the cached instances).
+    pub bytes: u64,
     /// Lookups answered from the cache.
     pub hits: u64,
     /// Lookups that had to build the graph.
@@ -766,6 +1071,7 @@ impl Wire for CacheStats {
         for v in [
             self.entries,
             self.capacity,
+            self.bytes,
             self.hits,
             self.misses,
             self.evictions,
@@ -778,6 +1084,7 @@ impl Wire for CacheStats {
         Ok(CacheStats {
             entries: get_u64(buf)?,
             capacity: get_u64(buf)?,
+            bytes: get_u64(buf)?,
             hits: get_u64(buf)?,
             misses: get_u64(buf)?,
             evictions: get_u64(buf)?,
@@ -808,6 +1115,43 @@ pub enum Response {
     ShuttingDown,
     /// Connection-level protocol error (the server closes afterwards).
     Error(String),
+    /// Answer to [`Request::Open`]: the session id and the initial
+    /// solve's result (`id` is 0 when the open failed).
+    Session {
+        /// Identifier for later `Mutate`/`Resolve`/`Release` requests.
+        id: u64,
+        /// The initial solve, or a job-level error.
+        outcome: Result<JobResult, String>,
+    },
+    /// Answer to [`Request::Mutate`] and [`Request::Resolve`].
+    Mutated {
+        /// The session the batch was applied to.
+        id: u64,
+        /// Post-batch state, or a job-level error (unknown session,
+        /// delta conflict, failed re-solve — the session survives except
+        /// where the error says otherwise).
+        outcome: Result<SessionUpdate, String>,
+    },
+    /// Answer to [`Request::Release`].
+    Released {
+        /// The released session.
+        id: u64,
+        /// Whether the session existed (`false` makes release
+        /// idempotent instead of an error).
+        existed: bool,
+    },
+    /// The connection's pinned version cannot serve the request — either
+    /// the first frame carried a version outside the supported range
+    /// (the connection closes), or a v1 connection issued a v2-only
+    /// session request (the connection stays open).
+    UnsupportedVersion {
+        /// The version byte the client sent.
+        got: u8,
+        /// Oldest version the daemon speaks.
+        min: u8,
+        /// Newest version the daemon speaks.
+        max: u8,
+    },
 }
 
 impl Wire for Response {
@@ -817,16 +1161,7 @@ impl Wire for Response {
             Response::Job { index, outcome } => {
                 buf.extend_from_slice(&[1]);
                 put_u32(buf, *index);
-                match outcome {
-                    Ok(result) => {
-                        put_bool(buf, true);
-                        result.encode(buf);
-                    }
-                    Err(msg) => {
-                        put_bool(buf, false);
-                        put_string(buf, msg);
-                    }
-                }
+                put_outcome(buf, outcome);
             }
             Response::BatchDone { jobs } => {
                 buf.extend_from_slice(&[2]);
@@ -841,6 +1176,24 @@ impl Wire for Response {
                 buf.extend_from_slice(&[5]);
                 put_string(buf, msg);
             }
+            Response::Session { id, outcome } => {
+                buf.extend_from_slice(&[6]);
+                put_u64(buf, *id);
+                put_outcome(buf, outcome);
+            }
+            Response::Mutated { id, outcome } => {
+                buf.extend_from_slice(&[7]);
+                put_u64(buf, *id);
+                put_outcome(buf, outcome);
+            }
+            Response::Released { id, existed } => {
+                buf.extend_from_slice(&[8]);
+                put_u64(buf, *id);
+                put_bool(buf, *existed);
+            }
+            Response::UnsupportedVersion { got, min, max } => {
+                buf.extend_from_slice(&[9, *got, *min, *max]);
+            }
         }
     }
 
@@ -849,11 +1202,7 @@ impl Wire for Response {
             0 => Ok(Response::Pong),
             1 => Ok(Response::Job {
                 index: get_u32(buf)?,
-                outcome: if get_bool(buf)? {
-                    Ok(JobResult::decode(buf)?)
-                } else {
-                    Err(get_string(buf)?)
-                },
+                outcome: get_outcome(buf)?,
             }),
             2 => Ok(Response::BatchDone {
                 jobs: get_u32(buf)?,
@@ -861,6 +1210,23 @@ impl Wire for Response {
             3 => Ok(Response::Stats(CacheStats::decode(buf)?)),
             4 => Ok(Response::ShuttingDown),
             5 => Ok(Response::Error(get_string(buf)?)),
+            6 => Ok(Response::Session {
+                id: get_u64(buf)?,
+                outcome: get_outcome(buf)?,
+            }),
+            7 => Ok(Response::Mutated {
+                id: get_u64(buf)?,
+                outcome: get_outcome(buf)?,
+            }),
+            8 => Ok(Response::Released {
+                id: get_u64(buf)?,
+                existed: get_bool(buf)?,
+            }),
+            9 => Ok(Response::UnsupportedVersion {
+                got: get_tag(buf)?,
+                min: get_tag(buf)?,
+                max: get_tag(buf)?,
+            }),
             _ => Err(WireError::Invalid("unknown response tag")),
         }
     }
@@ -882,7 +1248,8 @@ mod tests {
         assert_wire_conformance(&Response::Error("bad frame".into()));
         assert_wire_conformance(&Response::Stats(CacheStats {
             entries: 3,
-            capacity: 64,
+            capacity: 64 << 20,
+            bytes: 1 << 20,
             hits: 10,
             misses: 4,
             evictions: 1,
@@ -890,15 +1257,45 @@ mod tests {
     }
 
     #[test]
-    fn framing_roundtrips() {
+    fn session_messages_conform() {
+        assert_wire_conformance(&Request::Mutate {
+            session: 42,
+            delta: DeltaSpec {
+                inserts: vec![(0, 3), (1, 2)],
+                deletes: vec![(0, 1)],
+            },
+            policy: SessionPolicy::Repair,
+        });
+        assert_wire_conformance(&Request::Resolve { session: 7 });
+        assert_wire_conformance(&Request::Release { session: 7 });
+        assert_wire_conformance(&Response::Released {
+            id: 7,
+            existed: true,
+        });
+        assert_wire_conformance(&Response::Mutated {
+            id: 7,
+            outcome: Err("unknown session".into()),
+        });
+        assert_wire_conformance(&Response::UnsupportedVersion {
+            got: 9,
+            min: PROTOCOL_MIN,
+            max: PROTOCOL_MAX,
+        });
+    }
+
+    #[test]
+    fn framing_roundtrips_and_carries_the_version_byte() {
         let mut wire = Vec::new();
-        write_message(&mut wire, &Request::Ping).unwrap();
-        write_message(&mut wire, &Request::Stats).unwrap();
+        write_message(&mut wire, PROTOCOL_V2, &Request::Ping).unwrap();
+        write_message(&mut wire, PROTOCOL_V1, &Request::Stats).unwrap();
         let mut reader = wire.as_slice();
-        assert_eq!(read_message::<Request>(&mut reader).unwrap(), Request::Ping);
         assert_eq!(
             read_message::<Request>(&mut reader).unwrap(),
-            Request::Stats
+            (PROTOCOL_V2, Request::Ping)
+        );
+        assert_eq!(
+            read_message::<Request>(&mut reader).unwrap(),
+            (PROTOCOL_V1, Request::Stats)
         );
         assert!(matches!(
             read_message::<Request>(&mut reader),
@@ -908,7 +1305,9 @@ mod tests {
 
     #[test]
     fn oversized_frame_header_rejected_before_allocation() {
-        let header = (u32::MAX).to_le_bytes();
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        header[0] = PROTOCOL_V2;
+        header[1..].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(
             read_frame(&mut header.as_slice()),
             Err(ServiceError::FrameTooLarge(_))
@@ -918,12 +1317,28 @@ mod tests {
     #[test]
     fn truncated_frame_body_is_an_error() {
         let mut wire = Vec::new();
-        write_message(&mut wire, &Request::Shutdown).unwrap();
+        write_message(&mut wire, PROTOCOL_V2, &Request::Shutdown).unwrap();
         wire.pop(); // header still declares 1 payload byte
         assert!(matches!(
             read_frame(&mut wire.as_slice()),
             Err(ServiceError::Io(_))
         ));
+    }
+
+    #[test]
+    fn truncated_frame_headers_are_errors_not_hangs() {
+        // Every strict prefix of a valid header: clean close on zero
+        // bytes, UnexpectedEof inside the header otherwise.
+        let mut wire = Vec::new();
+        write_message(&mut wire, PROTOCOL_V2, &Request::Ping).unwrap();
+        for keep in 0..FRAME_HEADER_LEN {
+            let result = read_frame(&mut &wire[..keep]);
+            if keep == 0 {
+                assert!(matches!(result, Err(ServiceError::Closed)));
+            } else {
+                assert!(matches!(result, Err(ServiceError::Io(_))), "prefix {keep}");
+            }
+        }
     }
 
     #[test]

@@ -1,15 +1,30 @@
 //! The `arbodomd` daemon: a threaded TCP server over the job executor.
 //!
 //! One thread accepts connections; each connection gets a handler thread
-//! speaking the frame protocol; batch jobs fan out onto the shared
-//! work-stealing [`Scheduler`] and their replies are reassembled **in
-//! submission order** before hitting the socket — out-of-order completion
-//! is buffered, so the response stream is byte-deterministic at any
-//! worker count.
+//! speaking the versioned frame protocol; batch jobs fan out onto the
+//! shared work-stealing [`Scheduler`] and their replies are reassembled
+//! **in submission order** before hitting the socket — out-of-order
+//! completion is buffered, so the response stream is byte-deterministic
+//! at any worker count.
+//!
+//! Version negotiation: the first frame's version byte pins the
+//! connection. A byte outside the server's supported range gets a
+//! [`Response::UnsupportedVersion`] reply and the connection closes; a
+//! supported-but-old version keeps working for its own request surface,
+//! and v2-only requests (the session protocol) on a v1 connection get
+//! `UnsupportedVersion` *without* closing — the client can keep issuing
+//! v1 requests.
+//!
+//! Session requests (`Open`/`Mutate`/`Resolve`/`Release`) run
+//! synchronously on the connection's handler thread, not the scheduler:
+//! they address owned mutable state, and in-order execution per
+//! connection is exactly the consistency contract the protocol
+//! documents.
 
 use std::collections::BTreeMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
@@ -17,9 +32,13 @@ use std::thread::JoinHandle;
 use arbodom_scenarios::Scale;
 
 use crate::cache::GraphCache;
-use crate::jobs::{execute_job, ExecContext};
-use crate::protocol::{read_message, write_message, JobResult, JobSpec, Request, Response};
+use crate::jobs::{execute_job, open_session, ExecContext};
+use crate::protocol::{
+    decode_payload, read_frame, write_message, DeltaSpec, JobResult, JobSpec, Request, Response,
+    SessionPolicy, SessionUpdate, PROTOCOL_MAX, PROTOCOL_MIN, PROTOCOL_V2,
+};
 use crate::scheduler::Scheduler;
+use crate::session::SessionTable;
 use crate::ServiceError;
 
 /// Daemon tuning knobs.
@@ -30,8 +49,9 @@ pub struct ServerConfig {
     /// Simulator threads per job (`run_*_on`; results identical at any
     /// value).
     pub sim_threads: usize,
-    /// Graph-cache capacity in instances.
-    pub cache_capacity: usize,
+    /// Graph-cache budget in **bytes** of resident instance memory
+    /// ([`arbodom_graph::Graph::memory_footprint`] plus planted sets).
+    pub cache_bytes: usize,
     /// Scale scenario-cell jobs resolve their size sweeps at.
     pub scale: Scale,
 }
@@ -41,7 +61,7 @@ impl Default for ServerConfig {
         ServerConfig {
             workers: 4,
             sim_threads: 1,
-            cache_capacity: 64,
+            cache_bytes: 256 << 20,
             scale: Scale::Full,
         }
     }
@@ -85,7 +105,8 @@ impl Server {
         let local = listener.local_addr()?;
         let state = Arc::new(ServerState {
             exec: ExecContext {
-                cache: Arc::new(Mutex::new(GraphCache::new(cfg.cache_capacity))),
+                cache: Arc::new(Mutex::new(GraphCache::new(cfg.cache_bytes))),
+                sessions: Arc::new(SessionTable::new()),
                 sim_threads: cfg.sim_threads.max(1),
                 scale: cfg.scale,
             },
@@ -151,29 +172,126 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
 
 fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
     let _ = stream.set_nodelay(true);
+    let mut pinned: Option<u8> = None;
     loop {
-        let request = match read_message::<Request>(&mut stream) {
-            Ok(request) => request,
+        let (frame_version, payload) = match read_frame(&mut stream) {
+            Ok(frame) => frame,
             Err(ServiceError::Closed) => return,
             Err(e) => {
-                // Framing or decoding failed: the stream is desynced, so
-                // report once and drop the connection.
-                let _ = write_message(&mut stream, &Response::Error(e.to_string()));
+                // Framing failed: the stream is desynced, so report once
+                // (on whatever version we pinned, or the newest) and drop
+                // the connection.
+                let v = pinned.unwrap_or(PROTOCOL_MAX);
+                let _ = write_message(&mut stream, v, &Response::Error(e.to_string()));
                 return;
             }
         };
+        // The first frame's version byte pins the connection.
+        let version = match pinned {
+            None => {
+                if !(PROTOCOL_MIN..=PROTOCOL_MAX).contains(&frame_version) {
+                    let _ = write_message(
+                        &mut stream,
+                        PROTOCOL_MAX,
+                        &Response::UnsupportedVersion {
+                            got: frame_version,
+                            min: PROTOCOL_MIN,
+                            max: PROTOCOL_MAX,
+                        },
+                    );
+                    return;
+                }
+                pinned = Some(frame_version);
+                frame_version
+            }
+            Some(v) if frame_version != v => {
+                let _ = write_message(
+                    &mut stream,
+                    v,
+                    &Response::Error(format!(
+                        "connection pinned to protocol version {v}, frame carried {frame_version}"
+                    )),
+                );
+                return;
+            }
+            Some(v) => v,
+        };
+        let request = match decode_payload::<Request>(&payload) {
+            Ok(request) => request,
+            Err(e) => {
+                let _ = write_message(&mut stream, version, &Response::Error(e.to_string()));
+                return;
+            }
+        };
+        // The session protocol is v2-only. Rejecting is typed and
+        // non-fatal: the connection stays usable for v1 requests.
+        if version < PROTOCOL_V2 && request.needs_v2() {
+            let reply = Response::UnsupportedVersion {
+                got: version,
+                min: PROTOCOL_V2,
+                max: PROTOCOL_MAX,
+            };
+            if write_message(&mut stream, version, &reply).is_err() {
+                return;
+            }
+            continue;
+        }
         let outcome = match request {
-            Request::Ping => write_message(&mut stream, &Response::Pong),
+            Request::Ping => write_message(&mut stream, version, &Response::Pong),
             Request::Stats => {
                 let stats = state.exec.cache.lock().expect("cache poisoned").stats();
-                write_message(&mut stream, &Response::Stats(stats))
+                write_message(&mut stream, version, &Response::Stats(stats))
             }
             Request::Shutdown => {
-                let _ = write_message(&mut stream, &Response::ShuttingDown);
+                let _ = write_message(&mut stream, version, &Response::ShuttingDown);
                 state.request_shutdown();
                 return;
             }
-            Request::Batch(jobs) => handle_batch(&mut stream, state, jobs),
+            Request::Batch(jobs) => handle_batch(&mut stream, version, state, jobs),
+            Request::Open(spec) => {
+                let (id, outcome) = match guarded(|| open_session(&state.exec, &spec)) {
+                    Ok((id, result)) => (id, Ok(result)),
+                    Err(e) => (0, Err(e)),
+                };
+                write_message(&mut stream, version, &Response::Session { id, outcome })
+            }
+            Request::Mutate {
+                session,
+                delta,
+                policy,
+            } => {
+                let outcome = guarded(|| mutate_session(state, session, &delta, policy));
+                write_message(
+                    &mut stream,
+                    version,
+                    &Response::Mutated {
+                        id: session,
+                        outcome,
+                    },
+                )
+            }
+            Request::Resolve { session } => {
+                let outcome = guarded(|| resolve_session(state, session));
+                write_message(
+                    &mut stream,
+                    version,
+                    &Response::Mutated {
+                        id: session,
+                        outcome,
+                    },
+                )
+            }
+            Request::Release { session } => {
+                let existed = state.exec.sessions.remove(session);
+                write_message(
+                    &mut stream,
+                    version,
+                    &Response::Released {
+                        id: session,
+                        existed,
+                    },
+                )
+            }
         };
         if outcome.is_err() {
             return; // client went away mid-reply
@@ -181,11 +299,51 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
     }
 }
 
+/// Converts a panic inside a session operation into a deterministic
+/// job-level error, exactly like batch workers do — the daemon must never
+/// die on one bad request.
+fn guarded<T>(op: impl FnOnce() -> Result<T, String>) -> Result<T, String> {
+    catch_unwind(AssertUnwindSafe(op))
+        .unwrap_or_else(|_| Err("session operation panicked inside the server".to_string()))
+}
+
+fn mutate_session(
+    state: &Arc<ServerState>,
+    id: u64,
+    delta: &DeltaSpec,
+    policy: SessionPolicy,
+) -> Result<SessionUpdate, String> {
+    let session = state
+        .exec
+        .sessions
+        .get(id)
+        .ok_or_else(|| format!("unknown session {id} (released or never opened)"))?;
+    let mut guard = session
+        .lock()
+        .map_err(|_| format!("session {id} was poisoned by an earlier panic"))?;
+    let (result, repair) = guard.mutate(delta, policy, state.exec.sim_threads)?;
+    Ok(SessionUpdate { result, repair })
+}
+
+fn resolve_session(state: &Arc<ServerState>, id: u64) -> Result<SessionUpdate, String> {
+    let session = state
+        .exec
+        .sessions
+        .get(id)
+        .ok_or_else(|| format!("unknown session {id} (released or never opened)"))?;
+    let mut guard = session
+        .lock()
+        .map_err(|_| format!("session {id} was poisoned by an earlier panic"))?;
+    let (result, repair) = guard.resolve(state.exec.sim_threads)?;
+    Ok(SessionUpdate { result, repair })
+}
+
 /// Fans a batch onto the scheduler and streams replies back in
 /// submission order: completions arriving early are parked in a buffer
 /// until their turn.
 fn handle_batch(
     stream: &mut TcpStream,
+    version: u8,
     state: &Arc<ServerState>,
     jobs: Vec<JobSpec>,
 ) -> Result<(), ServiceError> {
@@ -229,10 +387,10 @@ fn handle_batch(
                 };
                 payload = crate::protocol::encode_payload(&reply);
             }
-            crate::protocol::write_frame(stream, &payload)?;
+            crate::protocol::write_frame(stream, version, &payload)?;
             next += 1;
         }
     }
     debug_assert_eq!(next, total, "every job must be answered exactly once");
-    write_message(stream, &Response::BatchDone { jobs: total })
+    write_message(stream, version, &Response::BatchDone { jobs: total })
 }

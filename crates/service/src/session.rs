@@ -1,0 +1,286 @@
+//! Server-side sessions: owned dynamic solve state behind the v2
+//! protocol.
+//!
+//! A [`Session`] is what [`crate::protocol::Request::Open`] creates — a
+//! [`arbodom_core::repair::Maintainer`] (the mutated graph, the
+//! maintained dominating set, the drift anchor, and the digest chain of
+//! the mutation history) plus the algorithm and seed the instance was
+//! opened with. `Mutate` requests apply edge-delta batches and keep the
+//! set valid by **local incremental repair**, falling back to a certified
+//! full re-solve when the drift bound trips (or unconditionally under
+//! [`SessionPolicy::Resolve`]); `Resolve` forces the fallback;
+//! `Release` drops the state.
+//!
+//! Sessions are addressable from regular batch jobs too:
+//! [`crate::protocol::GraphSource::Session`] snapshots a session's
+//! *current* graph, so the whole read-side query surface works on a
+//! mutating instance.
+//!
+//! Determinism: a session's replies are a pure function of the open spec
+//! and the mutation history. Repairs run no simulation at all; fallback
+//! solves run the same thread-count-independent simulator entry points
+//! batch jobs use. The graph's α is re-measured (degeneracy) after every
+//! batch — churn can push an instance out of its family's constructive
+//! bound, and the accounting must say so rather than inherit a stale α.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use arbodom_congest::{RunOptions, Telemetry};
+use arbodom_core::repair::{Maintainer, RepairConfig};
+use arbodom_core::{verify, DsResult};
+use arbodom_graph::digest::edge_digest;
+use arbodom_graph::{orientation, Graph, GraphDelta};
+use arbodom_scenarios::{quality, Algorithm};
+
+use crate::protocol::{DeltaSpec, JobResult, RepairStats, SessionPolicy};
+
+/// Measured degeneracy of `g` — the honest α for a mutated graph, which
+/// may have left its family's constructive bound.
+fn measured_alpha(g: &Graph) -> usize {
+    orientation::degeneracy_order(g).1.max(1)
+}
+
+/// One open session: the maintainer plus how its solves run.
+pub struct Session {
+    maintainer: Maintainer,
+    algorithm: Algorithm,
+    alpha: usize,
+    seed: u64,
+}
+
+impl Session {
+    /// Adopts a solved instance. `solution` must be a valid dominating
+    /// set of `graph` (checked by the caller; the maintainer asserts it).
+    pub fn new(
+        graph: Graph,
+        solution: &DsResult,
+        algorithm: Algorithm,
+        alpha: usize,
+        seed: u64,
+    ) -> Self {
+        Session {
+            maintainer: Maintainer::new(graph, solution, RepairConfig::default()),
+            algorithm,
+            alpha,
+            seed,
+        }
+    }
+
+    /// A snapshot of the session's current graph, for
+    /// [`crate::protocol::GraphSource::Session`] jobs.
+    pub fn graph_snapshot(&self) -> Graph {
+        self.maintainer.graph().clone()
+    }
+
+    /// The α the session's accounting currently runs with.
+    pub fn alpha(&self) -> usize {
+        self.alpha
+    }
+
+    /// The algorithm the session was opened with (the default for jobs
+    /// addressing this session).
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// Applies one edge-delta batch under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// A job-level message when the delta is malformed or conflicts with
+    /// the current edge set (the session is unchanged), or when the
+    /// fallback re-solve fails.
+    pub fn mutate(
+        &mut self,
+        delta: &DeltaSpec,
+        policy: SessionPolicy,
+        sim_threads: usize,
+    ) -> Result<(JobResult, RepairStats), String> {
+        let delta = GraphDelta::new(delta.inserts.iter().copied(), delta.deletes.iter().copied())
+            .map_err(|e| format!("invalid delta: {e}"))?;
+        let algorithm = self.algorithm;
+        let seed = self.seed;
+        let telemetry: RefCell<Option<Telemetry>> = RefCell::new(None);
+        let solve = |g: &Graph| {
+            let (sol, tel) = algorithm.execute(
+                g,
+                measured_alpha(g),
+                seed,
+                &RunOptions::default(),
+                sim_threads,
+            )?;
+            *telemetry.borrow_mut() = Some(tel);
+            Ok(sol)
+        };
+        let mut outcome = self
+            .maintainer
+            .apply(&delta, solve)
+            .map_err(|e| format!("mutate failed: {e}"))?;
+        if policy == SessionPolicy::Resolve && outcome.repaired {
+            // The drift bound did not trip, but the client asked for a
+            // certified batch: run the fallback anyway.
+            let solve = |g: &Graph| {
+                let (sol, tel) = algorithm.execute(
+                    g,
+                    measured_alpha(g),
+                    seed,
+                    &RunOptions::default(),
+                    sim_threads,
+                )?;
+                *telemetry.borrow_mut() = Some(tel);
+                Ok(sol)
+            };
+            self.maintainer
+                .resolve_with(solve)
+                .map_err(|e| format!("re-solve failed: {e}"))?;
+            outcome.repaired = false;
+            outcome.added.clear();
+            outcome.weight = self.maintainer.weight();
+            outcome.drift_estimate = self.maintainer.drift_estimate();
+        }
+        self.alpha = measured_alpha(self.maintainer.graph());
+        let repair = RepairStats {
+            repaired: outcome.repaired,
+            added: outcome.added.len() as u64,
+            undominated_before: outcome.undominated_before as u64,
+            drift_estimate: outcome.drift_estimate,
+            batches_since_solve: self.maintainer.batches_since_solve() as u64,
+            chain: self.maintainer.chain(),
+        };
+        Ok((self.result_snapshot(telemetry.into_inner()), repair))
+    }
+
+    /// Forces a certified full re-solve on the current graph.
+    ///
+    /// # Errors
+    ///
+    /// A job-level message when the solve fails.
+    pub fn resolve(&mut self, sim_threads: usize) -> Result<(JobResult, RepairStats), String> {
+        let algorithm = self.algorithm;
+        let seed = self.seed;
+        let telemetry: RefCell<Option<Telemetry>> = RefCell::new(None);
+        let solve = |g: &Graph| {
+            let (sol, tel) = algorithm.execute(
+                g,
+                measured_alpha(g),
+                seed,
+                &RunOptions::default(),
+                sim_threads,
+            )?;
+            *telemetry.borrow_mut() = Some(tel);
+            Ok(sol)
+        };
+        self.maintainer
+            .resolve_with(solve)
+            .map_err(|e| format!("re-solve failed: {e}"))?;
+        self.alpha = measured_alpha(self.maintainer.graph());
+        let repair = RepairStats {
+            repaired: false,
+            added: 0,
+            undominated_before: 0,
+            drift_estimate: self.maintainer.drift_estimate(),
+            batches_since_solve: self.maintainer.batches_since_solve() as u64,
+            chain: self.maintainer.chain(),
+        };
+        Ok((self.result_snapshot(telemetry.into_inner()), repair))
+    }
+
+    /// Quality-accounts the maintained set on the current graph. The
+    /// planted reference (if the instance had one) is stale after any
+    /// mutation, so sessions always account against exact/packing
+    /// references; rounds and message counters reflect only what this
+    /// batch actually simulated (all zero for a kept local repair).
+    fn result_snapshot(&self, telemetry: Option<Telemetry>) -> JobResult {
+        let g = self.maintainer.graph();
+        let sol = DsResult::from_flags(g, self.maintainer.in_ds().to_vec(), 0, None);
+        let undominated = verify::undominated_nodes(g, &sol.in_ds).len();
+        let valid = undominated == 0;
+        let guarantee = self.algorithm.guarantee(self.alpha, g.max_degree());
+        let account = quality::account(g, &sol, None, guarantee, valid, false);
+        let tel = telemetry.unwrap_or_default();
+        JobResult {
+            n: g.n() as u64,
+            m: g.m() as u64,
+            max_degree: g.max_degree() as u64,
+            alpha: self.alpha as u64,
+            graph_digest: edge_digest(g),
+            ds_size: sol.size as u64,
+            ds_weight: sol.weight,
+            valid,
+            undominated: undominated as u64,
+            reference: account.reference,
+            opt_estimate: account.opt_estimate,
+            ratio: account.ratio,
+            guarantee: account.guarantee,
+            within_guarantee: account.within_guarantee,
+            flagged: account.flagged,
+            rounds: tel.rounds as u64,
+            round_budget: self.algorithm.round_budget(self.alpha, g.max_degree()) as u64,
+            messages: tel.total_messages as u64,
+            total_bits: tel.total_bits as u64,
+            max_message_bits: tel.max_message_bits as u64,
+            budget_violations: tel.budget_violations as u64,
+            dropped_messages: tel.dropped_messages as u64,
+            members: None,
+        }
+    }
+}
+
+/// The daemon's session registry: ids to live sessions. Shared across
+/// connections — a session opened on one connection is addressable from
+/// any other (ids are capabilities only in the loopback-trust sense the
+/// whole daemon operates under).
+#[derive(Default)]
+pub struct SessionTable {
+    sessions: Mutex<HashMap<u64, Arc<Mutex<Session>>>>,
+    next_id: AtomicU64,
+}
+
+impl SessionTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        SessionTable::default()
+    }
+
+    /// Registers a session, returning its id (ids start at 1; 0 is the
+    /// wire's "no session" sentinel).
+    pub fn insert(&self, session: Session) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        self.sessions
+            .lock()
+            .expect("session table poisoned")
+            .insert(id, Arc::new(Mutex::new(session)));
+        id
+    }
+
+    /// Looks up a live session.
+    pub fn get(&self, id: u64) -> Option<Arc<Mutex<Session>>> {
+        self.sessions
+            .lock()
+            .expect("session table poisoned")
+            .get(&id)
+            .cloned()
+    }
+
+    /// Drops a session; returns whether it existed.
+    pub fn remove(&self, id: u64) -> bool {
+        self.sessions
+            .lock()
+            .expect("session table poisoned")
+            .remove(&id)
+            .is_some()
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.lock().expect("session table poisoned").len()
+    }
+
+    /// Whether no sessions are open.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

@@ -2,16 +2,20 @@
 //! mixed batches, and check the serving layer's headline guarantees —
 //! byte-identical response streams across resubmission, concurrent
 //! clients, and 1/2/4 server worker threads; cache hits on repeats;
-//! clean quality accounting.
+//! clean quality accounting; the v2 session protocol (open → mutate →
+//! resolve → release) and version negotiation against v1 clients.
 
 use arbodom_scenarios::{Algorithm, Family, Scale};
-use arbodom_service::{Client, GraphSource, JobSpec, Response, Server, ServerConfig};
+use arbodom_service::{
+    Client, DeltaSpec, GraphSource, JobSpec, Response, Server, ServerConfig, ServiceError,
+    SessionPolicy, PROTOCOL_V1,
+};
 
 fn config(workers: usize) -> ServerConfig {
     ServerConfig {
         workers,
         sim_threads: 1,
-        cache_capacity: 32,
+        cache_bytes: 32 << 20,
         scale: Scale::Quick,
     }
 }
@@ -145,6 +149,10 @@ fn concurrent_clients_get_identical_byte_streams_and_repeats_hit_the_cache() {
         "expected ≥ {buildable} new cache hits, stats {before:?} → {after:?}"
     );
     assert!(after.entries >= 1);
+    assert!(
+        after.bytes > 0 && after.bytes <= after.capacity,
+        "byte accounting must be live and within budget, stats {after:?}"
+    );
     server.shutdown();
 }
 
@@ -181,7 +189,8 @@ fn control_requests_and_client_driven_shutdown() {
     let mut client = Client::connect(addr).unwrap();
     client.ping().unwrap();
     let stats = client.stats().unwrap();
-    assert_eq!(stats.capacity, 32);
+    assert_eq!(stats.capacity, 32 << 20);
+    assert_eq!(stats.bytes, 0, "nothing cached yet");
     client.shutdown_server().unwrap();
     // The daemon stops accepting: wait() must return promptly.
     server.wait();
@@ -224,4 +233,162 @@ fn scenario_cells_respect_the_server_scale() {
     let err = reply[0].as_ref().unwrap_err();
     assert!(err.contains("weight_idx"), "{err}");
     quick.shutdown();
+}
+
+fn path_spec(n: u32) -> JobSpec {
+    JobSpec::new(GraphSource::Inline {
+        n,
+        edges: (0..n - 1).map(|i| (i, i + 1)).collect(),
+        weights: None,
+    })
+}
+
+#[test]
+fn session_lifecycle_open_mutate_resolve_release() {
+    let server = Server::bind("127.0.0.1:0", config(2)).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let (id, opened) = client.open(&path_spec(40)).unwrap();
+    assert!(id >= 1, "session ids start at 1");
+    assert!(opened.valid && !opened.flagged);
+    assert!(opened.rounds > 0, "opening runs a real distributed solve");
+
+    // A small churn batch under the repair policy: the set stays valid
+    // with zero simulated rounds, and the drift accounting ticks.
+    let delta = DeltaSpec {
+        inserts: vec![(0, 39)],
+        deletes: vec![(10, 11)],
+    };
+    let update = client.mutate(id, &delta, SessionPolicy::Repair).unwrap();
+    assert!(update.result.valid);
+    assert!(
+        update.repair.repaired,
+        "one small batch must not trip drift"
+    );
+    assert_eq!(update.result.rounds, 0, "local repair simulates nothing");
+    assert_eq!(update.repair.batches_since_solve, 1);
+    assert_ne!(update.result.graph_digest, opened.graph_digest);
+    assert_eq!(update.result.m, opened.m, "one insert + one delete");
+
+    // A regular batch job addressing the session sees the mutated graph.
+    let snap = client
+        .submit(&[JobSpec::new(GraphSource::Session { id })])
+        .unwrap();
+    let snap = snap[0].as_ref().unwrap();
+    assert_eq!(snap.graph_digest, update.result.graph_digest);
+
+    // The resolve policy certifies the batch with a full re-solve:
+    // simulation rounds are spent and the drift anchor resets.
+    let delta2 = DeltaSpec {
+        inserts: vec![(5, 20)],
+        deletes: vec![],
+    };
+    let update2 = client.mutate(id, &delta2, SessionPolicy::Resolve).unwrap();
+    assert!(update2.result.valid);
+    assert!(!update2.repair.repaired);
+    assert!(update2.result.rounds > 0, "resolve runs the real algorithm");
+    assert_eq!(update2.repair.batches_since_solve, 0);
+
+    // An explicit Resolve request re-anchors too.
+    let resolved = client.resolve_session(id).unwrap();
+    assert!(resolved.result.valid);
+    assert!(!resolved.repair.repaired);
+
+    // A conflicting delta is a job-level error; the session survives and
+    // the connection stays usable.
+    let conflict = DeltaSpec {
+        inserts: vec![(5, 20)],
+        deletes: vec![],
+    };
+    let err = client
+        .mutate(id, &conflict, SessionPolicy::Repair)
+        .unwrap_err();
+    assert!(matches!(err, ServiceError::Remote(_)), "{err}");
+    client.ping().unwrap();
+    client.resolve_session(id).unwrap();
+
+    // Release is idempotent; a released session is gone for every verb.
+    assert!(client.release(id).unwrap());
+    assert!(!client.release(id).unwrap());
+    let err = client
+        .mutate(id, &delta, SessionPolicy::Repair)
+        .unwrap_err();
+    match err {
+        ServiceError::Remote(msg) => assert!(msg.contains("unknown session"), "{msg}"),
+        other => panic!("expected Remote, got {other}"),
+    }
+    let snap = client
+        .submit(&[JobSpec::new(GraphSource::Session { id })])
+        .unwrap();
+    let msg = snap[0].as_ref().unwrap_err();
+    assert!(msg.contains("unknown session"), "{msg}");
+    server.shutdown();
+}
+
+#[test]
+fn sessions_are_shared_across_connections() {
+    let server = Server::bind("127.0.0.1:0", config(2)).unwrap();
+    let addr = server.local_addr();
+    let mut opener = Client::connect(addr).unwrap();
+    let (id, opened) = opener.open(&path_spec(30)).unwrap();
+    // A different connection mutates and releases the same session.
+    let mut other = Client::connect(addr).unwrap();
+    let update = other
+        .mutate(
+            id,
+            &DeltaSpec {
+                inserts: vec![(0, 29)],
+                deletes: vec![],
+            },
+            SessionPolicy::Repair,
+        )
+        .unwrap();
+    assert_eq!(update.result.m, opened.m + 1);
+    assert!(other.release(id).unwrap());
+    server.shutdown();
+}
+
+#[test]
+fn v1_connections_negotiate_and_are_gated_from_the_session_protocol() {
+    let server = Server::bind("127.0.0.1:0", config(2)).unwrap();
+    let addr = server.local_addr();
+
+    // A v1 client works for the whole v1 surface...
+    let mut v1 = Client::connect_with_version(addr, PROTOCOL_V1).unwrap();
+    v1.ping().unwrap();
+    v1.stats().unwrap();
+    let replies = v1.submit(&[path_spec(10)]).unwrap();
+    assert!(replies[0].as_ref().unwrap().valid);
+
+    // ...but session requests get a typed UnsupportedVersion naming the
+    // required range, and the connection stays open.
+    let err = v1.open(&path_spec(10)).unwrap_err();
+    match err {
+        ServiceError::UnsupportedVersion { got, min, max } => {
+            assert_eq!(got, PROTOCOL_V1);
+            assert!(min > PROTOCOL_V1 && max >= min);
+        }
+        other => panic!("expected UnsupportedVersion, got {other}"),
+    }
+    v1.ping().unwrap();
+    // Batches addressing session snapshots are v2-gated too.
+    let err = v1
+        .submit(&[JobSpec::new(GraphSource::Session { id: 1 })])
+        .unwrap_err();
+    assert!(
+        matches!(err, ServiceError::UnsupportedVersion { .. }),
+        "{err}"
+    );
+    v1.ping().unwrap();
+
+    // A version the server does not speak at all: typed rejection on the
+    // first request, then the server hangs up.
+    let mut future = Client::connect_with_version(addr, 9).unwrap();
+    let err = future.ping().unwrap_err();
+    match err {
+        ServiceError::UnsupportedVersion { got, .. } => assert_eq!(got, 9),
+        other => panic!("expected UnsupportedVersion, got {other}"),
+    }
+    assert!(future.ping().is_err(), "connection must be closed");
+    server.shutdown();
 }

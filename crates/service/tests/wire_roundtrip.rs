@@ -7,8 +7,13 @@ use arbodom_congest::assert_wire_conformance;
 use arbodom_graph::weights::WeightModel;
 use arbodom_scenarios::quality::RefKind;
 use arbodom_scenarios::{Algorithm, Family};
-use arbodom_service::protocol::{decode_payload, encode_payload};
-use arbodom_service::{CacheStats, GraphSource, JobResult, JobSpec, Request, Response};
+use arbodom_service::protocol::{
+    decode_payload, encode_payload, read_frame, write_frame, PROTOCOL_MAX,
+};
+use arbodom_service::{
+    CacheStats, DeltaSpec, GraphSource, JobResult, JobSpec, RepairStats, Request, Response,
+    ServiceError, SessionPolicy, SessionUpdate,
+};
 use proptest::prelude::*;
 
 /// SplitMix64 over a per-case seed: one u64 from the harness fans out
@@ -119,7 +124,7 @@ impl Gen {
     }
 
     fn graph_source(&mut self) -> GraphSource {
-        match self.below(3) {
+        match self.below(4) {
             0 => {
                 let n = self.below(50) as u32;
                 let edges = (0..self.usize(20))
@@ -136,13 +141,52 @@ impl Gen {
                 weights: self.weight_model(),
                 seed: self.u64(),
             },
-            _ => GraphSource::ScenarioCell {
+            2 => GraphSource::ScenarioCell {
                 name: self.string(),
                 size_idx: self.below(8) as u32,
                 weight_idx: self.below(8) as u32,
                 loss_idx: self.below(8) as u32,
                 seed_idx: self.u64(),
             },
+            _ => GraphSource::Session { id: self.u64() },
+        }
+    }
+
+    fn delta_spec(&mut self) -> DeltaSpec {
+        let edges = |g: &mut Gen| {
+            (0..g.usize(8))
+                .map(|_| (g.below(1 << 20) as u32, g.below(1 << 20) as u32))
+                .collect()
+        };
+        DeltaSpec {
+            inserts: edges(self),
+            deletes: edges(self),
+        }
+    }
+
+    fn session_policy(&mut self) -> SessionPolicy {
+        if self.bool() {
+            SessionPolicy::Repair
+        } else {
+            SessionPolicy::Resolve
+        }
+    }
+
+    fn repair_stats(&mut self) -> RepairStats {
+        RepairStats {
+            repaired: self.bool(),
+            added: self.u64(),
+            undominated_before: self.u64(),
+            drift_estimate: self.f64(),
+            batches_since_solve: self.u64(),
+            chain: self.u64(),
+        }
+    }
+
+    fn session_update(&mut self) -> SessionUpdate {
+        SessionUpdate {
+            result: self.job_result(),
+            repair: self.repair_stats(),
         }
     }
 
@@ -186,16 +230,28 @@ impl Gen {
     }
 
     fn request(&mut self) -> Request {
-        match self.below(4) {
+        match self.below(8) {
             0 => Request::Ping,
             1 => Request::Batch((0..self.usize(4)).map(|_| self.job_spec()).collect()),
             2 => Request::Stats,
-            _ => Request::Shutdown,
+            3 => Request::Shutdown,
+            4 => Request::Open(self.job_spec()),
+            5 => Request::Mutate {
+                session: self.u64(),
+                delta: self.delta_spec(),
+                policy: self.session_policy(),
+            },
+            6 => Request::Resolve {
+                session: self.u64(),
+            },
+            _ => Request::Release {
+                session: self.u64(),
+            },
         }
     }
 
     fn response(&mut self) -> Response {
-        match self.below(6) {
+        match self.below(10) {
             0 => Response::Pong,
             1 => Response::Job {
                 index: self.below(1 << 16) as u32,
@@ -211,12 +267,38 @@ impl Gen {
             3 => Response::Stats(CacheStats {
                 entries: self.u64(),
                 capacity: self.u64(),
+                bytes: self.u64(),
                 hits: self.u64(),
                 misses: self.u64(),
                 evictions: self.u64(),
             }),
             4 => Response::ShuttingDown,
-            _ => Response::Error(self.string()),
+            5 => Response::Error(self.string()),
+            6 => Response::Session {
+                id: self.u64(),
+                outcome: if self.bool() {
+                    Ok(self.job_result())
+                } else {
+                    Err(self.string())
+                },
+            },
+            7 => Response::Mutated {
+                id: self.u64(),
+                outcome: if self.bool() {
+                    Ok(self.session_update())
+                } else {
+                    Err(self.string())
+                },
+            },
+            8 => Response::Released {
+                id: self.u64(),
+                existed: self.bool(),
+            },
+            _ => Response::UnsupportedVersion {
+                got: self.u64() as u8,
+                min: self.u64() as u8,
+                max: self.u64() as u8,
+            },
         }
     }
 }
@@ -244,12 +326,12 @@ proptest! {
         // Overwrite the leading tag byte with every invalid value: the
         // decoder must error, never mis-route.
         let mut payload = encode_payload(&Gen(seed).request());
-        for tag in 4..=u8::MAX {
+        for tag in 8..=u8::MAX {
             payload[0] = tag;
             prop_assert!(decode_payload::<Request>(&payload).is_err());
         }
         let mut payload = encode_payload(&Gen(seed).response());
-        for tag in 6..=u8::MAX {
+        for tag in 10..=u8::MAX {
             payload[0] = tag;
             prop_assert!(decode_payload::<Response>(&payload).is_err());
         }
@@ -261,6 +343,41 @@ proptest! {
         let mut payload = encode_payload(&gen.request());
         payload.push(gen.u64() as u8);
         prop_assert!(decode_payload::<Request>(&payload).is_err());
+    }
+
+    #[test]
+    fn frames_roundtrip_any_version_byte(seed: u64) {
+        // Framing is version-agnostic by design: the *connection* layer
+        // decides what to do with the byte, so read_frame must faithfully
+        // return whatever version the writer stamped — including ones no
+        // server speaks.
+        let mut gen = Gen(seed);
+        let version = gen.u64() as u8;
+        let payload = encode_payload(&gen.request());
+        let mut buf = Vec::new();
+        write_frame(&mut buf, version, &payload).unwrap();
+        let (got_version, got_payload) = read_frame(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(got_version, version);
+        prop_assert_eq!(got_payload, payload);
+    }
+
+    #[test]
+    fn truncated_frames_are_errors_at_every_cut(seed: u64) {
+        // Cut a well-formed frame at every byte boundary: an empty read
+        // is a clean close, everything else must error — never hang,
+        // never yield a phantom message.
+        let mut gen = Gen(seed);
+        let payload = encode_payload(&gen.request());
+        let mut buf = Vec::new();
+        write_frame(&mut buf, PROTOCOL_MAX, &payload).unwrap();
+        for keep in 0..buf.len() {
+            let err = read_frame(&mut &buf[..keep]).unwrap_err();
+            if keep == 0 {
+                prop_assert!(matches!(err, ServiceError::Closed));
+            } else {
+                prop_assert!(matches!(err, ServiceError::Io(_)));
+            }
+        }
     }
 }
 
