@@ -47,6 +47,13 @@ impl RatchetReport {
 /// zero-check applied to each.
 const ROW_FIELDS: &[&str] = &["rounds", "messages", "wall_seconds", "msgs_per_sec"];
 
+/// Rows that must exist in *both* artifacts of every tier: the
+/// pool-reuse measurements are the headline of the persistent-worker-pool
+/// fix, and the generic presence loop only mirrors the baseline — if a
+/// writer regression dropped these from a regenerated baseline too, no
+/// gate would notice without this explicit list.
+const POOL_ROWS: &[&str] = &["flood_measure_pool4", "thm11_measure_pool4"];
+
 /// Evaluates the structure gate of `current` (the quick-mode artifact CI
 /// just produced) against `baseline` (the committed full-scale artifact).
 pub fn check(current: &JsonValue, baseline: &JsonValue) -> RatchetReport {
@@ -86,6 +93,15 @@ pub fn check(current: &JsonValue, baseline: &JsonValue) -> RatchetReport {
             ));
             continue;
         };
+        for name in POOL_ROWS {
+            for (which, rows) in [("baseline", base_rows), ("current", cur_rows)] {
+                if rows.get(name).is_none() {
+                    violations.push(format!(
+                        "{label}: pool-reuse row `{name}` missing from the {which} artifact"
+                    ));
+                }
+            }
+        }
         for name in base_rows.keys() {
             let Some(row) = cur_rows.get(name) else {
                 violations.push(format!("{label}: workload `{name}` disappeared"));
@@ -401,13 +417,25 @@ mod tests {
 
     /// A minimal artifact with the real shape.
     fn artifact(schema: &str, seq_rate: f64, with_huge: bool) -> String {
-        let huge = if with_huge {
-            r#","huge":{"workload":{"n":1000000},"current":{"flood_measure_seq":{"rounds":21,"messages":119999760,"wall_seconds":5.0,"msgs_per_sec":23980000}}}"#
+        artifact_rows(schema, seq_rate, with_huge, true)
+    }
+
+    /// Like [`artifact`], optionally dropping the pool-reuse rows.
+    fn artifact_rows(schema: &str, seq_rate: f64, with_huge: bool, with_pool: bool) -> String {
+        let pool = if with_pool {
+            r#","flood_measure_pool4":{"rounds":21,"messages":5999560,"wall_seconds":0.05,"msgs_per_sec":119991200},"thm11_measure_pool4":{"rounds":33,"messages":847210,"wall_seconds":0.03,"msgs_per_sec":28240333}"#
         } else {
             ""
         };
+        let huge = if with_huge {
+            format!(
+                r#","huge":{{"workload":{{"n":1000000}},"current":{{"flood_measure_seq":{{"rounds":21,"messages":119999760,"wall_seconds":5.0,"msgs_per_sec":23980000}}{pool}}}}}"#
+            )
+        } else {
+            String::new()
+        };
         format!(
-            r#"{{"schema":"{schema}","baseline_pre_pr":{{"commit":"92bbb82","msgs_per_sec":{{"flood_measure_seq":6780170}}}},"current":{{"flood_measure_seq":{{"rounds":21,"messages":5999560,"wall_seconds":0.14,"msgs_per_sec":{seq_rate}}}}}{huge}}}"#
+            r#"{{"schema":"{schema}","baseline_pre_pr":{{"commit":"92bbb82","msgs_per_sec":{{"flood_measure_seq":6780170}}}},"current":{{"flood_measure_seq":{{"rounds":21,"messages":5999560,"wall_seconds":0.14,"msgs_per_sec":{seq_rate}}}{pool}}}{huge}}}"#
         )
     }
 
@@ -445,6 +473,30 @@ mod tests {
             .violations
             .iter()
             .any(|v| v.contains("lost the `huge.current` section")));
+    }
+
+    #[test]
+    fn missing_pool_reuse_rows_fail_even_when_both_artifacts_agree() {
+        // A writer regression that drops the pool rows AND lands a
+        // regenerated baseline without them must still trip the gate:
+        // the explicit pool-row list does not mirror the baseline.
+        let base = parse(&artifact_rows("arbodom-sim-bench/v2", 42e6, true, false));
+        let cur = parse(&artifact_rows("arbodom-sim-bench/v2", 42e6, true, false));
+        let report = check(&cur, &base);
+        assert!(!report.ok());
+        for (tier, which) in [("50k", "baseline"), ("huge", "current")] {
+            assert!(
+                report.violations.iter().any(|v| v.starts_with(tier)
+                    && v.contains("flood_measure_pool4")
+                    && v.contains(which)),
+                "{:?}",
+                report.violations
+            );
+        }
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("thm11_measure_pool4")));
     }
 
     #[test]

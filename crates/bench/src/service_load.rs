@@ -402,6 +402,7 @@ mod tests {
                 hits: 50,
                 misses: 14,
                 evictions: 0,
+                ..CacheStats::default()
             },
         };
         let json = render_artifact(&outcome, &cfg);

@@ -226,6 +226,29 @@ impl<M> MailArena<M> {
         staged.clear();
     }
 
+    /// Rebuilds the arena from per-source staged slices: concatenates the
+    /// sources into `gather` (callers pass sources in ascending
+    /// source-shard order, which is ascending sender id — the sequential
+    /// staging order the stable sort then preserves) and [`refill`]s from
+    /// the result. `gather` is caller-owned scratch whose capacity is
+    /// recycled across rounds; this is the sharded runner's per-shard
+    /// delivery step.
+    ///
+    /// [`refill`]: MailArena::refill
+    pub(crate) fn refill_gathered<'s>(
+        &mut self,
+        gather: &mut Vec<Delivery<M>>,
+        sources: impl IntoIterator<Item = &'s [Delivery<M>]>,
+    ) where
+        M: Clone + 's,
+    {
+        gather.clear();
+        for slice in sources {
+            gather.extend_from_slice(slice);
+        }
+        self.refill(gather);
+    }
+
     /// Total messages currently held (the finished round's traffic).
     #[cfg(test)]
     pub(crate) fn len(&self) -> usize {

@@ -29,6 +29,7 @@ use arbodom_graph::{Graph, NodeId};
 use bytes::BytesMut;
 
 use crate::mailbox::{Delivery, MailArena};
+use crate::pool::WorkerPool;
 use crate::telemetry::SendStats;
 use crate::{Globals, NodeCtx, NodeProgram, Outgoing, Recipients, SimError, Step, Telemetry, Wire};
 
@@ -333,46 +334,83 @@ fn auto_shard_size(n: usize, threads: usize) -> usize {
 }
 
 /// Per-shard compute output: the shard's staged sends, bucketed by
-/// destination shard as they are expanded, plus the nodes that halted and
-/// the shard's send statistics. Double-buffered across rounds (`prev` is
-/// read by everyone delivering, `cur` is written by the claiming worker)
-/// and all buckets persist, so steady-state rounds allocate nothing.
+/// destination shard as they are expanded. Double-buffered across rounds
+/// (`prev` is read by everyone delivering, `cur` is written by the
+/// claiming worker) and all buckets persist, so steady-state rounds
+/// allocate nothing. Halting and statistics no longer live here: workers
+/// fold halted counts straight into the shared atomic and accumulate
+/// stats thread-locally, so nothing per-shard is left to merge serially.
 struct ShardOut<M> {
     /// `staged[d]` holds this shard's deliveries to destination shard
     /// `d`, in expansion order (= ascending sender id within the shard).
     staged: Vec<Vec<Delivery<M>>>,
-    /// Node ids that halted this round, ascending.
-    halted: Vec<usize>,
-    /// This shard's send statistics for the round.
-    stats: SendStats,
 }
 
 impl<M> ShardOut<M> {
     fn new(num_shards: usize) -> Self {
         ShardOut {
             staged: (0..num_shards).map(|_| Vec::new()).collect(),
-            halted: Vec::new(),
-            stats: SendStats::default(),
         }
     }
 }
 
-/// Per-shard delivery state: the shard's inbox arena plus the gather
-/// buffer it swaps storage with every round.
-struct ShardIn<M> {
-    arena: MailArena<M>,
-    gather: Vec<Delivery<M>>,
+/// One shard's owned state, built once per run and locked (uncontended —
+/// the work queue hands each shard to exactly one worker per round) by
+/// whichever pool worker claims the shard: its node programs, its
+/// **owned** active flags (decentralized halting — the worker flips a
+/// flag the instant the node halts, no post-round merge), and its inbox
+/// arena plus the gather scratch the arena recycles every round.
+struct Shard<P: NodeProgram> {
+    nodes: Vec<P>,
+    /// `active[i]` for local node index `i`; owned by the shard, so
+    /// halting needs no cross-shard coordination beyond one atomic
+    /// subtraction of the shard's halt count per round.
+    active: Vec<bool>,
+    arena: MailArena<P::Message>,
+    gather: Vec<Delivery<P::Message>>,
 }
 
 /// Thread-parallel variant of [`run`], producing identical outputs and
-/// telemetry (totals, maxima, and per-round stats are all merged
+/// telemetry. Constructs a private [`WorkerPool`] of `threads` workers
+/// for the run and delegates to [`run_parallel_in`]; callers executing
+/// many runs should build one pool and call [`run_parallel_in`] directly
+/// so the threads are spawned once, not once per run.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_parallel<P>(
+    g: &Graph,
+    globals: &Globals,
+    make: impl FnMut(NodeId, &Graph) -> P,
+    opts: &RunOptions,
+    threads: usize,
+) -> Result<RunResult<P::Output>, SimError>
+where
+    P: NodeProgram + Send,
+    P::Message: Send + Sync,
+{
+    let n = g.n();
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 || n < PARALLEL_MIN_NODES {
+        return run(g, globals, make, opts);
+    }
+    run_parallel_in(&WorkerPool::new(threads), g, globals, make, opts)
+}
+
+/// Runs `make(v, g)`-constructed node programs over `g` on a caller-owned
+/// [`WorkerPool`], producing outputs and telemetry **bit-identical** to
+/// [`run`]'s (totals, maxima, and per-round stats are all merged
 /// order-independently or in node order).
 ///
 /// The node ids are partitioned into contiguous cache-sized **shards**
-/// (several per thread; size tunable via [`RunOptions::shard_size`]),
-/// each owning its node programs, per-destination-shard send buckets, and
-/// its own mailbox arena. Every round, workers claim shards from an
-/// atomic queue and run a two-phase deliver/compute schedule per shard:
+/// (several per worker; size tunable via [`RunOptions::shard_size`]),
+/// each owning its node programs, its active flags, per-destination-shard
+/// send buckets, and its own mailbox arena — all built once per run.
+/// Every round is one pool **epoch**: [`WorkerPool::broadcast`] wakes the
+/// persistent workers (no threads are spawned after pool construction),
+/// they claim shards from an atomic queue, and each claimed shard runs a
+/// fused two-phase deliver/compute pass:
 ///
 /// 1. **deliver** — gather the shard's bucket from every source shard's
 ///    *previous-round* output (sources in ascending order = ascending
@@ -381,11 +419,18 @@ struct ShardIn<M> {
 ///    sequential runner uses;
 /// 2. **compute** — step the shard's active nodes against the freshly
 ///    rebuilt arena, expanding each send straight into the destination
-///    shard's bucket of the shard's *current-round* output.
+///    shard's bucket of the shard's *current-round* output, flipping the
+///    shard's own active flags as nodes halt.
 ///
-/// The previous-round outputs are immutable while a round runs (shard
-/// outputs are double-buffered), which is what lets the two phases fuse
-/// into a single pass per shard — one thread-scope per round, no global
+/// Halting is **decentralized**: each shard owns its active flags, and a
+/// worker folds the shard's halt count into one shared atomic counter —
+/// there is no serial post-round merge walking halted lists. Send
+/// statistics accumulate per worker and merge once per round; every
+/// [`crate::telemetry::SendStats`] field is a sum or a maximum, so the
+/// merge order cannot change the result. The previous-round outputs are
+/// immutable while a round runs (shard outputs are double-buffered and
+/// their contents swapped by the coordinator between epochs), which is
+/// what lets the two phases fuse into a single pass per shard — no global
 /// merge, no global sort. All per-shard buffers persist and swap storage
 /// across rounds, so steady-state rounds allocate nothing and peak
 /// memory stays `O(edges + live messages)` at any graph size. Because
@@ -394,32 +439,38 @@ struct ShardIn<M> {
 /// sequential runner — which is why the results are bit-identical at any
 /// shard size and thread count.
 ///
+/// Error reporting is deterministic: the queue hands out shard indices in
+/// ascending order and an erroring worker stops claiming, so every shard
+/// below the lowest reported faulty shard was processed cleanly — the
+/// propagated error is exactly the one the sequential runner (ascending
+/// node ids) would have hit first, regardless of worker scheduling.
+///
+/// Falls back to [`run`] when the pool has a single worker or the graph
+/// is smaller than the parallel break-even point; the results are
+/// identical either way.
+///
 /// # Errors
 ///
 /// Same as [`run`].
-pub fn run_parallel<P>(
+pub fn run_parallel_in<P>(
+    pool: &WorkerPool,
     g: &Graph,
     globals: &Globals,
-    make: impl Fn(NodeId, &Graph) -> P + Sync,
+    mut make: impl FnMut(NodeId, &Graph) -> P,
     opts: &RunOptions,
-    threads: usize,
 ) -> Result<RunResult<P::Output>, SimError>
 where
     P: NodeProgram + Send,
     P::Message: Send + Sync,
-    P::Output: Send,
 {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
 
     let n = g.n();
-    let threads = threads.max(1).min(n.max(1));
+    let threads = pool.threads().min(n.max(1));
     if threads <= 1 || n < PARALLEL_MIN_NODES {
-        return run(g, globals, |v, g| make(v, g), opts);
+        return run(g, globals, make, opts);
     }
-    let mut nodes: Vec<P> = g.nodes().map(|v| make(v, g)).collect();
-    let mut active = vec![true; n];
-    let mut active_count = n;
     let rev = reverse_ports(g);
     let router = Router {
         g,
@@ -441,146 +492,158 @@ where
         .next_power_of_two();
     let shard_shift = shard_size.trailing_zeros();
     let num_shards = n.div_ceil(shard_size);
-    // Double-buffered shard outputs: `prev` holds the finished round's
-    // sends (read-shared by every delivering shard), `cur` collects the
-    // running round's (written by the claiming worker). Swapped at the
-    // end of each round, capacities recycled.
-    let mut prev_outs: Vec<ShardOut<P::Message>> =
-        (0..num_shards).map(|_| ShardOut::new(num_shards)).collect();
-    let mut cur_outs: Vec<ShardOut<P::Message>> =
-        (0..num_shards).map(|_| ShardOut::new(num_shards)).collect();
-    let mut shard_ins: Vec<ShardIn<P::Message>> = (0..num_shards)
+    // Per-shard owned state, built once for the whole run. The slot
+    // mutexes are uncontended — the queue hands each shard to exactly one
+    // worker per round — they exist to prove exclusive access to the
+    // borrow checker across epochs.
+    let shards: Vec<Mutex<Shard<P>>> = (0..num_shards)
         .map(|s| {
             let base = s * shard_size;
-            ShardIn {
-                arena: MailArena::with_range(base as u32, shard_size.min(n - base)),
+            let len = shard_size.min(n - base);
+            Mutex::new(Shard {
+                nodes: (base..base + len)
+                    .map(|vi| make(NodeId::from_index(vi), g))
+                    .collect(),
+                active: vec![true; len],
+                arena: MailArena::with_range(base as u32, len),
                 gather: Vec::new(),
-            }
+            })
         })
         .collect();
+    // Double-buffered shard outputs: `prev` holds the finished round's
+    // sends (read-shared by every delivering shard), `cur` collects the
+    // running round's (locked by the claiming worker). The coordinator
+    // swaps their contents between epochs, recycling all capacity.
+    let mut prev_outs: Vec<ShardOut<P::Message>> =
+        (0..num_shards).map(|_| ShardOut::new(num_shards)).collect();
+    let mut cur_outs: Vec<Mutex<ShardOut<P::Message>>> = (0..num_shards)
+        .map(|_| Mutex::new(ShardOut::new(num_shards)))
+        .collect();
+    // Per-worker encode scratch, persistent across rounds (indexed by the
+    // pool worker id, so each buffer is reused by exactly one worker per
+    // epoch).
+    let scratches: Vec<Mutex<BytesMut>> = (0..pool.threads())
+        .map(|_| Mutex::new(BytesMut::new()))
+        .collect();
+    // Decentralized halting: the only shared halt state is this counter;
+    // the flags live in the shards that own them.
+    let active_count = AtomicUsize::new(n);
     let mut round = 0usize;
     loop {
-        if active_count == 0 {
+        // The epoch barrier at the end of the previous broadcast ordered
+        // every worker's subtraction before this load.
+        let remaining = active_count.load(Ordering::Relaxed);
+        if remaining == 0 {
             break;
         }
         if round >= opts.max_rounds {
             return Err(SimError::MaxRoundsExceeded {
                 limit: opts.max_rounds,
-                active: active_count,
+                active: remaining,
             });
         }
-        // One fused pass per shard: deliver the previous round's sends
-        // into the shard's arena, then step its nodes. Errors are tagged
-        // with their shard index so the merge can propagate the fault of
-        // the *lowest* shard — shards step their nodes in ascending id
-        // order, so that is exactly the error the sequential runner would
-        // have hit first, regardless of which worker claimed which shard.
-        {
-            let queue = AtomicUsize::new(0);
-            let queue = &queue;
-            type ShardSlot<'a, P, M> =
-                Mutex<((&'a mut [P], &'a mut ShardOut<M>), &'a mut ShardIn<M>)>;
-            let shards: Vec<ShardSlot<'_, P, P::Message>> = nodes
-                .chunks_mut(shard_size)
-                .zip(cur_outs.iter_mut())
-                .zip(shard_ins.iter_mut())
-                .map(Mutex::new)
-                .collect();
-            let shards = &shards;
-            let router = &router;
-            let active = &active;
-            let prev_outs = &prev_outs;
-            let worker = move || -> Result<(), (usize, SimError)> {
-                let mut scratch = BytesMut::new();
-                loop {
-                    let s = queue.fetch_add(1, Ordering::Relaxed);
-                    if s >= num_shards {
-                        return Ok(());
+        let queue = AtomicUsize::new(0);
+        let round_stats = Mutex::new(SendStats::default());
+        let first_err: Mutex<Option<(usize, SimError)>> = Mutex::new(None);
+        pool.broadcast(|w| {
+            let mut scratch = scratches[w].lock().expect("one worker per scratch slot");
+            let mut stats = SendStats::default();
+            let mut err: Option<(usize, SimError)> = None;
+            loop {
+                let s = queue.fetch_add(1, Ordering::Relaxed);
+                if s >= num_shards {
+                    break;
+                }
+                let mut shard = shards[s].lock().expect("shard claimed once");
+                let mut out = cur_outs[s].lock().expect("output claimed once");
+                let Shard {
+                    nodes,
+                    active,
+                    arena,
+                    gather,
+                } = &mut *shard;
+                // Deliver: rebuild the arena from this shard's bucket in
+                // every source (ascending = sequential staging order).
+                // Round 0 gathers nothing.
+                arena.refill_gathered(gather, prev_outs.iter().map(|src| src.staged[s].as_slice()));
+                // Compute: step the shard's active nodes against the
+                // fresh arena, bucketing sends by destination shard and
+                // flipping the shard-owned active flags as nodes halt.
+                for bucket in &mut out.staged {
+                    bucket.clear();
+                }
+                let base = s * shard_size;
+                let mut halted = 0usize;
+                for (i, node) in nodes.iter_mut().enumerate() {
+                    if !active[i] {
+                        continue;
                     }
-                    let mut guard = shards[s].lock().expect("shard claimed once");
-                    let ((chunk, out), shard_in) = &mut *guard;
-                    // Deliver: gather this shard's bucket from every
-                    // source (ascending = sequential staging order) and
-                    // rebuild the arena. Round 0 gathers nothing.
-                    let ShardIn { arena, gather } = shard_in;
-                    gather.clear();
-                    for src in prev_outs.iter() {
-                        gather.extend_from_slice(&src.staged[s]);
+                    let v = NodeId::from_index(base + i);
+                    let ctx = NodeCtx {
+                        id: v,
+                        weight: router.g.weight(v),
+                        neighbors: router.g.neighbors(v),
+                        globals,
+                        round,
+                    };
+                    let step = node.round(&ctx, arena.inbox(i));
+                    if step.done {
+                        active[i] = false;
+                        halted += 1;
                     }
-                    arena.refill(gather);
-                    // Compute: step the shard's nodes against the fresh
-                    // arena, bucketing sends by destination shard.
-                    for bucket in &mut out.staged {
-                        bucket.clear();
-                    }
-                    out.halted.clear();
-                    out.stats = SendStats::default();
-                    let base = s * shard_size;
-                    for (i, node) in chunk.iter_mut().enumerate() {
-                        let vi = base + i;
-                        if !active[vi] {
-                            continue;
-                        }
-                        let v = NodeId::from_index(vi);
-                        let ctx = NodeCtx {
-                            id: v,
-                            weight: router.g.weight(v),
-                            neighbors: router.g.neighbors(v),
-                            globals,
-                            round,
-                        };
-                        let step = node.round(&ctx, arena.inbox(i));
-                        if step.done {
-                            out.halted.push(vi);
-                        }
-                        let staged = &mut out.staged;
-                        router
-                            .expand(v, round, step.outgoing, &mut scratch, &mut out.stats, |d| {
-                                staged[(d.dest >> shard_shift) as usize].push(d)
-                            })
-                            .map_err(|e| (s, e))?;
+                    let staged = &mut out.staged;
+                    if let Err(e) =
+                        router.expand(v, round, step.outgoing, &mut scratch, &mut stats, |d| {
+                            staged[(d.dest >> shard_shift) as usize].push(d)
+                        })
+                    {
+                        err = Some((s, e));
+                        break;
                     }
                 }
-            };
-            let results: Vec<Result<(), (usize, SimError)>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..threads.min(num_shards))
-                    .map(|_| scope.spawn(worker))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker panicked"))
-                    .collect()
-            });
-            let mut first_err: Option<(usize, SimError)> = None;
-            for res in results {
-                if let Err((s, e)) = res {
-                    if first_err.as_ref().is_none_or(|(fs, _)| s < *fs) {
-                        first_err = Some((s, e));
-                    }
+                if halted > 0 {
+                    active_count.fetch_sub(halted, Ordering::Relaxed);
+                }
+                if err.is_some() {
+                    // Stop claiming: shards this worker already finished
+                    // form an error-free prefix of its claims, so the
+                    // lowest reported shard stays the sequential answer.
+                    break;
                 }
             }
-            if let Some((_, e)) = first_err {
-                return Err(e);
+            round_stats
+                .lock()
+                .expect("round stats poisoned")
+                .merge(&stats);
+            if let Some((s, e)) = err {
+                let mut slot = first_err.lock().expect("error slot poisoned");
+                if slot.as_ref().is_none_or(|(fs, _)| s < *fs) {
+                    *slot = Some((s, e));
+                }
             }
+        });
+        if let Some((_, e)) = first_err.into_inner().expect("error slot poisoned") {
+            return Err(e);
         }
-        // Merge bookkeeping in shard order (= ascending node id).
-        let mut round_stats = SendStats::default();
-        for out in &mut cur_outs {
-            round_stats.merge(&out.stats);
-            for &vi in &out.halted {
-                active[vi] = false;
-                active_count -= 1;
-            }
+        telemetry.absorb(
+            round,
+            &round_stats.into_inner().expect("round stats poisoned"),
+            opts.track_rounds,
+        );
+        // Swap the double buffers' contents (the epoch is over, so the
+        // coordinator has exclusive access again).
+        for (s, cur) in cur_outs.iter_mut().enumerate() {
+            std::mem::swap(&mut prev_outs[s], cur.get_mut().expect("output poisoned"));
         }
-        telemetry.absorb(round, &round_stats, opts.track_rounds);
-        std::mem::swap(&mut prev_outs, &mut cur_outs);
         round += 1;
     }
     telemetry.rounds = round;
-    Ok(RunResult {
-        outputs: nodes.iter().map(NodeProgram::output).collect(),
-        telemetry,
-    })
+    let mut outputs = Vec::with_capacity(n);
+    for slot in shards {
+        let shard = slot.into_inner().expect("shard poisoned");
+        outputs.extend(shard.nodes.iter().map(NodeProgram::output));
+    }
+    Ok(RunResult { outputs, telemetry })
 }
 
 #[cfg(test)]
@@ -803,6 +866,78 @@ mod tests {
         .unwrap_err();
         assert!(matches!(err, SimError::MaxRoundsExceeded { limit, active }
             if limit == total - 1 && active == g.n()));
+    }
+
+    /// Halts at the end of round `total - 1` iff `halts`; otherwise runs
+    /// forever — for pinning the `active` count reported at the limit.
+    struct HaltSome {
+        total: usize,
+        halts: bool,
+    }
+    impl NodeProgram for HaltSome {
+        type Message = bool;
+        type Output = ();
+        fn round(&mut self, ctx: &NodeCtx<'_>, _inbox: Inbox<'_, bool>) -> Step<bool> {
+            if self.halts && ctx.round + 1 == self.total {
+                Step::halt()
+            } else {
+                Step::idle()
+            }
+        }
+        fn output(&self) {}
+    }
+
+    /// When some nodes halt in the very last allowed round and the rest
+    /// never halt, [`SimError::MaxRoundsExceeded::active`] must report
+    /// the count *after* that final round's halts are merged — in the
+    /// sharded path just as in the sequential one. (The sharded runner's
+    /// halt accounting is decentralized: per-shard owned flags folded
+    /// into one atomic — this pins that the fold lands before the limit
+    /// check reads the counter.)
+    #[test]
+    fn max_rounds_active_counts_final_round_halts() {
+        // Large enough that run_parallel does not fall back to run().
+        let g = generators::path(300);
+        let globals = Globals::new(&g, 0);
+        let total = 4usize;
+        let make = |v: NodeId, _: &arbodom_graph::Graph| HaltSome {
+            total,
+            halts: v.index() % 3 == 0,
+        };
+        let halters = (0..g.n()).filter(|i| i % 3 == 0).count();
+        let expected_active = g.n() - halters;
+        let seq = run(
+            &g,
+            &globals,
+            make,
+            &RunOptions {
+                max_rounds: total,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(seq, SimError::MaxRoundsExceeded { limit, active }
+                if limit == total && active == expected_active),
+            "sequential: {seq:?}"
+        );
+        for threads in [2usize, 4] {
+            for shard_size in [None, Some(1), Some(64), Some(g.n())] {
+                let par = run_parallel(
+                    &g,
+                    &globals,
+                    make,
+                    &RunOptions {
+                        max_rounds: total,
+                        shard_size,
+                        ..RunOptions::default()
+                    },
+                    threads,
+                )
+                .unwrap_err();
+                assert_eq!(seq, par, "threads={threads} shard={shard_size:?}");
+            }
+        }
     }
 
     #[test]

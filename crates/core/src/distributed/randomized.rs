@@ -19,7 +19,7 @@
 //! tests assert.
 
 use arbodom_congest::{
-    det_rand, run, run_parallel, Globals, Inbox, NodeCtx, NodeProgram, Outgoing, RunOptions, Step,
+    det_rand, run_parallel, Globals, Inbox, NodeCtx, NodeProgram, Outgoing, RunOptions, Step,
     Telemetry,
 };
 use arbodom_graph::{Graph, NodeId};
@@ -399,11 +399,9 @@ pub fn run_randomized_with(
     let ecfg = ExtendConfig::new(cfg.lambda(), cfg.gamma(), cfg.seed)?;
     let globals = Globals::new(g, cfg.seed).with_arboricity(cfg.alpha);
     let make = |v: NodeId, g: &Graph| RandomizedProgram::new(*cfg, g.degree(v));
-    let run_out = if threads <= 1 {
-        run(g, &globals, make, opts)?
-    } else {
-        run_parallel(g, &globals, make, opts, threads)?
-    };
+    // `run_parallel` itself falls back to the sequential runner for
+    // `threads <= 1` or tiny graphs, so one call covers every case.
+    let run_out = run_parallel(g, &globals, make, opts, threads)?;
     let in_ds: Vec<bool> = run_out.outputs.iter().map(|o| o.in_ds).collect();
     let x: Vec<f64> = run_out.outputs.iter().map(|o| o.x_certificate).collect();
     let iterations =
@@ -468,11 +466,9 @@ pub fn run_general_with(
     )?;
     let globals = Globals::new(g, cfg.seed);
     let make = |v: NodeId, g: &Graph| RandomizedProgram::new_general(*cfg, g.degree(v));
-    let run_out = if threads <= 1 {
-        run(g, &globals, make, opts)?
-    } else {
-        run_parallel(g, &globals, make, opts, threads)?
-    };
+    // `run_parallel` itself falls back to the sequential runner for
+    // `threads <= 1` or tiny graphs, so one call covers every case.
+    let run_out = run_parallel(g, &globals, make, opts, threads)?;
     let in_ds: Vec<bool> = run_out.outputs.iter().map(|o| o.in_ds).collect();
     let x: Vec<f64> = run_out.outputs.iter().map(|o| o.x_certificate).collect();
     let iterations = ecfg.phases() * ecfg.iterations_per_phase(g.max_degree());

@@ -6,7 +6,7 @@
 //! why the boundary cases matter).
 
 use arbodom_congest::{
-    run, run_parallel, Globals, Inbox, NodeCtx, NodeProgram, Outgoing, RunOptions, Step, Telemetry,
+    run_parallel, Globals, Inbox, NodeCtx, NodeProgram, Outgoing, RunOptions, Step, Telemetry,
 };
 use arbodom_graph::Graph;
 
@@ -92,11 +92,9 @@ pub fn run_trees_with(g: &Graph, run_cfg: &RunConfig) -> Result<(DsResult, Telem
     let (opts, threads) = (run_cfg.options(), run_cfg.thread_count());
     let globals = Globals::new(g, 0).with_arboricity(1);
     let make = |_, _: &Graph| TreeProgram::default();
-    let run_out = if threads <= 1 {
-        run(g, &globals, make, opts)?
-    } else {
-        run_parallel(g, &globals, make, opts, threads)?
-    };
+    // `run_parallel` itself falls back to the sequential runner for
+    // `threads <= 1` or tiny graphs, so one call covers every case.
+    let run_out = run_parallel(g, &globals, make, opts, threads)?;
     Ok((
         DsResult::from_flags(g, run_out.outputs, 1, None),
         run_out.telemetry,

@@ -20,7 +20,7 @@
 //! bit-identical dominating sets and packing values.
 
 use arbodom_congest::{
-    run, run_parallel, Globals, Inbox, NodeCtx, NodeProgram, Outgoing, RunOptions, Step, Telemetry,
+    run_parallel, Globals, Inbox, NodeCtx, NodeProgram, Outgoing, RunOptions, Step, Telemetry,
 };
 use arbodom_graph::{Graph, NodeId};
 
@@ -360,11 +360,9 @@ pub fn run_unknown_delta_with(
     let (opts, threads) = (run_cfg.options(), run_cfg.thread_count());
     let globals = Globals::new(g, seed).with_arboricity(cfg.alpha);
     let make = |v: NodeId, g: &Graph| UnknownDeltaProgram::new(*cfg, g.degree(v));
-    let run_out = if threads <= 1 {
-        run(g, &globals, make, opts)?
-    } else {
-        run_parallel(g, &globals, make, opts, threads)?
-    };
+    // `run_parallel` itself falls back to the sequential runner for
+    // `threads <= 1` or tiny graphs, so one call covers every case.
+    let run_out = run_parallel(g, &globals, make, opts, threads)?;
     let in_ds: Vec<bool> = run_out.outputs.iter().map(|o| o.in_ds).collect();
     let x: Vec<f64> = run_out.outputs.iter().map(|o| o.x).collect();
     let iterations = run_out
@@ -383,7 +381,7 @@ pub fn run_unknown_delta_with(
 mod tests {
     use super::*;
     use crate::{unknown_delta, verify};
-    use arbodom_congest::MeterMode;
+    use arbodom_congest::{run, MeterMode};
     use arbodom_graph::{generators, weights::WeightModel};
     use rand::rngs::StdRng;
     use rand::SeedableRng;

@@ -20,7 +20,7 @@
 //! compliance with room to spare.
 
 use arbodom_congest::{
-    run, run_parallel, Globals, Inbox, NodeCtx, NodeProgram, Outgoing, RunOptions, Step, Telemetry,
+    run_parallel, Globals, Inbox, NodeCtx, NodeProgram, Outgoing, RunOptions, Step, Telemetry,
 };
 use arbodom_graph::{Graph, NodeId};
 
@@ -312,11 +312,9 @@ pub fn run_weighted_with(
     PartialConfig::new(cfg.epsilon, cfg.lambda())?;
     let globals = Globals::new(g, seed).with_arboricity(cfg.alpha);
     let make = |v: NodeId, g: &Graph| WeightedProgram::new(*cfg, g.degree(v));
-    let run_out = if threads <= 1 {
-        run(g, &globals, make, opts)?
-    } else {
-        run_parallel(g, &globals, make, opts, threads)?
-    };
+    // `run_parallel` itself falls back to the sequential runner for
+    // `threads <= 1` or tiny graphs, so one call covers every case.
+    let run_out = run_parallel(g, &globals, make, opts, threads)?;
     let in_ds: Vec<bool> = run_out.outputs.iter().map(|o| o.in_ds).collect();
     let x: Vec<f64> = run_out.outputs.iter().map(|o| o.x).collect();
     let iterations = PartialConfig::new(cfg.epsilon, cfg.lambda())?.iterations(g.max_degree()) + 1;

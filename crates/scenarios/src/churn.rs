@@ -274,6 +274,8 @@ pub struct ChurnBatchReport {
     pub repaired: bool,
     /// Nodes the local repair added.
     pub added: usize,
+    /// Nodes the local shrink pass retired as redundant.
+    pub removed: usize,
     /// Touched vertices that had lost domination before the repair.
     pub undominated_before: usize,
     /// Maintained set weight after the batch.
@@ -300,6 +302,7 @@ impl ChurnBatchReport {
             .int("deletes", self.deletes)
             .bool("repaired", self.repaired)
             .int("added", self.added)
+            .int("removed", self.removed)
             .int("undominated_before", self.undominated_before)
             .u64("weight", self.weight)
             .num("drift_estimate", self.drift_estimate)
@@ -520,6 +523,7 @@ pub fn run_churn_cell(
             deletes,
             repaired: out.repaired,
             added: out.added.len(),
+            removed: out.removed.len(),
             undominated_before: out.undominated_before,
             weight: out.weight,
             drift_estimate: out.drift_estimate,

@@ -35,6 +35,10 @@ fn main() {
                 "cache: {} entries, {}/{} bytes, {} hits, {} misses, {} evictions",
                 s.entries, s.bytes, s.capacity, s.hits, s.misses, s.evictions
             );
+            println!(
+                "sessions: {} live, {} bytes, {} evicted",
+                s.sessions, s.session_bytes, s.session_evictions
+            );
             Ok(())
         }),
         "shutdown" => control(&args[1..], |c| {

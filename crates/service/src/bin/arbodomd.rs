@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! arbodomd [--addr HOST:PORT] [--workers N] [--sim-threads N]
-//!          [--cache-mb N] [--quick|--full]
+//!          [--cache-mb N] [--session-ttl-secs N] [--max-sessions N]
+//!          [--quick|--full]
 //! ```
 //!
 //! Runs until a client sends a `Shutdown` request (`arbodom-client
@@ -27,6 +28,11 @@ fn main() {
             "--workers" => cfg.workers = parsed(it.next(), "--workers"),
             "--sim-threads" => cfg.sim_threads = parsed(it.next(), "--sim-threads"),
             "--cache-mb" => cfg.cache_bytes = parsed::<usize>(it.next(), "--cache-mb") << 20,
+            "--session-ttl-secs" => {
+                cfg.session_ttl =
+                    std::time::Duration::from_secs(parsed::<u64>(it.next(), "--session-ttl-secs"));
+            }
+            "--max-sessions" => cfg.max_sessions = parsed(it.next(), "--max-sessions"),
             "--quick" => cfg.scale = Scale::Quick,
             "--full" => cfg.scale = Scale::Full,
             "--help" | "help" => usage(0),
@@ -61,6 +67,8 @@ fn usage(code: i32) -> ! {
          --workers N        scheduler worker threads (default 4)\n  \
          --sim-threads N    simulator threads per job (default 1; results identical)\n  \
          --cache-mb N       graph-cache budget in MiB of instance memory (default 256)\n  \
+         --session-ttl-secs N  evict sessions idle longer than N seconds (default 900)\n  \
+         --max-sessions N   cap on live sessions; LRU-evicted past it (default 64)\n  \
          --quick            resolve scenario cells at quick scale (CI; also ARBODOM_QUICK=1)\n  \
          --full             resolve scenario cells at full scale (default)"
     );

@@ -235,7 +235,9 @@ impl GraphCache {
         graph
     }
 
-    /// Aggregate counters for the `Stats` request.
+    /// Aggregate counters for the `Stats` request. The session fields
+    /// are zero here — the server overlays the session table's usage
+    /// before the reply goes out.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             entries: self.by_instance.len() as u64,
@@ -244,6 +246,7 @@ impl GraphCache {
             hits: self.hits,
             misses: self.misses,
             evictions: self.evictions,
+            ..CacheStats::default()
         }
     }
 }

@@ -254,9 +254,7 @@ fn run_parameters(ctx: &ExecContext, spec: &JobSpec) -> Result<RunParameters, St
 }
 
 fn find_session(ctx: &ExecContext, id: u64) -> Result<Arc<Mutex<Session>>, String> {
-    ctx.sessions
-        .get(id)
-        .ok_or_else(|| format!("unknown session {id} (released or never opened)"))
+    ctx.sessions.get(id).map_err(|lost| lost.describe(id))
 }
 
 fn find_scenario(name: &str) -> Result<ScenarioSpec, String> {

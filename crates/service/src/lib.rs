@@ -152,4 +152,4 @@ pub use protocol::{
 };
 pub use scheduler::Scheduler;
 pub use server::{Server, ServerConfig};
-pub use session::{Session, SessionTable};
+pub use session::{Session, SessionLimits, SessionLost, SessionTable};

@@ -690,6 +690,8 @@ pub struct RepairStats {
     pub repaired: bool,
     /// Nodes the local repair added.
     pub added: u64,
+    /// Nodes the local shrink pass retired as redundant.
+    pub removed: u64,
     /// Touched vertices that had lost domination before the repair.
     pub undominated_before: u64,
     /// Maintained weight over the weight of the last full solve.
@@ -705,6 +707,7 @@ impl Wire for RepairStats {
     fn encode(&self, buf: &mut BytesMut) {
         put_bool(buf, self.repaired);
         put_u64(buf, self.added);
+        put_u64(buf, self.removed);
         put_u64(buf, self.undominated_before);
         put_f64(buf, self.drift_estimate);
         put_u64(buf, self.batches_since_solve);
@@ -715,6 +718,7 @@ impl Wire for RepairStats {
         Ok(RepairStats {
             repaired: get_bool(buf)?,
             added: get_u64(buf)?,
+            removed: get_u64(buf)?,
             undominated_before: get_u64(buf)?,
             drift_estimate: get_f64(buf)?,
             batches_since_solve: get_u64(buf)?,
@@ -1048,7 +1052,9 @@ impl Wire for JobResult {
     }
 }
 
-/// Aggregate graph-cache counters, served by [`Request::Stats`].
+/// Aggregate daemon counters served by [`Request::Stats`]: the graph
+/// cache's, plus the session table's live count / resident bytes /
+/// evictions.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Graphs currently cached.
@@ -1064,6 +1070,13 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries evicted by the LRU policy.
     pub evictions: u64,
+    /// Live sessions in the daemon's session table.
+    pub sessions: u64,
+    /// Resident bytes of those sessions (owned graphs plus maintained
+    /// sets).
+    pub session_bytes: u64,
+    /// Sessions evicted by policy so far (idle TTL or session cap).
+    pub session_evictions: u64,
 }
 
 impl Wire for CacheStats {
@@ -1075,6 +1088,9 @@ impl Wire for CacheStats {
             self.hits,
             self.misses,
             self.evictions,
+            self.sessions,
+            self.session_bytes,
+            self.session_evictions,
         ] {
             put_u64(buf, v);
         }
@@ -1088,6 +1104,9 @@ impl Wire for CacheStats {
             hits: get_u64(buf)?,
             misses: get_u64(buf)?,
             evictions: get_u64(buf)?,
+            sessions: get_u64(buf)?,
+            session_bytes: get_u64(buf)?,
+            session_evictions: get_u64(buf)?,
         })
     }
 }
@@ -1253,6 +1272,9 @@ mod tests {
             hits: 10,
             misses: 4,
             evictions: 1,
+            sessions: 2,
+            session_bytes: 4096,
+            session_evictions: 5,
         }));
     }
 

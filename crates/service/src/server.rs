@@ -38,8 +38,9 @@ use crate::protocol::{
     SessionPolicy, SessionUpdate, PROTOCOL_MAX, PROTOCOL_MIN, PROTOCOL_V2,
 };
 use crate::scheduler::Scheduler;
-use crate::session::SessionTable;
+use crate::session::{SessionLimits, SessionTable};
 use crate::ServiceError;
+use std::time::Duration;
 
 /// Daemon tuning knobs.
 #[derive(Clone, Copy, Debug)]
@@ -54,15 +55,24 @@ pub struct ServerConfig {
     pub cache_bytes: usize,
     /// Scale scenario-cell jobs resolve their size sweeps at.
     pub scale: Scale,
+    /// Idle sessions are evicted after this long without a touch
+    /// (lazily, on the next session-table access).
+    pub session_ttl: Duration,
+    /// Hard cap on concurrently open sessions; the least-recently-used
+    /// session is evicted to admit a new one.
+    pub max_sessions: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
+        let limits = SessionLimits::default();
         ServerConfig {
             workers: 4,
             sim_threads: 1,
             cache_bytes: 256 << 20,
             scale: Scale::Full,
+            session_ttl: limits.idle_ttl,
+            max_sessions: limits.max_sessions,
         }
     }
 }
@@ -106,7 +116,10 @@ impl Server {
         let state = Arc::new(ServerState {
             exec: ExecContext {
                 cache: Arc::new(Mutex::new(GraphCache::new(cfg.cache_bytes))),
-                sessions: Arc::new(SessionTable::new()),
+                sessions: Arc::new(SessionTable::with_limits(SessionLimits {
+                    idle_ttl: cfg.session_ttl,
+                    max_sessions: cfg.max_sessions.max(1),
+                })),
                 sim_threads: cfg.sim_threads.max(1),
                 scale: cfg.scale,
             },
@@ -239,7 +252,11 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
         let outcome = match request {
             Request::Ping => write_message(&mut stream, version, &Response::Pong),
             Request::Stats => {
-                let stats = state.exec.cache.lock().expect("cache poisoned").stats();
+                let mut stats = state.exec.cache.lock().expect("cache poisoned").stats();
+                let (sessions, session_bytes, session_evictions) = state.exec.sessions.usage();
+                stats.sessions = sessions;
+                stats.session_bytes = session_bytes;
+                stats.session_evictions = session_evictions;
                 write_message(&mut stream, version, &Response::Stats(stats))
             }
             Request::Shutdown => {
@@ -317,11 +334,14 @@ fn mutate_session(
         .exec
         .sessions
         .get(id)
-        .ok_or_else(|| format!("unknown session {id} (released or never opened)"))?;
+        .map_err(|lost| lost.describe(id))?;
     let mut guard = session
         .lock()
         .map_err(|_| format!("session {id} was poisoned by an earlier panic"))?;
     let (result, repair) = guard.mutate(delta, policy, state.exec.sim_threads)?;
+    // The graph just changed size: refresh the byte accounting (and
+    // recency) while we still hold the session.
+    state.exec.sessions.record_usage(id, guard.cost_bytes());
     Ok(SessionUpdate { result, repair })
 }
 
@@ -330,11 +350,12 @@ fn resolve_session(state: &Arc<ServerState>, id: u64) -> Result<SessionUpdate, S
         .exec
         .sessions
         .get(id)
-        .ok_or_else(|| format!("unknown session {id} (released or never opened)"))?;
+        .map_err(|lost| lost.describe(id))?;
     let mut guard = session
         .lock()
         .map_err(|_| format!("session {id} was poisoned by an earlier panic"))?;
     let (result, repair) = guard.resolve(state.exec.sim_threads)?;
+    state.exec.sessions.record_usage(id, guard.cost_bytes());
     Ok(SessionUpdate { result, repair })
 }
 

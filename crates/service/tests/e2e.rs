@@ -17,6 +17,7 @@ fn config(workers: usize) -> ServerConfig {
         sim_threads: 1,
         cache_bytes: 32 << 20,
         scale: Scale::Quick,
+        ..ServerConfig::default()
     }
 }
 
@@ -322,6 +323,96 @@ fn session_lifecycle_open_mutate_resolve_release() {
         .unwrap();
     let msg = snap[0].as_ref().unwrap_err();
     assert!(msg.contains("unknown session"), "{msg}");
+    server.shutdown();
+}
+
+#[test]
+fn idle_sessions_expire_and_their_bytes_leave_the_daemon() {
+    // Regression: before TTL eviction, every opened-but-never-released
+    // session pinned its graph and flag vector for the daemon's lifetime.
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            session_ttl: std::time::Duration::from_millis(80),
+            ..config(2)
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let (id, _) = client.open(&path_spec(40)).unwrap();
+    let (live, bytes, _) = {
+        let s = client.stats().unwrap();
+        (s.sessions, s.session_bytes, s.session_evictions)
+    };
+    assert_eq!(live, 1);
+    assert!(bytes > 0, "an open session must report resident bytes");
+
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    // Any table access sweeps; the stale session must be gone with a
+    // typed "expired" reason — not the generic unknown-session error.
+    let err = client
+        .mutate(
+            id,
+            &DeltaSpec {
+                inserts: vec![(0, 39)],
+                deletes: vec![],
+            },
+            SessionPolicy::Repair,
+        )
+        .unwrap_err();
+    match err {
+        ServiceError::Remote(msg) => assert!(msg.contains("expired session"), "{msg}"),
+        other => panic!("expected remote job error, got {other:?}"),
+    }
+    let snap = client
+        .submit(&[JobSpec::new(GraphSource::Session { id })])
+        .unwrap();
+    let msg = snap[0].as_ref().unwrap_err();
+    assert!(msg.contains("expired session"), "{msg}");
+
+    let s = client.stats().unwrap();
+    assert_eq!(s.sessions, 0, "expired session must leave the table");
+    assert_eq!(s.session_bytes, 0, "its resident bytes must be reclaimed");
+    assert!(s.session_evictions >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn the_session_cap_displaces_the_least_recently_used_session() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            session_ttl: std::time::Duration::from_secs(3600),
+            max_sessions: 1,
+            ..config(2)
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let (first, _) = client.open(&path_spec(20)).unwrap();
+    let (second, _) = client.open(&path_spec(30)).unwrap();
+    // Opening the second displaced the first (cap is 1).
+    let err = client.resolve_session(first).unwrap_err();
+    match err {
+        ServiceError::Remote(msg) => assert!(msg.contains("evicted session"), "{msg}"),
+        other => panic!("expected remote job error, got {other:?}"),
+    }
+    // The survivor keeps working.
+    let update = client
+        .mutate(
+            second,
+            &DeltaSpec {
+                inserts: vec![(0, 29)],
+                deletes: vec![],
+            },
+            SessionPolicy::Repair,
+        )
+        .unwrap();
+    assert_eq!(update.result.m, 30);
+    let s = client.stats().unwrap();
+    assert_eq!(s.sessions, 1);
+    assert!(s.session_bytes > 0);
+    assert!(s.session_evictions >= 1);
     server.shutdown();
 }
 

@@ -176,6 +176,7 @@ impl Gen {
         RepairStats {
             repaired: self.bool(),
             added: self.u64(),
+            removed: self.u64(),
             undominated_before: self.u64(),
             drift_estimate: self.f64(),
             batches_since_solve: self.u64(),
@@ -271,6 +272,9 @@ impl Gen {
                 hits: self.u64(),
                 misses: self.u64(),
                 evictions: self.u64(),
+                sessions: self.u64(),
+                session_bytes: self.u64(),
+                session_evictions: self.u64(),
             }),
             4 => Response::ShuttingDown,
             5 => Response::Error(self.string()),

@@ -11,7 +11,9 @@
 //! any scheduling, arena, or metering change that perturbs observable
 //! behavior fails here before it can skew an experiment.
 
-use arbodom::congest::{run, run_parallel, Globals, MeterMode, RunOptions, Telemetry};
+use arbodom::congest::{
+    run, run_parallel, run_parallel_in, Globals, MeterMode, RunOptions, Telemetry, WorkerPool,
+};
 use arbodom::core::{distributed, weighted};
 use arbodom::graph::{generators, weights::WeightModel, Graph};
 use proptest::prelude::*;
@@ -124,6 +126,68 @@ proptest! {
         prop_assert_eq!(measure_t.total_bits, strict_t.total_bits);
         prop_assert_eq!(off_t.total_bits, 0);
         prop_assert_eq!(off_t.max_message_bits, 0);
+    }
+
+    /// Worker-pool reuse: back-to-back runs on one persistent
+    /// [`WorkerPool`] are observationally identical to fresh
+    /// per-run-pool executions — outputs and telemetry, at several shard
+    /// sizes — and the pool spawns **zero** OS threads after
+    /// construction, however many runs it executes (the spawn-count pin
+    /// for the epoch-driven round barrier).
+    #[test]
+    fn pool_reuse_is_observationally_fresh(
+        n in 150usize..350,
+        alpha in 1usize..4,
+        seed: u64,
+        wseed: u64,
+    ) {
+        let g = instance(n, alpha, seed, wseed);
+        let cfg = weighted::Config::new(alpha, 0.3).expect("valid config");
+        let globals = Globals::new(&g, seed).with_arboricity(cfg.alpha);
+        let make = |v: arbodom::graph::NodeId, g: &Graph| {
+            distributed::WeightedProgram::new(cfg, g.degree(v))
+        };
+        let pool = WorkerPool::new(4);
+        let spawned_at_construction = pool.threads_spawned();
+        prop_assert_eq!(spawned_at_construction, 3, "4 workers = caller + 3 spawns");
+        for shard_size in [None, Some(1), Some(64)] {
+            let o = RunOptions { shard_size, ..opts(MeterMode::Measure) };
+            let fresh = run_parallel(&g, &globals, make, &o, 4).expect("fresh run");
+            let first = run_parallel_in(&pool, &g, &globals, make, &o).expect("pooled run 1");
+            let second = run_parallel_in(&pool, &g, &globals, make, &o).expect("pooled run 2");
+            for (label, pooled) in [("first", &first), ("second", &second)] {
+                let fresh_ds: Vec<bool> = fresh.outputs.iter().map(|out| out.in_ds).collect();
+                let pooled_ds: Vec<bool> = pooled.outputs.iter().map(|out| out.in_ds).collect();
+                prop_assert_eq!(
+                    fresh_ds,
+                    pooled_ds,
+                    "{} pooled run, shard={:?}: set differs",
+                    label,
+                    shard_size
+                );
+                let fresh_x: Vec<f64> = fresh.outputs.iter().map(|out| out.x).collect();
+                let pooled_x: Vec<f64> = pooled.outputs.iter().map(|out| out.x).collect();
+                prop_assert_eq!(
+                    fresh_x,
+                    pooled_x,
+                    "{} pooled run, shard={:?}: packing values differ",
+                    label,
+                    shard_size
+                );
+                prop_assert_eq!(
+                    &fresh.telemetry,
+                    &pooled.telemetry,
+                    "{} pooled run, shard={:?}: telemetry differs",
+                    label,
+                    shard_size
+                );
+            }
+        }
+        prop_assert_eq!(
+            pool.threads_spawned(),
+            spawned_at_construction,
+            "steady state must never spawn threads"
+        );
     }
 
     /// Theorem 1.1 as a message-passing computation equals the
