@@ -10,10 +10,12 @@ use crate::report::{check, f2, Table};
 use crate::workloads::Flood;
 use crate::Scale;
 use arbodom_congest::{
-    run as congest_run, run_parallel, run_parallel_in, Globals, MeterMode, RunOptions, WorkerPool,
+    obs as sim_obs_names, run as congest_run, run_parallel, run_parallel_in, Globals, MeterMode,
+    RunOptions, SimObs, WorkerPool,
 };
 use arbodom_core::{distributed, weighted};
 use arbodom_graph::{generators, weights::WeightModel, Graph};
+use arbodom_obs::Registry;
 use arbodom_scenarios::json::{fmt_num, JsonObj};
 use std::time::Instant;
 
@@ -73,8 +75,9 @@ pub fn run(scale: Scale) -> Vec<Table> {
          the paper's whole point; contrast with the O(α log n) rounds of [MSW21] \
          or O(log n) of [LW10]'s randomized algorithm.",
     );
-    let (sim_table, huge_table) = sim_bench(scale);
-    vec![delta_table, n_table, sim_table, huge_table]
+    let mut tables = vec![delta_table, n_table];
+    tables.extend(sim_bench(scale));
+    tables
 }
 
 // ---------------------------------------------------------------------------
@@ -205,10 +208,22 @@ fn thm11_once(
     (out.telemetry.rounds, out.telemetry.total_messages)
 }
 
+/// The phase metrics the instrumented run must populate, in display
+/// order — the same names the daemon exposes under `--sim-obs`.
+const PHASE_METRICS: &[&str] = &[
+    sim_obs_names::SIM_ROUND_NANOS,
+    sim_obs_names::SIM_DELIVER_NANOS,
+    sim_obs_names::SIM_COMPUTE_NANOS,
+    sim_obs_names::SIM_POOL_DISPATCH_NANOS,
+    sim_obs_names::SIM_WORKER_BUSY_NANOS,
+    sim_obs_names::SIM_POOL_BARRIER_NANOS,
+    sim_obs_names::SIM_MESSAGE_BITS,
+];
+
 /// Runs the simulator throughput workloads (the 50k trajectory and the
 /// million-node tier), writes `BENCH_sim.json`, and returns the
 /// human-readable tables.
-fn sim_bench(scale: Scale) -> (Table, Table) {
+fn sim_bench(scale: Scale) -> Vec<Table> {
     let n = scale.pick(SIM_BENCH_QUICK_N, SIM_BENCH_FULL_N);
     // Best-of-5 at full scale: the parallel rows are scheduling-noise
     // sensitive, and the trajectory should record capability, not load.
@@ -305,6 +320,93 @@ fn sim_bench(scale: Scale) -> (Table, Table) {
             hthm11_pool(MeterMode::Measure),
         ),
     ];
+
+    // --- instrumented phase breakdown (E-SCALE-e / "phase_breakdown") ---
+    // One Theorem 1.1 run on the 50k workload through the persistent pool
+    // with the [`SimObs`] side channel attached: where a pool4 round's
+    // wall clock actually goes (deliver vs compute vs dispatch vs
+    // barrier), as log₂-bucket histograms — the same metrics `arbodomd
+    // --sim-obs` serves, so the bench artifact and a live scrape are
+    // directly comparable.
+    let registry = Registry::new();
+    let obs_opts = RunOptions {
+        meter: MeterMode::Measure,
+        obs: Some(SimObs::new(&registry)),
+        ..RunOptions::default()
+    };
+    let mk_thm11 =
+        |v: arbodom_graph::NodeId, g: &Graph| distributed::WeightedProgram::new(cfg, g.degree(v));
+    let t_obs = Instant::now();
+    run_parallel_in(pool, g, wglobals, mk_thm11, &obs_opts).expect("instrumented thm11 runs");
+    let obs_wall_s = t_obs.elapsed().as_secs_f64();
+
+    let mut phase_table = Table::new(
+        "E-SCALE-e",
+        format!("thm11_measure_pool4 phase breakdown, n = {n} (instrumented run)"),
+        &["phase", "count", "total ms", "p50", "p95", "p99"],
+    );
+    for &name in PHASE_METRICS {
+        let h = registry.histogram(name);
+        let (p50, p95, p99) = h.percentiles();
+        let fmt_bound = |b: u64| {
+            if name == sim_obs_names::SIM_MESSAGE_BITS {
+                format!("≤{b} bits")
+            } else {
+                format!("≤{:.3} ms", b as f64 / 1e6)
+            }
+        };
+        phase_table.row(vec![
+            name.to_string(),
+            h.count().to_string(),
+            f2(h.sum() as f64 / 1e6),
+            fmt_bound(p50),
+            fmt_bound(p95),
+            fmt_bound(p99),
+        ]);
+    }
+    phase_table.note(format!(
+        "one instrumented run ({:.0} ms wall); percentiles are log₂-bucket \
+         upper bounds (≤2× the true value), identical to what `arbodomd \
+         --sim-obs` exposes via `arbodom-client metrics`. Observability \
+         is off in every timed row above — the differential and \
+         allocation-pin tests prove the off path costs nothing.",
+        obs_wall_s * 1e3
+    ));
+
+    let phase_json = JsonObj::new().entries(
+        PHASE_METRICS
+            .iter()
+            .map(|&name| {
+                let h = registry.histogram(name);
+                let (p50, p95, p99) = h.percentiles();
+                (
+                    name.to_string(),
+                    JsonObj::new()
+                        .u64("count", h.count())
+                        .u64("total", h.sum())
+                        .u64("p50_le", p50)
+                        .u64("p95_le", p95)
+                        .u64("p99_le", p99)
+                        .render(),
+                )
+            })
+            .chain([
+                (
+                    sim_obs_names::SIM_ROUNDS_TOTAL.to_string(),
+                    registry
+                        .counter(sim_obs_names::SIM_ROUNDS_TOTAL)
+                        .get()
+                        .to_string(),
+                ),
+                (
+                    sim_obs_names::SIM_MESSAGES_TOTAL.to_string(),
+                    registry
+                        .counter(sim_obs_names::SIM_MESSAGES_TOTAL)
+                        .get()
+                        .to_string(),
+                ),
+            ]),
+    );
 
     let baseline = |name: &str| -> Option<f64> {
         PRE_PR_BASELINE
@@ -433,7 +535,7 @@ fn sim_bench(scale: Scale) -> (Table, Table) {
         )
         .raw("current", huge_current.render());
     let json = JsonObj::new()
-        .str("schema", "arbodom-sim-bench/v2")
+        .str("schema", "arbodom-sim-bench/v3")
         .raw(
             "workload",
             JsonObj::new()
@@ -471,6 +573,7 @@ fn sim_bench(scale: Scale) -> (Table, Table) {
         )
         .raw("current", current.render())
         .raw("speedup_vs_pre_pr", speedups.render())
+        .raw("phase_breakdown", phase_json.render())
         .raw("huge", huge_json.render())
         .render();
     // Write the trajectory file for real invocations only: full-scale
@@ -491,7 +594,7 @@ fn sim_bench(scale: Scale) -> (Table, Table) {
             eprintln!("warning: could not write {}: {e}", path.display());
         }
     }
-    (table, huge_table)
+    vec![table, phase_table, huge_table]
 }
 
 // The JSON builder previously defined here moved to

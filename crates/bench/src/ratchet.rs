@@ -8,8 +8,9 @@
 //!
 //! * [`check`] gates `BENCH_sim.json`: schema version, every workload row
 //!   of the 50k trajectory and the million-node `huge` tier present with
-//!   nonzero rounds/messages/throughput, and the frozen pre-PR reference
-//!   block carried forward;
+//!   nonzero rounds/messages/throughput, the instrumented
+//!   `phase_breakdown` block populated (every simulator phase histogram
+//!   counted), and the frozen pre-PR reference block carried forward;
 //! * [`check_scenarios`] gates `BENCH_scenarios.json`: schema version,
 //!   every baseline scenario — static matrix *and* the dynamic `churn`
 //!   family — still produced with a nonzero cell count, zero quality
@@ -17,7 +18,8 @@
 //!   batch leaving a valid dominating set;
 //! * [`check_service`] gates `BENCH_service.json`: schema version,
 //!   nonzero jobs and sustained queries/sec, zero job errors and quality
-//!   flags, and the full byte-budgeted cache counter block.
+//!   flags, the full byte-budgeted cache counter block, and a nonempty
+//!   `batch_latency_ms` ladder with ordered p50 ≤ p95 ≤ p99 per row.
 //!
 //! A schema mismatch always fails: schema drift means a writer/consumer
 //! change that must land together with a regenerated baseline. Each
@@ -46,6 +48,20 @@ impl RatchetReport {
 /// The per-row fields every workload measurement must carry, with the
 /// zero-check applied to each.
 const ROW_FIELDS: &[&str] = &["rounds", "messages", "wall_seconds", "msgs_per_sec"];
+
+/// The simulator phase metrics the `phase_breakdown` block must carry,
+/// each with a nonzero observation count — the same names
+/// `arbodomd --sim-obs` exposes, so a renamed or dropped hook fails the
+/// gate before it silently vanishes from dashboards.
+const SIM_PHASE_METRICS: &[&str] = &[
+    "sim_round_nanos",
+    "sim_deliver_nanos",
+    "sim_compute_nanos",
+    "sim_pool_dispatch_nanos",
+    "sim_worker_busy_nanos",
+    "sim_pool_barrier_nanos",
+    "sim_message_bits",
+];
 
 /// Rows that must exist in *both* artifacts of every tier: the
 /// pool-reuse measurements are the headline of the persistent-worker-pool
@@ -135,6 +151,37 @@ pub fn check(current: &JsonValue, baseline: &JsonValue) -> RatchetReport {
                 if row_ok { "✅" } else { "❌" },
             ));
         }
+    }
+
+    // The instrumented phase breakdown: every phase metric present with
+    // a nonzero observation count (the instrumented run always executes,
+    // at any scale), plus the two run-level counters.
+    match current.get("phase_breakdown") {
+        Some(phases) => {
+            for name in SIM_PHASE_METRICS {
+                match phases.get(name).and_then(|p| p.get("count")).and_then(JsonValue::as_f64) {
+                    Some(v) if v > 0.0 => {}
+                    Some(v) => violations.push(format!(
+                        "phase_breakdown: `{name}.count` is {v} (the instrumented run observed nothing)"
+                    )),
+                    None => violations.push(format!(
+                        "phase_breakdown: phase metric `{name}` missing or uncounted"
+                    )),
+                }
+            }
+            for counter in ["sim_rounds_total", "sim_messages_total"] {
+                match phases.get(counter).and_then(JsonValue::as_f64) {
+                    Some(v) if v > 0.0 => {}
+                    _ => violations.push(format!(
+                        "phase_breakdown: counter `{counter}` missing or zero"
+                    )),
+                }
+            }
+        }
+        None => violations.push(
+            "current artifact has no `phase_breakdown` block — the instrumented run was dropped"
+                .into(),
+        ),
     }
 
     // The frozen pre-PR reference must survive in shape.
@@ -390,6 +437,43 @@ pub fn check_service(current: &JsonValue, baseline: &JsonValue) -> RatchetReport
         None => violations.push("current artifact has no `cache` block".into()),
     }
 
+    // The per-batch latency ladder: nonempty, and every row internally
+    // consistent — positive median, ordered percentiles. Magnitudes are
+    // CI noise and never gated.
+    match current.get("batch_latency_ms").and_then(JsonValue::as_arr) {
+        Some(rows) if !rows.is_empty() => {
+            for (idx, row) in rows.iter().enumerate() {
+                let get = |k: &str| row.get(k).and_then(JsonValue::as_f64);
+                let (size, p50, p95, p99) = (
+                    get("jobs_per_batch"),
+                    get("p50_ms"),
+                    get("p95_ms"),
+                    get("p99_ms"),
+                );
+                match (size, p50, p95, p99) {
+                    (Some(size), Some(p50), Some(p95), Some(p99)) => {
+                        if size <= 0.0 || p50 <= 0.0 {
+                            violations.push(format!(
+                                "batch_latency_ms[{idx}]: batch size and median must be positive"
+                            ));
+                        }
+                        if !(p50 <= p95 && p95 <= p99) {
+                            violations.push(format!(
+                                "batch_latency_ms[{idx}]: percentiles out of order \
+                                 (p50={p50}, p95={p95}, p99={p99})"
+                            ));
+                        }
+                    }
+                    _ => violations.push(format!(
+                        "batch_latency_ms[{idx}]: missing jobs_per_batch/p50_ms/p95_ms/p99_ms"
+                    )),
+                }
+            }
+        }
+        Some(_) => violations.push("`batch_latency_ms` is empty".into()),
+        None => violations.push("current artifact has no `batch_latency_ms` ladder".into()),
+    }
+
     let verdict = if violations.is_empty() {
         "**pass** — load sustained, zero errors, full cache block".to_string()
     } else {
@@ -434,8 +518,17 @@ mod tests {
         } else {
             String::new()
         };
+        let phases: Vec<String> = SIM_PHASE_METRICS
+            .iter()
+            .map(|name| {
+                format!(
+                    r#""{name}":{{"count":33,"total":12345678,"p50_le":4096,"p95_le":16384,"p99_le":32768}}"#
+                )
+            })
+            .collect();
         format!(
-            r#"{{"schema":"{schema}","baseline_pre_pr":{{"commit":"92bbb82","msgs_per_sec":{{"flood_measure_seq":6780170}}}},"current":{{"flood_measure_seq":{{"rounds":21,"messages":5999560,"wall_seconds":0.14,"msgs_per_sec":{seq_rate}}}{pool}}}{huge}}}"#
+            r#"{{"schema":"{schema}","baseline_pre_pr":{{"commit":"92bbb82","msgs_per_sec":{{"flood_measure_seq":6780170}}}},"current":{{"flood_measure_seq":{{"rounds":21,"messages":5999560,"wall_seconds":0.14,"msgs_per_sec":{seq_rate}}}{pool}}},"phase_breakdown":{{{},"sim_rounds_total":33,"sim_messages_total":847210}}{huge}}}"#,
+            phases.join(",")
         )
     }
 
@@ -497,6 +590,29 @@ mod tests {
             .violations
             .iter()
             .any(|v| v.contains("thm11_measure_pool4")));
+    }
+
+    #[test]
+    fn missing_or_empty_phase_breakdown_fails() {
+        let base = parse(&artifact("arbodom-sim-bench/v2", 42e6, true));
+        // Dropped block entirely.
+        let mut no_block = artifact("arbodom-sim-bench/v2", 42e6, true);
+        no_block = no_block.replace("\"phase_breakdown\"", "\"phase_breakdown_gone\"");
+        let report = check(&parse(&no_block), &base);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("no `phase_breakdown` block")));
+        // A phase that observed nothing.
+        let zeroed = artifact("arbodom-sim-bench/v2", 42e6, true).replace(
+            r#""sim_compute_nanos":{"count":33"#,
+            r#""sim_compute_nanos":{"count":0"#,
+        );
+        let report = check(&parse(&zeroed), &base);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("`sim_compute_nanos.count` is 0")));
     }
 
     #[test]
@@ -600,7 +716,7 @@ mod tests {
             ""
         };
         format!(
-            r#"{{"schema":"{schema}","scale":"full","clients":8,"batches":96,"jobs":1536,"wall_secs":4.4,"queries_per_sec":{qps},"job_errors":{errors},"flagged":0,"cache":{{"entries":5,"capacity":67108864,{bytes}"hits":50,"misses":14,"evictions":0}}}}"#
+            r#"{{"schema":"{schema}","scale":"full","clients":8,"batches":96,"jobs":1536,"wall_secs":4.4,"queries_per_sec":{qps},"job_errors":{errors},"flagged":0,"batch_latency_ms":[{{"jobs_per_batch":1,"batches":12,"p50_ms":2.5,"p95_ms":4.0,"p99_ms":4.5}},{{"jobs_per_batch":16,"batches":96,"p50_ms":30.0,"p95_ms":55.0,"p99_ms":80.0}}],"cache":{{"entries":5,"capacity":67108864,{bytes}"hits":50,"misses":14,"evictions":0}}}}"#
         )
     }
 
@@ -637,6 +753,34 @@ mod tests {
             .violations
             .iter()
             .any(|v| v.contains("cache counter `bytes` missing")));
+    }
+
+    #[test]
+    fn service_gate_fails_on_missing_or_disordered_latency_ladder() {
+        let base = parse(&service_artifact("arbodom-service/v2", 346.5, 0, true));
+
+        let gone = service_artifact("arbodom-service/v2", 346.5, 0, true)
+            .replace("\"batch_latency_ms\"", "\"batch_latency_ms_gone\"");
+        assert!(check_service(&parse(&gone), &base)
+            .violations
+            .iter()
+            .any(|v| v.contains("no `batch_latency_ms` ladder")));
+
+        let empty = service_artifact("arbodom-service/v2", 346.5, 0, true).replace(
+            r#""batch_latency_ms":[{"jobs_per_batch":1,"batches":12,"p50_ms":2.5,"p95_ms":4.0,"p99_ms":4.5},{"jobs_per_batch":16,"batches":96,"p50_ms":30.0,"p95_ms":55.0,"p99_ms":80.0}]"#,
+            r#""batch_latency_ms":[]"#,
+        );
+        assert!(check_service(&parse(&empty), &base)
+            .violations
+            .iter()
+            .any(|v| v.contains("`batch_latency_ms` is empty")));
+
+        let disordered = service_artifact("arbodom-service/v2", 346.5, 0, true)
+            .replace(r#""p95_ms":55.0"#, r#""p95_ms":95.0"#);
+        assert!(check_service(&parse(&disordered), &base)
+            .violations
+            .iter()
+            .any(|v| v.contains("percentiles out of order")));
     }
 
     #[test]

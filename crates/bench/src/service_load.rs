@@ -15,7 +15,7 @@
 
 use std::time::Instant;
 
-use arbodom_scenarios::json::JsonObj;
+use arbodom_scenarios::json::{JsonArr, JsonObj};
 use arbodom_service::{
     CacheStats, Client, GraphSource, JobSpec, Server, ServerConfig, ServiceError,
 };
@@ -91,6 +91,48 @@ pub struct LoadOutcome {
     pub flagged: usize,
     /// Daemon cache counters after the run.
     pub cache: CacheStats,
+    /// Per-batch round-trip latency percentiles, one row per batch size
+    /// swept (the main run's size plus smaller single-client sweeps).
+    pub latency: Vec<BatchLatency>,
+}
+
+/// Exact round-trip latency percentiles for batches of one size: the
+/// submit→last-reply wall time of each batch, sorted, read at the
+/// nearest-rank 50th/95th/99th percentiles. Exact because the sample
+/// count is small and fully retained — the daemon's own scrapeable
+/// histograms (`arbodom_request_nanos_batch`) are the bounded-memory
+/// counterpart for live traffic.
+#[derive(Clone, Debug)]
+pub struct BatchLatency {
+    /// Jobs per batch in this sweep.
+    pub jobs_per_batch: usize,
+    /// Batches measured.
+    pub batches: usize,
+    /// Median batch round-trip, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile batch round-trip, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile batch round-trip, milliseconds.
+    pub p99_ms: f64,
+}
+
+impl BatchLatency {
+    /// Nearest-rank percentiles of `nanos` (consumed and sorted).
+    fn from_samples(jobs_per_batch: usize, mut nanos: Vec<u64>) -> Self {
+        assert!(!nanos.is_empty(), "latency sweep measured no batches");
+        nanos.sort_unstable();
+        let pick = |q: f64| -> f64 {
+            let rank = ((q * nanos.len() as f64).ceil() as usize).clamp(1, nanos.len());
+            nanos[rank - 1] as f64 / 1e6
+        };
+        BatchLatency {
+            jobs_per_batch,
+            batches: nanos.len(),
+            p50_ms: pick(0.50),
+            p95_ms: pick(0.95),
+            p99_ms: pick(0.99),
+        }
+    }
 }
 
 /// The four warm sources of the job mix — repeated verbatim across the
@@ -174,8 +216,9 @@ fn prepare_batches(cfg: &LoadConfig) -> Vec<Vec<Vec<JobSpec>>> {
 /// the **submit → last-reply window only**. Connections are established
 /// and batches are built by the caller, outside the window; the clock
 /// starts when the first submission can go out and stops when the last
-/// client has read its last reply. Returns
-/// `(wall seconds, job errors, flagged jobs)`.
+/// client has read its last reply. Returns the wall seconds, the
+/// per-batch submit→reply latencies in nanoseconds (all clients merged,
+/// client-major order), and the job error / quality-flag counts.
 ///
 /// This function is the regression boundary for the historical
 /// measurement bug where `queries_per_sec` was computed over a window
@@ -188,20 +231,24 @@ fn prepare_batches(cfg: &LoadConfig) -> Vec<Vec<Vec<JobSpec>>> {
 pub fn measure_submit_window(
     conns: Vec<Client>,
     batches: Vec<Vec<Vec<JobSpec>>>,
-) -> Result<(f64, usize, usize), ServiceError> {
+) -> Result<SubmitWindow, ServiceError> {
     assert_eq!(conns.len(), batches.len(), "one connection per client");
     let started = Instant::now();
-    let per_client: Vec<(usize, usize)> =
-        std::thread::scope(|scope| -> Result<Vec<(usize, usize)>, ServiceError> {
+    let per_client: Vec<(Vec<u64>, usize, usize)> = std::thread::scope(
+        |scope| -> Result<Vec<(Vec<u64>, usize, usize)>, ServiceError> {
             let handles: Vec<_> = conns
                 .into_iter()
                 .zip(batches)
                 .map(|(mut conn, client_batches)| {
-                    scope.spawn(move || -> Result<(usize, usize), ServiceError> {
+                    scope.spawn(move || -> Result<(Vec<u64>, usize, usize), ServiceError> {
+                        let mut latencies = Vec::with_capacity(client_batches.len());
                         let mut errors = 0;
                         let mut flagged = 0;
                         for jobs in &client_batches {
-                            for outcome in conn.submit(jobs)? {
+                            let batch_clock = Instant::now();
+                            let outcomes = conn.submit(jobs)?;
+                            latencies.push(batch_clock.elapsed().as_nanos() as u64);
+                            for outcome in outcomes {
                                 match outcome {
                                     Ok(result) if result.flagged => flagged += 1,
                                     Ok(_) => {}
@@ -209,7 +256,7 @@ pub fn measure_submit_window(
                                 }
                             }
                         }
-                        Ok((errors, flagged))
+                        Ok((latencies, errors, flagged))
                     })
                 })
                 .collect();
@@ -217,13 +264,28 @@ pub fn measure_submit_window(
                 .into_iter()
                 .map(|h| h.join().expect("client thread panicked"))
                 .collect()
-        })?;
+        },
+    )?;
     let wall_secs = started.elapsed().as_secs_f64();
-    Ok((
+    Ok(SubmitWindow {
         wall_secs,
-        per_client.iter().map(|(e, _)| e).sum(),
-        per_client.iter().map(|(_, f)| f).sum(),
-    ))
+        batch_nanos: per_client.iter().flat_map(|(l, _, _)| l.clone()).collect(),
+        job_errors: per_client.iter().map(|(_, e, _)| e).sum(),
+        flagged: per_client.iter().map(|(_, _, f)| f).sum(),
+    })
+}
+
+/// What [`measure_submit_window`] measured.
+#[derive(Clone, Debug)]
+pub struct SubmitWindow {
+    /// Submit → last-reply wall seconds across all clients.
+    pub wall_secs: f64,
+    /// Per-batch submit→reply latency in nanoseconds, all clients.
+    pub batch_nanos: Vec<u64>,
+    /// Jobs that returned an error.
+    pub job_errors: usize,
+    /// Jobs whose quality accounting raised a flag.
+    pub flagged: usize,
 }
 
 /// Runs the load and measures sustained throughput.
@@ -266,7 +328,32 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadOutcome, ServiceError> {
     let conns: Vec<Client> = (0..cfg.clients)
         .map(|_| Client::connect(addr.as_str()))
         .collect::<Result<_, _>>()?;
-    let (wall_secs, job_errors, flagged) = measure_submit_window(conns, batches)?;
+    let window = measure_submit_window(conns, batches)?;
+
+    // Latency sweeps at smaller batch sizes: single-client, against the
+    // now-warm daemon, measuring round-trip only (throughput above is
+    // untouched). Together with the main run this gives the per-batch
+    // p50/p95/p99 ladder the artifact records.
+    let mut latency = Vec::new();
+    for sweep_size in [1usize, 4] {
+        if sweep_size >= cfg.jobs_per_batch {
+            continue;
+        }
+        let sweep_batches: Vec<Vec<JobSpec>> = (0..cfg.batches_per_client)
+            .map(|batch| {
+                (0..sweep_size)
+                    .map(|j| job_for(cfg.scale, 0, batch * sweep_size + j))
+                    .collect()
+            })
+            .collect();
+        let sweep =
+            measure_submit_window(vec![Client::connect(addr.as_str())?], vec![sweep_batches])?;
+        latency.push(BatchLatency::from_samples(sweep_size, sweep.batch_nanos));
+    }
+    latency.push(BatchLatency::from_samples(
+        cfg.jobs_per_batch,
+        window.batch_nanos.clone(),
+    ));
 
     let cache = probe.stats()?;
     if let Some(server) = local_server {
@@ -277,18 +364,28 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadOutcome, ServiceError> {
         clients: cfg.clients,
         batches: cfg.clients * cfg.batches_per_client,
         jobs,
-        wall_secs,
-        queries_per_sec: jobs as f64 / wall_secs.max(1e-9),
-        job_errors,
-        flagged,
+        wall_secs: window.wall_secs,
+        queries_per_sec: jobs as f64 / window.wall_secs.max(1e-9),
+        job_errors: window.job_errors,
+        flagged: window.flagged,
         cache,
+        latency,
     })
 }
 
 /// Renders the `BENCH_service.json` document.
 pub fn render_artifact(outcome: &LoadOutcome, cfg: &LoadConfig) -> String {
+    let latency = JsonArr::from_raw(outcome.latency.iter().map(|row| {
+        JsonObj::new()
+            .int("jobs_per_batch", row.jobs_per_batch)
+            .int("batches", row.batches)
+            .num("p50_ms", row.p50_ms)
+            .num("p95_ms", row.p95_ms)
+            .num("p99_ms", row.p99_ms)
+            .render()
+    }));
     JsonObj::new()
-        .str("schema", "arbodom-service/v2")
+        .str("schema", "arbodom-service/v3")
         .str("scale", cfg.scale.to_scenarios().label())
         .str(
             "target",
@@ -302,6 +399,7 @@ pub fn render_artifact(outcome: &LoadOutcome, cfg: &LoadConfig) -> String {
         .num("queries_per_sec", outcome.queries_per_sec)
         .int("job_errors", outcome.job_errors)
         .int("flagged", outcome.flagged)
+        .raw("batch_latency_ms", latency.render())
         .raw(
             "cache",
             JsonObj::new()
@@ -371,17 +469,39 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(300));
         let batches = prepare_batches(&cfg);
         let conns = vec![Client::connect(addr.as_str()).expect("connects")];
-        let (wall_secs, errors, flagged) =
-            measure_submit_window(conns, batches).expect("load runs");
+        let window = measure_submit_window(conns, batches).expect("load runs");
         let old_style_secs = old_style_clock.elapsed().as_secs_f64();
         server.shutdown();
 
-        assert_eq!((errors, flagged), (0, 0));
-        assert!(
-            old_style_secs >= wall_secs + 0.25,
-            "the submit window ({wall_secs:.3}s) must exclude the delayed \
-             batch build (old-style window: {old_style_secs:.3}s)"
+        assert_eq!((window.job_errors, window.flagged), (0, 0));
+        assert_eq!(
+            window.batch_nanos.len(),
+            cfg.batches_per_client,
+            "one latency sample per batch"
         );
+        assert!(
+            old_style_secs >= window.wall_secs + 0.25,
+            "the submit window ({:.3}s) must exclude the delayed \
+             batch build (old-style window: {old_style_secs:.3}s)",
+            window.wall_secs
+        );
+    }
+
+    #[test]
+    fn nearest_rank_percentiles_are_exact_and_ordered() {
+        // 100 distinct samples: nearest-rank percentiles are the exact
+        // order statistics, so the expectations are closed-form.
+        let nanos: Vec<u64> = (1..=100).map(|i| i * 1_000_000).collect();
+        let lat = BatchLatency::from_samples(8, nanos);
+        assert_eq!(lat.batches, 100);
+        assert_eq!(lat.jobs_per_batch, 8);
+        assert_eq!(lat.p50_ms, 50.0);
+        assert_eq!(lat.p95_ms, 95.0);
+        assert_eq!(lat.p99_ms, 99.0);
+        assert!(lat.p50_ms <= lat.p95_ms && lat.p95_ms <= lat.p99_ms);
+        // A single sample answers every percentile with itself.
+        let one = BatchLatency::from_samples(1, vec![7_500_000]);
+        assert_eq!((one.p50_ms, one.p95_ms, one.p99_ms), (7.5, 7.5, 7.5));
     }
 
     #[test]
@@ -404,11 +524,61 @@ mod tests {
                 evictions: 0,
                 ..CacheStats::default()
             },
+            latency: vec![
+                BatchLatency {
+                    jobs_per_batch: 1,
+                    batches: 8,
+                    p50_ms: 2.0,
+                    p95_ms: 3.5,
+                    p99_ms: 4.0,
+                },
+                BatchLatency {
+                    jobs_per_batch: 8,
+                    batches: 8,
+                    p50_ms: 9.0,
+                    p95_ms: 14.0,
+                    p99_ms: 15.5,
+                },
+            ],
         };
         let json = render_artifact(&outcome, &cfg);
-        assert!(json.starts_with("{\"schema\":\"arbodom-service/v2\""));
+        assert!(json.starts_with("{\"schema\":\"arbodom-service/v3\""));
         assert!(json.contains("\"queries_per_sec\":128"));
         assert!(json.contains("\"hits\":50"));
         assert!(json.contains("\"bytes\":1048576"));
+        assert!(json.contains("\"batch_latency_ms\":[{\"jobs_per_batch\":1"));
+        assert!(json.contains("\"p99_ms\":15.5"));
+    }
+
+    /// The quick load run produces the latency ladder end to end: every
+    /// swept batch size reports ordered, positive percentiles, and the
+    /// main run's size is always present.
+    #[test]
+    fn load_run_reports_ordered_latency_percentiles() {
+        let cfg = LoadConfig {
+            addr: None,
+            clients: 2,
+            batches_per_client: 3,
+            jobs_per_batch: 6,
+            scale: Scale::Quick,
+        };
+        let outcome = run_load(&cfg).expect("quick load runs");
+        assert_eq!((outcome.job_errors, outcome.flagged), (0, 0));
+        let sizes: Vec<usize> = outcome.latency.iter().map(|l| l.jobs_per_batch).collect();
+        assert_eq!(sizes, vec![1, 4, 6], "sweeps plus the main run's size");
+        for row in &outcome.latency {
+            assert!(row.batches > 0);
+            assert!(row.p50_ms > 0.0, "{}: zero median", row.jobs_per_batch);
+            assert!(
+                row.p50_ms <= row.p95_ms && row.p95_ms <= row.p99_ms,
+                "{}: percentiles out of order",
+                row.jobs_per_batch
+            );
+        }
+        assert_eq!(
+            outcome.latency.last().map(|l| l.batches),
+            Some(outcome.batches),
+            "the main run contributes every batch as a sample"
+        );
     }
 }

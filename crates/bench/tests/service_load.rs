@@ -29,9 +29,13 @@ fn quick_load_run_sustains_nonzero_qps_without_errors() {
         outcome.cache
     );
     let json = render_artifact(&outcome, &cfg);
-    assert!(json.contains("\"schema\":\"arbodom-service/v2\""));
+    assert!(json.contains("\"schema\":\"arbodom-service/v3\""));
     assert!(json.contains("\"queries_per_sec\":"));
     assert!(!json.contains("\"queries_per_sec\":0,"));
+    assert!(
+        json.contains("\"batch_latency_ms\":[{"),
+        "artifact must carry the latency ladder"
+    );
     // The produced artifact must clear its own CI ratchet gate.
     let v = arbodom_scenarios::json::JsonValue::parse(&json).expect("artifact parses");
     let report = arbodom_bench::ratchet::check_service(&v, &v);

@@ -15,6 +15,13 @@
 //! (pinned by [`WorkerPool::threads_spawned`] and the reuse proptests in
 //! `tests/sim_differential.rs`).
 //!
+//! The pool itself carries no instrumentation — it must stay two condvar
+//! hops, nothing more. When the runner's observability switch is on
+//! ([`crate::RunOptions::obs`]), the *caller* measures the pool from the
+//! outside: dispatch latency (broadcast to worker wake-up), per-worker
+//! busy time, and the barrier-wait residue, recorded under the
+//! `sim_pool_*` metrics of [`crate::obs`].
+//!
 //! # Why this module contains `unsafe`
 //!
 //! A job borrows the caller's per-run state (shard slots, work queue,

@@ -29,9 +29,11 @@ use arbodom_graph::{Graph, NodeId};
 use bytes::BytesMut;
 
 use crate::mailbox::{Delivery, MailArena};
+use crate::obs::SimObs;
 use crate::pool::WorkerPool;
 use crate::telemetry::SendStats;
 use crate::{Globals, NodeCtx, NodeProgram, Outgoing, Recipients, SimError, Step, Telemetry, Wire};
+use arbodom_obs::{SpanAcc, Stopwatch};
 
 /// How thoroughly messages are serialized for metering.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -84,6 +86,20 @@ pub struct RunOptions {
     /// `O((n / shard_size)²)` bucket memory — the auto choice keeps the
     /// shard count small.
     pub shard_size: Option<usize>,
+    /// Retention cap on [`Telemetry::per_round`] when
+    /// [`RunOptions::track_rounds`] is on. `None` keeps every round
+    /// (memory proportional to rounds); `Some(cap)` keeps at most `cap`
+    /// entries by deterministic keep-every-k downsampling — the stride
+    /// ends up in [`Telemetry::per_round_stride`]. Identical under both
+    /// runners, so differential comparisons still hold with a cap.
+    pub per_round_cap: Option<usize>,
+    /// Observability side channel: when set, the runners record phase
+    /// timings (deliver/compute per shard, pool dispatch and barrier
+    /// wait, worker busy time) and a delivered-message-size histogram
+    /// into the handles' registry. `None` (the default) records nothing
+    /// and costs nothing — no clocks, no allocations, and outputs and
+    /// telemetry stay bit-identical either way (see [`crate::obs`]).
+    pub obs: Option<SimObs>,
 }
 
 impl Default for RunOptions {
@@ -94,6 +110,8 @@ impl Default for RunOptions {
             track_rounds: false,
             loss: None,
             shard_size: None,
+            per_round_cap: None,
+            obs: None,
         }
     }
 }
@@ -223,6 +241,7 @@ impl Router<'_> {
                 });
                 Ok(())
             };
+            let sent_before = stats.messages;
             match out.to {
                 Recipients::Broadcast => {
                     for port in 0..deg {
@@ -234,6 +253,16 @@ impl Router<'_> {
                     for port in ports {
                         send_one(port, stats)?;
                     }
+                }
+            }
+            // Message-size side channel: one histogram entry per
+            // delivered message, paid as a single atomic per `Outgoing`
+            // (the fan-out shares one encoding). Off-mode runs never
+            // compute sizes, so there is nothing truthful to record.
+            if let Some(obs) = &self.opts.obs {
+                if self.opts.meter != MeterMode::Off {
+                    let fanned = (stats.messages - sent_before) as u64;
+                    obs.message_bits.observe_n(bits as u64, fanned);
                 }
             }
         }
@@ -281,6 +310,7 @@ pub fn run<P: NodeProgram>(
                 active: active_count,
             });
         }
+        let mut watch = opts.obs.as_ref().map(|_| Stopwatch::start());
         let mut stats = SendStats::default();
         for v in g.nodes() {
             let vi = v.index();
@@ -303,8 +333,19 @@ pub fn run<P: NodeProgram>(
                 staged.push(d)
             })?;
         }
-        telemetry.absorb(round, &stats, opts.track_rounds);
-        arena.refill(&mut staged);
+        telemetry.absorb(round, &stats, opts.track_rounds, opts.per_round_cap);
+        if let (Some(obs), Some(watch)) = (&opts.obs, watch.as_mut()) {
+            let compute = watch.lap_nanos();
+            arena.refill(&mut staged);
+            let deliver = watch.elapsed_nanos();
+            obs.compute.observe(compute);
+            obs.deliver.observe(deliver);
+            obs.round_wall.observe(compute + deliver);
+            obs.rounds.inc();
+            obs.messages.add(stats.messages as u64);
+        } else {
+            arena.refill(&mut staged);
+        }
         round += 1;
     }
     telemetry.rounds = round;
@@ -528,6 +569,15 @@ where
     // Decentralized halting: the only shared halt state is this counter;
     // the flags live in the shards that own them.
     let active_count = AtomicUsize::new(n);
+    // Per-worker (dispatch, busy) nanos for the running round, written by
+    // each worker and read back by the coordinator to derive the
+    // barrier-wait residue. Allocated once per run, and only when the
+    // observability side channel is on — disabled runs keep the
+    // zero-steady-state-allocation property untouched.
+    let worker_times: Option<Vec<Mutex<(u64, u64)>>> = opts
+        .obs
+        .as_ref()
+        .map(|_| (0..pool.threads()).map(|_| Mutex::new((0, 0))).collect());
     let mut round = 0usize;
     loop {
         // The epoch barrier at the end of the previous broadcast ordered
@@ -545,7 +595,13 @@ where
         let queue = AtomicUsize::new(0);
         let round_stats = Mutex::new(SendStats::default());
         let first_err: Mutex<Option<(usize, SimError)>> = Mutex::new(None);
+        let round_watch = opts.obs.as_ref().map(|_| Stopwatch::start());
         pool.broadcast(|w| {
+            // Pool wake-up latency: round start to this worker entering
+            // the epoch. Workers then accumulate their shard-phase time
+            // in a plain per-thread accumulator, drained once per round.
+            let dispatch_nanos = round_watch.as_ref().map(Stopwatch::elapsed_nanos);
+            let mut busy = SpanAcc::default();
             let mut scratch = scratches[w].lock().expect("one worker per scratch slot");
             let mut stats = SendStats::default();
             let mut err: Option<(usize, SimError)> = None;
@@ -562,10 +618,16 @@ where
                     arena,
                     gather,
                 } = &mut *shard;
+                let mut shard_watch = opts.obs.as_ref().map(|_| Stopwatch::start());
                 // Deliver: rebuild the arena from this shard's bucket in
                 // every source (ascending = sequential staging order).
                 // Round 0 gathers nothing.
                 arena.refill_gathered(gather, prev_outs.iter().map(|src| src.staged[s].as_slice()));
+                if let (Some(obs), Some(watch)) = (&opts.obs, shard_watch.as_mut()) {
+                    let deliver = watch.lap_nanos();
+                    obs.deliver.observe(deliver);
+                    busy.add(deliver);
+                }
                 // Compute: step the shard's active nodes against the
                 // fresh arena, bucketing sends by destination shard and
                 // flipping the shard-owned active flags as nodes halt.
@@ -604,6 +666,11 @@ where
                 if halted > 0 {
                     active_count.fetch_sub(halted, Ordering::Relaxed);
                 }
+                if let (Some(obs), Some(watch)) = (&opts.obs, shard_watch.as_mut()) {
+                    let compute = watch.lap_nanos();
+                    obs.compute.observe(compute);
+                    busy.add(compute);
+                }
                 if err.is_some() {
                     // Stop claiming: shards this worker already finished
                     // form an error-free prefix of its claims, so the
@@ -621,15 +688,34 @@ where
                     *slot = Some((s, e));
                 }
             }
+            if let (Some(obs), Some(times), Some(dispatch)) =
+                (&opts.obs, worker_times.as_ref(), dispatch_nanos)
+            {
+                obs.dispatch.observe(dispatch);
+                obs.busy.observe(busy.nanos);
+                *times[w].lock().expect("worker time slot poisoned") = (dispatch, busy.nanos);
+            }
         });
         if let Some((_, e)) = first_err.into_inner().expect("error slot poisoned") {
             return Err(e);
         }
-        telemetry.absorb(
-            round,
-            &round_stats.into_inner().expect("round stats poisoned"),
-            opts.track_rounds,
-        );
+        let stats = round_stats.into_inner().expect("round stats poisoned");
+        telemetry.absorb(round, &stats, opts.track_rounds, opts.per_round_cap);
+        if let (Some(obs), Some(times), Some(watch)) =
+            (&opts.obs, worker_times.as_ref(), round_watch.as_ref())
+        {
+            let wall = watch.elapsed_nanos();
+            obs.round_wall.observe(wall);
+            obs.rounds.inc();
+            obs.messages.add(stats.messages as u64);
+            // What a worker did not spend on dispatch or shard work it
+            // spent waiting on the epoch barrier for slower workers.
+            for slot in times {
+                let (dispatch, busy) = *slot.lock().expect("worker time slot poisoned");
+                obs.barrier
+                    .observe(wall.saturating_sub(dispatch.saturating_add(busy)));
+            }
+        }
         // Swap the double buffers' contents (the epoch is over, so the
         // coordinator has exclusive access again).
         for (s, cur) in cur_outs.iter_mut().enumerate() {

@@ -1,0 +1,64 @@
+//! Workspace-wide observability: a metrics registry and span timing.
+//!
+//! Every layer of the arbodom stack measures *what the paper is about* —
+//! rounds, messages, bits — through `congest::Telemetry`. This crate
+//! measures *time and load*: where a run's wall clock goes (deliver vs
+//! compute vs pool barrier), what the daemon's request latency
+//! distribution looks like, how large individual messages are. It is
+//! deliberately tiny and std-only so the hot paths it instruments pay
+//! only an atomic add per observation, and nothing at all when a layer's
+//! observability switch is off.
+//!
+//! # The pieces
+//!
+//! * [`Counter`] — a monotone `AtomicU64`.
+//! * [`Gauge`] — a set-to-current-value `AtomicU64` (cache occupancy,
+//!   live sessions).
+//! * [`Histogram`] — a fixed **log₂-bucket** histogram (scheme below)
+//!   with [`Histogram::quantile`] extraction for p50/p95/p99.
+//! * [`Registry`] — a named, shareable store of the three. Handles are
+//!   cheap `Arc` clones resolved once; observation never takes the
+//!   registry lock.
+//! * [`Stopwatch`] / [`SpanAcc`] — span timing: start/stop scopes whose
+//!   elapsed nanoseconds accumulate in a per-thread [`SpanAcc`] and are
+//!   drained into a registry histogram once per round/request, so a
+//!   tight loop pays one `Instant::now` pair per scope and one atomic
+//!   per drain.
+//! * [`prom`] — Prometheus text-exposition rendering
+//!   ([`Registry::render_prometheus`]) and a small parser
+//!   ([`prom::parse`]) used by the client CLI and the test suite to
+//!   validate scraped output.
+//!
+//! # The bucket scheme
+//!
+//! Histograms have 64 fixed buckets. Bucket `i < 63` counts observations
+//! `v` with `2^(i-1) < v ≤ 2^i` (bucket 0 counts `v ≤ 1`, including 0);
+//! bucket 63 is the overflow bucket for everything above `2^62`. Upper
+//! bounds are therefore exact powers of two: 1, 2, 4, …, 2^62, +Inf.
+//! Quantiles are read by walking the cumulative counts and reporting the
+//! **upper bound** of the bucket where the quantile rank lands — a
+//! deterministic over-estimate by at most 2×, which is the right
+//! trade-off for latency work where the exponent matters and the
+//! mantissa is noise. Observing is one atomic add per bucket hit (plus
+//! sum and count), no floating point, no locks.
+//!
+//! # Conventions
+//!
+//! Metric names are flat Prometheus-legal identifiers
+//! (`[a-zA-Z_:][a-zA-Z0-9_:]*`); variants (request kinds, phases) are
+//! encoded as name suffixes, not labels, so the registry stays a flat
+//! ordered map and rendering stays byte-deterministic for a given set of
+//! values. Durations are recorded in **nanoseconds** and sizes in their
+//! natural unit (bits, bytes), stated in the metric name.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+pub mod prom;
+mod registry;
+mod span;
+
+pub use metrics::{Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
+pub use registry::{MetricKind, Registry};
+pub use span::{SpanAcc, Stopwatch};

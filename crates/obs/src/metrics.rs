@@ -1,0 +1,296 @@
+//! The three metric primitives: counters, gauges, and log₂ histograms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of histogram buckets. Bucket `i < 63` has upper bound `2^i`;
+/// bucket 63 is the overflow bucket (rendered as `+Inf`).
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A monotonically increasing counter. Cloning shares the underlying
+/// atomic, so a handle resolved once from a [`crate::Registry`] can be
+/// bumped from any thread without touching the registry again.
+#[derive(Clone, Default)]
+pub struct Counter {
+    v: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A fresh zero counter (normally obtained via
+    /// [`crate::Registry::counter`]).
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+/// A gauge: a value that is *set*, not accumulated (cache occupancy,
+/// live sessions). Cloning shares the underlying atomic.
+#[derive(Clone, Default)]
+pub struct Gauge {
+    v: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// A fresh zero gauge (normally obtained via
+    /// [`crate::Registry::gauge`]).
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the current value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.v.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Gauge({})", self.get())
+    }
+}
+
+struct HistogramCore {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A fixed log₂-bucket histogram (see the crate docs for the bucket
+/// scheme). Observation is lock-free — one relaxed atomic add on the
+/// bucket, the sum, and the count — and cloning shares the storage.
+#[derive(Clone)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            core: Arc::new(HistogramCore {
+                buckets: [0u64; HISTOGRAM_BUCKETS].map(AtomicU64::new),
+                sum: AtomicU64::new(0),
+                count: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+/// Bucket index for an observed value: 0 for `v ≤ 1`, otherwise the
+/// position of the smallest power of two ≥ `v`, clamped into the
+/// overflow bucket.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        (64 - (v - 1).leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Upper bound of bucket `i` as an integer (`2^i`); bucket 63 has no
+/// finite bound and is rendered as `+Inf`.
+pub(crate) fn bucket_upper_bound(i: usize) -> Option<u64> {
+    (i < HISTOGRAM_BUCKETS - 1).then(|| 1u64 << i)
+}
+
+impl Histogram {
+    /// A fresh empty histogram (normally obtained via
+    /// [`crate::Registry::histogram`]).
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.observe_n(v, 1);
+    }
+
+    /// Records `n` observations of the same value in one atomic round
+    /// trip — the fan-out fast path (one encoded message delivered to
+    /// `n` recipients).
+    #[inline]
+    pub fn observe_n(&self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let c = &self.core;
+        c.buckets[bucket_index(v)].fetch_add(n, Ordering::Relaxed);
+        c.sum.fetch_add(v.saturating_mul(n), Ordering::Relaxed);
+        c.count.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.core.sum.load(Ordering::Relaxed)
+    }
+
+    /// Non-cumulative bucket counts, index 0 first.
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        let mut out = [0u64; HISTOGRAM_BUCKETS];
+        for (o, b) in out.iter_mut().zip(&self.core.buckets) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// The value at quantile `q ∈ (0, 1]`: the **upper bound** of the
+    /// bucket containing the `⌈q·count⌉`-th smallest observation (the
+    /// overflow bucket reports `2^63`). Returns 0 for an empty
+    /// histogram. Deterministic for a given set of observations.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return bucket_upper_bound(i).unwrap_or(1u64 << 63);
+            }
+        }
+        1u64 << 63
+    }
+
+    /// The (p50, p95, p99) triple, in one bucket snapshot's terms.
+    pub fn percentiles(&self) -> (u64, u64, u64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+        )
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Histogram(count={}, sum={}, p50={})",
+            self.count(),
+            self.sum(),
+            self.quantile(0.5)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_log2_upper_bound() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1 << 20), 20);
+        assert_eq!(bucket_index((1 << 20) + 1), 21);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn every_value_lands_at_most_one_power_of_two_high() {
+        for v in [1u64, 2, 3, 7, 100, 1023, 1024, 1025, 1 << 40] {
+            let i = bucket_index(v);
+            let ub = bucket_upper_bound(i).unwrap();
+            assert!(ub >= v, "upper bound {ub} below value {v}");
+            assert!(ub < v.saturating_mul(2), "bucket too coarse for {v}");
+        }
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bucket_exact() {
+        let h = Histogram::new();
+        // 90 fast observations, 9 medium, 1 slow.
+        for _ in 0..90 {
+            h.observe(100); // bucket ub 128
+        }
+        for _ in 0..9 {
+            h.observe(1000); // bucket ub 1024
+        }
+        h.observe(100_000); // bucket ub 131072
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 90 * 100 + 9 * 1000 + 100_000);
+        let (p50, p95, p99) = h.percentiles();
+        assert_eq!(p50, 128);
+        assert_eq!(p95, 1024);
+        assert_eq!(p99, 1024);
+        assert_eq!(h.quantile(1.0), 131_072);
+        assert!(p50 <= p95 && p95 <= p99);
+    }
+
+    #[test]
+    fn observe_n_equals_n_observes() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.observe_n(640, 7);
+        for _ in 0..7 {
+            b.observe(640);
+        }
+        assert_eq!(a.bucket_counts(), b.bucket_counts());
+        assert_eq!(a.sum(), b.sum());
+        assert_eq!(a.count(), b.count());
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.percentiles(), (0, 0, 0));
+    }
+
+    #[test]
+    fn counter_and_gauge_share_through_clones() {
+        let c = Counter::new();
+        let c2 = c.clone();
+        c.inc();
+        c2.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        let g2 = g.clone();
+        g.set(17);
+        assert_eq!(g2.get(), 17);
+        g2.set(3);
+        assert_eq!(g.get(), 3);
+    }
+}

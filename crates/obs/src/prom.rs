@@ -1,0 +1,343 @@
+//! Prometheus text-exposition rendering and a small validating parser.
+//!
+//! The renderer emits the subset of the text format the stack needs —
+//! `# TYPE` comments, unlabeled counter/gauge samples, and histogram
+//! `_bucket{le="..."}`/`_sum`/`_count` series with cumulative bucket
+//! counts — in registry (name) order, so the same metric values always
+//! render to the same bytes. Histogram buckets are emitted up to the
+//! highest non-empty bucket plus the mandatory `+Inf` bucket.
+//!
+//! The parser accepts the same subset (plus arbitrary comment lines) and
+//! is what the client CLI and the e2e tests use to reject a malformed
+//! scrape instead of printing garbage.
+
+use std::collections::BTreeMap;
+
+use crate::metrics::bucket_upper_bound;
+use crate::registry::{Metric, Registry};
+
+/// Renders `registry` in Prometheus text-exposition format.
+pub(crate) fn render(registry: &Registry) -> String {
+    let mut out = String::new();
+    for (name, metric) in registry.entries() {
+        match metric {
+            Metric::Counter(c) => {
+                out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
+            }
+            Metric::Gauge(g) => {
+                out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.get()));
+            }
+            Metric::Histogram(h) => {
+                out.push_str(&format!("# TYPE {name} histogram\n"));
+                let counts = h.bucket_counts();
+                let last = counts.iter().rposition(|&c| c > 0);
+                let mut cum = 0u64;
+                if let Some(last) = last {
+                    for (i, &c) in counts.iter().enumerate().take(last + 1) {
+                        cum += c;
+                        match bucket_upper_bound(i) {
+                            Some(ub) => {
+                                out.push_str(&format!("{name}_bucket{{le=\"{ub}\"}} {cum}\n"));
+                            }
+                            // The overflow bucket collapses into +Inf below.
+                            None => break,
+                        }
+                    }
+                }
+                out.push_str(&format!(
+                    "{name}_bucket{{le=\"+Inf\"}} {}\n{name}_sum {}\n{name}_count {}\n",
+                    h.count(),
+                    h.sum(),
+                    h.count(),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// One parsed sample line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Metric name (for histogram series this includes the `_bucket` /
+    /// `_sum` / `_count` suffix).
+    pub name: String,
+    /// Label pairs in source order (empty for unlabeled samples).
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A parsed exposition: declared types plus every sample, in source
+/// order.
+#[derive(Clone, Debug, Default)]
+pub struct Exposition {
+    /// `# TYPE` declarations: metric name → kind string.
+    pub types: BTreeMap<String, String>,
+    /// Every sample line.
+    pub samples: Vec<Sample>,
+}
+
+impl Exposition {
+    /// The first sample with exactly this name (unlabeled lookup).
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.value)
+    }
+
+    /// All samples whose name starts with `prefix`.
+    pub fn with_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a Sample> {
+        self.samples
+            .iter()
+            .filter(move |s| s.name.starts_with(prefix))
+    }
+
+    /// Structural validation of every declared histogram: its `_count`
+    /// and `_sum` series exist, a `+Inf` bucket exists and equals
+    /// `_count`, and bucket counts are cumulative (non-decreasing in
+    /// `le` order as emitted).
+    pub fn validate_histograms(&self) -> Result<(), String> {
+        for (name, kind) in &self.types {
+            if kind != "histogram" {
+                continue;
+            }
+            let count = self
+                .value(&format!("{name}_count"))
+                .ok_or_else(|| format!("histogram {name} has no _count sample"))?;
+            self.value(&format!("{name}_sum"))
+                .ok_or_else(|| format!("histogram {name} has no _sum sample"))?;
+            let bucket_name = format!("{name}_bucket");
+            let buckets: Vec<&Sample> = self
+                .samples
+                .iter()
+                .filter(|s| s.name == bucket_name)
+                .collect();
+            let inf = buckets
+                .iter()
+                .find(|s| s.label("le") == Some("+Inf"))
+                .ok_or_else(|| format!("histogram {name} has no +Inf bucket"))?;
+            if inf.value != count {
+                return Err(format!(
+                    "histogram {name}: +Inf bucket {} != count {count}",
+                    inf.value
+                ));
+            }
+            let mut prev = 0.0f64;
+            for b in &buckets {
+                if b.value < prev {
+                    return Err(format!(
+                        "histogram {name}: bucket counts not cumulative ({} after {prev})",
+                        b.value
+                    ));
+                }
+                prev = b.value;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_labels(s: &str, line_no: usize) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let body = s.trim();
+    if body.is_empty() {
+        return Ok(labels);
+    }
+    for pair in body.split(',') {
+        let (k, v) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("line {line_no}: label pair {pair:?} has no '='"))?;
+        let v = v.trim();
+        let v = v
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| format!("line {line_no}: label value {v:?} is not quoted"))?;
+        labels.push((k.trim().to_string(), v.to_string()));
+    }
+    Ok(labels)
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().enumerate().all(|(i, c)| {
+            c == '_' || c == ':' || c.is_ascii_alphabetic() || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+/// Parses Prometheus text-exposition `text`, rejecting any line it does
+/// not understand. Comment lines other than `# TYPE` are skipped.
+pub fn parse(text: &str) -> Result<Exposition, String> {
+    let mut exp = Exposition::default();
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            if let Some(decl) = comment.trim_start().strip_prefix("TYPE ") {
+                let mut parts = decl.split_whitespace();
+                let (Some(name), Some(kind), None) = (parts.next(), parts.next(), parts.next())
+                else {
+                    return Err(format!("line {line_no}: malformed TYPE comment {line:?}"));
+                };
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(format!("line {line_no}: unknown metric type {kind:?}"));
+                }
+                exp.types.insert(name.to_string(), kind.to_string());
+            }
+            continue;
+        }
+        // A sample: `name value` or `name{labels} value`.
+        let (name_part, rest) = match line.find('{') {
+            Some(open) => {
+                let close = line[open..]
+                    .find('}')
+                    .map(|c| open + c)
+                    .ok_or_else(|| format!("line {line_no}: unclosed label braces"))?;
+                (
+                    (&line[..open], Some(&line[open + 1..close])),
+                    &line[close + 1..],
+                )
+            }
+            None => {
+                let (name, rest) = line
+                    .split_once(char::is_whitespace)
+                    .ok_or_else(|| format!("line {line_no}: sample {line:?} has no value"))?;
+                ((name, None), rest)
+            }
+        };
+        let (name, labels) = name_part;
+        if !valid_name(name) {
+            return Err(format!("line {line_no}: invalid metric name {name:?}"));
+        }
+        let labels = labels
+            .map(|l| parse_labels(l, line_no))
+            .transpose()?
+            .unwrap_or_default();
+        let mut fields = rest.split_whitespace();
+        let (Some(value), timestamp) = (fields.next(), fields.next()) else {
+            return Err(format!("line {line_no}: sample {line:?} has no value"));
+        };
+        if fields.next().is_some() {
+            return Err(format!(
+                "line {line_no}: trailing fields on sample {line:?}"
+            ));
+        }
+        if let Some(ts) = timestamp {
+            ts.parse::<i64>()
+                .map_err(|_| format!("line {line_no}: bad timestamp {ts:?}"))?;
+        }
+        let value: f64 = match value {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            "NaN" => f64::NAN,
+            v => v
+                .parse()
+                .map_err(|_| format!("line {line_no}: bad sample value {v:?}"))?,
+        };
+        exp.samples.push(Sample {
+            name: name.to_string(),
+            labels,
+            value,
+        });
+    }
+    Ok(exp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The round-trip pin: whatever the registry renders, the parser
+    /// accepts, with every value surviving intact.
+    #[test]
+    fn render_parse_round_trip() {
+        let r = Registry::new();
+        r.counter("arbodom_jobs_total").add(41);
+        r.gauge("arbodom_cache_bytes").set(123_456);
+        let h = r.histogram("arbodom_request_nanos_batch");
+        for v in [900u64, 1_500, 1_500, 40_000, 2_000_000] {
+            h.observe(v);
+        }
+        let text = r.render_prometheus();
+        let exp = parse(&text).expect("rendered exposition parses");
+        exp.validate_histograms().expect("histograms consistent");
+        assert_eq!(exp.value("arbodom_jobs_total"), Some(41.0));
+        assert_eq!(exp.value("arbodom_cache_bytes"), Some(123_456.0));
+        assert_eq!(exp.value("arbodom_request_nanos_batch_count"), Some(5.0));
+        assert_eq!(
+            exp.value("arbodom_request_nanos_batch_sum"),
+            Some((900u64 + 1_500 + 1_500 + 40_000 + 2_000_000) as f64)
+        );
+        assert_eq!(
+            exp.types
+                .get("arbodom_request_nanos_batch")
+                .map(String::as_str),
+            Some("histogram")
+        );
+        // Bucket series are cumulative and end at +Inf == count.
+        let buckets: Vec<&Sample> = exp
+            .samples
+            .iter()
+            .filter(|s| s.name == "arbodom_request_nanos_batch_bucket")
+            .collect();
+        assert!(buckets.len() >= 2);
+        assert_eq!(buckets.last().unwrap().label("le"), Some("+Inf"));
+        assert_eq!(buckets.last().unwrap().value, 5.0);
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let mk = || {
+            let r = Registry::new();
+            r.counter("b").add(2);
+            r.histogram("a").observe(7);
+            r.gauge("c").set(1);
+            r.render_prometheus()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse("no_value_here\n").is_err());
+        assert!(parse("bad name 1\n").is_err());
+        assert!(parse("x{le=\"1\" 3\n").is_err(), "unclosed braces");
+        assert!(parse("x{le=1} 3\n").is_err(), "unquoted label");
+        assert!(parse("x nan-ish\n").is_err());
+        assert!(parse("# TYPE x wat\n").is_err());
+        assert!(parse("9leading_digit 1\n").is_err());
+    }
+
+    #[test]
+    fn accepts_labels_timestamps_and_comments() {
+        let text = "# HELP x something\n# TYPE x counter\nx{shard=\"3\",kind=\"a\"} 4 1700000000\n";
+        let exp = parse(text).expect("parses");
+        assert_eq!(exp.samples.len(), 1);
+        assert_eq!(exp.samples[0].label("shard"), Some("3"));
+        assert_eq!(exp.samples[0].value, 4.0);
+    }
+
+    #[test]
+    fn histogram_validation_catches_truncated_output() {
+        let text = "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_sum 2\nh_count 2\n";
+        let exp = parse(text).expect("parses");
+        assert!(exp.validate_histograms().is_err(), "+Inf bucket missing");
+    }
+}

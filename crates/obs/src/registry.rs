@@ -1,0 +1,186 @@
+//! The named metric store.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::{Counter, Gauge, Histogram};
+
+/// What kind of metric a registry name resolves to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// A monotone [`Counter`].
+    Counter,
+    /// A set-to-value [`Gauge`].
+    Gauge,
+    /// A log₂-bucket [`Histogram`].
+    Histogram,
+}
+
+#[derive(Clone)]
+pub(crate) enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> MetricKind {
+        match self {
+            Metric::Counter(_) => MetricKind::Counter,
+            Metric::Gauge(_) => MetricKind::Gauge,
+            Metric::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+/// A shareable, named store of counters, gauges, and histograms.
+///
+/// Registration (`counter`/`gauge`/`histogram`) takes a lock and either
+/// creates the metric or returns a handle to the existing one; the
+/// returned handles are `Arc`-backed and never touch the registry again,
+/// so hot paths resolve their handles once and observe lock-free.
+/// Names are kept in a `BTreeMap`, so every rendering of the registry is
+/// deterministically ordered.
+///
+/// Asking for an existing name with a different kind panics — that is a
+/// wiring bug, not a runtime condition.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<BTreeMap<String, Metric>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn resolve<T: Clone>(
+        &self,
+        name: &str,
+        make: impl FnOnce() -> Metric,
+        get: impl FnOnce(&Metric) -> Option<T>,
+    ) -> T {
+        let mut map = self.inner.lock().expect("metric registry poisoned");
+        let metric = map.entry(name.to_string()).or_insert_with(make);
+        get(metric).unwrap_or_else(|| {
+            panic!(
+                "metric {name:?} already registered as a {:?}",
+                metric.kind()
+            )
+        })
+    }
+
+    /// The counter registered under `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.resolve(
+            name,
+            || Metric::Counter(Counter::new()),
+            |m| match m {
+                Metric::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// The gauge registered under `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.resolve(
+            name,
+            || Metric::Gauge(Gauge::new()),
+            |m| match m {
+                Metric::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// The histogram registered under `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.resolve(
+            name,
+            || Metric::Histogram(Histogram::new()),
+            |m| match m {
+                Metric::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// All registered names with their kinds, in name order.
+    pub fn names(&self) -> Vec<(String, MetricKind)> {
+        let map = self.inner.lock().expect("metric registry poisoned");
+        map.iter().map(|(n, m)| (n.clone(), m.kind())).collect()
+    }
+
+    /// A point-in-time clone of the metric map, in name order (handles
+    /// share storage with the live metrics).
+    pub(crate) fn entries(&self) -> Vec<(String, Metric)> {
+        let map = self.inner.lock().expect("metric registry poisoned");
+        map.iter().map(|(n, m)| (n.clone(), m.clone())).collect()
+    }
+
+    /// Renders the whole registry in Prometheus text-exposition format
+    /// (see [`crate::prom`] for the grammar subset emitted).
+    pub fn render_prometheus(&self) -> String {
+        crate::prom::render(self)
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<String> = self.names().into_iter().map(|(n, _)| n).collect();
+        f.debug_struct("Registry").field("names", &names).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_storage_with_the_registry() {
+        let r = Registry::new();
+        let c = r.counter("jobs_total");
+        c.add(3);
+        assert_eq!(r.counter("jobs_total").get(), 3);
+        let h = r.histogram("latency_nanos");
+        h.observe(1000);
+        assert_eq!(r.histogram("latency_nanos").count(), 1);
+        let g = r.gauge("live");
+        g.set(9);
+        assert_eq!(r.gauge("live").get(), 9);
+    }
+
+    #[test]
+    fn names_are_sorted_and_kinds_tracked() {
+        let r = Registry::new();
+        r.histogram("b_hist");
+        r.counter("a_count");
+        r.gauge("c_gauge");
+        assert_eq!(
+            r.names(),
+            vec![
+                ("a_count".to_string(), MetricKind::Counter),
+                ("b_hist".to_string(), MetricKind::Histogram),
+                ("c_gauge".to_string(), MetricKind::Gauge),
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("x");
+        r.histogram("x");
+    }
+
+    #[test]
+    fn registry_clones_share_the_map() {
+        let r = Registry::new();
+        let r2 = r.clone();
+        r.counter("seen").inc();
+        assert_eq!(r2.counter("seen").get(), 1);
+    }
+}

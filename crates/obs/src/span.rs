@@ -1,0 +1,109 @@
+//! Span timing: start/stop scopes and per-thread accumulators.
+
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+
+/// A restartable wall-clock scope.
+///
+/// `lap_nanos` reads the elapsed time **and restarts the watch**, so one
+/// stopwatch can time a sequence of back-to-back phases with a single
+/// `Instant::now` per boundary.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds since the last (re)start, saturated into `u64`.
+    #[inline]
+    pub fn elapsed_nanos(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Ends the current span and begins the next: returns the elapsed
+    /// nanoseconds and restarts the watch.
+    #[inline]
+    pub fn lap_nanos(&mut self) -> u64 {
+        let now = Instant::now();
+        let nanos = u64::try_from(now.duration_since(self.start).as_nanos()).unwrap_or(u64::MAX);
+        self.start = now;
+        nanos
+    }
+}
+
+/// A per-thread span accumulator: plain (non-atomic) fields a worker adds
+/// its scope durations into, drained into a shared [`Histogram`] once per
+/// round or request. This keeps the per-scope cost to two `Instant`
+/// reads and an add — the atomics are paid once per drain, not once per
+/// scope.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SpanAcc {
+    /// Accumulated nanoseconds since the last drain.
+    pub nanos: u64,
+    /// Scopes accumulated since the last drain.
+    pub count: u64,
+}
+
+impl SpanAcc {
+    /// Adds one finished scope of `nanos` nanoseconds.
+    #[inline]
+    pub fn add(&mut self, nanos: u64) {
+        self.nanos = self.nanos.saturating_add(nanos);
+        self.count += 1;
+    }
+
+    /// Takes the accumulated total, leaving the accumulator empty.
+    #[inline]
+    pub fn take(&mut self) -> SpanAcc {
+        std::mem::take(self)
+    }
+
+    /// Records the accumulated total as **one** observation in `hist`
+    /// (the drain granularity — e.g. "this worker's busy time this
+    /// round") and resets. Empty accumulators record nothing.
+    pub fn drain_into(&mut self, hist: &Histogram) {
+        let taken = self.take();
+        if taken.count > 0 {
+            hist.observe(taken.nanos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_laps_reset() {
+        let mut w = Stopwatch::start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let first = w.lap_nanos();
+        assert!(first >= 1_000_000, "slept 2ms, lap saw {first}ns");
+        let second = w.elapsed_nanos();
+        assert!(second < first, "lap must restart the watch");
+    }
+
+    #[test]
+    fn span_acc_accumulates_and_drains_once() {
+        let mut acc = SpanAcc::default();
+        acc.add(100);
+        acc.add(250);
+        assert_eq!((acc.nanos, acc.count), (350, 2));
+        let h = Histogram::new();
+        acc.drain_into(&h);
+        assert_eq!(h.count(), 1, "a drain is one observation");
+        assert_eq!(h.sum(), 350);
+        assert_eq!((acc.nanos, acc.count), (0, 0));
+        // Draining an empty accumulator records nothing.
+        acc.drain_into(&h);
+        assert_eq!(h.count(), 1);
+    }
+}

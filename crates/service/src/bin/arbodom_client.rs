@@ -3,12 +3,19 @@
 //! ```text
 //! arbodom-client ping     [--addr A]
 //! arbodom-client stats    [--addr A]
+//! arbodom-client metrics  [--addr A] [--prom | --check]
 //! arbodom-client shutdown [--addr A]
 //! arbodom-client run      [--addr A] [--members] [--alg SPEC] [--seed S]
 //!                         (--edge-list FILE
 //!                          | --generator FAMILY --n N [--gen-seed S]
 //!                          | --cell NAME SIZE WEIGHT LOSS SEED)
 //! ```
+//!
+//! `metrics` scrapes the daemon's registry: the default output is a
+//! human-readable table (histograms summarized as count/p50/p95/p99),
+//! `--prom` dumps the raw Prometheus text exposition, and `--check`
+//! validates the scrape (parse + histogram structure + nonzero request
+//! counters) and exits nonzero on failure — the CI smoke hook.
 //!
 //! `FAMILY` ∈ `random-tree | forest-union:<α> | gnp:<avg-degree> |
 //! planar:<p> | ktree:<k>`; `SPEC` ∈ `weighted:<ε> | unknown-delta:<ε> |
@@ -46,6 +53,7 @@ fn main() {
             println!("daemon shutting down");
             Ok(())
         }),
+        "metrics" => metrics(&args[1..]),
         "run" => run(&args[1..]),
         "help" | "--help" => usage(0),
         other => {
@@ -74,6 +82,113 @@ fn control(
     if let Err(e) = op(&mut client) {
         eprintln!("arbodom-client: {e}");
         std::process::exit(1);
+    }
+}
+
+fn metrics(args: &[String]) {
+    let mut addr = default_addr();
+    let mut prom = false;
+    let mut check = false;
+    let mut it = args.iter().map(String::as_str);
+    while let Some(arg) = it.next() {
+        match arg {
+            "--addr" => addr = required(it.next(), "--addr").to_string(),
+            "--prom" => prom = true,
+            "--check" => check = true,
+            other => {
+                eprintln!("unknown option: {other}\n");
+                usage(2);
+            }
+        }
+    }
+    let mut client = connect(&addr);
+    let text = client.metrics().unwrap_or_else(|e| {
+        eprintln!("arbodom-client: {e}");
+        std::process::exit(1);
+    });
+    if prom {
+        print!("{text}");
+        return;
+    }
+    let exp = arbodom_obs::prom::parse(&text).unwrap_or_else(|e| {
+        eprintln!("arbodom-client: unparseable metrics exposition: {e}");
+        std::process::exit(1);
+    });
+    if check {
+        if let Err(e) = exp.validate_histograms() {
+            eprintln!("arbodom-client: inconsistent histogram series: {e}");
+            std::process::exit(1);
+        }
+        let served: f64 = exp
+            .with_prefix(arbodom_service::obs::REQUESTS_TOTAL_PREFIX)
+            .map(|s| s.value)
+            .sum();
+        if served <= 0.0 {
+            eprintln!("arbodom-client: scrape has zeroed request counters (no traffic observed)");
+            std::process::exit(1);
+        }
+        println!(
+            "metrics ok: {} samples, {} requests observed",
+            exp.samples.len(),
+            served
+        );
+        return;
+    }
+    print_metrics_table(&exp);
+}
+
+/// Renders a parsed exposition as a human table: scalar metrics as
+/// `name value`, each histogram as one `count/sum/p50/p95/p99` line
+/// (quantiles read off the cumulative `le` buckets, so they inherit the
+/// registry's ≤2× bucket-upper-bound guarantee).
+fn print_metrics_table(exp: &arbodom_obs::prom::Exposition) {
+    for (name, kind) in &exp.types {
+        match kind.as_str() {
+            "counter" | "gauge" => {
+                let value = exp.value(name).unwrap_or(0.0);
+                println!("{name:<40} {value}");
+            }
+            "histogram" => {
+                let count = exp.value(&format!("{name}_count")).unwrap_or(0.0);
+                if count == 0.0 {
+                    println!("{name:<40} (no observations)");
+                    continue;
+                }
+                let sum = exp.value(&format!("{name}_sum")).unwrap_or(0.0);
+                let bucket_name = format!("{name}_bucket");
+                let buckets: Vec<(f64, f64)> = exp
+                    .samples
+                    .iter()
+                    .filter(|s| s.name == bucket_name)
+                    .filter_map(|s| {
+                        let le = match s.label("le")? {
+                            "+Inf" => f64::INFINITY,
+                            v => v.parse().ok()?,
+                        };
+                        Some((le, s.value))
+                    })
+                    .collect();
+                let q = |q: f64| -> String {
+                    let rank = (q * count).ceil().max(1.0);
+                    let le = buckets
+                        .iter()
+                        .find(|(_, cum)| *cum >= rank)
+                        .map_or(f64::INFINITY, |(le, _)| *le);
+                    if le.is_infinite() {
+                        "+Inf".to_string()
+                    } else {
+                        format!("{le}")
+                    }
+                };
+                println!(
+                    "{name:<40} count={count} sum={sum} p50<={} p95<={} p99<={}",
+                    q(0.50),
+                    q(0.95),
+                    q(0.99)
+                );
+            }
+            _ => {}
+        }
     }
 }
 
@@ -281,6 +396,7 @@ fn usage(code: i32) -> ! {
         "arbodom-client — query a running arbodomd\n\n\
          USAGE:\n  \
          arbodom-client ping|stats|shutdown [--addr A]\n  \
+         arbodom-client metrics [--addr A] [--prom | --check]\n  \
          arbodom-client run [--addr A] [--members] [--alg SPEC] [--seed S]\n      \
          (--edge-list FILE | --generator FAMILY --n N [--gen-seed S]\n       \
          | --cell NAME SIZE_IDX WEIGHT_IDX LOSS_IDX SEED_IDX)\n\n\

@@ -3,12 +3,15 @@
 //! ```text
 //! arbodomd [--addr HOST:PORT] [--workers N] [--sim-threads N]
 //!          [--cache-mb N] [--session-ttl-secs N] [--max-sessions N]
-//!          [--quick|--full]
+//!          [--sim-obs] [--quick|--full]
 //! ```
 //!
 //! Runs until a client sends a `Shutdown` request (`arbodom-client
 //! shutdown`). `--quick` resolves scenario-cell jobs against the quick
 //! size sweeps (the CI convention, also via `ARBODOM_QUICK=1`).
+//! `--sim-obs` additionally records per-round simulator phase timings
+//! into the metrics registry (scrape with `arbodom-client metrics`).
+//! On shutdown the daemon prints a final metrics snapshot to stderr.
 
 use arbodom_scenarios::Scale;
 use arbodom_service::cliargs::{parsed, required};
@@ -33,6 +36,7 @@ fn main() {
                     std::time::Duration::from_secs(parsed::<u64>(it.next(), "--session-ttl-secs"));
             }
             "--max-sessions" => cfg.max_sessions = parsed(it.next(), "--max-sessions"),
+            "--sim-obs" => cfg.sim_obs = true,
             "--quick" => cfg.scale = Scale::Quick,
             "--full" => cfg.scale = Scale::Full,
             "--help" | "help" => usage(0),
@@ -54,8 +58,36 @@ fn main() {
         cfg.cache_bytes >> 20,
         cfg.scale.label(),
     );
+    // Registry handles are Arc-backed, so this clone keeps reading live
+    // counters after the accept loop (which refreshes the resource
+    // gauges one last time on exit) has finished.
+    let registry = server.registry();
     server.wait();
+    final_snapshot(&registry);
     println!("arbodomd: shutdown complete");
+}
+
+/// The shutdown report: a terse operational summary on stderr so that
+/// even a daemon nobody scraped leaves its lifetime totals in the log.
+fn final_snapshot(registry: &arbodom_obs::Registry) {
+    use arbodom_service::obs;
+    let count = |name: &str| registry.counter(name).get();
+    let gauge = |name: &str| registry.gauge(name).get();
+    eprintln!(
+        "arbodomd final metrics: jobs={} job_errors={} panics_caught={} \
+         sessions_opened={} sessions_evicted={} repairs={} repair_fallbacks={} \
+         cache_hits={} cache_misses={} cache_evictions={}",
+        count(obs::JOBS_TOTAL),
+        count(obs::JOB_ERRORS_TOTAL),
+        count(obs::PANICS_CAUGHT_TOTAL),
+        count(obs::SESSIONS_OPENED_TOTAL),
+        gauge(obs::SESSION_EVICTIONS),
+        count(obs::REPAIRS_TOTAL),
+        count(obs::REPAIR_FALLBACKS_TOTAL),
+        gauge(obs::CACHE_HITS),
+        gauge(obs::CACHE_MISSES),
+        gauge(obs::CACHE_EVICTIONS),
+    );
 }
 
 fn usage(code: i32) -> ! {
@@ -69,6 +101,7 @@ fn usage(code: i32) -> ! {
          --cache-mb N       graph-cache budget in MiB of instance memory (default 256)\n  \
          --session-ttl-secs N  evict sessions idle longer than N seconds (default 900)\n  \
          --max-sessions N   cap on live sessions; LRU-evicted past it (default 64)\n  \
+         --sim-obs          record per-round simulator phase timings in the metrics registry\n  \
          --quick            resolve scenario cells at quick scale (CI; also ARBODOM_QUICK=1)\n  \
          --full             resolve scenario cells at full scale (default)"
     );

@@ -194,6 +194,22 @@ impl Client {
         }
     }
 
+    /// Scrapes the daemon's metrics registry: returns the Prometheus
+    /// text-exposition rendering (parse it with
+    /// `arbodom_obs::prom::parse`). Protocol v2 only.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors, an unexpected response, or
+    /// [`ServiceError::UnsupportedVersion`] on a v1 connection.
+    pub fn metrics(&mut self) -> Result<String, ServiceError> {
+        self.send(&Request::Metrics)?;
+        match self.read_response()? {
+            Response::MetricsReport(text) => Ok(text),
+            other => Err(unexpected("MetricsReport", &other)),
+        }
+    }
+
     /// Submits a batch and returns the **raw response frame payloads** in
     /// arrival order (every `Job` frame, then the `BatchDone` trailer).
     /// This is the byte stream the determinism tests compare (the frame

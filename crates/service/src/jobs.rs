@@ -11,11 +11,12 @@
 
 use std::sync::{Arc, Mutex};
 
-use arbodom_congest::{LossModel, MeterMode, RunOptions};
+use arbodom_congest::{LossModel, MeterMode, RunOptions, SimObs};
 use arbodom_core::{verify, DsResult};
 use arbodom_graph::digest::edge_digest;
 use arbodom_graph::weights::WeightModel;
 use arbodom_graph::{orientation, GraphBuilder, NodeId};
+use arbodom_obs::Stopwatch;
 use arbodom_scenarios::runner::{cell_instance, cell_seed};
 use arbodom_scenarios::spec::Built;
 use arbodom_scenarios::{find, quality, Algorithm, Scale, ScenarioSpec};
@@ -23,6 +24,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::cache::{CachedGraph, GraphCache};
+use crate::obs::ServiceObs;
 use crate::protocol::{encode_payload, GraphSource, JobResult, JobSpec};
 use crate::session::{Session, SessionTable};
 
@@ -56,6 +58,12 @@ pub struct ExecContext {
     pub sim_threads: usize,
     /// Scale used to resolve scenario-cell size sweeps.
     pub scale: Scale,
+    /// The daemon's always-on request/lifecycle metrics.
+    pub obs: ServiceObs,
+    /// Simulator phase-timing side channel, threaded into every job's
+    /// [`RunOptions`] when the daemon runs with `--sim-obs`. `None`
+    /// (the default) keeps the simulator provably instrumentation-free.
+    pub sim_obs: Option<SimObs>,
 }
 
 /// The cache identity of a source: its wire encoding plus the server
@@ -86,10 +94,17 @@ pub fn source_key(bytes: &[u8]) -> u64 {
 /// Returns a human-readable message when the source is invalid, the
 /// scenario/cell address does not exist, or the simulation fails.
 pub fn execute_job(ctx: &ExecContext, spec: &JobSpec) -> Result<JobResult, String> {
-    let instance = resolve_instance(ctx, &spec.source)?;
-    let run = run_parameters(ctx, spec)?;
-    let (result, _) = solve_on(ctx, &instance, &run, spec.return_members)?;
-    Ok(result)
+    ctx.obs.jobs.inc();
+    let outcome = (|| {
+        let instance = resolve_instance(ctx, &spec.source)?;
+        let run = run_parameters(ctx, spec)?;
+        let (result, _) = solve_on(ctx, &instance, &run, spec.return_members)?;
+        Ok(result)
+    })();
+    if outcome.is_err() {
+        ctx.obs.job_errors.inc();
+    }
+    outcome
 }
 
 /// Opens a session: resolves and solves the spec like a regular job, then
@@ -147,12 +162,15 @@ fn solve_on(
             drop_probability: run.drop_p,
             seed: run.seed,
         }),
+        obs: ctx.sim_obs.clone(),
         ..RunOptions::default()
     };
+    let watch = Stopwatch::start();
     let (sol, telemetry) = run
         .algorithm
         .execute(g, instance.alpha, run.seed, &opts, ctx.sim_threads)
         .map_err(|e| format!("algorithm run failed: {e}"))?;
+    ctx.obs.solve.observe(watch.elapsed_nanos());
     let undominated = verify::undominated_nodes(g, &sol.in_ds).len();
     let valid = undominated == 0;
     let guarantee = run.algorithm.guarantee(instance.alpha, g.max_degree());
@@ -312,12 +330,14 @@ fn resolve_instance(ctx: &ExecContext, source: &GraphSource) -> Result<Arc<Cache
     }
     let bytes = source_bytes(source, ctx.scale);
     let key = source_key(&bytes);
-    if let Some(cached) = ctx
+    let watch = Stopwatch::start();
+    let cached = ctx
         .cache
         .lock()
         .expect("cache poisoned")
-        .lookup(key, &bytes)
-    {
+        .lookup(key, &bytes);
+    ctx.obs.cache_lookup.observe(watch.elapsed_nanos());
+    if let Some(cached) = cached {
         return Ok(cached);
     }
     let built = build_instance(source, ctx.scale)?;
@@ -475,6 +495,8 @@ mod tests {
             sessions: Arc::new(SessionTable::new()),
             sim_threads: 1,
             scale: Scale::Quick,
+            obs: ServiceObs::new(&arbodom_obs::Registry::new()),
+            sim_obs: None,
         }
     }
 

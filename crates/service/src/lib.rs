@@ -138,6 +138,7 @@ pub mod cliargs;
 mod client;
 mod error;
 pub mod jobs;
+pub mod obs;
 pub mod protocol;
 pub mod scheduler;
 mod server;
@@ -146,6 +147,7 @@ pub mod session;
 pub use client::Client;
 pub use error::ServiceError;
 pub use jobs::{execute_job, open_session, ExecContext};
+pub use obs::ServiceObs;
 pub use protocol::{
     CacheStats, DeltaSpec, GraphSource, JobResult, JobSpec, RepairStats, Request, Response,
     SessionPolicy, SessionUpdate, PROTOCOL_V1, PROTOCOL_V2,

@@ -821,6 +821,10 @@ pub enum Request {
         /// Target session.
         session: u64,
     },
+    /// Scrapes the daemon's metrics registry; answered with
+    /// [`Response::MetricsReport`] carrying the Prometheus
+    /// text-exposition rendering. Protocol v2 only.
+    Metrics,
 }
 
 impl Request {
@@ -833,7 +837,8 @@ impl Request {
             Request::Open(_)
             | Request::Mutate { .. }
             | Request::Resolve { .. }
-            | Request::Release { .. } => true,
+            | Request::Release { .. }
+            | Request::Metrics => true,
             Request::Batch(jobs) => jobs
                 .iter()
                 .any(|job| matches!(job.source, GraphSource::Session { .. })),
@@ -877,6 +882,7 @@ impl Wire for Request {
                 buf.extend_from_slice(&[7]);
                 put_u64(buf, *session);
             }
+            Request::Metrics => buf.extend_from_slice(&[8]),
         }
     }
 
@@ -908,6 +914,7 @@ impl Wire for Request {
             7 => Ok(Request::Release {
                 session: get_u64(buf)?,
             }),
+            8 => Ok(Request::Metrics),
             _ => Err(WireError::Invalid("unknown request tag")),
         }
     }
@@ -1159,6 +1166,10 @@ pub enum Response {
         /// idempotent instead of an error).
         existed: bool,
     },
+    /// Answer to [`Request::Metrics`]: the daemon's whole metrics
+    /// registry rendered in Prometheus text-exposition format
+    /// (parseable with `arbodom_obs::prom::parse`).
+    MetricsReport(String),
     /// The connection's pinned version cannot serve the request — either
     /// the first frame carried a version outside the supported range
     /// (the connection closes), or a v1 connection issued a v2-only
@@ -1213,6 +1224,10 @@ impl Wire for Response {
             Response::UnsupportedVersion { got, min, max } => {
                 buf.extend_from_slice(&[9, *got, *min, *max]);
             }
+            Response::MetricsReport(text) => {
+                buf.extend_from_slice(&[10]);
+                put_string(buf, text);
+            }
         }
     }
 
@@ -1246,6 +1261,7 @@ impl Wire for Response {
                 min: get_tag(buf)?,
                 max: get_tag(buf)?,
             }),
+            10 => Ok(Response::MetricsReport(get_string(buf)?)),
             _ => Err(WireError::Invalid("unknown response tag")),
         }
     }
@@ -1303,6 +1319,16 @@ mod tests {
             min: PROTOCOL_MIN,
             max: PROTOCOL_MAX,
         });
+    }
+
+    #[test]
+    fn metrics_messages_conform_and_are_v2_only() {
+        assert_wire_conformance(&Request::Metrics);
+        assert_wire_conformance(&Response::MetricsReport(
+            "# TYPE arbodom_jobs_total counter\narbodom_jobs_total 3\n".into(),
+        ));
+        assert!(Request::Metrics.needs_v2());
+        assert!(!Request::Ping.needs_v2());
     }
 
     #[test]

@@ -29,13 +29,16 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 
+use arbodom_congest::{SimObs, Wire};
+use arbodom_obs::{Counter, Registry, Stopwatch};
 use arbodom_scenarios::Scale;
 
 use crate::cache::GraphCache;
 use crate::jobs::{execute_job, open_session, ExecContext};
+use crate::obs::{ReqKind, ServiceObs};
 use crate::protocol::{
-    decode_payload, read_frame, write_message, DeltaSpec, JobResult, JobSpec, Request, Response,
-    SessionPolicy, SessionUpdate, PROTOCOL_MAX, PROTOCOL_MIN, PROTOCOL_V2,
+    decode_payload, read_frame, write_message, CacheStats, DeltaSpec, JobResult, JobSpec, Request,
+    Response, SessionPolicy, SessionUpdate, PROTOCOL_MAX, PROTOCOL_MIN, PROTOCOL_V2,
 };
 use crate::scheduler::Scheduler;
 use crate::session::{SessionLimits, SessionTable};
@@ -61,6 +64,13 @@ pub struct ServerConfig {
     /// Hard cap on concurrently open sessions; the least-recently-used
     /// session is evicted to admit a new one.
     pub max_sessions: usize,
+    /// Whether jobs run with the simulator's phase-timing side channel
+    /// attached ([`arbodom_congest::RunOptions::obs`]): per-round
+    /// deliver/compute/dispatch/barrier nanoseconds and message-size
+    /// histograms land in the daemon's metrics registry under the
+    /// `sim_*` names. Off by default — the simulator stays provably
+    /// instrumentation-free, and results are identical either way.
+    pub sim_obs: bool,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +83,7 @@ impl Default for ServerConfig {
             scale: Scale::Full,
             session_ttl: limits.idle_ttl,
             max_sessions: limits.max_sessions,
+            sim_obs: false,
         }
     }
 }
@@ -85,6 +96,7 @@ struct ServerState {
     scheduler: Scheduler,
     shutdown: AtomicBool,
     addr: SocketAddr,
+    registry: Registry,
 }
 
 impl ServerState {
@@ -94,6 +106,44 @@ impl ServerState {
         self.shutdown.store(true, Ordering::SeqCst);
         let _ = TcpStream::connect(self.addr);
     }
+
+    /// The daemon counters behind [`Response::Stats`]: the graph cache's
+    /// own, with the session table's block filled in.
+    fn daemon_stats(&self) -> CacheStats {
+        let mut stats = self.exec.cache.lock().expect("cache poisoned").stats();
+        let (sessions, session_bytes, session_evictions) = self.exec.sessions.usage();
+        stats.sessions = sessions;
+        stats.session_bytes = session_bytes;
+        stats.session_evictions = session_evictions;
+        stats
+    }
+
+    /// Refreshes the scrape-time resource gauges and renders the whole
+    /// registry in Prometheus text-exposition format.
+    fn render_metrics(&self) -> String {
+        let stats = self.daemon_stats();
+        self.exec.obs.set_resource_gauges(
+            &stats,
+            (stats.sessions, stats.session_bytes, stats.session_evictions),
+        );
+        self.registry.render_prometheus()
+    }
+}
+
+/// Encodes and writes one response frame, recording the encode and
+/// socket-write phases separately into the lifecycle histograms.
+fn timed_write<M: Wire>(
+    stream: &mut TcpStream,
+    version: u8,
+    msg: &M,
+    obs: &ServiceObs,
+) -> Result<(), ServiceError> {
+    let mut watch = Stopwatch::start();
+    let payload = crate::protocol::encode_payload(msg);
+    obs.encode.observe(watch.lap_nanos());
+    let outcome = crate::protocol::write_frame(stream, version, &payload);
+    obs.write.observe(watch.elapsed_nanos());
+    outcome
 }
 
 /// A running daemon, stoppable from the owning thread or via a client's
@@ -113,6 +163,7 @@ impl Server {
     pub fn bind(addr: &str, cfg: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        let registry = Registry::new();
         let state = Arc::new(ServerState {
             exec: ExecContext {
                 cache: Arc::new(Mutex::new(GraphCache::new(cfg.cache_bytes))),
@@ -122,10 +173,13 @@ impl Server {
                 })),
                 sim_threads: cfg.sim_threads.max(1),
                 scale: cfg.scale,
+                obs: ServiceObs::new(&registry),
+                sim_obs: cfg.sim_obs.then(|| SimObs::new(&registry)),
             },
             scheduler: Scheduler::new(cfg.workers),
             shutdown: AtomicBool::new(false),
             addr: local,
+            registry,
         });
         let accept_state = Arc::clone(&state);
         let accept = std::thread::Builder::new()
@@ -140,6 +194,21 @@ impl Server {
     /// The bound address (resolves ephemeral ports).
     pub fn local_addr(&self) -> SocketAddr {
         self.state.addr
+    }
+
+    /// A handle to the daemon's metrics registry. Clones share storage,
+    /// so a handle taken before [`Server::wait`] still reads the final
+    /// counter values after shutdown — that is how the `arbodomd` binary
+    /// prints its exit snapshot.
+    pub fn registry(&self) -> Registry {
+        self.state.registry.clone()
+    }
+
+    /// Refreshes the resource gauges and renders the current metrics in
+    /// Prometheus text-exposition format — exactly what a
+    /// [`Request::Metrics`] scrape returns.
+    pub fn metrics_prometheus(&self) -> String {
+        self.state.render_metrics()
     }
 
     /// Blocks until the daemon shuts down (via a client's `Shutdown`
@@ -173,7 +242,7 @@ impl Drop for Server {
 fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
     for stream in listener.incoming() {
         if state.shutdown.load(Ordering::SeqCst) {
-            return;
+            break;
         }
         let Ok(stream) = stream else { continue };
         let conn_state = Arc::clone(state);
@@ -181,6 +250,10 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
             .name("arbodomd-conn".into())
             .spawn(move || handle_connection(stream, &conn_state));
     }
+    // Shutting down: refresh the resource gauges one last time so a
+    // registry handle held across `Server::wait` reads final values
+    // (the binary's exit snapshot).
+    let _ = state.render_metrics();
 }
 
 fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
@@ -229,6 +302,10 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
             }
             Some(v) => v,
         };
+        // The request clock starts when a complete frame is in hand —
+        // time blocked waiting for the client is not request latency.
+        let obs = &state.exec.obs;
+        let watch = Stopwatch::start();
         let request = match decode_payload::<Request>(&payload) {
             Ok(request) => request,
             Err(e) => {
@@ -236,6 +313,8 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
                 return;
             }
         };
+        obs.decode.observe(watch.elapsed_nanos());
+        let kind = ReqKind::of(&request);
         // The session protocol is v2-only. Rejecting is typed and
         // non-fatal: the connection stays usable for v1 requests.
         if version < PROTOCOL_V2 && request.needs_v2() {
@@ -250,66 +329,90 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
             continue;
         }
         let outcome = match request {
-            Request::Ping => write_message(&mut stream, version, &Response::Pong),
+            Request::Ping => timed_write(&mut stream, version, &Response::Pong, obs),
             Request::Stats => {
-                let mut stats = state.exec.cache.lock().expect("cache poisoned").stats();
-                let (sessions, session_bytes, session_evictions) = state.exec.sessions.usage();
-                stats.sessions = sessions;
-                stats.session_bytes = session_bytes;
-                stats.session_evictions = session_evictions;
-                write_message(&mut stream, version, &Response::Stats(stats))
+                let stats = state.daemon_stats();
+                timed_write(&mut stream, version, &Response::Stats(stats), obs)
             }
             Request::Shutdown => {
-                let _ = write_message(&mut stream, version, &Response::ShuttingDown);
+                let _ = timed_write(&mut stream, version, &Response::ShuttingDown, obs);
+                obs.requests_total[kind as usize].inc();
+                obs.request_nanos[kind as usize].observe(watch.elapsed_nanos());
                 state.request_shutdown();
                 return;
             }
             Request::Batch(jobs) => handle_batch(&mut stream, version, state, jobs),
             Request::Open(spec) => {
-                let (id, outcome) = match guarded(|| open_session(&state.exec, &spec)) {
-                    Ok((id, result)) => (id, Ok(result)),
+                let (id, outcome) = match guarded(&obs.panics, || open_session(&state.exec, &spec))
+                {
+                    Ok((id, result)) => {
+                        obs.sessions_opened.inc();
+                        (id, Ok(result))
+                    }
                     Err(e) => (0, Err(e)),
                 };
-                write_message(&mut stream, version, &Response::Session { id, outcome })
+                timed_write(
+                    &mut stream,
+                    version,
+                    &Response::Session { id, outcome },
+                    obs,
+                )
             }
             Request::Mutate {
                 session,
                 delta,
                 policy,
             } => {
-                let outcome = guarded(|| mutate_session(state, session, &delta, policy));
-                write_message(
+                let outcome = guarded(&obs.panics, || {
+                    mutate_session(state, session, &delta, policy)
+                });
+                if let Ok(update) = &outcome {
+                    obs.record_repair(update.repair.repaired);
+                }
+                timed_write(
                     &mut stream,
                     version,
                     &Response::Mutated {
                         id: session,
                         outcome,
                     },
+                    obs,
                 )
             }
             Request::Resolve { session } => {
-                let outcome = guarded(|| resolve_session(state, session));
-                write_message(
+                let outcome = guarded(&obs.panics, || resolve_session(state, session));
+                if outcome.is_ok() {
+                    obs.record_repair(false);
+                }
+                timed_write(
                     &mut stream,
                     version,
                     &Response::Mutated {
                         id: session,
                         outcome,
                     },
+                    obs,
                 )
             }
             Request::Release { session } => {
                 let existed = state.exec.sessions.remove(session);
-                write_message(
+                timed_write(
                     &mut stream,
                     version,
                     &Response::Released {
                         id: session,
                         existed,
                     },
+                    obs,
                 )
             }
+            Request::Metrics => {
+                let text = state.render_metrics();
+                timed_write(&mut stream, version, &Response::MetricsReport(text), obs)
+            }
         };
+        obs.requests_total[kind as usize].inc();
+        obs.request_nanos[kind as usize].observe(watch.elapsed_nanos());
         if outcome.is_err() {
             return; // client went away mid-reply
         }
@@ -318,10 +421,12 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
 
 /// Converts a panic inside a session operation into a deterministic
 /// job-level error, exactly like batch workers do — the daemon must never
-/// die on one bad request.
-fn guarded<T>(op: impl FnOnce() -> Result<T, String>) -> Result<T, String> {
-    catch_unwind(AssertUnwindSafe(op))
-        .unwrap_or_else(|_| Err("session operation panicked inside the server".to_string()))
+/// die on one bad request. Caught panics are counted in `panics`.
+fn guarded<T>(panics: &Counter, op: impl FnOnce() -> Result<T, String>) -> Result<T, String> {
+    catch_unwind(AssertUnwindSafe(op)).unwrap_or_else(|_| {
+        panics.inc();
+        Err("session operation panicked inside the server".to_string())
+    })
 }
 
 fn mutate_session(
@@ -373,18 +478,25 @@ fn handle_batch(
     for (index, job) in jobs.into_iter().enumerate() {
         let tx = tx.clone();
         let exec = state.exec.clone();
+        let queued = Stopwatch::start();
         state.scheduler.spawn(move || {
+            exec.obs.queue_wait.observe(queued.elapsed_nanos());
             // Every job sends exactly one reply, even if it panics —
             // otherwise the in-order writer below would stall forever on
             // the missing index. The message is fixed (not the panic
             // payload) to keep the response stream deterministic.
             let outcome =
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute_job(&exec, &job)))
-                    .unwrap_or_else(|_| Err("job panicked inside the worker".to_string()));
+                    .unwrap_or_else(|_| {
+                        exec.obs.panics.inc();
+                        exec.obs.job_errors.inc();
+                        Err("job panicked inside the worker".to_string())
+                    });
             let _ = tx.send((index as u32, outcome));
         });
     }
     drop(tx);
+    let obs = &state.exec.obs;
     let mut parked: BTreeMap<u32, Result<JobResult, String>> = BTreeMap::new();
     let mut next = 0u32;
     for (index, outcome) in rx {
@@ -394,6 +506,7 @@ fn handle_batch(
                 index: next,
                 outcome,
             };
+            let mut watch = Stopwatch::start();
             // A legal job can still produce an over-limit frame (a huge
             // member list): degrade that one job to a deterministic error
             // instead of killing the whole connection mid-batch.
@@ -408,10 +521,12 @@ fn handle_batch(
                 };
                 payload = crate::protocol::encode_payload(&reply);
             }
+            obs.encode.observe(watch.lap_nanos());
             crate::protocol::write_frame(stream, version, &payload)?;
+            obs.write.observe(watch.elapsed_nanos());
             next += 1;
         }
     }
     debug_assert_eq!(next, total, "every job must be answered exactly once");
-    write_message(stream, version, &Response::BatchDone { jobs: total })
+    timed_write(stream, version, &Response::BatchDone { jobs: total }, obs)
 }

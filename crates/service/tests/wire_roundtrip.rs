@@ -231,7 +231,7 @@ impl Gen {
     }
 
     fn request(&mut self) -> Request {
-        match self.below(8) {
+        match self.below(9) {
             0 => Request::Ping,
             1 => Request::Batch((0..self.usize(4)).map(|_| self.job_spec()).collect()),
             2 => Request::Stats,
@@ -245,14 +245,15 @@ impl Gen {
             6 => Request::Resolve {
                 session: self.u64(),
             },
-            _ => Request::Release {
+            7 => Request::Release {
                 session: self.u64(),
             },
+            _ => Request::Metrics,
         }
     }
 
     fn response(&mut self) -> Response {
-        match self.below(10) {
+        match self.below(11) {
             0 => Response::Pong,
             1 => Response::Job {
                 index: self.below(1 << 16) as u32,
@@ -298,6 +299,7 @@ impl Gen {
                 id: self.u64(),
                 existed: self.bool(),
             },
+            9 => Response::MetricsReport(self.string()),
             _ => Response::UnsupportedVersion {
                 got: self.u64() as u8,
                 min: self.u64() as u8,
@@ -330,12 +332,12 @@ proptest! {
         // Overwrite the leading tag byte with every invalid value: the
         // decoder must error, never mis-route.
         let mut payload = encode_payload(&Gen(seed).request());
-        for tag in 8..=u8::MAX {
+        for tag in 9..=u8::MAX {
             payload[0] = tag;
             prop_assert!(decode_payload::<Request>(&payload).is_err());
         }
         let mut payload = encode_payload(&Gen(seed).response());
-        for tag in 10..=u8::MAX {
+        for tag in 11..=u8::MAX {
             payload[0] = tag;
             prop_assert!(decode_payload::<Response>(&payload).is_err());
         }

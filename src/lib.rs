@@ -4,6 +4,8 @@
 //! in Bounded Arboricity Graphs* (Michal Dory, Mohsen Ghaffari, Saeed
 //! Ilchi; PODC 2022, arXiv:2206.05174), packaged as a Rust workspace:
 //!
+//! * [`obs`] — std-only metrics (counters, gauges, log₂-bucket
+//!   histograms), span timing, and a Prometheus text renderer/parser;
 //! * [`graph`] — CSR graphs, generators, weights, arboricity tooling;
 //! * [`congest`] — a synchronous CONGEST simulator with bit metering;
 //! * [`core`] — the paper's algorithms (Theorems 1.1–1.3, 3.1,
@@ -47,6 +49,7 @@ pub use arbodom_congest as congest;
 pub use arbodom_core as core;
 pub use arbodom_graph as graph;
 pub use arbodom_lowerbound as lowerbound;
+pub use arbodom_obs as obs;
 pub use arbodom_scenarios as scenarios;
 
 /// The most common imports, for examples and quick scripts.

@@ -12,10 +12,12 @@
 //! behavior fails here before it can skew an experiment.
 
 use arbodom::congest::{
-    run, run_parallel, run_parallel_in, Globals, MeterMode, RunOptions, Telemetry, WorkerPool,
+    run, run_parallel, run_parallel_in, Globals, MeterMode, RunOptions, SimObs, Telemetry,
+    WorkerPool,
 };
 use arbodom::core::{distributed, weighted};
 use arbodom::graph::{generators, weights::WeightModel, Graph};
+use arbodom::obs::Registry;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -187,6 +189,114 @@ proptest! {
             pool.threads_spawned(),
             spawned_at_construction,
             "steady state must never spawn threads"
+        );
+    }
+
+    /// The observability side channel is *only* a side channel: runs
+    /// with [`SimObs`] attached produce bit-identical outputs and
+    /// telemetry to unobserved runs — across both runners, thread
+    /// counts, shard sizes, and every meter mode — while the observed
+    /// registry actually accumulates (rounds counted, phase histograms
+    /// populated) and the unobserved path touches no registry at all.
+    #[test]
+    fn observed_runs_are_bit_identical_to_unobserved(
+        n in 100usize..300,
+        alpha in 1usize..4,
+        seed: u64,
+        wseed: u64,
+    ) {
+        let g = instance(n, alpha, seed, wseed);
+        let cfg = weighted::Config::new(alpha, 0.3).expect("valid config");
+        let globals = Globals::new(&g, seed).with_arboricity(cfg.alpha);
+        let make = |v: arbodom::graph::NodeId, g: &Graph| {
+            distributed::WeightedProgram::new(cfg, g.degree(v))
+        };
+        let registry = Registry::new();
+        let obs = SimObs::new(&registry);
+        let mut rounds = 0u64;
+        let mut messages = 0u64;
+        for meter in [MeterMode::Measure, MeterMode::Strict, MeterMode::Off] {
+            let plain = opts(meter);
+            let observed = RunOptions { obs: Some(obs.clone()), ..opts(meter) };
+            let baseline = run(&g, &globals, make, &plain).expect("unobserved sequential");
+            let base_ds: Vec<bool> = baseline.outputs.iter().map(|out| out.in_ds).collect();
+            let base_x: Vec<f64> = baseline.outputs.iter().map(|out| out.x).collect();
+            rounds = baseline.telemetry.rounds as u64;
+            messages = baseline.telemetry.total_messages as u64;
+            let seq_obs = run(&g, &globals, make, &observed).expect("observed sequential");
+            prop_assert_eq!(
+                &base_ds,
+                &seq_obs.outputs.iter().map(|out| out.in_ds).collect::<Vec<_>>(),
+                "{:?}: sequential set differs under observation",
+                meter
+            );
+            prop_assert_eq!(
+                &base_x,
+                &seq_obs.outputs.iter().map(|out| out.x).collect::<Vec<_>>(),
+                "{:?}: sequential packing values differ under observation",
+                meter
+            );
+            prop_assert_eq!(
+                &baseline.telemetry,
+                &seq_obs.telemetry,
+                "{:?}: sequential telemetry differs under observation",
+                meter
+            );
+            for threads in [1usize, 2, 4] {
+                for shard_size in [None, Some(1), Some(64)] {
+                    let o = RunOptions {
+                        shard_size,
+                        obs: Some(obs.clone()),
+                        ..opts(meter)
+                    };
+                    let par = run_parallel(&g, &globals, make, &o, threads)
+                        .expect("observed parallel");
+                    prop_assert_eq!(
+                        &base_ds,
+                        &par.outputs.iter().map(|out| out.in_ds).collect::<Vec<_>>(),
+                        "{:?} threads={} shard={:?}: set differs under observation",
+                        meter,
+                        threads,
+                        shard_size
+                    );
+                    prop_assert_eq!(
+                        &base_x,
+                        &par.outputs.iter().map(|out| out.x).collect::<Vec<_>>(),
+                        "{:?} threads={} shard={:?}: packing values differ under observation",
+                        meter,
+                        threads,
+                        shard_size
+                    );
+                    prop_assert_eq!(
+                        &baseline.telemetry,
+                        &par.telemetry,
+                        "{:?} threads={} shard={:?}: telemetry differs under observation",
+                        meter,
+                        threads,
+                        shard_size
+                    );
+                }
+            }
+        }
+        // The side channel really observed: 3 meter modes × (1 observed
+        // sequential + 3 thread counts × 3 shard sizes) runs, each
+        // `rounds` long. (The unobserved baselines contribute nothing.)
+        let observed_runs = 3 * (1 + 3 * 3) as u64;
+        prop_assert_eq!(
+            registry.counter(arbodom::congest::obs::SIM_ROUNDS_TOTAL).get(),
+            observed_runs * rounds,
+            "round counter must see every observed run"
+        );
+        prop_assert!(
+            registry.histogram(arbodom::congest::obs::SIM_ROUND_NANOS).count() > 0,
+            "round-wall histogram must be populated"
+        );
+        // Message sizes are metered in Measure and Strict but never Off:
+        // 2 of 3 modes contribute, each delivering `total_messages`.
+        prop_assert_eq!(
+            registry.histogram(arbodom::congest::obs::SIM_MESSAGE_BITS).count(),
+            (2 * (1 + 3 * 3)) as u64 * messages,
+            "message-size histogram must see exactly the metered deliveries"
         );
     }
 
