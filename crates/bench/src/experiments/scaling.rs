@@ -95,6 +95,13 @@ const HUGE_BENCH_FULL_N: usize = 1_000_000;
 /// CI / quick scale of the million-node trajectory: same code path
 /// (streamed generation, sharded parallel runner), CI-sized.
 const HUGE_BENCH_QUICK_N: usize = 25_000;
+/// The 10⁷-node tier at full scale: the largest instance the compact
+/// unit-weight representation and the exact-capacity two-pass build are
+/// sized for.
+const TEN_MILLION_FULL_N: usize = 10_000_000;
+/// CI / quick scale of the 10⁷ tier: same code path
+/// (`Graph::from_edge_stream` + direct Theorem 1.1 solve), CI-sized.
+const TEN_MILLION_QUICK_N: usize = 100_000;
 
 /// Pre-rework throughput baseline (messages/second), measured at the
 /// commit before the arena-mailbox simulator core landed
@@ -220,9 +227,9 @@ const PHASE_METRICS: &[&str] = &[
     sim_obs_names::SIM_MESSAGE_BITS,
 ];
 
-/// Runs the simulator throughput workloads (the 50k trajectory and the
-/// million-node tier), writes `BENCH_sim.json`, and returns the
-/// human-readable tables.
+/// Runs the simulator throughput workloads (the 50k trajectory, the
+/// million-node tier, and the streamed 10⁷ tier), writes
+/// `BENCH_sim.json`, and returns the human-readable tables.
 fn sim_bench(scale: Scale) -> Vec<Table> {
     let n = scale.pick(SIM_BENCH_QUICK_N, SIM_BENCH_FULL_N);
     // Best-of-5 at full scale: the parallel rows are scheduling-noise
@@ -320,6 +327,32 @@ fn sim_bench(scale: Scale) -> Vec<Table> {
             hthm11_pool(MeterMode::Measure),
         ),
     ];
+
+    // --- the 10⁷ tier (E-SCALE-f / BENCH_sim.json "ten_million") ---
+    // The memory-tiered representation's reason to exist: a unit-weight
+    // forest union streamed straight into frozen CSR form
+    // (`Graph::from_edge_stream`: two generator passes, exact-capacity
+    // allocation, `Weights::Unit` so weight storage costs zero bytes),
+    // then one direct Theorem 1.1 solve. No metered simulator rows at
+    // this size — the artifact records that the tier *instantiates and
+    // solves* (build seconds, byte-accurate footprint, solve seconds),
+    // which is what the ratchet gates structurally.
+    let tm_n = scale.pick(TEN_MILLION_QUICK_N, TEN_MILLION_FULL_N);
+    let t_tm_build = Instant::now();
+    let tm_g = Graph::from_edge_stream(tm_n, |mut sink| {
+        // Re-seeded per pass: both passes of the two-pass build must
+        // replay the identical edge stream.
+        let mut rng = crate::seeded_rng(1052);
+        generators::try_forest_union_into(tm_n, 3, 1.0, &mut rng, &mut sink)
+    })
+    .expect("ten-million tier builds");
+    let tm_build_secs = t_tm_build.elapsed().as_secs_f64();
+    let tm_fp = tm_g.memory_footprint();
+    let t_tm_solve = Instant::now();
+    let tm_sol = weighted::solve(&tm_g, &cfg).expect("ten-million tier solves");
+    let tm_solve_secs = t_tm_solve.elapsed().as_secs_f64();
+    let tm_m = tm_g.m();
+    drop(tm_g);
 
     // --- instrumented phase breakdown (E-SCALE-e / "phase_breakdown") ---
     // One Theorem 1.1 run on the 50k workload through the persistent pool
@@ -474,6 +507,39 @@ fn sim_bench(scale: Scale) -> Vec<Table> {
         hg.m(),
     ));
 
+    let mut tm_table = Table::new(
+        "E-SCALE-f",
+        format!("10⁷ tier, n = {tm_n} unit-weight forest union (α = 3, streamed)"),
+        &["stage", "wall s", "detail"],
+    );
+    tm_table.row(vec![
+        "stream build".into(),
+        f2(tm_build_secs),
+        format!(
+            "{} edges; footprint {} MB = offsets {} + neighbors {} + weights {} bytes",
+            tm_m,
+            tm_fp.total() / (1024 * 1024),
+            tm_fp.offsets_bytes,
+            tm_fp.neighbors_bytes,
+            tm_fp.weights_bytes,
+        ),
+    ]);
+    tm_table.row(vec![
+        "thm11 solve".into(),
+        f2(tm_solve_secs),
+        format!(
+            "{} iterations, |DS| = {}, weight {}",
+            tm_sol.iterations, tm_sol.size, tm_sol.weight,
+        ),
+    ]);
+    tm_table.note(format!(
+        "written to BENCH_sim.json under \"ten_million\": the compact \
+         unit-weight tier (4 bytes/node offsets + 8 bytes/edge neighbors, \
+         zero weight bytes) streamed via the exact-capacity two-pass build \
+         and solved once end to end. Full scale is n = {TEN_MILLION_FULL_N}; \
+         quick scale downsizes the instance but keeps the code path.",
+    ));
+
     // --- BENCH_sim.json ---
     // Rendered with the tiny JSON builder below (keys and values here are
     // plain identifiers and finite numbers, nothing needs escaping), so
@@ -534,8 +600,50 @@ fn sim_bench(scale: Scale) -> Vec<Table> {
                 .render(),
         )
         .raw("current", huge_current.render());
+    let tm_json = JsonObj::new()
+        .raw(
+            "workload",
+            JsonObj::new()
+                .str("graph", "forest_union")
+                .int("alpha", 3)
+                .int("n", tm_n)
+                .int("m", tm_m)
+                .str("weights", "unit")
+                .str(
+                    "scale",
+                    if scale == Scale::Full {
+                        "full"
+                    } else {
+                        "quick"
+                    },
+                )
+                .num("build_seconds", tm_build_secs)
+                .raw(
+                    "footprint",
+                    JsonObj::new()
+                        .int("offsets_bytes", tm_fp.offsets_bytes)
+                        .int("neighbors_bytes", tm_fp.neighbors_bytes)
+                        .int("weights_bytes", tm_fp.weights_bytes)
+                        .int("total_bytes", tm_fp.total())
+                        .render(),
+                )
+                .render(),
+        )
+        .raw(
+            "thm11",
+            JsonObj::new()
+                .int("iterations", tm_sol.iterations)
+                .int("ds_size", tm_sol.size)
+                .u64("ds_weight", tm_sol.weight)
+                .num("solve_seconds", tm_solve_secs)
+                .num(
+                    "nodes_per_sec",
+                    (tm_n as f64 / tm_solve_secs.max(1e-9)).round(),
+                )
+                .render(),
+        );
     let json = JsonObj::new()
-        .str("schema", "arbodom-sim-bench/v3")
+        .str("schema", "arbodom-sim-bench/v4")
         .raw(
             "workload",
             JsonObj::new()
@@ -575,6 +683,7 @@ fn sim_bench(scale: Scale) -> Vec<Table> {
         .raw("speedup_vs_pre_pr", speedups.render())
         .raw("phase_breakdown", phase_json.render())
         .raw("huge", huge_json.render())
+        .raw("ten_million", tm_json.render())
         .render();
     // Write the trajectory file for real invocations only: full-scale
     // runs, or explicitly downscaled ones (CI sets `ARBODOM_QUICK=1` and
@@ -594,7 +703,7 @@ fn sim_bench(scale: Scale) -> Vec<Table> {
             eprintln!("warning: could not write {}: {e}", path.display());
         }
     }
-    vec![table, phase_table, huge_table]
+    vec![table, phase_table, huge_table, tm_table]
 }
 
 // The JSON builder previously defined here moved to

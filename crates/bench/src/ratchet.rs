@@ -8,9 +8,12 @@
 //!
 //! * [`check`] gates `BENCH_sim.json`: schema version, every workload row
 //!   of the 50k trajectory and the million-node `huge` tier present with
-//!   nonzero rounds/messages/throughput, the instrumented
-//!   `phase_breakdown` block populated (every simulator phase histogram
-//!   counted), and the frozen pre-PR reference block carried forward;
+//!   nonzero rounds/messages/throughput, the streamed `ten_million` tier
+//!   present (full-scale n = 10⁷ in the committed baseline, byte-accurate
+//!   footprint fields, zero weight bytes, a nonzero Theorem 1.1 solve),
+//!   the instrumented `phase_breakdown` block populated (every simulator
+//!   phase histogram counted), and the frozen pre-PR reference block
+//!   carried forward;
 //! * [`check_scenarios`] gates `BENCH_scenarios.json`: schema version,
 //!   every baseline scenario — static matrix *and* the dynamic `churn`
 //!   family — still produced with a nonzero cell count, zero quality
@@ -69,6 +72,35 @@ const SIM_PHASE_METRICS: &[&str] = &[
 /// writer regression dropped these from a regenerated baseline too, no
 /// gate would notice without this explicit list.
 const POOL_ROWS: &[&str] = &["flood_measure_pool4", "thm11_measure_pool4"];
+
+/// The full-scale size of the streamed `ten_million` tier: the committed
+/// baseline must actually carry the 10⁷-node row, so a quick-mode
+/// regeneration of the baseline cannot silently retire the tier.
+const TEN_MILLION_N: f64 = 10_000_000.0;
+
+/// The `ten_million` fields that must be present and **nonzero** in both
+/// artifacts, as `(label, path)` — structure only, never a wall-clock
+/// comparison.
+const TEN_MILLION_NONZERO: &[(&str, &[&str])] = &[
+    ("workload.m", &["workload", "m"]),
+    ("workload.build_seconds", &["workload", "build_seconds"]),
+    (
+        "workload.footprint.offsets_bytes",
+        &["workload", "footprint", "offsets_bytes"],
+    ),
+    (
+        "workload.footprint.neighbors_bytes",
+        &["workload", "footprint", "neighbors_bytes"],
+    ),
+    (
+        "workload.footprint.total_bytes",
+        &["workload", "footprint", "total_bytes"],
+    ),
+    ("thm11.iterations", &["thm11", "iterations"]),
+    ("thm11.ds_size", &["thm11", "ds_size"]),
+    ("thm11.ds_weight", &["thm11", "ds_weight"]),
+    ("thm11.solve_seconds", &["thm11", "solve_seconds"]),
+];
 
 /// Evaluates the structure gate of `current` (the quick-mode artifact CI
 /// just produced) against `baseline` (the committed full-scale artifact).
@@ -150,6 +182,62 @@ pub fn check(current: &JsonValue, baseline: &JsonValue) -> RatchetReport {
                 mmsg(cur_rows),
                 if row_ok { "✅" } else { "❌" },
             ));
+        }
+    }
+
+    // The streamed 10⁷ tier: presence and structure only, never
+    // wall-clock. The quick artifact keeps the same shape at a smaller
+    // instance; the committed baseline must carry the actual full-scale
+    // row and stay on the compact unit-weight representation.
+    fn tm_field(tm: &JsonValue, path: &[&str]) -> Option<f64> {
+        let mut v = tm;
+        for key in path {
+            v = v.get(key)?;
+        }
+        v.as_f64()
+    }
+    for (which, doc) in [("baseline", baseline), ("current", current)] {
+        let Some(tm) = doc.get("ten_million") else {
+            violations.push(format!(
+                "{which} artifact has no `ten_million` section — the streamed 10⁷ tier \
+                 was dropped"
+            ));
+            continue;
+        };
+        match tm_field(tm, &["workload", "n"]) {
+            Some(v) if v > 0.0 => {
+                if which == "baseline" && v != TEN_MILLION_N {
+                    violations.push(format!(
+                        "ten_million: committed baseline n is {v}, not {TEN_MILLION_N} — the \
+                         full-scale 10⁷ row was lost (quick-mode regeneration of the baseline?)"
+                    ));
+                }
+            }
+            _ => violations.push(format!(
+                "ten_million: `workload.n` missing or zero in the {which} artifact"
+            )),
+        }
+        for &(label, path) in TEN_MILLION_NONZERO {
+            match tm_field(tm, path) {
+                Some(v) if v > 0.0 => {}
+                Some(v) => violations.push(format!(
+                    "ten_million: `{label}` is {v} in the {which} artifact (must be > 0)"
+                )),
+                None => violations.push(format!(
+                    "ten_million: `{label}` missing from the {which} artifact"
+                )),
+            }
+        }
+        match tm_field(tm, &["workload", "footprint", "weights_bytes"]) {
+            Some(0.0) => {}
+            Some(v) => violations.push(format!(
+                "ten_million: `workload.footprint.weights_bytes` is {v} in the {which} \
+                 artifact — the tier must stay on the compact unit-weight representation"
+            )),
+            None => violations.push(format!(
+                "ten_million: `workload.footprint.weights_bytes` missing from the {which} \
+                 artifact"
+            )),
         }
     }
 
@@ -526,8 +614,9 @@ mod tests {
                 )
             })
             .collect();
+        let ten_million = r#","ten_million":{"workload":{"graph":"forest_union","alpha":3,"n":10000000,"m":9453892,"weights":"unit","scale":"full","build_seconds":14.2,"footprint":{"offsets_bytes":40000004,"neighbors_bytes":75631136,"weights_bytes":0,"total_bytes":115631140}},"thm11":{"iterations":33,"ds_size":2950000,"ds_weight":2950000,"solve_seconds":21.5,"nodes_per_sec":465116}}"#;
         format!(
-            r#"{{"schema":"{schema}","baseline_pre_pr":{{"commit":"92bbb82","msgs_per_sec":{{"flood_measure_seq":6780170}}}},"current":{{"flood_measure_seq":{{"rounds":21,"messages":5999560,"wall_seconds":0.14,"msgs_per_sec":{seq_rate}}}{pool}}},"phase_breakdown":{{{},"sim_rounds_total":33,"sim_messages_total":847210}}{huge}}}"#,
+            r#"{{"schema":"{schema}","baseline_pre_pr":{{"commit":"92bbb82","msgs_per_sec":{{"flood_measure_seq":6780170}}}},"current":{{"flood_measure_seq":{{"rounds":21,"messages":5999560,"wall_seconds":0.14,"msgs_per_sec":{seq_rate}}}{pool}}},"phase_breakdown":{{{},"sim_rounds_total":33,"sim_messages_total":847210}}{huge}{ten_million}}}"#,
             phases.join(",")
         )
     }
@@ -613,6 +702,55 @@ mod tests {
             .violations
             .iter()
             .any(|v| v.contains("`sim_compute_nanos.count` is 0")));
+    }
+
+    #[test]
+    fn ten_million_tier_gates_presence_scale_and_unit_weights() {
+        let base_s = artifact("arbodom-sim-bench/v2", 42e6, true);
+        let base = parse(&base_s);
+
+        // Dropped section fails in either artifact.
+        let gone = base_s.replace("\"ten_million\"", "\"ten_million_gone\"");
+        let report = check(&parse(&gone), &base);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("no `ten_million` section") && v.contains("current")),
+            "{:?}",
+            report.violations
+        );
+
+        // A quick-mode regeneration of the committed baseline (n < 10⁷)
+        // must fail, while the same downsized artifact passes as
+        // `current` (that is exactly what CI produces).
+        let small = parse(&base_s.replace(r#""n":10000000"#, r#""n":100000"#));
+        let report = check(&base, &small);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("full-scale 10⁷ row was lost")),
+            "{:?}",
+            report.violations
+        );
+        assert!(check(&small, &base).ok(), "downsized current must pass");
+
+        // Explicit weights sneaking into the tier must fail.
+        let weighted = base_s.replace(r#""weights_bytes":0"#, r#""weights_bytes":80000000"#);
+        let report = check(&parse(&weighted), &base);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("compact unit-weight representation")));
+
+        // A zero solve measurement means the tier silently did nothing.
+        let stalled = base_s.replace(r#""solve_seconds":21.5"#, r#""solve_seconds":0"#);
+        let report = check(&parse(&stalled), &base);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("`thm11.solve_seconds` is 0")));
     }
 
     #[test]

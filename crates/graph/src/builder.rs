@@ -1,5 +1,6 @@
-//! Incremental construction of [`Graph`]s.
+//! Incremental and streaming construction of [`Graph`]s.
 
+use crate::csr::Weights;
 use crate::{Graph, GraphError, NodeId, Result};
 
 /// A sink accepting a stream of undirected edges — the target of the
@@ -25,6 +26,15 @@ pub trait EdgeSink {
 impl EdgeSink for GraphBuilder {
     fn accept_edge(&mut self, u: u32, v: u32) -> Result<()> {
         self.add_edge_u32(u, v).map(|_| ())
+    }
+}
+
+// A mutable reference forwards to its referent, so generators taking
+// `&mut impl EdgeSink` also accept the `&mut dyn EdgeSink` handed out by
+// [`Graph::from_edge_stream`] (via `&mut sink`).
+impl<S: EdgeSink + ?Sized> EdgeSink for &mut S {
+    fn accept_edge(&mut self, u: u32, v: u32) -> Result<()> {
+        (**self).accept_edge(u, v)
     }
 }
 
@@ -68,7 +78,9 @@ impl EdgeSink for EdgeCounter {
 pub struct GraphBuilder {
     n: usize,
     edges: Vec<(NodeId, NodeId)>,
-    weights: Vec<u64>,
+    /// Lazily materialized: `None` means "all nodes weigh 1" and costs
+    /// zero bytes, so unit-weight builds never touch an 8n-byte vector.
+    weights: Option<Vec<u64>>,
 }
 
 impl GraphBuilder {
@@ -99,8 +111,31 @@ impl GraphBuilder {
         Ok(GraphBuilder {
             n,
             edges: Vec::new(),
-            weights: vec![1; n],
+            weights: None,
         })
+    }
+
+    /// Like [`GraphBuilder::new`] but with the edge buffer reserved to an
+    /// exact capacity up front — generators that know their edge count a
+    /// priori (preferential attachment, cliques, grids) build without any
+    /// `Vec`-doubling reallocation peak.
+    ///
+    /// # Panics
+    ///
+    /// Panics where [`GraphBuilder::try_with_capacity`] errors.
+    pub fn with_capacity(n: usize, edges: usize) -> Self {
+        Self::try_with_capacity(n, edges).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`GraphBuilder::with_capacity`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidParameter`] when `n > u32::MAX`.
+    pub fn try_with_capacity(n: usize, edges: usize) -> Result<Self> {
+        let mut b = Self::try_new(n)?;
+        b.edges.reserve_exact(edges);
+        Ok(b)
     }
 
     /// Number of nodes the built graph will have.
@@ -150,7 +185,7 @@ impl GraphBuilder {
         if w == 0 {
             return Err(GraphError::ZeroWeight(v));
         }
-        self.weights[v.index()] = w;
+        self.weights.get_or_insert_with(|| vec![1; self.n])[v.index()] = w;
         Ok(self)
     }
 
@@ -194,8 +229,218 @@ impl GraphBuilder {
         Graph {
             offsets,
             neighbors,
-            weights: self.weights,
+            weights: match self.weights {
+                None => Weights::Unit,
+                Some(ws) => Weights::from_vec(ws),
+            },
         }
+    }
+}
+
+/// Pass-1 sink of [`Graph::from_edge_stream`]: counts per-node degrees
+/// (into what will become the offset table) and the total edge count.
+struct DegreePass<'a> {
+    n: usize,
+    /// `counts[v]` accumulates `deg(v)`; the trailing slot stays 0.
+    counts: &'a mut [u32],
+    edges: u64,
+}
+
+impl EdgeSink for DegreePass<'_> {
+    fn accept_edge(&mut self, u: u32, v: u32) -> Result<()> {
+        if u == v {
+            return Err(GraphError::SelfLoop(NodeId::new(u)));
+        }
+        for w in [u, v] {
+            if w as usize >= self.n {
+                return Err(GraphError::NodeOutOfRange {
+                    node: NodeId::new(w),
+                    n: self.n,
+                });
+            }
+        }
+        // 2 · edges must fit the u32 offset space; reject before a
+        // degree counter can overflow.
+        if self.edges >= (u32::MAX / 2) as u64 {
+            return Err(GraphError::InvalidParameter(format!(
+                "edge stream exceeds the u32 CSR offset space (> {} edges)",
+                u32::MAX / 2
+            )));
+        }
+        self.counts[u as usize] += 1;
+        self.counts[v as usize] += 1;
+        self.edges += 1;
+        Ok(())
+    }
+}
+
+/// Pass-2 sink of [`Graph::from_edge_stream`]: scatters both directions
+/// of each edge into the exactly-sized neighbor array, using the offset
+/// table itself as the write cursors.
+struct FillPass<'a> {
+    n: usize,
+    cursors: &'a mut [u32],
+    neighbors: &'a mut [NodeId],
+    accepted: u64,
+    expected: u64,
+}
+
+impl EdgeSink for FillPass<'_> {
+    fn accept_edge(&mut self, u: u32, v: u32) -> Result<()> {
+        if u == v {
+            return Err(GraphError::SelfLoop(NodeId::new(u)));
+        }
+        for w in [u, v] {
+            if w as usize >= self.n {
+                return Err(GraphError::NodeOutOfRange {
+                    node: NodeId::new(w),
+                    n: self.n,
+                });
+            }
+        }
+        if self.accepted == self.expected {
+            return Err(GraphError::InvalidParameter(
+                "from_edge_stream: the stream emitted more edges on the second \
+                 pass than on the first — it must be deterministic"
+                    .into(),
+            ));
+        }
+        self.neighbors[self.cursors[u as usize] as usize] = NodeId::new(v);
+        self.cursors[u as usize] += 1;
+        self.neighbors[self.cursors[v as usize] as usize] = NodeId::new(u);
+        self.cursors[v as usize] += 1;
+        self.accepted += 1;
+        Ok(())
+    }
+}
+
+impl Graph {
+    /// Builds a unit-weight graph from a **replayable** edge stream in
+    /// two passes, allocating the CSR arrays at their exact final size —
+    /// the memory-tiered build path for huge instances.
+    ///
+    /// `stream` is invoked exactly twice and must emit the identical edge
+    /// sequence both times (re-seed any RNG before each call — the
+    /// closure receives nothing but the sink, so deterministic replay is
+    /// the caller's contract; the edge *counts* of the two passes are
+    /// checked and a mismatch is rejected). Pass 1 counts per-node
+    /// degrees, sizing the `4(n + 1)`-byte offset table and the
+    /// `8 · edges`-byte neighbor array exactly; pass 2 scatters the edges
+    /// into place. Duplicate edges are then merged in place.
+    ///
+    /// Unlike the [`GraphBuilder`] path, no intermediate edge `Vec` is
+    /// ever buffered and nothing is ever reallocated upward: **peak heap
+    /// during construction equals the final [`Graph::memory_footprint`]**
+    /// plus whatever state the generator itself keeps (plus the
+    /// duplicate-edge slack reclaimed at the end, zero for
+    /// duplicate-free streams). The builder path peaks at roughly twice
+    /// the final footprint on top of `Vec`-doubling spikes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream errors; rejects self-loops, out-of-range
+    /// endpoints, `n` beyond the `u32` id space, streams of more than
+    /// `u32::MAX / 2` edges, and streams that change length between the
+    /// two passes.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use arbodom_graph::{EdgeSink, Graph};
+    /// // A 4-cycle, streamed twice (no RNG, so replay is trivial).
+    /// let g = Graph::from_edge_stream(4, |sink| {
+    ///     for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+    ///         sink.accept_edge(u, v)?;
+    ///     }
+    ///     Ok(())
+    /// })?;
+    /// assert_eq!(g.m(), 4);
+    /// assert_eq!(g.memory_footprint().weights_bytes, 0);
+    /// # Ok::<(), arbodom_graph::GraphError>(())
+    /// ```
+    pub fn from_edge_stream(
+        n: usize,
+        mut stream: impl FnMut(&mut dyn EdgeSink) -> Result<()>,
+    ) -> Result<Graph> {
+        if n > u32::MAX as usize {
+            return Err(GraphError::InvalidParameter(format!(
+                "graphs are limited to u32 node ids, got n = {n}"
+            )));
+        }
+        // Pass 1: count degrees straight into the future offset table.
+        let mut offsets = vec![0u32; n + 1];
+        let mut pass1 = DegreePass {
+            n,
+            counts: &mut offsets,
+            edges: 0,
+        };
+        stream(&mut pass1)?;
+        let expected = pass1.edges;
+        // Exclusive prefix sum: counts become starts, the tail slot the
+        // total directed-edge count.
+        let mut acc = 0u32;
+        for slot in offsets.iter_mut() {
+            let d = *slot;
+            *slot = acc;
+            acc += d;
+        }
+        // Pass 2: exactly-sized neighbor array; the offset entries serve
+        // as write cursors and drift from start(v) to end(v).
+        let mut neighbors = vec![NodeId::new(0); acc as usize];
+        let mut pass2 = FillPass {
+            n,
+            cursors: &mut offsets,
+            neighbors: &mut neighbors,
+            accepted: 0,
+            expected,
+        };
+        stream(&mut pass2)?;
+        if pass2.accepted != expected {
+            return Err(GraphError::InvalidParameter(format!(
+                "from_edge_stream: the stream emitted {} edges on the second \
+                 pass but {expected} on the first — it must be deterministic",
+                pass2.accepted
+            )));
+        }
+        // Shift the drifted cursors back into an offset table:
+        // end(v − 1) = start(v).
+        for v in (1..=n).rev() {
+            offsets[v] = offsets[v - 1];
+        }
+        if n > 0 {
+            offsets[0] = 0;
+        }
+        // Sort each adjacency list, then merge duplicates in place with a
+        // single forward compaction over the neighbor array.
+        for v in 0..n {
+            neighbors[offsets[v] as usize..offsets[v + 1] as usize].sort_unstable();
+        }
+        let mut write = 0u32;
+        let mut read_start = 0usize;
+        for v in 0..n {
+            let read_end = offsets[v + 1] as usize;
+            offsets[v] = write;
+            let mut prev = None;
+            for i in read_start..read_end {
+                let x = neighbors[i];
+                if prev != Some(x) {
+                    neighbors[write as usize] = x;
+                    write += 1;
+                    prev = Some(x);
+                }
+            }
+            read_start = read_end;
+        }
+        offsets[n] = write;
+        if (write as usize) < neighbors.len() {
+            neighbors.truncate(write as usize);
+            neighbors.shrink_to_fit();
+        }
+        Ok(Graph {
+            offsets,
+            neighbors,
+            weights: Weights::Unit,
+        })
     }
 }
 
@@ -234,6 +479,76 @@ mod tests {
         assert!(g.has_edge(NodeId::new(1), NodeId::new(2)));
         assert!(g.has_edge(NodeId::new(2), NodeId::new(1)));
         assert!(g.has_edge(NodeId::new(3), NodeId::new(0)));
+    }
+
+    #[test]
+    fn edge_stream_matches_builder_path() {
+        let edges = [(0u32, 1u32), (1, 2), (2, 1), (3, 4), (0, 1), (4, 0)];
+        let via_builder = Graph::from_edges(5, edges).unwrap();
+        let via_stream = Graph::from_edge_stream(5, |sink| {
+            for (u, v) in edges {
+                sink.accept_edge(u, v)?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(via_stream, via_builder);
+        assert_eq!(
+            crate::digest::edge_digest(&via_stream),
+            crate::digest::edge_digest(&via_builder)
+        );
+        assert!(via_stream.is_unit_weighted());
+    }
+
+    #[test]
+    fn edge_stream_rejects_bad_edges_and_nondeterminism() {
+        assert!(matches!(
+            Graph::from_edge_stream(3, |s| s.accept_edge(1, 1)),
+            Err(GraphError::SelfLoop(_))
+        ));
+        assert!(matches!(
+            Graph::from_edge_stream(3, |s| s.accept_edge(0, 3)),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+        // A stream that grows between passes must be rejected, not
+        // silently corrupt the CSR arrays.
+        let mut calls = 0;
+        let grew = Graph::from_edge_stream(4, |s| {
+            calls += 1;
+            for v in 1..=calls {
+                s.accept_edge(0, v)?;
+            }
+            Ok(())
+        });
+        assert!(matches!(grew, Err(GraphError::InvalidParameter(_))));
+        let mut calls = 0;
+        let shrank = Graph::from_edge_stream(4, |s| {
+            calls += 1;
+            for v in calls..=2 {
+                s.accept_edge(0, v)?;
+            }
+            Ok(())
+        });
+        assert!(matches!(shrank, Err(GraphError::InvalidParameter(_))));
+    }
+
+    #[test]
+    fn edge_stream_handles_empty_and_edgeless_graphs() {
+        let empty = Graph::from_edge_stream(0, |_| Ok(())).unwrap();
+        assert_eq!(empty.n(), 0);
+        let edgeless = Graph::from_edge_stream(7, |_| Ok(())).unwrap();
+        assert_eq!((edgeless.n(), edgeless.m()), (7, 0));
+    }
+
+    #[test]
+    fn with_capacity_builds_identically() {
+        let mut a = GraphBuilder::with_capacity(4, 3);
+        let mut b = GraphBuilder::new(4);
+        for (u, v) in [(0, 1), (1, 2), (2, 3)] {
+            a.add_edge_u32(u, v).unwrap();
+            b.add_edge_u32(u, v).unwrap();
+        }
+        assert_eq!(a.build(), b.build());
     }
 
     #[test]

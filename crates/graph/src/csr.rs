@@ -105,7 +105,41 @@ impl fmt::Display for NodeId {
 pub struct Graph {
     pub(crate) offsets: Vec<u32>,
     pub(crate) neighbors: Vec<NodeId>,
-    pub(crate) weights: Vec<u64>,
+    pub(crate) weights: Weights,
+}
+
+/// Memory-tiered node-weight storage.
+///
+/// Unit-weight graphs — every generator output before a
+/// [`crate::weights::WeightModel`] is applied, the whole `huge` scenario
+/// tier — store **zero** weight bytes instead of an 8-bytes-per-node
+/// all-ones vector. Only genuinely weighted graphs pay for a `Vec<u64>`.
+///
+/// Canonical-form invariant: `Explicit` is never all-ones. Every
+/// constructor ([`GraphBuilder::build`], [`Graph::with_weights`],
+/// [`crate::io::read_edge_list`]) canonicalizes through
+/// [`Weights::from_vec`], so the derived `PartialEq` on [`Graph`] makes a
+/// compact unit-weight graph equal to one built from an explicit all-ones
+/// weight vector — the two are literally the same value.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub(crate) enum Weights {
+    /// Every node has weight 1; stored in zero heap bytes.
+    Unit,
+    /// At least one node has weight ≠ 1 (canonical: never all-ones).
+    Explicit(Vec<u64>),
+}
+
+impl Weights {
+    /// Canonicalizes a full weight vector: all-ones collapses to
+    /// [`Weights::Unit`], anything else is kept explicit. Callers have
+    /// already validated positivity and length.
+    pub(crate) fn from_vec(weights: Vec<u64>) -> Weights {
+        if weights.iter().all(|&w| w == 1) {
+            Weights::Unit
+        } else {
+            Weights::Explicit(weights)
+        }
+    }
 }
 
 impl Graph {
@@ -220,17 +254,45 @@ impl Graph {
     ///
     /// Panics if `v` is out of range.
     pub fn weight(&self, v: NodeId) -> u64 {
-        self.weights[v.index()]
+        match &self.weights {
+            Weights::Unit => {
+                assert!(
+                    v.index() < self.n(),
+                    "node {v} out of range (n = {})",
+                    self.n()
+                );
+                1
+            }
+            Weights::Explicit(ws) => ws[v.index()],
+        }
     }
 
-    /// All node weights, indexed by node id.
-    pub fn weights(&self) -> &[u64] {
-        &self.weights
+    /// The explicit weight vector, when one is stored: `Some` iff the
+    /// graph is *not* unit-weighted. Unit-weight graphs store no weight
+    /// array at all (see [`Graph::memory_footprint`]) — callers that need
+    /// per-node weights regardless use [`Graph::weight`] or
+    /// [`Graph::weights_vec`].
+    pub fn explicit_weights(&self) -> Option<&[u64]> {
+        match &self.weights {
+            Weights::Unit => None,
+            Weights::Explicit(ws) => Some(ws),
+        }
     }
 
-    /// Returns `true` if every node has weight 1.
+    /// All node weights as an owned vector, materializing `vec![1; n]`
+    /// for unit-weight graphs. Intended for export paths; hot loops use
+    /// [`Graph::weight`].
+    pub fn weights_vec(&self) -> Vec<u64> {
+        match &self.weights {
+            Weights::Unit => vec![1; self.n()],
+            Weights::Explicit(ws) => ws.clone(),
+        }
+    }
+
+    /// Returns `true` if every node has weight 1. `O(1)`: the compact
+    /// representation is canonical, so unit-weightedness is a tag check.
     pub fn is_unit_weighted(&self) -> bool {
-        self.weights.iter().all(|&w| w == 1)
+        matches!(self.weights, Weights::Unit)
     }
 
     /// Total weight of a set of nodes.
@@ -258,24 +320,30 @@ impl Graph {
         Ok(Graph {
             offsets: self.offsets.clone(),
             neighbors: self.neighbors.clone(),
-            weights,
+            weights: Weights::from_vec(weights),
         })
     }
 
-    /// The heap footprint of the frozen representation, by component.
+    /// The heap footprint of the frozen representation, by component —
+    /// byte-accurate for the memory-tiered layout.
     ///
-    /// The CSR arrays are sized exactly at [`GraphBuilder::build`] time,
-    /// so this is the steady-state cost of *holding* the graph:
-    /// `4(n + 1)` offset bytes, `8m` neighbor bytes (each undirected edge
-    /// appears in both endpoints' lists), and `8n` weight bytes —
-    /// about `12n + 8m` bytes total. Million-node planning math lives on
-    /// top of this accessor; see the workspace README's million-node
+    /// The CSR arrays are sized exactly at build time, so this is the
+    /// steady-state cost of *holding* the graph: `4(n + 1)` offset bytes,
+    /// `8m` neighbor bytes (each undirected edge appears in both
+    /// endpoints' lists), and either **0** weight bytes (unit-weight
+    /// graphs — the compact [`Weights::Unit`] tier) or `8n` (explicit
+    /// weights). So `4n + 8m` bytes for the unweighted tier and
+    /// `12n + 8m` for the weighted one. Memory-tiered planning math lives
+    /// on top of this accessor; see the workspace README's memory-tiered
     /// section.
     pub fn memory_footprint(&self) -> MemoryFootprint {
         MemoryFootprint {
             offsets_bytes: self.offsets.len() * std::mem::size_of::<u32>(),
             neighbors_bytes: self.neighbors.len() * std::mem::size_of::<NodeId>(),
-            weights_bytes: self.weights.len() * std::mem::size_of::<u64>(),
+            weights_bytes: match &self.weights {
+                Weights::Unit => 0,
+                Weights::Explicit(ws) => ws.len() * std::mem::size_of::<u64>(),
+            },
         }
     }
 
@@ -305,7 +373,8 @@ pub struct MemoryFootprint {
     pub offsets_bytes: usize,
     /// The `2m` flat neighbor array (`u32` node ids).
     pub neighbors_bytes: usize,
-    /// The `n` node weights (`u64` each).
+    /// The node weights: `0` for the compact unit-weight tier, `8n` for
+    /// explicit weights.
     pub weights_bytes: usize,
 }
 
@@ -438,6 +507,31 @@ mod tests {
             assert_eq!(r.start, offsets[v.index()] as usize);
             assert_eq!(r.end, offsets[v.index() + 1] as usize);
         }
+    }
+
+    #[test]
+    fn unit_graphs_store_zero_weight_bytes() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert!(g.is_unit_weighted());
+        assert!(g.explicit_weights().is_none());
+        assert_eq!(g.memory_footprint().weights_bytes, 0);
+        assert_eq!(g.weights_vec(), vec![1; 4]);
+        // Explicit weights pay 8n; reverting to all-ones collapses back
+        // to the compact tier — the canonical form is a true invariant.
+        let w = g.with_weights(vec![2, 1, 1, 1]).unwrap();
+        assert_eq!(w.memory_footprint().weights_bytes, 8 * 4);
+        assert_eq!(w.explicit_weights(), Some(&[2, 1, 1, 1][..]));
+        let back = w.with_weights(vec![1; 4]).unwrap();
+        assert!(back.is_unit_weighted());
+        assert_eq!(back, g, "all-ones explicit must equal compact unit");
+        assert_eq!(back.memory_footprint().weights_bytes, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unit_weight_lookup_panics_out_of_range() {
+        let g = Graph::from_edges(2, [(0, 1)]).unwrap();
+        g.weight(NodeId::new(2));
     }
 
     #[test]

@@ -182,7 +182,14 @@ impl GraphDelta {
         for &(u, v) in &self.inserts {
             b.add_edge(u, v)?;
         }
-        b.build().with_weights(g.weights().to_vec())
+        let rebuilt = b.build();
+        // Carry the base graph's weights over verbatim — cloning the
+        // memory-tiered enum keeps a unit-weight base at zero weight
+        // bytes instead of materializing an all-ones vector.
+        Ok(Graph {
+            weights: g.weights.clone(),
+            ..rebuilt
+        })
     }
 
     /// Overlay apply: merges each touched node's sorted base adjacency
@@ -276,7 +283,7 @@ impl GraphDelta {
         Ok(Graph {
             offsets,
             neighbors,
-            weights: g.weights().to_vec(),
+            weights: g.weights.clone(),
         })
     }
 }
@@ -292,7 +299,7 @@ mod tests {
 
     fn csr_bytes(g: &Graph) -> (Vec<u32>, Vec<NodeId>, Vec<u64>) {
         let (offsets, neighbors) = g.csr();
-        (offsets.to_vec(), neighbors.to_vec(), g.weights().to_vec())
+        (offsets.to_vec(), neighbors.to_vec(), g.weights_vec())
     }
 
     #[test]
@@ -349,7 +356,7 @@ mod tests {
             .unwrap();
         let d = GraphDelta::new([(0, 2)], [(0, 1)]).unwrap();
         let g2 = d.apply(&g).unwrap();
-        assert_eq!(g2.weights(), &[5, 1, 7]);
+        assert_eq!(g2.weights_vec(), vec![5, 1, 7]);
         assert_eq!(csr_bytes(&g2), csr_bytes(&d.apply_rebuild(&g).unwrap()));
     }
 

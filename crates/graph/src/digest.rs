@@ -52,8 +52,8 @@ pub fn edge_digest(g: &Graph) -> u64 {
         h = fold(h, u.get() as u64);
         h = fold(h, v.get() as u64);
     }
-    if !g.is_unit_weighted() {
-        for &w in g.weights() {
+    if let Some(ws) = g.explicit_weights() {
+        for &w in ws {
             h = fold(h, w);
         }
     }

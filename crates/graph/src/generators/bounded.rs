@@ -172,6 +172,19 @@ pub fn try_preferential_attachment(
     m_per_node: usize,
     rng: &mut impl Rng,
 ) -> Result<Graph> {
+    try_preferential_attachment_check(n, m_per_node)?;
+    // PA emits a known, duplicate-free edge count, so the builder's edge
+    // buffer can be reserved exactly: seed-clique edges plus exactly
+    // `m_per_node` attachments per later node.
+    let seed = m_per_node + 1;
+    let edges = seed * (seed - 1) / 2 + (n - seed) * m_per_node;
+    let mut b = GraphBuilder::try_with_capacity(n, edges)?;
+    try_preferential_attachment_into(n, m_per_node, rng, &mut b)?;
+    Ok(b.build())
+}
+
+/// Shared parameter validation of the two preferential-attachment forms.
+fn try_preferential_attachment_check(n: usize, m_per_node: usize) -> Result<()> {
     if m_per_node == 0 {
         return Err(GraphError::InvalidParameter(
             "preferential_attachment: m_per_node must be at least 1".into(),
@@ -182,27 +195,67 @@ pub fn try_preferential_attachment(
             "preferential_attachment: need n > m_per_node, got n = {n}, m_per_node = {m_per_node}"
         )));
     }
-    let mut b = GraphBuilder::new(n);
+    Ok(())
+}
+
+/// Streaming form of [`preferential_attachment`]: emits each edge
+/// straight into `sink` as it is decided. Draws exactly the same random
+/// values in the same order as the historical builder path — the
+/// per-seed output is frozen by the seed-stability pins — so both forms
+/// produce the same graph for the same `rng` state.
+///
+/// The historical implementation kept an explicit endpoint *multiset*
+/// (`2` entries per edge, `8` bytes per edge) for degree-proportional
+/// sampling. That multiset is perfectly regular: entry `i < seed · m` is
+/// the seed node `i / m`; past the seed block, the odd entry of edge `k`
+/// is its source `seed + k / m` (every later node attaches exactly `m`
+/// times) and the even entry is its sampled target. So only the flat
+/// target list is actual information — this form stores exactly that
+/// (`4` bytes per attachment edge, half the historical helper state) and
+/// *computes* the rest of the multiset on demand, while drawing
+/// identical indices from `rng`.
+///
+/// # Errors
+///
+/// Same parameter validation as [`try_preferential_attachment`], plus
+/// sink rejections.
+pub fn try_preferential_attachment_into(
+    n: usize,
+    m_per_node: usize,
+    rng: &mut impl Rng,
+    sink: &mut impl EdgeSink,
+) -> Result<()> {
+    try_preferential_attachment_check(n, m_per_node)?;
     // Seed clique on m_per_node + 1 nodes.
     let seed = m_per_node + 1;
     for u in 0..seed as u32 {
         for v in (u + 1)..seed as u32 {
-            b.add_edge_u32(u, v).expect("seed edges are valid");
+            sink.accept_edge(u, v)?;
         }
     }
-    // Endpoint multiset for degree-proportional sampling.
-    let mut chances: Vec<u32> = Vec::with_capacity(2 * n * m_per_node);
-    for u in 0..seed as u32 {
-        for _ in 0..m_per_node {
-            chances.push(u);
+    // The virtual endpoint multiset: `base` seed entries, then two
+    // entries per attachment edge, of which only the target is stored.
+    let base = seed * m_per_node;
+    let mut targets_flat: Vec<u32> = Vec::with_capacity((n - seed) * m_per_node);
+    let chance = |i: usize, targets_flat: &[u32]| -> u32 {
+        if i < base {
+            (i / m_per_node) as u32
+        } else {
+            let k = i - base;
+            if k % 2 == 1 {
+                (seed + (k / 2) / m_per_node) as u32
+            } else {
+                targets_flat[k / 2]
+            }
         }
-    }
+    };
     for v in seed..n {
+        let len = base + 2 * targets_flat.len();
         let mut targets = std::collections::HashSet::with_capacity(m_per_node);
         // Rejection-sample m distinct targets.
         let mut guard = 0;
         while targets.len() < m_per_node {
-            let t = chances[rng.random_range(0..chances.len())];
+            let t = chance(rng.random_range(0..len), &targets_flat);
             targets.insert(t);
             guard += 1;
             if guard > 100 * m_per_node {
@@ -220,13 +273,11 @@ pub fn try_preferential_attachment(
         let mut targets: Vec<u32> = targets.into_iter().collect();
         targets.sort_unstable();
         for t in targets {
-            b.add_edge_u32(v as u32, t)
-                .expect("attachment edges are valid");
-            chances.push(t);
-            chances.push(v as u32);
+            sink.accept_edge(v as u32, t)?;
+            targets_flat.push(t);
         }
     }
-    Ok(b.build())
+    Ok(())
 }
 
 /// A planted dominating-set instance with a known small dominating set.

@@ -22,14 +22,17 @@
 //! delegating to it. The scenario-matrix families are new enough to have
 //! only the fallible form.
 //!
-//! The million-node families additionally have **streaming** `try_*_into`
-//! forms ([`try_random_tree_into`], [`try_forest_union_into`],
-//! [`try_random_planar_into`], [`try_power_law_capped_into`]) that emit
-//! edges straight into an [`crate::EdgeSink`] — usually a
-//! [`crate::GraphBuilder`] — so a huge instance builds without transient
-//! per-tree graphs or intermediate edge vectors. The builder-returning
-//! forms are thin wrappers over the streaming cores and draw the same
-//! random values, so the seed-stability pins cover both.
+//! Every memory-tiered family additionally has a **streaming**
+//! `try_*_into` form ([`try_random_tree_into`], [`try_forest_union_into`],
+//! [`try_random_planar_into`], [`try_power_law_capped_into`],
+//! [`try_preferential_attachment_into`], [`try_unit_disk_into`]) that
+//! emits edges straight into an [`crate::EdgeSink`] — a
+//! [`crate::GraphBuilder`], an [`crate::EdgeCounter`] dry-run, or the
+//! two-pass [`crate::Graph::from_edge_stream`] path — so a huge instance
+//! builds without transient per-tree graphs or intermediate edge
+//! vectors. The builder-returning forms are thin wrappers over the
+//! streaming cores and draw the same random values, so the
+//! seed-stability pins cover both.
 
 mod basic;
 mod bounded;
@@ -42,7 +45,7 @@ pub use basic::{
 pub use bounded::{
     forest_union, forest_union_partial, planted_ds, preferential_attachment, try_forest_union,
     try_forest_union_into, try_forest_union_partial, try_planted_ds, try_preferential_attachment,
-    PlantedInstance,
+    try_preferential_attachment_into, PlantedInstance,
 };
 pub use random::{
     bipartite_random, gnm, gnp, random_regular, random_tree, try_bipartite_random, try_gnm,
@@ -50,5 +53,5 @@ pub use random::{
 };
 pub use structured::{
     k_tree, power_law_capped, random_planar, try_power_law_capped_into, try_random_planar_into,
-    unit_disk,
+    try_unit_disk_into, unit_disk,
 };

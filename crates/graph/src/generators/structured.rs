@@ -254,6 +254,28 @@ pub fn try_power_law_capped_into(
 /// Returns [`GraphError::InvalidParameter`] if `n == 0` or `avg_degree` is
 /// not finite and positive.
 pub fn unit_disk(n: usize, avg_degree: f64, rng: &mut impl Rng) -> Result<Graph> {
+    let mut b = GraphBuilder::new(n);
+    try_unit_disk_into(n, avg_degree, rng, &mut b)?;
+    Ok(b.build())
+}
+
+/// Streaming form of [`unit_disk`]: every in-radius bucket pair is
+/// emitted straight into `sink` as the deterministic bucket scan finds
+/// it, so nothing edge-proportional is ever buffered — the only state is
+/// the `n` points and the node-proportional bucket grid. Draws exactly
+/// the same random values (the `2n` coordinates) in the same order as
+/// [`unit_disk`], so both forms produce the same graph for the same
+/// `rng` state.
+///
+/// # Errors
+///
+/// Same parameter validation as [`unit_disk`], plus sink rejections.
+pub fn try_unit_disk_into(
+    n: usize,
+    avg_degree: f64,
+    rng: &mut impl Rng,
+    sink: &mut impl EdgeSink,
+) -> Result<()> {
     if n == 0 {
         return Err(GraphError::InvalidParameter(
             "unit_disk: n must be at least 1".into(),
@@ -283,7 +305,6 @@ pub fn unit_disk(n: usize, avg_degree: f64, rng: &mut impl Rng) -> Result<Graph>
             .push(i as u32);
     }
     let r2 = r * r;
-    let mut b = GraphBuilder::new(n);
     for (i, &(x, y)) in pts.iter().enumerate() {
         let (cx, cy) = (cell_of(x), cell_of(y));
         for dx in -1..=1 {
@@ -297,13 +318,13 @@ pub fn unit_disk(n: usize, avg_degree: f64, rng: &mut impl Rng) -> Result<Graph>
                     }
                     let (px, py) = pts[j as usize];
                     if (px - x) * (px - x) + (py - y) * (py - y) <= r2 {
-                        b.add_edge_u32(i as u32, j)?;
+                        sink.accept_edge(i as u32, j)?;
                     }
                 }
             }
         }
     }
-    Ok(b.build())
+    Ok(())
 }
 
 #[cfg(test)]

@@ -29,8 +29,8 @@ pub fn write_edge_list(g: &Graph, writer: impl Write) -> std::io::Result<()> {
     for (u, v) in g.edges() {
         writeln!(w, "{} {}", u.get(), v.get())?;
     }
-    if !g.is_unit_weighted() {
-        let weights: Vec<String> = g.weights().iter().map(u64::to_string).collect();
+    if let Some(ws) = g.explicit_weights() {
+        let weights: Vec<String> = ws.iter().map(u64::to_string).collect();
         writeln!(w, "{}", weights.join(" "))?;
     }
     w.flush()
@@ -217,6 +217,23 @@ mod tests {
         let text = format!("{} 0\n", u64::from(u32::MAX) + 1);
         let err = read_edge_list(text.as_bytes()).unwrap_err();
         assert!(matches!(err, GraphError::InvalidParameter(_)), "{err:?}");
+    }
+
+    #[test]
+    fn read_back_unit_graph_is_compact() {
+        // Regression: a unit-weight graph read from disk must land in the
+        // compact representation (zero weight bytes), not an explicit
+        // all-ones vector — the memory-tiered footprint is pinned here.
+        let text = "4 3\n0 1\n1 2\n2 3\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert!(g.is_unit_weighted());
+        let fp = g.memory_footprint();
+        assert_eq!(fp.offsets_bytes, 4 * (4 + 1));
+        assert_eq!(fp.neighbors_bytes, 8 * 3);
+        assert_eq!(fp.weights_bytes, 0);
+        assert_eq!(fp.total(), 44);
+        // And identical to the same graph built in memory.
+        assert_eq!(g, Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap());
     }
 
     #[test]

@@ -96,7 +96,7 @@ mod tests {
             WeightModel::InverseDegree,
         ] {
             let wg = model.assign(&g, &mut rng);
-            assert!(wg.weights().iter().all(|&w| w >= 1), "{model:?}");
+            assert!(wg.weights_vec().iter().all(|&w| w >= 1), "{model:?}");
             assert_eq!(wg.n(), g.n());
             assert_eq!(wg.m(), g.m());
         }
@@ -123,7 +123,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(54);
         let g = generators::path(50);
         let wg = WeightModel::Uniform { lo: 5, hi: 9 }.assign(&g, &mut rng);
-        assert!(wg.weights().iter().all(|&w| (5..=9).contains(&w)));
+        assert!(wg.weights_vec().iter().all(|&w| (5..=9).contains(&w)));
     }
 
     #[test]

@@ -162,6 +162,25 @@ fn streaming_forms_match_builder_forms_digest_for_digest() {
     });
     assert_eq!(edge_digest(&direct), edge_digest(&streamed), "random_tree");
 
+    // Preferential attachment: the streaming form replaces the explicit
+    // endpoint multiset with a computed one — the pinned digest above
+    // proves it still draws the identical RNG sequence.
+    let direct = generators::preferential_attachment(300, 3, &mut rng());
+    let streamed = via_sink(300, |b| {
+        generators::try_preferential_attachment_into(300, 3, &mut rng(), b).unwrap()
+    });
+    assert_eq!(
+        edge_digest(&direct),
+        edge_digest(&streamed),
+        "preferential_attachment"
+    );
+
+    let direct = generators::unit_disk(400, 6.0, &mut rng()).unwrap();
+    let streamed = via_sink(400, |b| {
+        generators::try_unit_disk_into(400, 6.0, &mut rng(), b).unwrap()
+    });
+    assert_eq!(edge_digest(&direct), edge_digest(&streamed), "unit_disk");
+
     // A non-building sink proves the generators stream through the
     // `EdgeSink` interface (and sizes the instance without allocating it).
     let mut counter = arbodom_graph::EdgeCounter::default();
@@ -172,23 +191,72 @@ fn streaming_forms_match_builder_forms_digest_for_digest() {
     assert_eq!(counter.edges, 3 * 249, "α trees of n − 1 edges each");
 }
 
-/// Memory-footprint pin for the streaming path: the frozen CSR arrays of
-/// a streamed million-scale family cost exactly `4(n + 1) + 8m + 8n`
-/// bytes — the steady-state planning number the million-node docs quote.
-/// (The *peak* during construction is the builder's edge vector plus
-/// these arrays; streaming removed the per-tree intermediate graphs on
-/// top of that.)
+/// Memory-footprint pin for the streaming path: with the memory-tiered
+/// weight representation a unit-weight streamed family costs exactly
+/// `4(n + 1) + 8m` bytes — zero weight bytes — and gains back the 8n the
+/// old unconditional weight vector charged. Explicit weights restore the
+/// 8n. These are the steady-state planning numbers the memory-tiered
+/// docs quote.
 #[test]
 fn streamed_graph_memory_footprint_is_pinned() {
     let g = generators::forest_union(10_000, 3, &mut rng());
     let fp = g.memory_footprint();
     assert_eq!(fp.offsets_bytes, 4 * (g.n() + 1));
     assert_eq!(fp.neighbors_bytes, 8 * g.m());
-    assert_eq!(fp.weights_bytes, 8 * g.n());
-    assert_eq!(fp.total(), 4 * (g.n() + 1) + 8 * g.m() + 8 * g.n());
+    assert_eq!(fp.weights_bytes, 0, "unit weights are stored in zero bytes");
+    assert_eq!(fp.total(), 4 * (g.n() + 1) + 8 * g.m());
     // forest_union(α = 3) on 10k nodes: m ≤ 3(n − 1), so the whole frozen
-    // instance stays under the 12n + 24n ≈ 36n-byte envelope.
-    assert!(fp.total() <= 36 * g.n() + 4);
+    // unit-weight instance stays under the 4n + 24n = 28n-byte envelope.
+    assert!(fp.total() <= 28 * g.n() + 4);
+    // The explicit tier pays exactly 8n more.
+    let w = g
+        .with_weights((0..g.n() as u64).map(|i| i + 2).collect())
+        .unwrap();
+    let wfp = w.memory_footprint();
+    assert_eq!(wfp.weights_bytes, 8 * g.n());
+    assert_eq!(wfp.total(), fp.total() + 8 * g.n());
+}
+
+/// The two-pass exact-capacity build path must reproduce the pinned
+/// graphs bit for bit: replaying a streaming generator from a re-seeded
+/// RNG through [`arbodom_graph::Graph::from_edge_stream`] yields the
+/// same digest (and the same compact footprint) as the builder path —
+/// this is the 10⁷-tier construction route, so the pins must cover it.
+#[test]
+fn two_pass_stream_build_matches_builder_path() {
+    use arbodom_graph::Graph;
+
+    let via_builder = generators::forest_union(250, 3, &mut rng());
+    let via_stream = Graph::from_edge_stream(250, |mut sink| {
+        generators::try_forest_union_into(250, 3, 1.0, &mut rng(), &mut sink)
+    })
+    .unwrap();
+    assert_eq!(via_stream, via_builder);
+    assert_eq!(edge_digest(&via_stream), edge_digest(&via_builder));
+    assert_eq!(
+        via_stream.memory_footprint(),
+        via_builder.memory_footprint(),
+        "both paths freeze to the same exactly-sized arrays"
+    );
+
+    let via_builder = generators::preferential_attachment(300, 3, &mut rng());
+    let via_stream = Graph::from_edge_stream(300, |mut sink| {
+        generators::try_preferential_attachment_into(300, 3, &mut rng(), &mut sink)
+    })
+    .unwrap();
+    assert_eq!(via_stream, via_builder);
+
+    let via_builder = generators::unit_disk(400, 6.0, &mut rng()).unwrap();
+    let via_stream = Graph::from_edge_stream(400, |mut sink| {
+        generators::try_unit_disk_into(400, 6.0, &mut rng(), &mut sink)
+    })
+    .unwrap();
+    assert_eq!(via_stream, via_builder);
+    // Footprint pin for the streamed geometric family: unit weights cost
+    // zero bytes, so holding the instance is offsets + neighbors only.
+    let fp = via_stream.memory_footprint();
+    assert_eq!(fp.weights_bytes, 0);
+    assert_eq!(fp.total(), 4 * (via_stream.n() + 1) + 8 * via_stream.m());
 }
 
 /// The pins above freeze one parameterization each; this guard freezes the

@@ -10,7 +10,9 @@
 use arbodom_congest::{MeterMode, RunOptions, Telemetry};
 use arbodom_core::{distributed, general, partial, randomized, unknown_delta, weighted, DsResult};
 use arbodom_graph::weights::WeightModel;
-use arbodom_graph::{generators, Graph, GraphError, NodeId};
+use arbodom_graph::{
+    generators, EdgeCounter, EdgeSink, Graph, GraphError, MemoryFootprint, NodeId,
+};
 use rand::rngs::StdRng;
 
 /// Workload scale of a matrix run: `Quick` for CI smoke, `Full` for the
@@ -198,6 +200,86 @@ impl Family {
         }
     }
 
+    /// Whether the family's generator has a streaming `try_*_into` form,
+    /// i.e. whether [`Family::build`] goes through the exact-capacity
+    /// two-pass path and [`Family::planned_footprint`] can size the
+    /// instance without building it.
+    pub fn streams(&self) -> bool {
+        matches!(
+            self,
+            Family::ForestUnion { .. }
+                | Family::PrefAttach { .. }
+                | Family::RandomTree
+                | Family::RandomPlanar { .. }
+                | Family::PowerLawCapped { .. }
+                | Family::UnitDisk { .. }
+        )
+    }
+
+    /// Emits the family's edge stream into `sink`. Only valid for
+    /// families where [`Family::streams`] is true.
+    fn try_stream_into(
+        &self,
+        n: usize,
+        rng: &mut StdRng,
+        sink: &mut impl EdgeSink,
+    ) -> Result<(), GraphError> {
+        match self {
+            Family::ForestUnion { alpha, keep } => {
+                generators::try_forest_union_into(n, *alpha, *keep, rng, sink)
+            }
+            Family::PrefAttach { m_per_node } => {
+                generators::try_preferential_attachment_into(n, *m_per_node, rng, sink)
+            }
+            Family::RandomTree => generators::try_random_tree_into(n, rng, sink),
+            Family::RandomPlanar { diag_p } => {
+                generators::try_random_planar_into(n, *diag_p, rng, sink)
+            }
+            Family::PowerLawCapped { exponent, cap } => {
+                generators::try_power_law_capped_into(n, *exponent, *cap, rng, sink)
+            }
+            Family::UnitDisk { avg_degree } => {
+                generators::try_unit_disk_into(n, *avg_degree, rng, sink)
+            }
+            other => unreachable!("{other:?} has no streaming form"),
+        }
+    }
+
+    /// Byte-accurate instance planning: sizes the cell's frozen CSR
+    /// before instantiating it, by replaying the generator (from a clone
+    /// of `rng` — the caller's RNG is not advanced) into an
+    /// [`EdgeCounter`] dry-run. The plan assumes the unit-weight tier
+    /// (the huge tier's weight model); an explicit-weight cell costs
+    /// `8n` bytes more. Returns `None` for families without a streaming
+    /// form.
+    ///
+    /// The neighbor-array figure counts the generator's raw emissions;
+    /// [`Graph::from_edge_stream`] deduplicates, so the plan is an upper
+    /// bound that is exact whenever the generator emits no duplicate
+    /// edge — true for every current streaming family except rare
+    /// cross-tree collisions in `ForestUnion`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator parameter validation
+    /// ([`GraphError::InvalidParameter`]).
+    pub fn planned_footprint(
+        &self,
+        n: usize,
+        rng: &StdRng,
+    ) -> Result<Option<MemoryFootprint>, GraphError> {
+        if !self.streams() {
+            return Ok(None);
+        }
+        let mut counter = EdgeCounter::default();
+        self.try_stream_into(n, &mut rng.clone(), &mut counter)?;
+        Ok(Some(MemoryFootprint {
+            offsets_bytes: (n + 1) * std::mem::size_of::<u32>(),
+            neighbors_bytes: 2 * counter.edges * std::mem::size_of::<NodeId>(),
+            weights_bytes: 0,
+        }))
+    }
+
     /// Generates an instance with about `n` nodes (grid-shaped families
     /// round to the nearest full grid). Structural randomness comes from
     /// `rng`; weights are assigned by the caller.
@@ -211,15 +293,31 @@ impl Family {
             graph,
             planted: None,
         };
+        // Streaming families go through the exact-capacity two-pass
+        // build: no intermediate edge vectors, no Vec-doubling peaks —
+        // what makes the 10⁷-node tier fit. The first pass replays a
+        // clone of the cell RNG and the second consumes the real one, so
+        // the RNG state after `build` (and hence the weight draws that
+        // follow) is identical to the historical single-pass path, and
+        // the streamed edge sequence is digest-identical to the builder
+        // forms by the seed-stability pins.
+        if self.streams() {
+            let mut first = Some(rng.clone());
+            let graph = Graph::from_edge_stream(n, |mut sink| match first.take() {
+                Some(mut pass_rng) => self.try_stream_into(n, &mut pass_rng, &mut sink),
+                None => self.try_stream_into(n, rng, &mut sink),
+            })?;
+            return Ok(plain(graph));
+        }
         Ok(match self {
-            Family::ForestUnion { alpha, keep } => {
-                plain(generators::try_forest_union_partial(n, *alpha, *keep, rng)?)
+            Family::ForestUnion { .. }
+            | Family::PrefAttach { .. }
+            | Family::RandomTree
+            | Family::RandomPlanar { .. }
+            | Family::PowerLawCapped { .. }
+            | Family::UnitDisk { .. } => {
+                unreachable!("streaming families are built by from_edge_stream above")
             }
-            Family::PrefAttach { m_per_node } => plain(generators::try_preferential_attachment(
-                n,
-                *m_per_node,
-                rng,
-            )?),
             Family::PlantedDs {
                 k_per_mille,
                 extra_per_node,
@@ -239,13 +337,7 @@ impl Family {
                 let p = (avg_degree / (n.max(2) - 1) as f64).clamp(0.0, 1.0);
                 plain(generators::try_gnp(n, p, rng)?)
             }
-            Family::RandomTree => plain(generators::random_tree(n, rng)),
-            Family::RandomPlanar { diag_p } => plain(generators::random_planar(n, *diag_p, rng)?),
             Family::KTree { k } => plain(generators::k_tree(n, *k, rng)?),
-            Family::PowerLawCapped { exponent, cap } => {
-                plain(generators::power_law_capped(n, *exponent, *cap, rng)?)
-            }
-            Family::UnitDisk { avg_degree } => plain(generators::unit_disk(n, *avg_degree, rng)?),
         })
     }
 }
@@ -477,7 +569,99 @@ impl ScenarioSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Every streaming family, one parameterization each.
+    fn streaming_families() -> [Family; 6] {
+        [
+            Family::ForestUnion {
+                alpha: 3,
+                keep: 1.0,
+            },
+            Family::PrefAttach { m_per_node: 3 },
+            Family::RandomTree,
+            Family::RandomPlanar { diag_p: 0.5 },
+            Family::PowerLawCapped {
+                exponent: 2.5,
+                cap: 3,
+            },
+            Family::UnitDisk { avg_degree: 6.0 },
+        ]
+    }
+
+    /// The two-pass streamed build must be invisible: same graph as the
+    /// historical builder path *and* the same RNG state afterwards, so
+    /// every committed cell digest (and every weight draw that follows a
+    /// build) stays exactly where it was.
+    #[test]
+    fn streamed_build_is_rng_transparent() {
+        let mut a = StdRng::seed_from_u64(123);
+        let mut b = StdRng::seed_from_u64(123);
+        let fam = Family::ForestUnion {
+            alpha: 2,
+            keep: 0.6,
+        };
+        let streamed = fam.build(500, &mut a).expect("builds").graph;
+        let legacy =
+            generators::try_forest_union_partial(500, 2, 0.6, &mut b).expect("legacy builds");
+        assert_eq!(
+            streamed, legacy,
+            "streamed build drifted from the legacy path"
+        );
+        assert_eq!(
+            a.random_range(0..u64::MAX),
+            b.random_range(0..u64::MAX),
+            "streamed build consumed a different amount of randomness"
+        );
+        assert!(
+            streamed.is_unit_weighted(),
+            "family builds are unit-weight until the weight model runs"
+        );
+    }
+
+    /// `planned_footprint` prices a cell without building it: exact for
+    /// duplicate-free streams, a tight upper bound otherwise, and
+    /// side-effect free on the caller's RNG.
+    #[test]
+    fn planned_footprint_prices_cells_before_instantiation() {
+        for fam in streaming_families() {
+            let mut rng = StdRng::seed_from_u64(9);
+            let planned = fam
+                .planned_footprint(2_000, &rng)
+                .expect("plan succeeds")
+                .expect("streaming family has a plan");
+            let built = fam.build(2_000, &mut rng).expect("family builds");
+            let actual = built.graph.memory_footprint();
+            assert_eq!(planned.offsets_bytes, actual.offsets_bytes, "{fam:?}");
+            assert_eq!(planned.weights_bytes, 0, "{fam:?}");
+            assert!(
+                planned.neighbors_bytes >= actual.neighbors_bytes,
+                "{fam:?}: plan undersized the neighbor array"
+            );
+            assert!(
+                planned.total() - actual.total() <= 512,
+                "{fam:?}: plan overshot by {} bytes — more than duplicate slack",
+                planned.total() - actual.total()
+            );
+        }
+        let rng = StdRng::seed_from_u64(9);
+        assert!(
+            Family::KTree { k: 3 }
+                .planned_footprint(100, &rng)
+                .expect("no parameter error")
+                .is_none(),
+            "non-streaming families have no plan"
+        );
+        assert!(
+            Family::ForestUnion {
+                alpha: 0,
+                keep: 1.0
+            }
+            .planned_footprint(100, &rng)
+            .is_err(),
+            "planning validates parameters"
+        );
+    }
 
     #[test]
     fn families_build_and_respect_alpha_bounds() {

@@ -324,7 +324,7 @@ fn inline_from_file(path: &str) -> GraphSource {
     GraphSource::Inline {
         n: g.n() as u32,
         edges: g.edges().map(|(u, v)| (u.get(), v.get())).collect(),
-        weights: (!g.is_unit_weighted()).then(|| g.weights().to_vec()),
+        weights: g.explicit_weights().map(<[u64]>::to_vec),
     }
 }
 

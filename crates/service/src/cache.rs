@@ -394,6 +394,34 @@ mod tests {
         assert!(cache.lookup(2, &[2]).unwrap().planted.is_some());
     }
 
+    /// Densification pin for the memory-tiered representation: a cached
+    /// unit-weight instance charges zero weight bytes against the budget,
+    /// so a budget sized for explicitly-weighted graphs holds strictly
+    /// more unit-weight ones (8 fewer bytes per node each).
+    #[test]
+    fn unit_weight_instances_charge_no_weight_bytes() {
+        let n = 64;
+        let unit = cached(n);
+        assert_eq!(unit.graph.memory_footprint().weights_bytes, 0);
+        let mut ws = vec![1u64; n];
+        ws[0] = 2; // one non-unit weight forces the explicit tier
+        let weighted = CachedGraph {
+            graph: unit.graph.with_weights(ws).unwrap(),
+            planted: None,
+            alpha: 1,
+            digest: unit.digest,
+        };
+        assert_eq!(
+            weighted.cost_bytes(),
+            unit.cost_bytes() + 8 * n,
+            "explicit weights must cost exactly 8 bytes/node more"
+        );
+        // The budget that holds two weighted instances holds three unit
+        // ones of the same structure at n = 64 (the 8n saving covers a
+        // third CSR): the tier directly buys cache density.
+        assert!(3 * unit.cost_bytes() <= 2 * weighted.cost_bytes());
+    }
+
     #[test]
     fn key_collisions_between_distinct_sources_miss_instead_of_lying() {
         // Two different encoded sources hashing to the same 64-bit key:

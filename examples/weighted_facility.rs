@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         g.n(),
         g.m(),
         g.max_degree(),
-        g.weights().iter().sum::<u64>()
+        g.weights_vec().iter().sum::<u64>()
     );
 
     let lb = arbodom::baselines::lp::maximal_packing(&g).lower_bound();

@@ -57,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Battery cost 1..=8 per station; gateways are mains-powered (cheap).
     let mut mesh = WeightModel::Uniform { lo: 1, hi: 8 }.assign(&mesh, &mut rng);
     {
-        let mut w = mesh.weights().to_vec();
+        let mut w = mesh.weights_vec();
         for gw in &mut w[3600..3636] {
             *gw = 2;
         }

@@ -33,7 +33,7 @@ fn weight_models_are_reproducible() {
     ] {
         let a = model.assign(&g, &mut StdRng::seed_from_u64(5));
         let b = model.assign(&g, &mut StdRng::seed_from_u64(5));
-        assert_eq!(a.weights(), b.weights());
+        assert_eq!(a.weights_vec(), b.weights_vec());
     }
 }
 

@@ -1,0 +1,296 @@
+//! Representation-equivalence properties for the memory-tiered weight
+//! storage.
+//!
+//! A unit-weight graph can be reached through four public routes: the
+//! plain builder, `set_weight(v, 1)` on every node, `with_weights` with
+//! an all-ones vector, and an edge-list read-back. The compact
+//! representation is only sound if all four collapse to the *same*
+//! canonical `Graph` — structurally equal, digest-equal, zero weight
+//! bytes, byte-identical serialization — and if every consumer of a
+//! graph (the Theorem 1.1 solver, the CONGEST simulator sequential and
+//! parallel, the dynamic `Maintainer`) produces bit-identical results no
+//! matter which route built its input. These properties are what lets
+//! the rest of the workspace treat "unit-weight" as a storage tier
+//! instead of a special case.
+
+use arbodom::congest::{run, run_parallel, Globals, RunOptions};
+use arbodom::core::repair::{Maintainer, RepairConfig};
+use arbodom::core::{distributed, weighted, DsResult};
+use arbodom::graph::digest::edge_digest;
+use arbodom::graph::{generators, io, Graph, GraphBuilder, GraphDelta, NodeId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A random unit-weight instance: bounded arboricity so the solver's
+/// guarantees apply, size varied by the seed.
+fn instance(seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 40 + (seed % 41) as usize;
+    generators::forest_union(n, 2, &mut rng)
+}
+
+/// Every public route to an all-unit-weight graph over the same edges.
+fn routes(g: &Graph) -> Vec<(&'static str, Graph)> {
+    // Plain rebuild: never touches weights at all.
+    let mut b = GraphBuilder::new(g.n());
+    for (u, v) in g.edges() {
+        b.add_edge(u, v).unwrap();
+    }
+    let plain = b.build();
+
+    // Explicitly writing weight 1 into every node.
+    let mut b = GraphBuilder::new(g.n());
+    for (u, v) in g.edges() {
+        b.add_edge(u, v).unwrap();
+    }
+    for v in 0..g.n() {
+        b.set_weight(NodeId::new(v as u32), 1).unwrap();
+    }
+    let set_ones = b.build();
+
+    // Replacing the weight vector wholesale with all ones.
+    let with_ones = g.with_weights(vec![1; g.n()]).unwrap();
+
+    // Serialization round-trip.
+    let mut buf = Vec::new();
+    io::write_edge_list(g, &mut buf).unwrap();
+    let read_back = io::read_edge_list(&buf[..]).unwrap();
+
+    vec![
+        ("builder", plain),
+        ("set_weight(1)", set_ones),
+        ("with_weights(ones)", with_ones),
+        ("io round-trip", read_back),
+    ]
+}
+
+fn serialize(g: &Graph) -> Vec<u8> {
+    let mut buf = Vec::new();
+    io::write_edge_list(g, &mut buf).unwrap();
+    buf
+}
+
+fn assert_same_solution(a: &DsResult, b: &DsResult, ctx: &str) {
+    assert_eq!(a.in_ds, b.in_ds, "{ctx}: membership vectors differ");
+    assert_eq!(a.weight, b.weight, "{ctx}: weights differ");
+    assert_eq!(a.size, b.size, "{ctx}: sizes differ");
+    assert_eq!(a.iterations, b.iterations, "{ctx}: iteration counts differ");
+    match (&a.certificate, &b.certificate) {
+        (Some(ca), Some(cb)) => assert_eq!(
+            ca.values(),
+            cb.values(),
+            "{ctx}: packing certificates differ"
+        ),
+        (None, None) => {}
+        _ => panic!("{ctx}: certificate presence differs"),
+    }
+}
+
+/// The deterministic churn of the repair tests: `dels` deletions and
+/// `inss` insertions drawn from a splitmix stream over the current graph.
+fn churn(g: &Graph, seed: u64, dels: usize, inss: usize) -> GraphDelta {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let edges: Vec<_> = g.edges().collect();
+    let mut deletes = Vec::new();
+    for _ in 0..dels.min(edges.len()) {
+        let (u, v) = edges[(next() % edges.len() as u64) as usize];
+        deletes.push((u.get(), v.get()));
+    }
+    let mut inserts = Vec::new();
+    let mut attempts = 0;
+    while inserts.len() < inss && attempts < 10_000 {
+        attempts += 1;
+        let (u, v) = (
+            (next() % g.n() as u64) as u32,
+            (next() % g.n() as u64) as u32,
+        );
+        if u != v && !g.has_edge(NodeId::new(u), NodeId::new(v)) {
+            inserts.push((u, v));
+        }
+    }
+    GraphDelta::new(inserts, deletes).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Structural canonicality: all unit routes produce one graph.
+    #[test]
+    fn unit_routes_collapse_to_one_canonical_graph(seed: u64) {
+        let g = instance(seed);
+        let bytes = serialize(&g);
+        for (name, r) in routes(&g) {
+            prop_assert_eq!(&r, &g, "route {} is not ==", name);
+            prop_assert_eq!(
+                edge_digest(&r),
+                edge_digest(&g),
+                "route {} digest drifted",
+                name
+            );
+            prop_assert!(
+                r.is_unit_weighted(),
+                "route {} lost the unit tier",
+                name
+            );
+            prop_assert!(
+                r.explicit_weights().is_none(),
+                "route {} materialized weights",
+                name
+            );
+            let fp = r.memory_footprint();
+            prop_assert_eq!(
+                fp.weights_bytes, 0,
+                "route {} pays weight bytes for unit weights",
+                name
+            );
+            prop_assert_eq!(fp, g.memory_footprint());
+            prop_assert_eq!(
+                serialize(&r),
+                bytes.clone(),
+                "route {} serializes differently",
+                name
+            );
+        }
+        // Sanity on the other side of the tier boundary: one non-unit
+        // weight forces the explicit representation and the 8n bytes.
+        let mut ws = vec![1u64; g.n()];
+        ws[0] = 2;
+        let explicit = g.with_weights(ws).unwrap();
+        prop_assert!(!explicit.is_unit_weighted());
+        prop_assert_eq!(
+            explicit.memory_footprint().weights_bytes,
+            8 * g.n()
+        );
+    }
+
+    /// The Theorem 1.1 solver and the CONGEST simulator (sequential and
+    /// parallel at 2 and 4 threads) see the same graph through every
+    /// route: outputs and Telemetry are bit-identical.
+    #[test]
+    fn solver_and_simulator_agree_across_routes_and_threads(seed: u64) {
+        let g = instance(seed);
+        let cfg = weighted::Config::new(2, 0.3).unwrap();
+        let reference = weighted::solve(&g, &cfg).unwrap();
+
+        let globals = Globals::new(&g, 7).with_arboricity(cfg.alpha);
+        let opts = RunOptions::default();
+        let make = |v: NodeId, g: &Graph| {
+            distributed::WeightedProgram::new(cfg, g.degree(v))
+        };
+        let seq = run(&g, &globals, make, &opts).unwrap();
+
+        for (name, r) in routes(&g) {
+            let sol = weighted::solve(&r, &cfg).unwrap();
+            assert_same_solution(&sol, &reference, name);
+
+            let globals_r = Globals::new(&r, 7).with_arboricity(cfg.alpha);
+            let seq_r = run(&r, &globals_r, make, &opts).unwrap();
+            prop_assert_eq!(
+                &seq_r.outputs,
+                &seq.outputs,
+                "route {} sequential outputs differ",
+                name
+            );
+            prop_assert_eq!(
+                &seq_r.telemetry,
+                &seq.telemetry,
+                "route {} sequential telemetry differs",
+                name
+            );
+            for threads in [1usize, 2, 4] {
+                let par = run_parallel(&r, &globals_r, make, &opts, threads).unwrap();
+                prop_assert_eq!(
+                    &par.outputs,
+                    &seq.outputs,
+                    "route {} at {} threads: outputs differ",
+                    name,
+                    threads
+                );
+                prop_assert_eq!(
+                    &par.telemetry,
+                    &seq.telemetry,
+                    "route {} at {} threads: telemetry differs",
+                    name,
+                    threads
+                );
+            }
+        }
+    }
+
+    /// Dynamic maintenance sees one graph too: `Maintainer`s seeded from
+    /// different routes walk bit-identical repair trajectories under the
+    /// same churn (same additions, removals, weights, chain digests, and
+    /// fallback decisions batch for batch).
+    #[test]
+    fn maintainer_trajectories_identical_across_routes(seed: u64) {
+        let g = instance(seed);
+        let cfg = weighted::Config::new(2, 0.3).unwrap();
+        let solver = |g: &Graph| weighted::solve(g, &cfg);
+        let sol = solver(&g).unwrap();
+
+        let built = routes(&g);
+        let mut maintainers: Vec<(&str, Maintainer)> = built
+            .iter()
+            .map(|(name, r)| {
+                (*name, Maintainer::new(r.clone(), &sol, RepairConfig::default()))
+            })
+            .collect();
+        let mut lead = Maintainer::new(g.clone(), &sol, RepairConfig::default());
+
+        for batch in 0..6u64 {
+            let delta = churn(lead.graph(), seed ^ batch, 2, 2);
+            let lead_out = lead.apply(&delta, solver).unwrap();
+            for (name, m) in maintainers.iter_mut() {
+                let out = m.apply(&delta, solver).unwrap();
+                prop_assert_eq!(
+                    out.repaired, lead_out.repaired,
+                    "{}: batch {} fallback decision differs", name, batch
+                );
+                prop_assert_eq!(
+                    &out.added, &lead_out.added,
+                    "{}: batch {} additions differ", name, batch
+                );
+                prop_assert_eq!(
+                    &out.removed, &lead_out.removed,
+                    "{}: batch {} removals differ", name, batch
+                );
+                prop_assert_eq!(
+                    out.undominated_before, lead_out.undominated_before,
+                    "{}: batch {} undominated counts differ", name, batch
+                );
+                prop_assert_eq!(
+                    out.weight, lead_out.weight,
+                    "{}: batch {} weights differ", name, batch
+                );
+                prop_assert_eq!(
+                    out.chain, lead_out.chain,
+                    "{}: batch {} chain digests differ", name, batch
+                );
+                prop_assert_eq!(
+                    out.solve_iterations, lead_out.solve_iterations,
+                    "{}: batch {} solve iterations differ", name, batch
+                );
+                prop_assert_eq!(
+                    m.in_ds(), lead.in_ds(),
+                    "{}: batch {} membership differs", name, batch
+                );
+                prop_assert_eq!(
+                    m.graph(), lead.graph(),
+                    "{}: batch {} maintained graphs differ", name, batch
+                );
+                prop_assert!(
+                    m.graph().is_unit_weighted(),
+                    "{}: batch {} mutation left the unit tier", name, batch
+                );
+            }
+        }
+    }
+}
