@@ -5,10 +5,13 @@
 //! ```
 //!
 //! Without `--addr`, boots an in-process daemon on an ephemeral port
-//! (still a real TCP loopback instance). Records sustained queries/sec
-//! into `BENCH_service.json` at the workspace root and exits nonzero on
-//! job errors, quality flags, or zero throughput, so CI gates on a
-//! healthy serving layer.
+//! (still a real TCP loopback instance). Records the sustained
+//! queries/sec ladder plus the admission-control probe (pipelined
+//! overload burst, retrying flood, scraped queue-wait quantiles) into
+//! `BENCH_service.json` (schema v4) at the workspace root and exits
+//! nonzero on job errors, quality flags, zero throughput, or an
+//! unhealthy admission probe — no shed, lost flood submits, or any
+//! transport error — so CI gates on a healthy serving layer.
 
 use arbodom_bench::service_load::{render_artifact, run_load, LoadConfig, ARTIFACT_NAME};
 use arbodom_bench::Scale;
@@ -62,6 +65,12 @@ fn main() {
         eprintln!("svc_load: {e}");
         std::process::exit(1);
     });
+    for row in &outcome.sustained {
+        println!(
+            "svc_load: sustained {} client(s): {} jobs in {:.2}s — {:.1} queries/sec",
+            row.clients, row.jobs, row.wall_secs, row.queries_per_sec,
+        );
+    }
     println!(
         "svc_load: {} jobs in {:.2}s — {:.1} queries/sec ({} errors, {} flagged; cache {} hits / {} misses / {} evictions)",
         outcome.jobs,
@@ -73,6 +82,19 @@ fn main() {
         outcome.cache.misses,
         outcome.cache.evictions,
     );
+    let adm = &outcome.admission;
+    println!(
+        "svc_load: admission probe — burst {} accepted / {} shed of {}, flood {}/{} landed, \
+         queue wait p50<={:.2}ms p99<={:.2}ms over {} jobs",
+        adm.accepted,
+        adm.shed,
+        adm.pipelined_requests,
+        adm.flood_succeeded,
+        adm.flood_submits,
+        adm.queue_wait.p50_ms,
+        adm.queue_wait.p99_ms,
+        adm.queue_wait.count,
+    );
     if write {
         let json = render_artifact(&outcome, &cfg);
         match write_workspace_artifact(ARTIFACT_NAME, &json) {
@@ -83,8 +105,17 @@ fn main() {
             }
         }
     }
+    let adm_unhealthy = adm.errors > 0
+        || adm.shed == 0
+        || adm.accepted == 0
+        || adm.flood_succeeded != adm.flood_submits
+        || adm.job_errors_total > 0.0;
     if outcome.job_errors > 0 || outcome.flagged > 0 || outcome.queries_per_sec <= 0.0 {
         eprintln!("svc_load: unhealthy run");
+        std::process::exit(1);
+    }
+    if adm_unhealthy {
+        eprintln!("svc_load: unhealthy admission probe");
         std::process::exit(1);
     }
 }

@@ -19,10 +19,15 @@
 //!   family — still produced with a nonzero cell count, zero quality
 //!   flags, and (churn only) both maintenance policies present with every
 //!   batch leaving a valid dominating set;
-//! * [`check_service`] gates `BENCH_service.json`: schema version,
-//!   nonzero jobs and sustained queries/sec, zero job errors and quality
-//!   flags, the full byte-budgeted cache counter block, and a nonempty
-//!   `batch_latency_ms` ladder with ordered p50 ≤ p95 ≤ p99 per row.
+//! * [`check_service`] gates `BENCH_service.json` (schema v4): schema
+//!   version, nonzero jobs and sustained queries/sec, zero job errors
+//!   and quality flags, the full byte-budgeted cache counter block, a
+//!   nonempty `batch_latency_ms` ladder with ordered p50 ≤ p95 ≤ p99
+//!   per row, a nonempty `sustained` client-count ladder with positive
+//!   throughput per row, and the `admission` probe block — advertised
+//!   limits, a pipelined burst that both accepted and shed, a retrying
+//!   flood that fully succeeded, zero errors, and an ordered queue-wait
+//!   quantile triple with a nonzero observation count.
 //!
 //! A schema mismatch always fails: schema drift means a writer/consumer
 //! change that must land together with a regenerated baseline. Each
@@ -472,9 +477,76 @@ const SERVICE_CACHE_FIELDS: &[&str] = &[
     "evictions",
 ];
 
+/// The admission-probe leg of [`check_service`]: structural checks over
+/// the `admission` block (never wall-clock — queue-wait quantiles are
+/// gated on *ordering*, not magnitude).
+fn check_admission(current: &JsonValue, violations: &mut Vec<String>) {
+    let Some(adm) = current.get("admission") else {
+        violations.push(
+            "current artifact has no `admission` block — the overload probe was dropped".into(),
+        );
+        return;
+    };
+    let walk = |path: &[&str]| -> Option<f64> {
+        let mut v = adm;
+        for key in path {
+            v = v.get(key)?;
+        }
+        v.as_f64()
+    };
+    // (label, path, zero means) — `true` = must be zero, `false` = must
+    // be strictly positive.
+    let fields: [(&[&str], bool); 9] = [
+        (&["limits", "max_pending_jobs"], false),
+        (&["limits", "per_conn_inflight"], false),
+        (&["pipelined", "requests"], false),
+        (&["pipelined", "accepted"], false),
+        (&["pipelined", "shed"], false),
+        (&["flood", "submits"], false),
+        (&["errors"], true),
+        (&["job_errors_total"], true),
+        (&["queue_wait_ms", "count"], false),
+    ];
+    for (path, want_zero) in fields {
+        let label = path.join(".");
+        match walk(path) {
+            Some(v) if want_zero && v == 0.0 => {}
+            Some(v) if !want_zero && v > 0.0 => {}
+            Some(v) => violations.push(format!(
+                "admission: `{label}` is {v} (must be {})",
+                if want_zero { "0" } else { "> 0" }
+            )),
+            None => violations.push(format!("admission: `{label}` missing")),
+        }
+    }
+    match (walk(&["flood", "submits"]), walk(&["flood", "succeeded"])) {
+        (Some(submits), Some(succeeded)) if submits == succeeded => {}
+        (submits, succeeded) => violations.push(format!(
+            "admission: retrying flood must fully land \
+             (submits {submits:?}, succeeded {succeeded:?})"
+        )),
+    }
+    match (
+        walk(&["queue_wait_ms", "p50"]),
+        walk(&["queue_wait_ms", "p95"]),
+        walk(&["queue_wait_ms", "p99"]),
+    ) {
+        (Some(p50), Some(p95), Some(p99)) => {
+            if !(p50 > 0.0 && p50 <= p95 && p95 <= p99) {
+                violations.push(format!(
+                    "admission: queue-wait quantiles must be positive and ordered \
+                     (p50={p50}, p95={p95}, p99={p99})"
+                ));
+            }
+        }
+        _ => violations.push("admission: `queue_wait_ms` quantile triple incomplete".into()),
+    }
+}
+
 /// Evaluates the structure gate of a quick-mode `BENCH_service.json`
 /// against the committed full-scale artifact: schema, nonzero load and
-/// sustained throughput, zero errors/flags, and the full cache block.
+/// sustained throughput, zero errors/flags, the full cache block, the
+/// sustained client ladder, and the admission probe.
 pub fn check_service(current: &JsonValue, baseline: &JsonValue) -> RatchetReport {
     let mut violations = Vec::new();
     let mut rows_md = String::new();
@@ -524,6 +596,33 @@ pub fn check_service(current: &JsonValue, baseline: &JsonValue) -> RatchetReport
         }
         None => violations.push("current artifact has no `cache` block".into()),
     }
+
+    // The sustained client-count ladder: nonempty, every row a real
+    // measurement. Magnitudes are CI noise and never gated.
+    match current.get("sustained").and_then(JsonValue::as_arr) {
+        Some(rows) if !rows.is_empty() => {
+            for (idx, row) in rows.iter().enumerate() {
+                for name in ["clients", "jobs", "wall_secs", "queries_per_sec"] {
+                    match row.get(name).and_then(JsonValue::as_f64) {
+                        Some(v) if v > 0.0 => {}
+                        Some(v) => violations
+                            .push(format!("sustained[{idx}]: `{name}` is {v} (must be > 0)")),
+                        None => violations.push(format!("sustained[{idx}]: `{name}` missing")),
+                    }
+                }
+            }
+        }
+        Some(_) => violations.push("`sustained` ladder is empty".into()),
+        None => violations.push("current artifact has no `sustained` ladder".into()),
+    }
+
+    // The admission probe: the reactor's overload behaviour is part of
+    // the artifact's contract. The burst must have both accepted and
+    // shed (a zero shed means the probe never reached the cap — a broken
+    // measurement, since it runs against a dedicated tightly-capped
+    // daemon), the retrying flood must have fully landed, and nothing
+    // may have errored.
+    check_admission(current, &mut violations);
 
     // The per-batch latency ladder: nonempty, and every row internally
     // consistent — positive median, ordered percentiles. Magnitudes are
@@ -846,7 +945,7 @@ mod tests {
         assert!(report.summary_md.contains("❌"));
     }
 
-    /// A minimal service artifact with the real shape.
+    /// A minimal service artifact with the real (v4) shape.
     fn service_artifact(schema: &str, qps: f64, errors: usize, with_bytes: bool) -> String {
         let bytes = if with_bytes {
             r#""bytes":1048576,"#
@@ -854,15 +953,15 @@ mod tests {
             ""
         };
         format!(
-            r#"{{"schema":"{schema}","scale":"full","clients":8,"batches":96,"jobs":1536,"wall_secs":4.4,"queries_per_sec":{qps},"job_errors":{errors},"flagged":0,"batch_latency_ms":[{{"jobs_per_batch":1,"batches":12,"p50_ms":2.5,"p95_ms":4.0,"p99_ms":4.5}},{{"jobs_per_batch":16,"batches":96,"p50_ms":30.0,"p95_ms":55.0,"p99_ms":80.0}}],"cache":{{"entries":5,"capacity":67108864,{bytes}"hits":50,"misses":14,"evictions":0}}}}"#
+            r#"{{"schema":"{schema}","scale":"full","clients":8,"batches":96,"jobs":1536,"wall_secs":4.4,"queries_per_sec":{qps},"job_errors":{errors},"flagged":0,"sustained":[{{"clients":1,"batches":12,"jobs":192,"wall_secs":1.8,"queries_per_sec":106.7}},{{"clients":8,"batches":96,"jobs":1536,"wall_secs":4.4,"queries_per_sec":349.1}}],"batch_latency_ms":[{{"jobs_per_batch":1,"batches":12,"p50_ms":2.5,"p95_ms":4.0,"p99_ms":4.5}},{{"jobs_per_batch":16,"batches":96,"p50_ms":30.0,"p95_ms":55.0,"p99_ms":80.0}}],"admission":{{"limits":{{"max_pending_jobs":8,"max_pending_bytes":67108864,"per_conn_inflight":2,"idle_timeout_ms":900000}},"pipelined":{{"requests":8,"accepted":2,"shed":6,"min_retry_after_ms":10}},"flood":{{"submits":12,"succeeded":12}},"errors":0,"admitted_total":16,"shed_total":9,"job_errors_total":0,"queue_wait_ms":{{"count":16,"p50":0.5,"p95":2.1,"p99":4.2}}}},"cache":{{"entries":5,"capacity":67108864,{bytes}"hits":50,"misses":14,"evictions":0}}}}"#
         )
     }
 
     #[test]
     fn service_gate_passes_and_allows_slow_runs() {
-        let base = parse(&service_artifact("arbodom-service/v2", 346.5, 0, true));
+        let base = parse(&service_artifact("arbodom-service/v4", 346.5, 0, true));
         // 1000× slower still passes: never a wall-clock gate.
-        let cur = parse(&service_artifact("arbodom-service/v2", 0.3, 0, true));
+        let cur = parse(&service_artifact("arbodom-service/v4", 0.3, 0, true));
         let report = check_service(&cur, &base);
         assert!(report.ok(), "{:?}", report.violations);
         assert!(report.summary_md.contains("queries_per_sec"));
@@ -870,21 +969,21 @@ mod tests {
 
     #[test]
     fn service_gate_fails_on_zero_qps_errors_and_missing_cache_bytes() {
-        let base = parse(&service_artifact("arbodom-service/v2", 346.5, 0, true));
+        let base = parse(&service_artifact("arbodom-service/v4", 346.5, 0, true));
 
-        let stalled = parse(&service_artifact("arbodom-service/v2", 0.0, 0, true));
+        let stalled = parse(&service_artifact("arbodom-service/v4", 0.0, 0, true));
         assert!(check_service(&stalled, &base)
             .violations
             .iter()
             .any(|v| v.contains("`queries_per_sec` is 0")));
 
-        let erred = parse(&service_artifact("arbodom-service/v2", 346.5, 2, true));
+        let erred = parse(&service_artifact("arbodom-service/v4", 346.5, 2, true));
         assert!(check_service(&erred, &base)
             .violations
             .iter()
             .any(|v| v.contains("`job_errors` is 2")));
 
-        let old = parse(&service_artifact("arbodom-service/v1", 346.5, 0, false));
+        let old = parse(&service_artifact("arbodom-service/v3", 346.5, 0, false));
         let report = check_service(&old, &base);
         assert!(report.violations.iter().any(|v| v.contains("schema drift")));
         assert!(report
@@ -895,16 +994,16 @@ mod tests {
 
     #[test]
     fn service_gate_fails_on_missing_or_disordered_latency_ladder() {
-        let base = parse(&service_artifact("arbodom-service/v2", 346.5, 0, true));
+        let base = parse(&service_artifact("arbodom-service/v4", 346.5, 0, true));
 
-        let gone = service_artifact("arbodom-service/v2", 346.5, 0, true)
+        let gone = service_artifact("arbodom-service/v4", 346.5, 0, true)
             .replace("\"batch_latency_ms\"", "\"batch_latency_ms_gone\"");
         assert!(check_service(&parse(&gone), &base)
             .violations
             .iter()
             .any(|v| v.contains("no `batch_latency_ms` ladder")));
 
-        let empty = service_artifact("arbodom-service/v2", 346.5, 0, true).replace(
+        let empty = service_artifact("arbodom-service/v4", 346.5, 0, true).replace(
             r#""batch_latency_ms":[{"jobs_per_batch":1,"batches":12,"p50_ms":2.5,"p95_ms":4.0,"p99_ms":4.5},{"jobs_per_batch":16,"batches":96,"p50_ms":30.0,"p95_ms":55.0,"p99_ms":80.0}]"#,
             r#""batch_latency_ms":[]"#,
         );
@@ -913,12 +1012,81 @@ mod tests {
             .iter()
             .any(|v| v.contains("`batch_latency_ms` is empty")));
 
-        let disordered = service_artifact("arbodom-service/v2", 346.5, 0, true)
+        let disordered = service_artifact("arbodom-service/v4", 346.5, 0, true)
             .replace(r#""p95_ms":55.0"#, r#""p95_ms":95.0"#);
         assert!(check_service(&parse(&disordered), &base)
             .violations
             .iter()
             .any(|v| v.contains("percentiles out of order")));
+    }
+
+    #[test]
+    fn service_gate_requires_the_sustained_ladder() {
+        let base = parse(&service_artifact("arbodom-service/v4", 346.5, 0, true));
+
+        let gone = service_artifact("arbodom-service/v4", 346.5, 0, true)
+            .replace("\"sustained\"", "\"sustained_gone\"");
+        assert!(check_service(&parse(&gone), &base)
+            .violations
+            .iter()
+            .any(|v| v.contains("no `sustained` ladder")));
+
+        let stalled = service_artifact("arbodom-service/v4", 346.5, 0, true)
+            .replace(r#""queries_per_sec":106.7"#, r#""queries_per_sec":0"#);
+        assert!(check_service(&parse(&stalled), &base)
+            .violations
+            .iter()
+            .any(|v| v.contains("sustained[0]: `queries_per_sec` is 0")));
+    }
+
+    /// The admission probe is part of the v4 contract: the gate must
+    /// fail when the block is dropped, when the burst never shed, when
+    /// the retrying flood lost submits, when anything errored, and when
+    /// the queue-wait quantiles come back disordered.
+    #[test]
+    fn service_gate_requires_a_healthy_admission_probe() {
+        let base = parse(&service_artifact("arbodom-service/v4", 346.5, 0, true));
+        let good = service_artifact("arbodom-service/v4", 346.5, 0, true);
+        assert!(check_service(&parse(&good), &base).ok());
+
+        let gone = good.replace("\"admission\"", "\"admission_gone\"");
+        assert!(check_service(&parse(&gone), &base)
+            .violations
+            .iter()
+            .any(|v| v.contains("no `admission` block")));
+
+        let never_shed = good.replace(r#""shed":6"#, r#""shed":0"#);
+        assert!(check_service(&parse(&never_shed), &base)
+            .violations
+            .iter()
+            .any(|v| v.contains("`pipelined.shed` is 0")));
+
+        let lost = good.replace(r#""succeeded":12"#, r#""succeeded":11"#);
+        assert!(check_service(&parse(&lost), &base)
+            .violations
+            .iter()
+            .any(|v| v.contains("retrying flood must fully land")));
+
+        let erred = good.replace(
+            r#""flood":{"submits":12,"succeeded":12},"errors":0"#,
+            r#""flood":{"submits":12,"succeeded":12},"errors":2"#,
+        );
+        assert!(check_service(&parse(&erred), &base)
+            .violations
+            .iter()
+            .any(|v| v.contains("`errors` is 2")));
+
+        let disordered = good.replace(r#""p95":2.1"#, r#""p95":9.9"#);
+        assert!(check_service(&parse(&disordered), &base)
+            .violations
+            .iter()
+            .any(|v| v.contains("queue-wait quantiles must be positive and ordered")));
+
+        let unobserved = good.replace(r#""count":16"#, r#""count":0"#);
+        assert!(check_service(&parse(&unobserved), &base)
+            .violations
+            .iter()
+            .any(|v| v.contains("`queue_wait_ms.count` is 0")));
     }
 
     #[test]

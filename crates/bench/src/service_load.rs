@@ -7,17 +7,34 @@
 //! counterpart of `BENCH_sim.json` (raw simulator throughput) and
 //! `BENCH_scenarios.json` (solution quality).
 //!
+//! The v4 artifact carries three measurement families:
+//!
+//! * **sustained** — the submit→last-reply queries/sec ladder across
+//!   client counts (1, half, full), ending at the configured fleet whose
+//!   run is the headline `queries_per_sec`;
+//! * **batch_latency_ms** — per-batch round-trip percentiles at several
+//!   batch sizes;
+//! * **admission** — a semantic probe of the reactor's admission
+//!   control, always against a dedicated in-process daemon with tight
+//!   knobs so the expected shed counts are deterministic: a pipelined
+//!   burst past the per-connection cap (typed `Overloaded` sheds), a
+//!   retrying flood that must fully succeed, and the daemon's own
+//!   admitted/shed/queue-wait metrics scraped after the fact.
+//!
 //! The job mix is mostly repeated sources, so after warm-up the graph
 //! cache answers construction and the measurement isolates the
-//! orchestration path: framing, scheduling, simulator runs, quality
-//! accounting. A slice of cold sources keeps eviction and construction
-//! in the loop.
+//! orchestration path: framing, the reactor, scheduling, simulator runs,
+//! quality accounting. A slice of cold sources keeps eviction and
+//! construction in the loop.
 
-use std::time::Instant;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 use arbodom_scenarios::json::{JsonArr, JsonObj};
+use arbodom_service::protocol::{decode_payload, read_frame, write_message, PROTOCOL_V3};
 use arbodom_service::{
-    CacheStats, Client, GraphSource, JobSpec, Server, ServerConfig, ServiceError,
+    obs, CacheStats, Client, GraphSource, JobSpec, Request, Response, Server, ServerConfig,
+    ServerLimits, ServiceError,
 };
 
 use crate::Scale;
@@ -31,7 +48,7 @@ pub struct LoadConfig {
     /// Address of a live daemon; `None` boots an in-process server on an
     /// ephemeral port (still real TCP loopback).
     pub addr: Option<String>,
-    /// Concurrent client threads.
+    /// Concurrent client threads at the top of the sustained sweep.
     pub clients: usize,
     /// Batches each client submits.
     pub batches_per_client: usize,
@@ -66,16 +83,27 @@ impl LoadConfig {
     fn total_jobs(&self) -> usize {
         self.clients * self.batches_per_client * self.jobs_per_batch
     }
+
+    /// The client counts of the sustained sweep: 1, half the fleet, and
+    /// the full fleet (deduplicated, ascending — the last entry is the
+    /// headline run).
+    fn client_sweep(&self) -> Vec<usize> {
+        let mut counts = vec![1, self.clients / 2, self.clients];
+        counts.retain(|&c| c >= 1);
+        counts.sort_unstable();
+        counts.dedup();
+        counts
+    }
 }
 
 /// The measured outcome of one load run.
 #[derive(Clone, Debug)]
 pub struct LoadOutcome {
-    /// Client threads driven.
+    /// Client threads driven in the headline run.
     pub clients: usize,
-    /// Total batches submitted.
+    /// Total batches submitted in the headline run.
     pub batches: usize,
-    /// Total jobs answered.
+    /// Total jobs answered in the headline run.
     pub jobs: usize,
     /// Wall-clock seconds of the **submit → last-reply window only**:
     /// every batch is built and every connection established before the
@@ -85,7 +113,7 @@ pub struct LoadOutcome {
     pub wall_secs: f64,
     /// Sustained queries (jobs) per second across all clients.
     pub queries_per_sec: f64,
-    /// Jobs that returned an error (0 in a healthy run).
+    /// Jobs that returned an error across every sweep (0 in a healthy run).
     pub job_errors: usize,
     /// Jobs whose quality accounting raised a flag (0 in a healthy run).
     pub flagged: usize,
@@ -94,6 +122,26 @@ pub struct LoadOutcome {
     /// Per-batch round-trip latency percentiles, one row per batch size
     /// swept (the main run's size plus smaller single-client sweeps).
     pub latency: Vec<BatchLatency>,
+    /// The sustained queries/sec ladder across client counts; the last
+    /// row is the headline run.
+    pub sustained: Vec<SustainedRow>,
+    /// The admission-control probe (in-process daemon, tight knobs).
+    pub admission: AdmissionProbe,
+}
+
+/// One row of the sustained-throughput ladder.
+#[derive(Clone, Debug)]
+pub struct SustainedRow {
+    /// Concurrent client connections in this row.
+    pub clients: usize,
+    /// Batches submitted across all of them.
+    pub batches: usize,
+    /// Jobs answered.
+    pub jobs: usize,
+    /// Submit → last-reply wall seconds.
+    pub wall_secs: f64,
+    /// Jobs per second over that window.
+    pub queries_per_sec: f64,
 }
 
 /// Exact round-trip latency percentiles for batches of one size: the
@@ -194,12 +242,12 @@ fn job_for(scale: Scale, client: usize, i: usize) -> JobSpec {
     JobSpec::new(source)
 }
 
-/// Builds every client's batches up front. Job construction is client
-/// work, not daemon work — it happens **before** the measured window so
-/// `queries_per_sec` reports what the daemon sustained, not how fast the
-/// load generator assembled its inputs.
-fn prepare_batches(cfg: &LoadConfig) -> Vec<Vec<Vec<JobSpec>>> {
-    (0..cfg.clients)
+/// Builds every client's batches up front for a `clients`-wide row. Job
+/// construction is client work, not daemon work — it happens **before**
+/// the measured window so `queries_per_sec` reports what the daemon
+/// sustained, not how fast the load generator assembled its inputs.
+fn prepare_batches(cfg: &LoadConfig, clients: usize) -> Vec<Vec<Vec<JobSpec>>> {
+    (0..clients)
         .map(|client| {
             (0..cfg.batches_per_client)
                 .map(|batch| {
@@ -288,7 +336,230 @@ pub struct SubmitWindow {
     pub flagged: usize,
 }
 
-/// Runs the load and measures sustained throughput.
+/// The admission-control probe: what the reactor did when pushed past
+/// its caps. Always measured against a dedicated in-process daemon with
+/// tight knobs (`per_conn_inflight = 2`, `max_pending_jobs = 8`), so the
+/// expected shape is deterministic regardless of any `--addr` target of
+/// the sustained sweep.
+#[derive(Clone, Debug)]
+pub struct AdmissionProbe {
+    /// The limits the daemon advertised over `Hello` (protocol v3).
+    pub limits: ServerLimits,
+    /// Single-connection pipelined burst size (2 × per-conn cap + 4).
+    pub pipelined_requests: usize,
+    /// Burst requests answered with results.
+    pub accepted: usize,
+    /// Burst requests answered with a typed `Overloaded`.
+    pub shed: usize,
+    /// Smallest `retry_after_ms` hint among the sheds (0 if none shed).
+    pub min_retry_after_ms: u64,
+    /// Submits attempted by the retrying flood.
+    pub flood_submits: usize,
+    /// Flood submits that eventually succeeded (must equal the above).
+    pub flood_succeeded: usize,
+    /// Transport-level errors across the whole probe (must be 0).
+    pub errors: usize,
+    /// `arbodom_requests_admitted_total` scraped after the probe.
+    pub admitted_total: f64,
+    /// `arbodom_requests_shed_total` scraped after the probe.
+    pub shed_total: f64,
+    /// `arbodom_job_errors_total` scraped after the probe (must be 0).
+    pub job_errors_total: f64,
+    /// Queue-wait distribution scraped from `arbodom_queue_wait_nanos`.
+    pub queue_wait: QueueWait,
+}
+
+/// Bucket-quantile summary of the daemon's queue-wait histogram, in
+/// milliseconds. Quantiles are upper bucket bounds, so they inherit the
+/// registry's ≤2× bucket guarantee.
+#[derive(Clone, Copy, Debug)]
+pub struct QueueWait {
+    /// Observations (admitted jobs that waited in the scheduler queue).
+    pub count: u64,
+    /// Median queue wait upper bound, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile queue wait upper bound, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile queue wait upper bound, milliseconds.
+    pub p99_ms: f64,
+}
+
+/// Reads a histogram's (count, p50, p95, p99) off its cumulative `le`
+/// buckets in a parsed exposition; values are converted nanos → ms.
+fn scrape_queue_wait(exp: &arbodom_obs::prom::Exposition, name: &str) -> QueueWait {
+    let count = exp.value(&format!("{name}_count")).unwrap_or(0.0);
+    let bucket_name = format!("{name}_bucket");
+    let buckets: Vec<(f64, f64)> = exp
+        .samples
+        .iter()
+        .filter(|s| s.name == bucket_name)
+        .filter_map(|s| {
+            let le = match s.label("le")? {
+                "+Inf" => f64::MAX,
+                v => v.parse().ok()?,
+            };
+            Some((le, s.value))
+        })
+        .collect();
+    let q = |q: f64| -> f64 {
+        if count == 0.0 {
+            return 0.0;
+        }
+        let rank = (q * count).ceil().max(1.0);
+        buckets
+            .iter()
+            .find(|(_, cum)| *cum >= rank)
+            .map_or(f64::MAX, |(le, _)| *le)
+            / 1e6
+    };
+    QueueWait {
+        count: count as u64,
+        p50_ms: q(0.50),
+        p95_ms: q(0.95),
+        p99_ms: q(0.99),
+    }
+}
+
+/// A single-job batch over a random tree — heavy enough that a pipelined
+/// burst outruns the workers, so arrival-time admission is what gets
+/// measured, not job latency.
+fn probe_job(scale: Scale, seed: u64) -> JobSpec {
+    JobSpec::new(GraphSource::Generator {
+        family: arbodom_scenarios::Family::RandomTree,
+        n: scale.pick(4_000, 20_000) as u32,
+        weights: arbodom_graph::weights::WeightModel::Unit,
+        seed,
+    })
+}
+
+/// Runs the admission probe against its own tightly-capped in-process
+/// daemon and scrapes the admission metrics afterwards.
+///
+/// # Errors
+///
+/// Propagates daemon boot and transport errors; shed replies are the
+/// *measurement*, never an error.
+pub fn run_admission(scale: Scale) -> Result<AdmissionProbe, ServiceError> {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            per_conn_inflight: 2,
+            max_pending_jobs: 8,
+            scale: scale.to_scenarios(),
+            ..ServerConfig::default()
+        },
+    )?;
+    let addr = server.local_addr();
+
+    let limits = Client::connect(addr)?.hello()?;
+    let cap = limits.per_conn_inflight as usize;
+    let pipelined_requests = 2 * cap + 4;
+
+    // Phase 1 — pipelined burst on one raw connection, all frames in one
+    // write: arrival-time classification sees every request before the
+    // first job finishes, so with a cap of `cap` exactly `cap` requests
+    // are accepted and the rest shed with typed `Overloaded` replies.
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    for i in 0..pipelined_requests {
+        let batch = Request::Batch(vec![probe_job(scale, i as u64)]);
+        write_message(&mut stream, PROTOCOL_V3, &batch)?;
+    }
+    let (mut accepted, mut shed, mut errors) = (0usize, 0usize, 0usize);
+    let mut min_retry_after_ms = u64::MAX;
+    for _ in 0..pipelined_requests {
+        loop {
+            let (_, payload) = read_frame(&mut stream)?;
+            match decode_payload::<Response>(&payload)? {
+                Response::Job { outcome, .. } => {
+                    if outcome.is_err() {
+                        errors += 1;
+                    }
+                }
+                Response::BatchDone { .. } => {
+                    accepted += 1;
+                    break;
+                }
+                Response::Overloaded { retry_after_ms, .. } => {
+                    shed += 1;
+                    min_retry_after_ms = min_retry_after_ms.min(retry_after_ms);
+                    break;
+                }
+                _ => {
+                    errors += 1;
+                    break;
+                }
+            }
+        }
+    }
+    drop(stream);
+
+    // Phase 2 — a retrying flood: more concurrent work than the caps
+    // admit, driven through the client's bounded-retry loop honoring the
+    // daemon's `retry_after_ms` hints. Every submit must land.
+    let flood_threads = 3usize;
+    let submits_per_thread = 4usize;
+    let flood_submits = flood_threads * submits_per_thread;
+    let flood_results: Vec<(usize, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..flood_threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let client = Client::builder()
+                        .retries(64)
+                        .backoff(Duration::from_millis(2), Duration::from_millis(100))
+                        .jitter_seed(t as u64 + 1)
+                        .connect(addr);
+                    let Ok(mut client) = client else {
+                        return (0, submits_per_thread);
+                    };
+                    let mut ok = 0;
+                    let mut bad = 0;
+                    for b in 0..submits_per_thread {
+                        let jobs: Vec<JobSpec> =
+                            (0..4).map(|j| job_for(scale, t, b * 4 + j)).collect();
+                        match client.submit(&jobs) {
+                            Ok(outcomes) if outcomes.iter().all(Result::is_ok) => ok += 1,
+                            _ => bad += 1,
+                        }
+                    }
+                    (ok, bad)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("flood thread panicked"))
+            .collect()
+    });
+    let flood_succeeded: usize = flood_results.iter().map(|(ok, _)| ok).sum();
+    errors += flood_results.iter().map(|(_, bad)| bad).sum::<usize>();
+
+    // Phase 3 — scrape the daemon's own ledger of what just happened.
+    let text = Client::connect(addr)?.metrics()?;
+    let exp = arbodom_obs::prom::parse(&text)
+        .map_err(|e| ServiceError::Protocol(format!("metrics scrape: {e}")))?;
+    let value = |name: &str| exp.value(name).unwrap_or(0.0);
+    let probe = AdmissionProbe {
+        limits,
+        pipelined_requests,
+        accepted,
+        shed,
+        min_retry_after_ms: if shed == 0 { 0 } else { min_retry_after_ms },
+        flood_submits,
+        flood_succeeded,
+        errors,
+        admitted_total: value(obs::REQUESTS_ADMITTED_TOTAL),
+        shed_total: value(obs::REQUESTS_SHED_TOTAL),
+        job_errors_total: value(obs::JOB_ERRORS_TOTAL),
+        queue_wait: scrape_queue_wait(&exp, obs::QUEUE_WAIT_NANOS),
+    };
+    server.shutdown();
+    Ok(probe)
+}
+
+/// Runs the load and measures sustained throughput, the latency ladder,
+/// and the admission probe.
 ///
 /// # Errors
 ///
@@ -322,13 +593,32 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadOutcome, ServiceError> {
         .collect();
     probe.submit(&warmup)?;
 
-    // Everything client-side — batch construction, connection setup —
-    // happens before the clock starts.
-    let batches = prepare_batches(cfg);
-    let conns: Vec<Client> = (0..cfg.clients)
-        .map(|_| Client::connect(addr.as_str()))
-        .collect::<Result<_, _>>()?;
-    let window = measure_submit_window(conns, batches)?;
+    // The sustained sweep: ascending client counts, the last of which is
+    // the headline fleet. Everything client-side — batch construction,
+    // connection setup — happens before each row's clock starts.
+    let mut sustained = Vec::new();
+    let mut job_errors = 0;
+    let mut flagged = 0;
+    let mut headline: Option<SubmitWindow> = None;
+    for clients in cfg.client_sweep() {
+        let batches = prepare_batches(cfg, clients);
+        let conns: Vec<Client> = (0..clients)
+            .map(|_| Client::connect(addr.as_str()))
+            .collect::<Result<_, _>>()?;
+        let window = measure_submit_window(conns, batches)?;
+        job_errors += window.job_errors;
+        flagged += window.flagged;
+        let jobs = clients * cfg.batches_per_client * cfg.jobs_per_batch;
+        sustained.push(SustainedRow {
+            clients,
+            batches: clients * cfg.batches_per_client,
+            jobs,
+            wall_secs: window.wall_secs,
+            queries_per_sec: jobs as f64 / window.wall_secs.max(1e-9),
+        });
+        headline = Some(window);
+    }
+    let window = headline.expect("client sweep is never empty");
 
     // Latency sweeps at smaller batch sizes: single-client, against the
     // now-warm daemon, measuring round-trip only (throughput above is
@@ -359,6 +649,11 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadOutcome, ServiceError> {
     if let Some(server) = local_server {
         server.shutdown();
     }
+
+    // The admission probe runs last, against its own daemon: it floods
+    // on purpose and must not perturb the sustained measurement.
+    let admission = run_admission(cfg.scale)?;
+
     let jobs = cfg.total_jobs();
     Ok(LoadOutcome {
         clients: cfg.clients,
@@ -366,14 +661,16 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadOutcome, ServiceError> {
         jobs,
         wall_secs: window.wall_secs,
         queries_per_sec: jobs as f64 / window.wall_secs.max(1e-9),
-        job_errors: window.job_errors,
-        flagged: window.flagged,
+        job_errors,
+        flagged,
         cache,
         latency,
+        sustained,
+        admission,
     })
 }
 
-/// Renders the `BENCH_service.json` document.
+/// Renders the `BENCH_service.json` document (schema v4).
 pub fn render_artifact(outcome: &LoadOutcome, cfg: &LoadConfig) -> String {
     let latency = JsonArr::from_raw(outcome.latency.iter().map(|row| {
         JsonObj::new()
@@ -384,8 +681,58 @@ pub fn render_artifact(outcome: &LoadOutcome, cfg: &LoadConfig) -> String {
             .num("p99_ms", row.p99_ms)
             .render()
     }));
+    let sustained = JsonArr::from_raw(outcome.sustained.iter().map(|row| {
+        JsonObj::new()
+            .int("clients", row.clients)
+            .int("batches", row.batches)
+            .int("jobs", row.jobs)
+            .num("wall_secs", row.wall_secs)
+            .num("queries_per_sec", row.queries_per_sec)
+            .render()
+    }));
+    let adm = &outcome.admission;
+    let admission = JsonObj::new()
+        .raw(
+            "limits",
+            JsonObj::new()
+                .u64("max_pending_jobs", adm.limits.max_pending_jobs)
+                .u64("max_pending_bytes", adm.limits.max_pending_bytes)
+                .u64("per_conn_inflight", adm.limits.per_conn_inflight)
+                .u64("idle_timeout_ms", adm.limits.idle_timeout_ms)
+                .render(),
+        )
+        .raw(
+            "pipelined",
+            JsonObj::new()
+                .int("requests", adm.pipelined_requests)
+                .int("accepted", adm.accepted)
+                .int("shed", adm.shed)
+                .u64("min_retry_after_ms", adm.min_retry_after_ms)
+                .render(),
+        )
+        .raw(
+            "flood",
+            JsonObj::new()
+                .int("submits", adm.flood_submits)
+                .int("succeeded", adm.flood_succeeded)
+                .render(),
+        )
+        .int("errors", adm.errors)
+        .num("admitted_total", adm.admitted_total)
+        .num("shed_total", adm.shed_total)
+        .num("job_errors_total", adm.job_errors_total)
+        .raw(
+            "queue_wait_ms",
+            JsonObj::new()
+                .u64("count", adm.queue_wait.count)
+                .num("p50", adm.queue_wait.p50_ms)
+                .num("p95", adm.queue_wait.p95_ms)
+                .num("p99", adm.queue_wait.p99_ms)
+                .render(),
+        )
+        .render();
     JsonObj::new()
-        .str("schema", "arbodom-service/v3")
+        .str("schema", "arbodom-service/v4")
         .str("scale", cfg.scale.to_scenarios().label())
         .str(
             "target",
@@ -399,7 +746,9 @@ pub fn render_artifact(outcome: &LoadOutcome, cfg: &LoadConfig) -> String {
         .num("queries_per_sec", outcome.queries_per_sec)
         .int("job_errors", outcome.job_errors)
         .int("flagged", outcome.flagged)
+        .raw("sustained", sustained.render())
         .raw("batch_latency_ms", latency.render())
+        .raw("admission", admission)
         .raw(
             "cache",
             JsonObj::new()
@@ -439,6 +788,19 @@ mod tests {
         );
     }
 
+    #[test]
+    fn client_sweep_is_ascending_and_ends_at_the_fleet() {
+        let quick = LoadConfig::for_scale(Scale::Quick);
+        assert_eq!(quick.client_sweep(), vec![1, 2]);
+        let full = LoadConfig::for_scale(Scale::Full);
+        assert_eq!(full.client_sweep(), vec![1, 4, 8]);
+        let one = LoadConfig {
+            clients: 1,
+            ..LoadConfig::for_scale(Scale::Quick)
+        };
+        assert_eq!(one.client_sweep(), vec![1]);
+    }
+
     /// Regression pin for the measurement bug this module used to have:
     /// `queries_per_sec` was computed over a wall clock that *included*
     /// client-side batch construction. With a deliberately delayed batch
@@ -467,7 +829,7 @@ mod tests {
         let old_style_clock = Instant::now();
         // A delayed build: simulates expensive client-side job assembly.
         std::thread::sleep(std::time::Duration::from_millis(300));
-        let batches = prepare_batches(&cfg);
+        let batches = prepare_batches(&cfg, cfg.clients);
         let conns = vec![Client::connect(addr.as_str()).expect("connects")];
         let window = measure_submit_window(conns, batches).expect("load runs");
         let old_style_secs = old_style_clock.elapsed().as_secs_f64();
@@ -504,10 +866,36 @@ mod tests {
         assert_eq!((one.p50_ms, one.p95_ms, one.p99_ms), (7.5, 7.5, 7.5));
     }
 
+    /// The admission probe against its tight in-process daemon: the
+    /// pipelined burst sheds deterministically past the per-conn cap,
+    /// the retrying flood fully lands, the scraped ledger agrees, and
+    /// the queue-wait histogram counted every admitted job.
     #[test]
-    fn artifact_shape_is_stable() {
-        let cfg = LoadConfig::for_scale(Scale::Quick);
-        let outcome = LoadOutcome {
+    fn admission_probe_sheds_and_recovers() {
+        let probe = run_admission(Scale::Quick).expect("probe runs");
+        assert_eq!(probe.limits.per_conn_inflight, 2);
+        assert_eq!(probe.limits.max_pending_jobs, 8);
+        assert_eq!(probe.pipelined_requests, 8);
+        assert_eq!(
+            (probe.accepted, probe.shed),
+            (2, 6),
+            "arrival-time classification at cap 2"
+        );
+        assert!(probe.min_retry_after_ms >= 10);
+        assert_eq!(probe.errors, 0);
+        assert_eq!(probe.flood_succeeded, probe.flood_submits);
+        assert!(probe.shed_total >= probe.shed as f64);
+        assert!(probe.admitted_total >= probe.accepted as f64);
+        assert_eq!(probe.job_errors_total, 0.0);
+        assert!(probe.queue_wait.count > 0, "admitted jobs waited in queue");
+        assert!(
+            probe.queue_wait.p50_ms <= probe.queue_wait.p95_ms
+                && probe.queue_wait.p95_ms <= probe.queue_wait.p99_ms
+        );
+    }
+
+    fn sample_outcome() -> LoadOutcome {
+        LoadOutcome {
             clients: 2,
             batches: 8,
             jobs: 64,
@@ -540,19 +928,98 @@ mod tests {
                     p99_ms: 15.5,
                 },
             ],
-        };
-        let json = render_artifact(&outcome, &cfg);
-        assert!(json.starts_with("{\"schema\":\"arbodom-service/v3\""));
+            sustained: vec![
+                SustainedRow {
+                    clients: 1,
+                    batches: 4,
+                    jobs: 32,
+                    wall_secs: 0.4,
+                    queries_per_sec: 80.0,
+                },
+                SustainedRow {
+                    clients: 2,
+                    batches: 8,
+                    jobs: 64,
+                    wall_secs: 0.5,
+                    queries_per_sec: 128.0,
+                },
+            ],
+            admission: AdmissionProbe {
+                limits: ServerLimits {
+                    protocol_min: 1,
+                    protocol_max: 3,
+                    workers: 2,
+                    max_pending_jobs: 8,
+                    max_pending_bytes: 64 << 20,
+                    per_conn_inflight: 2,
+                    idle_timeout_ms: 900_000,
+                    max_frame_len: 64 << 20,
+                    max_batch_jobs: 10_000,
+                },
+                pipelined_requests: 8,
+                accepted: 2,
+                shed: 6,
+                min_retry_after_ms: 10,
+                flood_submits: 12,
+                flood_succeeded: 12,
+                errors: 0,
+                admitted_total: 16.0,
+                shed_total: 9.0,
+                job_errors_total: 0.0,
+                queue_wait: QueueWait {
+                    count: 16,
+                    p50_ms: 0.5,
+                    p95_ms: 2.0,
+                    p99_ms: 4.0,
+                },
+            },
+        }
+    }
+
+    #[test]
+    fn artifact_shape_is_stable() {
+        let cfg = LoadConfig::for_scale(Scale::Quick);
+        let json = render_artifact(&sample_outcome(), &cfg);
+        assert!(json.starts_with("{\"schema\":\"arbodom-service/v4\""));
         assert!(json.contains("\"queries_per_sec\":128"));
         assert!(json.contains("\"hits\":50"));
         assert!(json.contains("\"bytes\":1048576"));
         assert!(json.contains("\"batch_latency_ms\":[{\"jobs_per_batch\":1"));
         assert!(json.contains("\"p99_ms\":15.5"));
+        assert!(json.contains("\"sustained\":[{\"clients\":1"));
+        assert!(json.contains("\"admission\":{\"limits\":{\"max_pending_jobs\":8"));
+        assert!(json.contains("\"pipelined\":{\"requests\":8,\"accepted\":2,\"shed\":6"));
+        assert!(json.contains("\"flood\":{\"submits\":12,\"succeeded\":12}"));
+        assert!(json.contains("\"queue_wait_ms\":{\"count\":16,\"p50\":0.5"));
+        // Parses back with the workspace's own JSON reader.
+        arbodom_scenarios::json::JsonValue::parse(&json).expect("artifact parses");
     }
 
-    /// The quick load run produces the latency ladder end to end: every
-    /// swept batch size reports ordered, positive percentiles, and the
-    /// main run's size is always present.
+    #[test]
+    fn queue_wait_scrape_reads_bucket_quantiles() {
+        let text = "# TYPE arbodom_queue_wait_nanos histogram\n\
+             arbodom_queue_wait_nanos_bucket{le=\"1048576\"} 10\n\
+             arbodom_queue_wait_nanos_bucket{le=\"2097152\"} 19\n\
+             arbodom_queue_wait_nanos_bucket{le=\"+Inf\"} 20\n\
+             arbodom_queue_wait_nanos_sum 12345678\n\
+             arbodom_queue_wait_nanos_count 20\n";
+        let exp = arbodom_obs::prom::parse(text).expect("parses");
+        let qw = scrape_queue_wait(&exp, "arbodom_queue_wait_nanos");
+        assert_eq!(qw.count, 20);
+        assert_eq!(qw.p50_ms, 1048576.0 / 1e6);
+        assert_eq!(qw.p95_ms, 2097152.0 / 1e6);
+        // The top observation only fits the +Inf bucket.
+        assert!(qw.p99_ms > 1e9);
+        // An empty histogram answers zeros, not infinities.
+        let empty = arbodom_obs::prom::parse("arbodom_queue_wait_nanos_count 0\n").expect("parses");
+        let qw = scrape_queue_wait(&empty, "arbodom_queue_wait_nanos");
+        assert_eq!((qw.count, qw.p50_ms), (0, 0.0));
+    }
+
+    /// The quick load run produces the full v4 surface end to end:
+    /// ordered latency percentiles per swept batch size, an ascending
+    /// sustained ladder ending at the fleet, and a healthy admission
+    /// probe.
     #[test]
     fn load_run_reports_ordered_latency_percentiles() {
         let cfg = LoadConfig {
@@ -580,5 +1047,13 @@ mod tests {
             Some(outcome.batches),
             "the main run contributes every batch as a sample"
         );
+        let clients: Vec<usize> = outcome.sustained.iter().map(|r| r.clients).collect();
+        assert_eq!(clients, vec![1, 2], "sweep ends at the fleet");
+        for row in &outcome.sustained {
+            assert!(row.queries_per_sec > 0.0);
+            assert_eq!(row.jobs, row.clients * 3 * 6);
+        }
+        assert!(outcome.admission.shed > 0, "the probe must shed");
+        assert_eq!(outcome.admission.errors, 0);
     }
 }

@@ -28,13 +28,26 @@ fn quick_load_run_sustains_nonzero_qps_without_errors() {
         "the warm job mix must hit the graph cache, stats {:?}",
         outcome.cache
     );
+    assert!(
+        !outcome.sustained.is_empty(),
+        "the sustained client ladder must be recorded"
+    );
+    assert!(
+        outcome.admission.shed > 0 && outcome.admission.errors == 0,
+        "the admission probe must shed cleanly, got {:?}",
+        outcome.admission
+    );
     let json = render_artifact(&outcome, &cfg);
-    assert!(json.contains("\"schema\":\"arbodom-service/v3\""));
+    assert!(json.contains("\"schema\":\"arbodom-service/v4\""));
     assert!(json.contains("\"queries_per_sec\":"));
     assert!(!json.contains("\"queries_per_sec\":0,"));
     assert!(
         json.contains("\"batch_latency_ms\":[{"),
         "artifact must carry the latency ladder"
+    );
+    assert!(
+        json.contains("\"sustained\":[{") && json.contains("\"admission\":{"),
+        "artifact must carry the sustained ladder and admission probe"
     );
     // The produced artifact must clear its own CI ratchet gate.
     let v = arbodom_scenarios::json::JsonValue::parse(&json).expect("artifact parses");

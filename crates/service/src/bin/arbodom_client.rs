@@ -3,19 +3,31 @@
 //! ```text
 //! arbodom-client ping     [--addr A]
 //! arbodom-client stats    [--addr A]
-//! arbodom-client metrics  [--addr A] [--prom | --check]
+//! arbodom-client limits   [--addr A]
+//! arbodom-client metrics  [--addr A] [--prom | --check [--expect-shed]]
 //! arbodom-client shutdown [--addr A]
 //! arbodom-client run      [--addr A] [--members] [--alg SPEC] [--seed S]
+//!                         [--retries N]
 //!                         (--edge-list FILE
 //!                          | --generator FAMILY --n N [--gen-seed S]
 //!                          | --cell NAME SIZE WEIGHT LOSS SEED)
 //! ```
+//!
+//! `limits` performs the protocol-v3 `Hello` handshake and prints the
+//! server's advertised protocol range and admission limits.
 //!
 //! `metrics` scrapes the daemon's registry: the default output is a
 //! human-readable table (histograms summarized as count/p50/p95/p99),
 //! `--prom` dumps the raw Prometheus text exposition, and `--check`
 //! validates the scrape (parse + histogram structure + nonzero request
 //! counters) and exits nonzero on failure — the CI smoke hook.
+//! `--check --expect-shed` additionally requires that admission control
+//! shed at least one request **and** that no job errored — the overload
+//! smoke assertion.
+//!
+//! `run` retries server sheds with exponential backoff (honoring the
+//! server's `retry_after_ms` hint); `--retries 0` surfaces the first
+//! shed as an error.
 //!
 //! `FAMILY` ∈ `random-tree | forest-union:<α> | gnp:<avg-degree> |
 //! planar:<p> | ktree:<k>`; `SPEC` ∈ `weighted:<ε> | unknown-delta:<ε> |
@@ -51,6 +63,24 @@ fn main() {
         "shutdown" => control(&args[1..], |c| {
             c.shutdown_server()?;
             println!("daemon shutting down");
+            Ok(())
+        }),
+        "limits" => control(&args[1..], |c| {
+            let l = c.hello()?;
+            println!("protocol: v{}..=v{}", l.protocol_min, l.protocol_max);
+            println!("workers: {}", l.workers);
+            println!(
+                "admission: max_pending_jobs={} max_pending_bytes={} per_conn_inflight={}",
+                l.max_pending_jobs, l.max_pending_bytes, l.per_conn_inflight
+            );
+            match l.idle_timeout_ms {
+                0 => println!("idle_timeout: disabled"),
+                ms => println!("idle_timeout: {ms} ms"),
+            }
+            println!(
+                "frames: max_frame_len={} max_batch_jobs={}",
+                l.max_frame_len, l.max_batch_jobs
+            );
             Ok(())
         }),
         "metrics" => metrics(&args[1..]),
@@ -89,12 +119,14 @@ fn metrics(args: &[String]) {
     let mut addr = default_addr();
     let mut prom = false;
     let mut check = false;
+    let mut expect_shed = false;
     let mut it = args.iter().map(String::as_str);
     while let Some(arg) = it.next() {
         match arg {
             "--addr" => addr = required(it.next(), "--addr").to_string(),
             "--prom" => prom = true,
             "--check" => check = true,
+            "--expect-shed" => expect_shed = true,
             other => {
                 eprintln!("unknown option: {other}\n");
                 usage(2);
@@ -127,10 +159,27 @@ fn metrics(args: &[String]) {
             eprintln!("arbodom-client: scrape has zeroed request counters (no traffic observed)");
             std::process::exit(1);
         }
+        let shed = exp
+            .value(arbodom_service::obs::REQUESTS_SHED_TOTAL)
+            .unwrap_or(0.0);
+        if expect_shed {
+            if shed <= 0.0 {
+                eprintln!("arbodom-client: expected admission control to shed, but nothing was");
+                std::process::exit(1);
+            }
+            let job_errors = exp
+                .value(arbodom_service::obs::JOB_ERRORS_TOTAL)
+                .unwrap_or(0.0);
+            if job_errors > 0.0 {
+                eprintln!("arbodom-client: {job_errors} job error(s) during the overload run");
+                std::process::exit(1);
+            }
+        }
         println!(
-            "metrics ok: {} samples, {} requests observed",
+            "metrics ok: {} samples, {} requests observed, {} shed",
             exp.samples.len(),
-            served
+            served,
+            shed
         );
         return;
     }
@@ -198,6 +247,7 @@ fn run(args: &[String]) {
     let mut algorithm = None;
     let mut seed = 0u64;
     let mut gen_seed = 42u64;
+    let mut retries: Option<u32> = None;
     let mut edge_list: Option<String> = None;
     let mut generator: Option<String> = None;
     let mut n: Option<u32> = None;
@@ -207,6 +257,7 @@ fn run(args: &[String]) {
         match arg {
             "--addr" => addr = required(it.next(), "--addr").to_string(),
             "--members" => members = true,
+            "--retries" => retries = Some(parsed(it.next(), "--retries")),
             "--alg" => algorithm = Some(parse_algorithm(required(it.next(), "--alg"))),
             "--seed" => seed = parsed(it.next(), "--seed"),
             "--gen-seed" => gen_seed = parsed(it.next(), "--gen-seed"),
@@ -260,7 +311,14 @@ fn run(args: &[String]) {
         seed,
         return_members: members,
     };
-    let mut client = connect(&addr);
+    let mut builder = Client::builder();
+    if let Some(retries) = retries {
+        builder = builder.retries(retries);
+    }
+    let mut client = builder.connect(&addr).unwrap_or_else(|e| {
+        eprintln!("arbodom-client: cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    });
     let replies = client
         .submit(std::slice::from_ref(&job))
         .unwrap_or_else(|e| {
@@ -395,9 +453,9 @@ fn usage(code: i32) -> ! {
     eprintln!(
         "arbodom-client — query a running arbodomd\n\n\
          USAGE:\n  \
-         arbodom-client ping|stats|shutdown [--addr A]\n  \
-         arbodom-client metrics [--addr A] [--prom | --check]\n  \
-         arbodom-client run [--addr A] [--members] [--alg SPEC] [--seed S]\n      \
+         arbodom-client ping|stats|limits|shutdown [--addr A]\n  \
+         arbodom-client metrics [--addr A] [--prom | --check [--expect-shed]]\n  \
+         arbodom-client run [--addr A] [--members] [--alg SPEC] [--seed S] [--retries N]\n      \
          (--edge-list FILE | --generator FAMILY --n N [--gen-seed S]\n       \
          | --cell NAME SIZE_IDX WEIGHT_IDX LOSS_IDX SEED_IDX)\n\n\
          FAMILY: random-tree | forest-union:<α> | gnp:<deg> | planar:<p> | ktree:<k>\n\

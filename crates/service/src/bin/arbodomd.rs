@@ -3,6 +3,8 @@
 //! ```text
 //! arbodomd [--addr HOST:PORT] [--workers N] [--sim-threads N]
 //!          [--cache-mb N] [--session-ttl-secs N] [--max-sessions N]
+//!          [--max-pending-jobs N] [--max-pending-mb N]
+//!          [--per-conn-inflight N] [--idle-timeout-secs N]
 //!          [--sim-obs] [--quick|--full]
 //! ```
 //!
@@ -11,7 +13,11 @@
 //! size sweeps (the CI convention, also via `ARBODOM_QUICK=1`).
 //! `--sim-obs` additionally records per-round simulator phase timings
 //! into the metrics registry (scrape with `arbodom-client metrics`).
-//! On shutdown the daemon prints a final metrics snapshot to stderr.
+//! The admission knobs (`--max-pending-jobs`, `--max-pending-mb`,
+//! `--per-conn-inflight`) bound how much work the daemon holds before
+//! shedding with a typed `Overloaded` reply; `--idle-timeout-secs 0`
+//! disables the slow-loris defense. On shutdown the daemon prints a
+//! final metrics snapshot to stderr.
 
 use arbodom_scenarios::Scale;
 use arbodom_service::cliargs::{parsed, required};
@@ -36,6 +42,17 @@ fn main() {
                     std::time::Duration::from_secs(parsed::<u64>(it.next(), "--session-ttl-secs"));
             }
             "--max-sessions" => cfg.max_sessions = parsed(it.next(), "--max-sessions"),
+            "--max-pending-jobs" => cfg.max_pending_jobs = parsed(it.next(), "--max-pending-jobs"),
+            "--max-pending-mb" => {
+                cfg.max_pending_bytes = parsed::<usize>(it.next(), "--max-pending-mb") << 20;
+            }
+            "--per-conn-inflight" => {
+                cfg.per_conn_inflight = parsed(it.next(), "--per-conn-inflight");
+            }
+            "--idle-timeout-secs" => {
+                let secs = parsed::<u64>(it.next(), "--idle-timeout-secs");
+                cfg.idle_timeout = (secs > 0).then(|| std::time::Duration::from_secs(secs));
+            }
             "--sim-obs" => cfg.sim_obs = true,
             "--quick" => cfg.scale = Scale::Quick,
             "--full" => cfg.scale = Scale::Full,
@@ -92,7 +109,7 @@ fn final_snapshot(registry: &arbodom_obs::Registry) {
 
 fn usage(code: i32) -> ! {
     eprintln!(
-        "arbodomd — threaded batch-query dominating-set daemon\n\n\
+        "arbodomd — event-driven batch-query dominating-set daemon\n\n\
          USAGE:\n  arbodomd [OPTIONS]\n\n\
          OPTIONS:\n  \
          --addr HOST:PORT   bind address (default 127.0.0.1:4310; port 0 = ephemeral)\n  \
@@ -101,6 +118,10 @@ fn usage(code: i32) -> ! {
          --cache-mb N       graph-cache budget in MiB of instance memory (default 256)\n  \
          --session-ttl-secs N  evict sessions idle longer than N seconds (default 900)\n  \
          --max-sessions N   cap on live sessions; LRU-evicted past it (default 64)\n  \
+         --max-pending-jobs N   admission cap on admitted-but-unfinished jobs (default 256)\n  \
+         --max-pending-mb N     admission cap on pending request payload MiB (default 64)\n  \
+         --per-conn-inflight N  in-flight heavy requests per connection (default 16)\n  \
+         --idle-timeout-secs N  close idle connections after N seconds; 0 disables (default 900)\n  \
          --sim-obs          record per-round simulator phase timings in the metrics registry\n  \
          --quick            resolve scenario cells at quick scale (CI; also ARBODOM_QUICK=1)\n  \
          --full             resolve scenario cells at full scale (default)"

@@ -30,6 +30,16 @@ pub enum ServiceError {
         /// Newest version the server speaks.
         max: u8,
     },
+    /// Admission control shed the request and the client's retry budget
+    /// is exhausted (typed counterpart of
+    /// [`crate::protocol::Response::Overloaded`]).
+    Overloaded {
+        /// The server's suggested backoff before retrying, in
+        /// milliseconds.
+        retry_after_ms: u64,
+        /// Admitted-but-unfinished jobs at shed time.
+        queue_depth: u64,
+    },
     /// The peer closed the connection cleanly between frames.
     Closed,
 }
@@ -45,6 +55,13 @@ impl fmt::Display for ServiceError {
             ServiceError::UnsupportedVersion { got, min, max } => write!(
                 f,
                 "unsupported protocol version {got} (server speaks {min}..={max})"
+            ),
+            ServiceError::Overloaded {
+                retry_after_ms,
+                queue_depth,
+            } => write!(
+                f,
+                "server overloaded (queue depth {queue_depth}, retry after {retry_after_ms} ms)"
             ),
             ServiceError::Closed => write!(f, "connection closed"),
         }

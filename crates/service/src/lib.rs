@@ -144,13 +144,13 @@ pub mod scheduler;
 mod server;
 pub mod session;
 
-pub use client::Client;
+pub use client::{Client, ClientBuilder, RetryPolicy};
 pub use error::ServiceError;
 pub use jobs::{execute_job, open_session, ExecContext};
 pub use obs::ServiceObs;
 pub use protocol::{
-    CacheStats, DeltaSpec, GraphSource, JobResult, JobSpec, RepairStats, Request, Response,
-    SessionPolicy, SessionUpdate, PROTOCOL_V1, PROTOCOL_V2,
+    CacheStats, DeltaSpec, FrameAssembler, GraphSource, JobResult, JobSpec, RepairStats, Request,
+    Response, ServerLimits, SessionPolicy, SessionUpdate, PROTOCOL_V1, PROTOCOL_V2, PROTOCOL_V3,
 };
 pub use scheduler::Scheduler;
 pub use server::{Server, ServerConfig};

@@ -24,8 +24,9 @@ use crate::protocol::Request;
 
 /// Request kinds a connection can serve, in wire-tag order — the
 /// `_<kind>` suffixes of the per-kind series.
-pub const REQUEST_KINDS: [&str; 9] = [
+pub const REQUEST_KINDS: [&str; 10] = [
     "ping", "batch", "stats", "shutdown", "open", "mutate", "resolve", "release", "metrics",
+    "hello",
 ];
 
 /// Prefix of the per-kind whole-request latency histograms
@@ -81,6 +82,23 @@ pub const SESSION_BYTES: &str = "arbodom_session_bytes";
 /// Sessions evicted by policy so far (scrape-time mirror).
 pub const SESSION_EVICTIONS: &str = "arbodom_session_evictions";
 
+/// Admitted-but-unfinished jobs (live reactor gauge, the admission
+/// queue depth).
+pub const PENDING_JOBS: &str = "arbodom_pending_jobs";
+/// Admitted-but-unfinished request payload bytes (live reactor gauge).
+pub const PENDING_BYTES: &str = "arbodom_pending_bytes";
+/// Connections the reactor currently owns (live reactor gauge).
+pub const CONNECTIONS_OPEN: &str = "arbodom_connections_open";
+/// Connections accepted since boot.
+pub const CONNECTIONS_ACCEPTED_TOTAL: &str = "arbodom_connections_accepted_total";
+/// Connections closed by the idle timeout (slow-loris defense).
+pub const CONNECTIONS_IDLE_CLOSED_TOTAL: &str = "arbodom_connections_idle_closed_total";
+/// Requests admitted past admission control (dispatched to workers).
+pub const REQUESTS_ADMITTED_TOTAL: &str = "arbodom_requests_admitted_total";
+/// Requests shed by admission control (answered `Overloaded`/`Error`
+/// without executing).
+pub const REQUESTS_SHED_TOTAL: &str = "arbodom_requests_shed_total";
+
 /// The wire request kinds, as indices into the per-kind metric arrays.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ReqKind {
@@ -102,6 +120,8 @@ pub enum ReqKind {
     Release = 7,
     /// [`Request::Metrics`].
     Metrics = 8,
+    /// [`Request::Hello`].
+    Hello = 9,
 }
 
 impl ReqKind {
@@ -117,6 +137,7 @@ impl ReqKind {
             Request::Resolve { .. } => ReqKind::Resolve,
             Request::Release { .. } => ReqKind::Release,
             Request::Metrics => ReqKind::Metrics,
+            Request::Hello => ReqKind::Hello,
         }
     }
 
@@ -131,8 +152,8 @@ impl ReqKind {
 /// [`crate::jobs::ExecContext`] every worker clones.
 #[derive(Clone, Debug)]
 pub struct ServiceObs {
-    pub(crate) request_nanos: [Histogram; 9],
-    pub(crate) requests_total: [Counter; 9],
+    pub(crate) request_nanos: [Histogram; 10],
+    pub(crate) requests_total: [Counter; 10],
     pub(crate) decode: Histogram,
     pub(crate) cache_lookup: Histogram,
     pub(crate) queue_wait: Histogram,
@@ -153,6 +174,13 @@ pub struct ServiceObs {
     pub(crate) sessions_live: Gauge,
     pub(crate) session_bytes: Gauge,
     pub(crate) session_evictions: Gauge,
+    pub(crate) pending_jobs: Gauge,
+    pub(crate) pending_bytes: Gauge,
+    pub(crate) connections_open: Gauge,
+    pub(crate) connections_accepted: Counter,
+    pub(crate) connections_idle_closed: Counter,
+    pub(crate) requests_admitted: Counter,
+    pub(crate) requests_shed: Counter,
 }
 
 impl ServiceObs {
@@ -186,6 +214,13 @@ impl ServiceObs {
             sessions_live: registry.gauge(SESSIONS_LIVE),
             session_bytes: registry.gauge(SESSION_BYTES),
             session_evictions: registry.gauge(SESSION_EVICTIONS),
+            pending_jobs: registry.gauge(PENDING_JOBS),
+            pending_bytes: registry.gauge(PENDING_BYTES),
+            connections_open: registry.gauge(CONNECTIONS_OPEN),
+            connections_accepted: registry.counter(CONNECTIONS_ACCEPTED_TOTAL),
+            connections_idle_closed: registry.counter(CONNECTIONS_IDLE_CLOSED_TOTAL),
+            requests_admitted: registry.counter(REQUESTS_ADMITTED_TOTAL),
+            requests_shed: registry.counter(REQUESTS_SHED_TOTAL),
         }
     }
 
@@ -225,6 +260,7 @@ mod tests {
     fn kinds_map_to_their_wire_requests() {
         assert_eq!(ReqKind::of(&Request::Ping).label(), "ping");
         assert_eq!(ReqKind::of(&Request::Metrics).label(), "metrics");
+        assert_eq!(ReqKind::of(&Request::Hello).label(), "hello");
         assert_eq!(ReqKind::of(&Request::Batch(vec![])).label(), "batch");
         assert_eq!(
             ReqKind::of(&Request::Release { session: 1 }).label(),
@@ -250,6 +286,22 @@ mod tests {
                 exp.value(&format!("{REQUESTS_TOTAL_PREFIX}{kind}"))
                     .is_some(),
                 "missing counter for {kind}"
+            );
+        }
+        // The admission surface registers too, zeroed before traffic.
+        for name in [
+            PENDING_JOBS,
+            PENDING_BYTES,
+            CONNECTIONS_OPEN,
+            CONNECTIONS_ACCEPTED_TOTAL,
+            CONNECTIONS_IDLE_CLOSED_TOTAL,
+            REQUESTS_ADMITTED_TOTAL,
+            REQUESTS_SHED_TOTAL,
+        ] {
+            assert_eq!(
+                exp.value(name),
+                Some(0.0),
+                "missing admission series {name}"
             );
         }
     }

@@ -19,7 +19,12 @@
 //! requests** ([`Request::Open`]/[`Request::Mutate`]/[`Request::Resolve`]
 //! /[`Request::Release`]) and [`GraphSource::Session`] are v2-only — a
 //! v1 client issuing them gets `UnsupportedVersion` (the connection
-//! stays usable for v1 traffic).
+//! stays usable for v1 traffic). Protocol v3 adds the overload surface:
+//! [`Request::Hello`] (answered with [`Response::Limits`] advertising
+//! the daemon's [`ServerLimits`]) and the typed [`Response::Overloaded`]
+//! shed reply. A v3 connection that trips admission control receives
+//! `Overloaded` with a retry hint; older connections receive a plain
+//! [`Response::Error`] instead, because they cannot decode the new tag.
 //!
 //! A conversation is strictly client-driven: the client writes one
 //! request frame, the server answers with one or more response frames —
@@ -55,11 +60,16 @@ pub const PROTOCOL_V1: u8 = 1;
 /// `Release` and [`GraphSource::Session`]).
 pub const PROTOCOL_V2: u8 = 2;
 
+/// Protocol v3: v2 plus the overload surface — [`Request::Hello`] /
+/// [`Response::Limits`] limit discovery and the typed
+/// [`Response::Overloaded`] shed reply.
+pub const PROTOCOL_V3: u8 = 3;
+
 /// Oldest protocol version the daemon speaks.
 pub const PROTOCOL_MIN: u8 = PROTOCOL_V1;
 
 /// Newest protocol version the daemon speaks.
-pub const PROTOCOL_MAX: u8 = PROTOCOL_V2;
+pub const PROTOCOL_MAX: u8 = PROTOCOL_V3;
 
 /// Hard cap on a frame payload; larger declared lengths are rejected
 /// before any allocation so a corrupt or hostile header cannot balloon
@@ -172,6 +182,74 @@ pub fn write_message<M: Wire>(
 pub fn read_message<M: Wire>(r: &mut impl Read) -> Result<(u8, M), ServiceError> {
     let (version, payload) = read_frame(r)?;
     Ok((version, decode_payload(&payload)?))
+}
+
+/// Incremental frame reassembly for nonblocking reads.
+///
+/// The reactor feeds whatever byte chunks the kernel hands it — single
+/// bytes, half a header, three frames and a tail — into [`push`], and
+/// pulls complete `(version, payload)` frames out of [`next_frame`].
+/// The assembler is segmentation-oblivious: any split of the same byte
+/// stream yields the same frame sequence (proptested in
+/// `tests/frame_assembly.rs`).
+///
+/// [`push`]: FrameAssembler::push
+/// [`next_frame`]: FrameAssembler::next_frame
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameAssembler {
+    /// An empty assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a received chunk to the reassembly buffer.
+    pub fn push(&mut self, chunk: &[u8]) {
+        // Reclaim consumed prefix space before growing, so a long-lived
+        // connection's buffer stays proportional to its unparsed tail.
+        if self.start > 0 && (self.start == self.buf.len() || self.start >= 64 * 1024) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Bytes buffered but not yet returned as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Extracts the next complete frame, if one is fully buffered.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::FrameTooLarge`] as soon as a header
+    /// declaring an oversized payload is visible — before the payload
+    /// arrives or is allocated, so a hostile header cannot balloon
+    /// memory. The assembler is poisoned-by-construction after that:
+    /// the connection must be closed, matching [`read_frame`].
+    pub fn next_frame(&mut self) -> Result<Option<(u8, Vec<u8>)>, ServiceError> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < FRAME_HEADER_LEN {
+            return Ok(None);
+        }
+        let version = avail[0];
+        let len = u32::from_le_bytes(avail[1..FRAME_HEADER_LEN].try_into().expect("4 len bytes"))
+            as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(ServiceError::FrameTooLarge(len as u64));
+        }
+        if avail.len() < FRAME_HEADER_LEN + len {
+            return Ok(None);
+        }
+        let payload = avail[FRAME_HEADER_LEN..FRAME_HEADER_LEN + len].to_vec();
+        self.start += FRAME_HEADER_LEN + len;
+        Ok(Some((version, payload)))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -825,6 +903,9 @@ pub enum Request {
     /// [`Response::MetricsReport`] carrying the Prometheus
     /// text-exposition rendering. Protocol v2 only.
     Metrics,
+    /// Asks the daemon to advertise its admission limits; answered with
+    /// [`Response::Limits`]. Protocol v3 only.
+    Hello,
 }
 
 impl Request {
@@ -842,8 +923,16 @@ impl Request {
             Request::Batch(jobs) => jobs
                 .iter()
                 .any(|job| matches!(job.source, GraphSource::Session { .. })),
-            Request::Ping | Request::Stats | Request::Shutdown => false,
+            Request::Ping | Request::Stats | Request::Shutdown | Request::Hello => false,
         }
+    }
+
+    /// Whether this request is gated behind protocol v3 (the overload
+    /// surface). Answered on older connections with
+    /// [`Response::UnsupportedVersion`], connection kept open — the same
+    /// contract as [`needs_v2`](Request::needs_v2).
+    pub fn needs_v3(&self) -> bool {
+        matches!(self, Request::Hello)
     }
 }
 
@@ -883,6 +972,7 @@ impl Wire for Request {
                 put_u64(buf, *session);
             }
             Request::Metrics => buf.extend_from_slice(&[8]),
+            Request::Hello => buf.extend_from_slice(&[9]),
         }
     }
 
@@ -915,6 +1005,7 @@ impl Wire for Request {
                 session: get_u64(buf)?,
             }),
             8 => Ok(Request::Metrics),
+            9 => Ok(Request::Hello),
             _ => Err(WireError::Invalid("unknown request tag")),
         }
     }
@@ -1118,6 +1209,66 @@ impl Wire for CacheStats {
     }
 }
 
+/// The daemon's advertised admission limits, answered to
+/// [`Request::Hello`] on protocol v3.
+///
+/// A well-behaved client sizes its pipelining to `per_conn_inflight`
+/// and backs off per [`Response::Overloaded`] retry hints; the limits
+/// are advisory (the server enforces them regardless) but let clients
+/// avoid sheds instead of reacting to them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerLimits {
+    /// Oldest protocol version the daemon speaks.
+    pub protocol_min: u8,
+    /// Newest protocol version the daemon speaks.
+    pub protocol_max: u8,
+    /// Scheduler worker threads executing jobs.
+    pub workers: u64,
+    /// Global cap on admitted-but-unfinished jobs.
+    pub max_pending_jobs: u64,
+    /// Global cap on admitted-but-unfinished request payload bytes.
+    pub max_pending_bytes: u64,
+    /// Per-connection cap on queued + executing requests.
+    pub per_conn_inflight: u64,
+    /// Idle connection timeout in milliseconds (0 = disabled).
+    pub idle_timeout_ms: u64,
+    /// Largest frame payload the daemon accepts.
+    pub max_frame_len: u64,
+    /// Largest job count per batch request.
+    pub max_batch_jobs: u64,
+}
+
+impl Wire for ServerLimits {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.extend_from_slice(&[self.protocol_min, self.protocol_max]);
+        for v in [
+            self.workers,
+            self.max_pending_jobs,
+            self.max_pending_bytes,
+            self.per_conn_inflight,
+            self.idle_timeout_ms,
+            self.max_frame_len,
+            self.max_batch_jobs,
+        ] {
+            put_u64(buf, v);
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(ServerLimits {
+            protocol_min: get_tag(buf)?,
+            protocol_max: get_tag(buf)?,
+            workers: get_u64(buf)?,
+            max_pending_jobs: get_u64(buf)?,
+            max_pending_bytes: get_u64(buf)?,
+            per_conn_inflight: get_u64(buf)?,
+            idle_timeout_ms: get_u64(buf)?,
+            max_frame_len: get_u64(buf)?,
+            max_batch_jobs: get_u64(buf)?,
+        })
+    }
+}
+
 /// A server → client message.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Response {
@@ -1182,6 +1333,17 @@ pub enum Response {
         /// Newest version the daemon speaks.
         max: u8,
     },
+    /// Admission control shed this request (protocol v3 connections
+    /// only; older connections receive [`Response::Error`]). The request
+    /// was **not** executed; the connection stays open.
+    Overloaded {
+        /// Suggested client backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+        /// Admitted-but-unfinished jobs at shed time (load signal).
+        queue_depth: u64,
+    },
+    /// Answer to [`Request::Hello`]: the daemon's admission limits.
+    Limits(ServerLimits),
 }
 
 impl Wire for Response {
@@ -1228,6 +1390,18 @@ impl Wire for Response {
                 buf.extend_from_slice(&[10]);
                 put_string(buf, text);
             }
+            Response::Overloaded {
+                retry_after_ms,
+                queue_depth,
+            } => {
+                buf.extend_from_slice(&[11]);
+                put_u64(buf, *retry_after_ms);
+                put_u64(buf, *queue_depth);
+            }
+            Response::Limits(limits) => {
+                buf.extend_from_slice(&[12]);
+                limits.encode(buf);
+            }
         }
     }
 
@@ -1262,6 +1436,11 @@ impl Wire for Response {
                 max: get_tag(buf)?,
             }),
             10 => Ok(Response::MetricsReport(get_string(buf)?)),
+            11 => Ok(Response::Overloaded {
+                retry_after_ms: get_u64(buf)?,
+                queue_depth: get_u64(buf)?,
+            }),
+            12 => Ok(Response::Limits(ServerLimits::decode(buf)?)),
             _ => Err(WireError::Invalid("unknown response tag")),
         }
     }
@@ -1329,6 +1508,69 @@ mod tests {
         ));
         assert!(Request::Metrics.needs_v2());
         assert!(!Request::Ping.needs_v2());
+    }
+
+    #[test]
+    fn overload_messages_conform_and_are_v3_only() {
+        assert_wire_conformance(&Request::Hello);
+        assert_wire_conformance(&Response::Overloaded {
+            retry_after_ms: 120,
+            queue_depth: 37,
+        });
+        assert_wire_conformance(&Response::Limits(ServerLimits {
+            protocol_min: PROTOCOL_MIN,
+            protocol_max: PROTOCOL_MAX,
+            workers: 4,
+            max_pending_jobs: 256,
+            max_pending_bytes: 64 << 20,
+            per_conn_inflight: 16,
+            idle_timeout_ms: 60_000,
+            max_frame_len: MAX_FRAME_LEN as u64,
+            max_batch_jobs: MAX_BATCH_JOBS as u64,
+        }));
+        assert!(Request::Hello.needs_v3());
+        assert!(!Request::Hello.needs_v2(), "hello is not session-gated");
+        assert!(!Request::Metrics.needs_v3());
+        assert!(!Request::Ping.needs_v3());
+    }
+
+    #[test]
+    fn frame_assembler_reassembles_byte_by_byte() {
+        let mut wire = Vec::new();
+        write_message(&mut wire, PROTOCOL_V3, &Request::Hello).unwrap();
+        write_message(&mut wire, PROTOCOL_V3, &Request::Ping).unwrap();
+        let mut assembler = FrameAssembler::new();
+        let mut frames = Vec::new();
+        for &b in &wire {
+            assembler.push(&[b]);
+            while let Some(frame) = assembler.next_frame().unwrap() {
+                frames.push(frame);
+            }
+        }
+        assert_eq!(frames.len(), 2);
+        assert_eq!(assembler.buffered(), 0);
+        assert_eq!(frames[0].0, PROTOCOL_V3);
+        assert_eq!(
+            decode_payload::<Request>(&frames[0].1).unwrap(),
+            Request::Hello
+        );
+        assert_eq!(
+            decode_payload::<Request>(&frames[1].1).unwrap(),
+            Request::Ping
+        );
+    }
+
+    #[test]
+    fn frame_assembler_rejects_oversized_headers_before_the_payload_arrives() {
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        header[0] = PROTOCOL_V3;
+        header[1..].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut assembler = FrameAssembler::new();
+        assembler.push(&header);
+        assert!(matches!(
+            assembler.next_frame(),
+            Err(ServiceError::FrameTooLarge(_))
+        ));
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! the response stream is byte-identical at any worker count.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -41,6 +41,14 @@ pub struct Scheduler {
 impl Scheduler {
     /// Spawns `workers` threads (minimum 1).
     pub fn new(workers: usize) -> Self {
+        Self::with_spawn_counter(workers, &Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Like [`Scheduler::new`], but ticks `spawned` once per thread the
+    /// pool creates. The server threads its global spawn counter through
+    /// here so the zero-per-connection-threads property is testable: the
+    /// counter must stay flat however many connections arrive.
+    pub fn with_spawn_counter(workers: usize, spawned: &Arc<AtomicU64>) -> Self {
         let workers = workers.max(1);
         let shared = Arc::new(Shared {
             queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
@@ -52,6 +60,7 @@ impl Scheduler {
         let handles = (0..workers)
             .map(|id| {
                 let shared = Arc::clone(&shared);
+                spawned.fetch_add(1, Ordering::SeqCst);
                 std::thread::Builder::new()
                     .name(format!("arbodomd-worker-{id}"))
                     .spawn(move || worker_loop(&shared, id))

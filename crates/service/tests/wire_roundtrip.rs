@@ -12,7 +12,7 @@ use arbodom_service::protocol::{
 };
 use arbodom_service::{
     CacheStats, DeltaSpec, GraphSource, JobResult, JobSpec, RepairStats, Request, Response,
-    ServiceError, SessionPolicy, SessionUpdate,
+    ServerLimits, ServiceError, SessionPolicy, SessionUpdate,
 };
 use proptest::prelude::*;
 
@@ -231,7 +231,7 @@ impl Gen {
     }
 
     fn request(&mut self) -> Request {
-        match self.below(9) {
+        match self.below(10) {
             0 => Request::Ping,
             1 => Request::Batch((0..self.usize(4)).map(|_| self.job_spec()).collect()),
             2 => Request::Stats,
@@ -248,12 +248,27 @@ impl Gen {
             7 => Request::Release {
                 session: self.u64(),
             },
-            _ => Request::Metrics,
+            8 => Request::Metrics,
+            _ => Request::Hello,
+        }
+    }
+
+    fn server_limits(&mut self) -> ServerLimits {
+        ServerLimits {
+            protocol_min: self.u64() as u8,
+            protocol_max: self.u64() as u8,
+            workers: self.u64(),
+            max_pending_jobs: self.u64(),
+            max_pending_bytes: self.u64(),
+            per_conn_inflight: self.u64(),
+            idle_timeout_ms: self.u64(),
+            max_frame_len: self.u64(),
+            max_batch_jobs: self.u64(),
         }
     }
 
     fn response(&mut self) -> Response {
-        match self.below(11) {
+        match self.below(13) {
             0 => Response::Pong,
             1 => Response::Job {
                 index: self.below(1 << 16) as u32,
@@ -300,11 +315,16 @@ impl Gen {
                 existed: self.bool(),
             },
             9 => Response::MetricsReport(self.string()),
-            _ => Response::UnsupportedVersion {
+            10 => Response::UnsupportedVersion {
                 got: self.u64() as u8,
                 min: self.u64() as u8,
                 max: self.u64() as u8,
             },
+            11 => Response::Overloaded {
+                retry_after_ms: self.u64(),
+                queue_depth: self.u64(),
+            },
+            _ => Response::Limits(self.server_limits()),
         }
     }
 }
@@ -332,12 +352,12 @@ proptest! {
         // Overwrite the leading tag byte with every invalid value: the
         // decoder must error, never mis-route.
         let mut payload = encode_payload(&Gen(seed).request());
-        for tag in 9..=u8::MAX {
+        for tag in 10..=u8::MAX {
             payload[0] = tag;
             prop_assert!(decode_payload::<Request>(&payload).is_err());
         }
         let mut payload = encode_payload(&Gen(seed).response());
-        for tag in 11..=u8::MAX {
+        for tag in 13..=u8::MAX {
             payload[0] = tag;
             prop_assert!(decode_payload::<Response>(&payload).is_err());
         }
